@@ -1,0 +1,61 @@
+// Figure 1 reproduction: two ways of constructing the throughput
+// frontier — (a) random sampling of workload mixes, (b) the saturation
+// method — on the shared engine at SF4.
+//
+// Expected shape: the saturation method's frontier envelops (or matches)
+// the cloud of sampled hybrid throughputs with far fewer runs.
+
+#include <cstdio>
+
+#include "bench/support.h"
+#include "common/rng.h"
+
+using namespace hattrick;         // NOLINT
+using namespace hattrick::bench;  // NOLINT
+
+int main() {
+  std::printf(
+      "=== Figure 1: sampling vs saturation construction of the frontier "
+      "===\n");
+  BenchEnv env =
+      MakeEnv(EngineKind::kPostgres, 4.0, PhysicalSchema::kAllIndexes);
+  PointRunner runner = MakeRunner(env.driver.get(), DefaultRunConfig());
+
+  // (a) Sampling method: random (tau, alpha) pairs.
+  std::printf("# sampling method (t_clients,a_clients,tps,qps)\n");
+  const std::vector<OperatingPoint> samples =
+      SampleOperatingPoints(runner, 24, /*max_t=*/16, /*max_a=*/12,
+                            /*seed=*/123);
+  for (const OperatingPoint& p : samples) {
+    std::printf("%d,%d,%.1f,%.2f\n", p.t_clients, p.a_clients, p.tps,
+                p.qps);
+  }
+  const std::vector<OperatingPoint> sampled_frontier =
+      ParetoFrontier(samples);
+  std::printf("# sampling-derived frontier (tps,qps)\n");
+  for (const OperatingPoint& p : sampled_frontier) {
+    std::printf("%.1f,%.2f\n", p.tps, p.qps);
+  }
+
+  // (b) Saturation method.
+  const GridGraph grid = RunGrid(&env, "saturation method");
+  PrintFrontierSummary("saturation method", grid);
+  std::printf("# saturation frontier (tps,qps)\n");
+  for (const OperatingPoint& p : grid.frontier) {
+    std::printf("%.1f,%.2f\n", p.tps, p.qps);
+  }
+
+  // The saturation frontier should cover the sampled points.
+  size_t covered = 0;
+  GridGraph sampled_grid = grid;
+  sampled_grid.frontier = sampled_frontier;
+  for (const OperatingPoint& p : samples) {
+    GridGraph single = grid;
+    OperatingPoint probe = p;
+    single.frontier = {probe};
+    if (Envelops(grid, single)) ++covered;
+  }
+  std::printf("\n# saturation frontier covers %zu/%zu sampled mixes\n",
+              covered, samples.size());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 2 reproduction: the three worked examples of the
+// performance-centric definition —
+//   (a,b) PostgreSQL-SR grid graph and frontier at the largest SF
+//         (isolation: frontier above the proportional line),
+//   (c)   TiDB at SF10 (close to the proportional line),
+//   (d)   System-X at SF1 (below the proportional line: contention).
+
+#include <cstdio>
+
+#include "bench/support.h"
+
+using namespace hattrick;         // NOLINT
+using namespace hattrick::bench;  // NOLINT
+
+int main() {
+  std::printf("=== Figure 2: throughput-frontier examples ===\n");
+
+  // (a, b) PostgreSQL-SR, SF100: grid graph + frontier.
+  {
+    BenchEnv env = MakeEnv(EngineKind::kPostgresSR, 100.0,
+                           PhysicalSchema::kAllIndexes);
+    const GridGraph grid = RunGrid(&env, "PostgreSQL-SR SF100");
+    PrintFrontierSummary("Fig2a/b PostgreSQL-SR SF100", grid);
+    PrintGridCsv("Fig2a/b PostgreSQL-SR SF100", grid);
+    std::printf("expected pattern: isolation -> got %s\n\n",
+                FrontierPatternName(ClassifyFrontier(grid)));
+  }
+
+  // (c) TiDB, SF10.
+  {
+    BenchEnv env =
+        MakeEnv(EngineKind::kTidb, 10.0, PhysicalSchema::kSemiIndexes);
+    const GridGraph grid = RunGrid(&env, "TiDB SF10");
+    PrintFrontierSummary("Fig2c TiDB SF10", grid);
+    std::printf("# Fig2c frontier (tps,qps)\n");
+    for (const OperatingPoint& p : grid.frontier) {
+      std::printf("%.1f,%.2f\n", p.tps, p.qps);
+    }
+    std::printf("expected pattern: proportional -> got %s\n\n",
+                FrontierPatternName(ClassifyFrontier(grid)));
+  }
+
+  // (d) System-X, SF1.
+  {
+    BenchEnv env =
+        MakeEnv(EngineKind::kSystemX, 1.0, PhysicalSchema::kSemiIndexes);
+    const GridGraph grid = RunGrid(&env, "System-X SF1");
+    PrintFrontierSummary("Fig2d System-X SF1", grid);
+    std::printf("# Fig2d frontier (tps,qps)\n");
+    for (const OperatingPoint& p : grid.frontier) {
+      std::printf("%.1f,%.2f\n", p.tps, p.qps);
+    }
+    std::printf(
+        "expected pattern: below proportional (small-SF contention) -> "
+        "got %s\n",
+        FrontierPatternName(ClassifyFrontier(grid)));
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 7 reproduction: PostgreSQL-SR (isolated design, replication
+// mode ON) across scale factors SF1 / SF10 / SF100, with freshness
+// scores at the 20:80 / 50:50 / 80:20 ratio points.
+//
+// Expected shape (Section 6.3): fixed-T/fixed-A lines far less slanted
+// than plain PostgreSQL (dedicated node per workload); frontier moves
+// above the proportional line as SF grows, near the bounding box at
+// SF100; non-zero freshness scores that worsen as the T share grows.
+
+#include <cstdio>
+
+#include "bench/support.h"
+
+using namespace hattrick;         // NOLINT
+using namespace hattrick::bench;  // NOLINT
+
+int main() {
+  std::printf(
+      "=== Figure 7: PostgreSQL-SR (mode ON) for different scaling "
+      "factors ===\n");
+  std::vector<GridGraph> grids;
+  std::vector<std::string> labels;
+  std::vector<std::vector<RatioFreshness>> freshness;
+  for (const double sf : {1.0, 10.0, 100.0}) {
+    const std::string label =
+        "PostgreSQL-SR SF" + std::to_string(static_cast<int>(sf));
+    BenchEnv env =
+        MakeEnv(EngineKind::kPostgresSR, sf, PhysicalSchema::kAllIndexes);
+    const GridGraph grid = RunGrid(&env, label);
+    PrintFrontierSummary(label, grid);
+    PrintGridCsv(label, grid);
+    const auto rows = MeasureRatioFreshness(
+        MakeRunner(env.driver.get(), DefaultRunConfig()), grid.tau_max,
+        grid.alpha_max);
+    PrintRatioFreshness(label, rows);
+    grids.push_back(grid);
+    labels.push_back(label);
+    freshness.push_back(rows);
+  }
+  PlotFrontiers(labels, {&grids[0], &grids[1], &grids[2]});
+
+  std::printf("\n# shape checks\n");
+  std::printf(
+      "coverage grows with SF:     %s (%.3f, %.3f, %.3f)\n",
+      FrontierCoverage(grids[0]) <= FrontierCoverage(grids[2]) ? "yes"
+                                                               : "NO",
+      FrontierCoverage(grids[0]), FrontierCoverage(grids[1]),
+      FrontierCoverage(grids[2]));
+  std::printf("SF100 pattern isolation:    %s (%s)\n",
+              ClassifyFrontier(grids[2]) == FrontierPattern::kIsolation
+                  ? "yes"
+                  : "NO",
+              FrontierPatternName(ClassifyFrontier(grids[2])));
+  bool stale_somewhere = false;
+  for (const auto& rows : freshness) {
+    for (const auto& row : rows) {
+      if (row.p99 > 0) stale_somewhere = true;
+    }
+  }
+  std::printf("stale queries observed:     %s\n",
+              stale_somewhere ? "yes" : "NO");
+  for (size_t i = 0; i < freshness.size(); ++i) {
+    std::printf("freshness grows with T share (%s): %s "
+                "(f2=%.4f f5=%.4f f8=%.4f)\n",
+                labels[i].c_str(),
+                freshness[i][0].p99 <= freshness[i][2].p99 ? "yes" : "NO",
+                freshness[i][0].p99, freshness[i][1].p99,
+                freshness[i][2].p99);
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 8b reproduction: CDFs of the per-query freshness scores for
+// PostgreSQL-SR (mode ON) at SF10 for T:A client ratios 20:80, 50:50 and
+// 80:20.
+//
+// Expected shape (Section 6.3): the fraction of perfectly fresh queries
+// falls as the T share grows (the standby cannot keep up with the update
+// rate), and the tail freshness grows.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/support.h"
+
+using namespace hattrick;         // NOLINT
+using namespace hattrick::bench;  // NOLINT
+
+int main() {
+  std::printf(
+      "=== Figure 8b: freshness CDFs, PostgreSQL-SR mode ON (SF10) ===\n");
+  BenchEnv env =
+      MakeEnv(EngineKind::kPostgresSR, 10.0, PhysicalSchema::kAllIndexes);
+
+  // Saturate both sides first so ratios mean the same thing as in the
+  // paper (fractions of tau_max / alpha_max).
+  PointRunner runner = MakeRunner(env.driver.get(), DefaultRunConfig());
+  const int tau_max = FindSaturation(
+      [&](int clients) { return runner(clients, 0).tps; }, 32, 0.03);
+  const int alpha_max = FindSaturation(
+      [&](int clients) { return runner(0, clients).qps; }, 32, 0.03);
+  std::printf("# tau_max=%d alpha_max=%d\n", tau_max, alpha_max);
+
+  const struct {
+    const char* name;
+    double t_fraction;
+    double a_fraction;
+  } kRatios[] = {{"20:80", 0.2, 0.8}, {"50:50", 0.5, 0.5},
+                 {"80:20", 0.8, 0.2}};
+
+  double fresh_fraction[3] = {0, 0, 0};
+  int index = 0;
+  for (const auto& ratio : kRatios) {
+    WorkloadConfig config = DefaultRunConfig();
+    config.t_clients = std::max(
+        1, static_cast<int>(std::lround(tau_max * ratio.t_fraction)));
+    config.a_clients = std::max(
+        1, static_cast<int>(std::lround(alpha_max * ratio.a_fraction)));
+    config.measure_seconds = 2.0;  // more queries for a smoother CDF
+    const RunMetrics metrics = env.driver->Run(config);
+    std::printf("# ratio %s (T=%d A=%d): %llu queries\n", ratio.name,
+                config.t_clients, config.a_clients,
+                static_cast<unsigned long long>(metrics.queries));
+    std::printf("# CDF (freshness_seconds,fraction)\n");
+    for (const auto& [x, f] : metrics.freshness.Cdf()) {
+      std::printf("%.5f,%.4f\n", x, f);
+    }
+    fresh_fraction[index++] = metrics.freshness.CdfAt(1e-3);
+    std::printf("fresh(<=1ms) fraction: %.3f, p99: %.4f s, max: %.4f s\n\n",
+                metrics.freshness.CdfAt(1e-3),
+                metrics.freshness.Percentile(0.99),
+                metrics.freshness.empty() ? 0 : metrics.freshness.Max());
+  }
+
+  std::printf("# shape check\n");
+  std::printf(
+      "fresh fraction falls as T share grows: %s (%.3f >= %.3f >= %.3f)\n",
+      fresh_fraction[0] >= fresh_fraction[1] &&
+              fresh_fraction[1] >= fresh_fraction[2]
+          ? "yes"
+          : "NO",
+      fresh_fraction[0], fresh_fraction[1], fresh_fraction[2]);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 9 reproduction: System-X (hybrid design, OCC serializable, row
+// copy + in-memory column store) across scale factors.
+//
+// Expected shape (Section 6.4): slanted lines at all SFs (shared
+// compute) but better analytics than PostgreSQL (columnar copy); SF100
+// frontier above or near the proportional line; max-T roughly stable
+// across SFs (no analytical index maintenance on the T path); freshness
+// identically zero (merge before every query).
+
+#include <cstdio>
+
+#include "bench/support.h"
+
+using namespace hattrick;         // NOLINT
+using namespace hattrick::bench;  // NOLINT
+
+int main() {
+  std::printf(
+      "=== Figure 9: System-X for different scaling factors ===\n");
+  std::vector<GridGraph> grids;
+  std::vector<std::string> labels;
+  bool all_fresh = true;
+  for (const double sf : {1.0, 10.0, 100.0}) {
+    const std::string label =
+        "System-X SF" + std::to_string(static_cast<int>(sf));
+    BenchEnv env =
+        MakeEnv(EngineKind::kSystemX, sf, PhysicalSchema::kSemiIndexes);
+    const GridGraph grid = RunGrid(&env, label);
+    PrintFrontierSummary(label, grid);
+    PrintGridCsv(label, grid);
+    const auto freshness = MeasureRatioFreshness(
+        MakeRunner(env.driver.get(), DefaultRunConfig()), grid.tau_max,
+        grid.alpha_max);
+    PrintRatioFreshness(label, freshness);
+    for (const auto& row : freshness) {
+      if (row.p99 > 0) all_fresh = false;
+    }
+    grids.push_back(grid);
+    labels.push_back(label);
+  }
+  PlotFrontiers(labels, {&grids[0], &grids[1], &grids[2]});
+
+  std::printf("\n# shape checks\n");
+  std::printf("freshness always zero:   %s\n", all_fresh ? "yes" : "NO");
+  std::printf("max-T roughly stable:    %s (%.0f, %.0f, %.0f)\n",
+              grids[2].xt > grids[0].xt * 0.7 ? "yes" : "NO", grids[0].xt,
+              grids[1].xt, grids[2].xt);
+  std::printf("max-A falls with SF:     %s (%.2f > %.2f > %.2f)\n",
+              grids[0].xa > grids[2].xa ? "yes" : "NO", grids[0].xa,
+              grids[1].xa, grids[2].xa);
+  std::printf("SF100 at/above prop:     %s (coverage %.3f)\n",
+              FrontierCoverage(grids[2]) >= 0.45 ? "yes" : "NO",
+              FrontierCoverage(grids[2]));
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 11 reproduction: distributed TiDB (3 TiKV + 2 TiFlash nodes)
+// across scale factors.
+//
+// Expected shape (Section 6.5.2): compared to single-node TiDB the
+// distributed deployment has a *lower* maximum T throughput (TCP/IP CPU
+// overhead and network round trips on the distributed transaction path)
+// and a *higher* maximum A throughput (more TiFlash resources); the
+// frontier moves above the proportional line as SF grows (separate
+// storage/compute per workload); freshness stays zero.
+
+#include <cstdio>
+
+#include "bench/support.h"
+
+using namespace hattrick;         // NOLINT
+using namespace hattrick::bench;  // NOLINT
+
+int main() {
+  std::printf("=== Figure 11: distributed TiDB for different scaling "
+              "factors ===\n");
+  std::vector<GridGraph> grids;
+  std::vector<std::string> labels;
+  bool all_fresh = true;
+  for (const double sf : {1.0, 10.0, 100.0}) {
+    const std::string label =
+        "TiDB-Dist SF" + std::to_string(static_cast<int>(sf));
+    BenchEnv env =
+        MakeEnv(EngineKind::kTidbDist, sf, PhysicalSchema::kSemiIndexes);
+    const GridGraph grid = RunGrid(&env, label);
+    PrintFrontierSummary(label, grid);
+    PrintGridCsv(label, grid);
+    const auto freshness = MeasureRatioFreshness(
+        MakeRunner(env.driver.get(), DefaultRunConfig()), grid.tau_max,
+        grid.alpha_max);
+    PrintRatioFreshness(label, freshness);
+    for (const auto& row : freshness) {
+      if (row.p99 > 0) all_fresh = false;
+    }
+    grids.push_back(grid);
+    labels.push_back(label);
+  }
+  PlotFrontiers(labels, {&grids[0], &grids[1], &grids[2]});
+
+  // Single-node TiDB at SF10 for the cross-deployment comparison.
+  BenchEnv single =
+      MakeEnv(EngineKind::kTidb, 10.0, PhysicalSchema::kSemiIndexes);
+  const GridGraph single_grid = RunGrid(&single, "TiDB SF10 (single)");
+
+  std::printf("\n# shape checks\n");
+  std::printf("freshness always zero:        %s\n",
+              all_fresh ? "yes" : "NO");
+  std::printf("dist max-T < single max-T:    %s (%.0f vs %.0f)\n",
+              grids[1].xt < single_grid.xt ? "yes" : "NO", grids[1].xt,
+              single_grid.xt);
+  std::printf("dist max-A > single max-A:    %s (%.2f vs %.2f)\n",
+              grids[1].xa > single_grid.xa ? "yes" : "NO", grids[1].xa,
+              single_grid.xa);
+  std::printf("coverage grows with SF:       %s (%.3f, %.3f, %.3f)\n",
+              FrontierCoverage(grids[0]) <= FrontierCoverage(grids[2])
+                  ? "yes"
+                  : "NO",
+              FrontierCoverage(grids[0]), FrontierCoverage(grids[1]),
+              FrontierCoverage(grids[2]));
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Figure 12 reproduction: cross-system comparison at SF100 —
+// PostgreSQL, PostgreSQL-SR, System-X, TiDB, TiDB-Dist — with the
+// freshness score at the 50:50 ratio point for each.
+//
+// Expected shape (Section 6.6): System-X's frontier envelops the others
+// except PostgreSQL's higher max-T; PostgreSQL-SR trades freshness for
+// isolation (above its proportional line, stale queries) vs PostgreSQL
+// (fresh, interfering); TiDB-Dist beats single-node TiDB on scaling and
+// A throughput while losing max-T.
+
+#include <cstdio>
+
+#include "bench/support.h"
+
+using namespace hattrick;         // NOLINT
+using namespace hattrick::bench;  // NOLINT
+
+namespace {
+
+struct SystemRun {
+  std::string label;
+  GridGraph grid;
+  double freshness_5050_p99 = 0;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 12: cross-system comparison (SF100) ===\n");
+  const struct {
+    EngineKind kind;
+    PhysicalSchema physical;
+  } kSystems[] = {
+      {EngineKind::kPostgres, PhysicalSchema::kAllIndexes},
+      {EngineKind::kPostgresSR, PhysicalSchema::kAllIndexes},
+      {EngineKind::kSystemX, PhysicalSchema::kSemiIndexes},
+      {EngineKind::kTidb, PhysicalSchema::kSemiIndexes},
+      {EngineKind::kTidbDist, PhysicalSchema::kSemiIndexes},
+  };
+
+  std::vector<SystemRun> runs;
+  for (const auto& system : kSystems) {
+    SystemRun run;
+    run.label = EngineKindName(system.kind);
+    BenchEnv env = MakeEnv(system.kind, 100.0, system.physical);
+    run.grid = RunGrid(&env, run.label);
+    PrintFrontierSummary(run.label, run.grid);
+    std::printf("# %s frontier (tps,qps)\n", run.label.c_str());
+    for (const OperatingPoint& p : run.grid.frontier) {
+      std::printf("%.1f,%.2f\n", p.tps, p.qps);
+    }
+    // Freshness at the 50:50 ratio point (the paper's Figure 12
+    // annotation).
+    PointRunner runner = MakeRunner(env.driver.get(), DefaultRunConfig());
+    const OperatingPoint mid = runner(
+        std::max(1, run.grid.tau_max / 2), std::max(1, run.grid.alpha_max / 2));
+    run.freshness_5050_p99 = mid.freshness_p99;
+    std::printf("f5 (50:50) p99 freshness: %.4f s\n\n",
+                run.freshness_5050_p99);
+    runs.push_back(std::move(run));
+  }
+
+  std::vector<std::string> labels;
+  std::vector<const GridGraph*> grids;
+  for (const SystemRun& run : runs) {
+    labels.push_back(run.label);
+    grids.push_back(&run.grid);
+  }
+  PlotFrontiers(labels, grids);
+
+  std::printf("\n# pairwise envelope matrix (row envelops column?)\n");
+  std::printf("%-18s", "");
+  for (const SystemRun& run : runs) std::printf("%-18s", run.label.c_str());
+  std::printf("\n");
+  for (const SystemRun& a : runs) {
+    std::printf("%-18s", a.label.c_str());
+    for (const SystemRun& b : runs) {
+      std::printf("%-18s", Envelops(a.grid, b.grid) ? "yes" : "-");
+    }
+    std::printf("\n");
+  }
+
+  const SystemRun& postgres = runs[0];
+  const SystemRun& postgres_sr = runs[1];
+  const SystemRun& systemx = runs[2];
+  const SystemRun& tidb = runs[3];
+  const SystemRun& tidb_dist = runs[4];
+
+  std::printf("\n# shape checks\n");
+  std::printf("System-X max-A highest of single nodes: %s (%.2f)\n",
+              systemx.grid.xa >= postgres.grid.xa &&
+                      systemx.grid.xa >= tidb.grid.xa
+                  ? "yes"
+                  : "NO",
+              systemx.grid.xa);
+  std::printf("PostgreSQL max-T >= System-X max-T:     %s (%.0f vs %.0f)\n",
+              postgres.grid.xt >= systemx.grid.xt ? "yes" : "NO",
+              postgres.grid.xt, systemx.grid.xt);
+  std::printf("PostgreSQL-SR stale, PostgreSQL fresh:  %s (%.4f vs %.4f)\n",
+              postgres_sr.freshness_5050_p99 >= 0 &&
+                      postgres.freshness_5050_p99 == 0
+                  ? "yes"
+                  : "NO",
+              postgres_sr.freshness_5050_p99, postgres.freshness_5050_p99);
+  std::printf("TiDB-Dist max-A > TiDB max-A:           %s (%.2f vs %.2f)\n",
+              tidb_dist.grid.xa > tidb.grid.xa ? "yes" : "NO",
+              tidb_dist.grid.xa, tidb.grid.xa);
+  std::printf("TiDB max-T > TiDB-Dist max-T:           %s (%.0f vs %.0f)\n",
+              tidb.grid.xt > tidb_dist.grid.xt ? "yes" : "NO",
+              tidb.grid.xt, tidb_dist.grid.xt);
+  std::printf("PostgreSQL-SR coverage > PostgreSQL:    %s (%.3f vs %.3f)\n",
+              FrontierCoverage(postgres_sr.grid) >
+                      FrontierCoverage(postgres.grid)
+                  ? "yes"
+                  : "NO",
+              FrontierCoverage(postgres_sr.grid),
+              FrontierCoverage(postgres.grid));
+  return 0;
+}

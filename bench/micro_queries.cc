@@ -1,0 +1,92 @@
+// Micro-benchmarks of the analytical path (google-benchmark): each SSB
+// query executed against the row store and against the column store at
+// SF10 — the ablation behind the hybrid designs' analytical advantage —
+// plus the HATtrick transactions against the shared engine.
+
+#include <benchmark/benchmark.h>
+
+#include "engine/hybrid_engine.h"
+#include "engine/shared_engine.h"
+#include "hattrick/datagen.h"
+#include "hattrick/queries.h"
+#include "hattrick/transactions.h"
+
+namespace hattrick {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    DatagenConfig config;
+    config.scale_factor = 10.0;
+    config.lineorders_per_sf = 2000;
+    config.seed = 42;
+    config.num_freshness_tables = 4;
+    dataset = GenerateDataset(config);
+    shared = std::make_unique<SharedEngine>();
+    (void)LoadDataset(dataset, PhysicalSchema::kAllIndexes, shared.get());
+    hybrid = std::make_unique<HybridEngine>(SystemXConfig());
+    (void)LoadDataset(dataset, PhysicalSchema::kSemiIndexes, hybrid.get());
+    context = std::make_unique<WorkloadContext>(dataset);
+    handles = EngineHandles::Resolve(*shared->primary_catalog(), 4);
+  }
+
+  Dataset dataset;
+  std::unique_ptr<SharedEngine> shared;
+  std::unique_ptr<HybridEngine> hybrid;
+  std::unique_ptr<WorkloadContext> context;
+  EngineHandles handles;
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_QueryRowStore(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const int qid = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    WorkMeter meter;
+    AnalyticsSession session = f.shared->BeginAnalytics(&meter);
+    ExecContext ctx{&meter};
+    const QueryResult result = RunQuery(qid, *session.source, 4, &ctx);
+    benchmark::DoNotOptimize(result.checksum);
+  }
+  state.SetLabel(QueryName(qid));
+}
+BENCHMARK(BM_QueryRowStore)->DenseRange(0, kNumQueries - 1);
+
+void BM_QueryColumnStore(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const int qid = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    WorkMeter meter;
+    AnalyticsSession session = f.hybrid->BeginAnalytics(&meter);
+    ExecContext ctx{&meter};
+    const QueryResult result = RunQuery(qid, *session.source, 4, &ctx);
+    benchmark::DoNotOptimize(result.checksum);
+  }
+  state.SetLabel(QueryName(qid));
+}
+BENCHMARK(BM_QueryColumnStore)->DenseRange(0, kNumQueries - 1);
+
+void BM_Transaction(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  Rng rng(9);
+  uint64_t txn_num = 0;
+  for (auto _ : state) {
+    const TxnParams params = GenerateTxnParams(f.context.get(), &rng);
+    ++txn_num;
+    WorkMeter meter;
+    const TxnOutcome outcome = f.shared->ExecuteTransaction(
+        MakeTxnBody(params, f.handles, 1, txn_num), 1, txn_num, &meter);
+    benchmark::DoNotOptimize(outcome.status.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Transaction);
+
+}  // namespace
+}  // namespace hattrick
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Response-time extraction (Section 6.1: "HATtrick benchmark extracts
+// also the average response time of each transaction type and analytical
+// query"): per-transaction-type and per-query latency for every system
+// at the 50:50 operating point, SF10.
+
+#include <cstdio>
+
+#include "bench/support.h"
+
+using namespace hattrick;         // NOLINT
+using namespace hattrick::bench;  // NOLINT
+
+int main() {
+  std::printf("=== Response times per transaction type and query "
+              "(SF10, T:A = 8:4) ===\n");
+  const struct {
+    EngineKind kind;
+    PhysicalSchema physical;
+  } kSystems[] = {
+      {EngineKind::kPostgres, PhysicalSchema::kAllIndexes},
+      {EngineKind::kPostgresSR, PhysicalSchema::kAllIndexes},
+      {EngineKind::kSystemX, PhysicalSchema::kSemiIndexes},
+      {EngineKind::kTidb, PhysicalSchema::kSemiIndexes},
+  };
+
+  for (const auto& system : kSystems) {
+    BenchEnv env = MakeEnv(system.kind, 10.0, system.physical);
+    WorkloadConfig run = DefaultRunConfig();
+    run.t_clients = 8;
+    run.a_clients = 4;
+    run.measure_seconds = 1.5;
+    const RunMetrics metrics = env.driver->Run(run);
+
+    std::printf("\n== %s ==\n", EngineKindName(system.kind));
+    std::printf("# txn_type,mean_ms,p99_ms,count\n");
+    for (int t = 0; t < 3; ++t) {
+      const Sampler& sampler = metrics.txn_latency_by_type[t];
+      if (sampler.empty()) continue;
+      std::printf("%s,%.4f,%.4f,%zu\n",
+                  TxnTypeName(static_cast<TxnType>(t)),
+                  sampler.Mean() * 1e3, sampler.Percentile(0.99) * 1e3,
+                  sampler.count());
+    }
+    std::printf("# query,mean_ms,p99_ms,count\n");
+    for (int q = 0; q < kNumQueries; ++q) {
+      const Sampler& sampler = metrics.query_latency_by_id[q];
+      if (sampler.empty()) continue;
+      std::printf("%s,%.3f,%.3f,%zu\n", QueryName(q), sampler.Mean() * 1e3,
+                  sampler.Percentile(0.99) * 1e3, sampler.count());
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,145 @@
+#include "bench/support.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "engine/hybrid_engine.h"
+#include "engine/isolated_engine.h"
+#include "engine/shared_engine.h"
+
+namespace hattrick {
+namespace bench {
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kPostgres:
+      return "PostgreSQL";
+    case EngineKind::kPostgresRC:
+      return "PostgreSQL-RC";
+    case EngineKind::kPostgresSR:
+      return "PostgreSQL-SR";
+    case EngineKind::kPostgresSRRA:
+      return "PostgreSQL-SR-RA";
+    case EngineKind::kSystemX:
+      return "System-X";
+    case EngineKind::kTidb:
+      return "TiDB";
+    case EngineKind::kTidbDist:
+      return "TiDB-Dist";
+  }
+  return "?";
+}
+
+BenchEnv MakeEnv(EngineKind kind, double scale_factor,
+                 PhysicalSchema physical) {
+  BenchEnv env;
+  DatagenConfig datagen;
+  datagen.scale_factor = scale_factor;
+  datagen.lineorders_per_sf = kLineordersPerSf;
+  datagen.seed = kDatagenSeed;
+  datagen.num_freshness_tables = kFreshnessTables;
+  env.dataset = GenerateDataset(datagen);
+
+  SimSetup setup;
+  switch (kind) {
+    case EngineKind::kPostgres: {
+      SharedEngineConfig config;
+      config.name = "PostgreSQL";
+      config.isolation = IsolationLevel::kSerializable;
+      env.engine = std::make_unique<SharedEngine>(config);
+      setup = SharedSimSetup();
+      break;
+    }
+    case EngineKind::kPostgresRC: {
+      SharedEngineConfig config;
+      config.name = "PostgreSQL-RC";
+      config.isolation = IsolationLevel::kReadCommitted;
+      env.engine = std::make_unique<SharedEngine>(config);
+      setup = SharedSimSetup();
+      break;
+    }
+    case EngineKind::kPostgresSR: {
+      IsolatedEngineConfig config;
+      config.name = "PostgreSQL-SR";
+      config.mode = ReplicationMode::kSyncShip;
+      env.engine = std::make_unique<IsolatedEngine>(config);
+      setup = IsolatedSimSetup();
+      break;
+    }
+    case EngineKind::kPostgresSRRA: {
+      IsolatedEngineConfig config;
+      config.name = "PostgreSQL-SR-RA";
+      config.mode = ReplicationMode::kRemoteApply;
+      env.engine = std::make_unique<IsolatedEngine>(config);
+      setup = IsolatedSimSetup();
+      break;
+    }
+    case EngineKind::kSystemX:
+      env.engine = std::make_unique<HybridEngine>(SystemXConfig());
+      setup = HybridSimSetup();
+      break;
+    case EngineKind::kTidb:
+      env.engine = std::make_unique<HybridEngine>(TidbConfig());
+      setup = HybridSimSetup();
+      break;
+    case EngineKind::kTidbDist: {
+      HybridEngineConfig config = TidbConfig();
+      config.name = "TiDB-Dist";
+      env.engine = std::make_unique<HybridEngine>(config);
+      setup = TidbDistSimSetup();
+      break;
+    }
+  }
+
+  const Status status = LoadDataset(env.dataset, physical, env.engine.get());
+  if (!status.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+    std::abort();
+  }
+  env.context = std::make_unique<WorkloadContext>(env.dataset);
+  env.driver = std::make_unique<SimDriver>(env.engine.get(),
+                                           env.context.get(), setup);
+  return env;
+}
+
+WorkloadConfig DefaultRunConfig() {
+  WorkloadConfig config;
+  config.warmup_seconds = 0.25;
+  config.measure_seconds = 1.0;
+  config.seed = 7;
+  return config;
+}
+
+FrontierOptions DefaultFrontierOptions() {
+  FrontierOptions options;
+  options.lines = 5;
+  options.points_per_line = 5;
+  options.max_clients = 32;
+  return options;
+}
+
+GridGraph RunGrid(BenchEnv* env, const std::string& label) {
+  std::printf("# building grid graph for %s\n", label.c_str());
+  std::fflush(stdout);
+  const GridGraph grid = BuildGridGraph(
+      MakeRunner(env->driver.get(), DefaultRunConfig()),
+      DefaultFrontierOptions(), [](const std::string&) {
+        std::fputc('.', stdout);
+        std::fflush(stdout);
+      });
+  std::printf("\n");
+  return grid;
+}
+
+void ReportSystem(BenchEnv* env, const std::string& label,
+                  const GridGraph& grid) {
+  PrintFrontierSummary(label, grid);
+  PrintGridCsv(label, grid);
+  const auto freshness = MeasureRatioFreshness(
+      MakeRunner(env->driver.get(), DefaultRunConfig()), grid.tau_max,
+      grid.alpha_max);
+  PrintRatioFreshness(label, freshness);
+}
+
+}  // namespace bench
+}  // namespace hattrick

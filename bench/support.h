@@ -1,0 +1,74 @@
+#ifndef HATTRICK_BENCH_SUPPORT_H_
+#define HATTRICK_BENCH_SUPPORT_H_
+
+#include <memory>
+#include <string>
+
+#include "engine/htap_engine.h"
+#include "hattrick/datagen.h"
+#include "hattrick/driver.h"
+#include "hattrick/frontier.h"
+#include "hattrick/report.h"
+
+namespace hattrick {
+namespace bench {
+
+/// The systems the paper evaluates (Section 6), mapped to this repo's
+/// engines and simulated deployments (see DESIGN.md):
+///  - kPostgres:     SharedEngine, serializable, one node.
+///  - kPostgresRC:   SharedEngine, read committed (Figure 6a).
+///  - kPostgresSR:   IsolatedEngine, synchronous_commit=ON, two nodes.
+///  - kPostgresSRRA: IsolatedEngine, remote_apply (Figure 8a).
+///  - kSystemX:      HybridEngine, OCC serializable, one node.
+///  - kTidb:         HybridEngine, snapshot isolation, one node.
+///  - kTidbDist:     HybridEngine, distributed deployment costs.
+enum class EngineKind {
+  kPostgres,
+  kPostgresRC,
+  kPostgresSR,
+  kPostgresSRRA,
+  kSystemX,
+  kTidb,
+  kTidbDist,
+};
+
+/// Returns the display name used in the output ("PostgreSQL", ...).
+const char* EngineKindName(EngineKind kind);
+
+/// A loaded engine + workload context + virtual-time driver.
+struct BenchEnv {
+  Dataset dataset;
+  std::unique_ptr<HtapEngine> engine;
+  std::unique_ptr<WorkloadContext> context;
+  std::unique_ptr<SimDriver> driver;
+};
+
+/// Benchmark-wide scaling: the paper's SF ladder scaled ~2000x down
+/// (DESIGN.md). SF1/SF10/SF100 give 2k/20k/200k lineorders.
+inline constexpr size_t kLineordersPerSf = 2000;
+inline constexpr uint32_t kFreshnessTables = 48;
+inline constexpr uint64_t kDatagenSeed = 42;
+
+/// Builds, loads, and wires up a system at `scale_factor`.
+BenchEnv MakeEnv(EngineKind kind, double scale_factor,
+                 PhysicalSchema physical);
+
+/// Default measurement procedure for the figure benches.
+WorkloadConfig DefaultRunConfig();
+
+/// Default saturation-method options.
+FrontierOptions DefaultFrontierOptions();
+
+/// Runs the full saturation method on `env` and prints progress dots.
+GridGraph RunGrid(BenchEnv* env, const std::string& label);
+
+/// Prints everything the paper's per-system figures contain: fixed-T /
+/// fixed-A lines, the frontier, summary metrics, and the freshness scores
+/// at the 20:80 / 50:50 / 80:20 ratio points.
+void ReportSystem(BenchEnv* env, const std::string& label,
+                  const GridGraph& grid);
+
+}  // namespace bench
+}  // namespace hattrick
+
+#endif  // HATTRICK_BENCH_SUPPORT_H_

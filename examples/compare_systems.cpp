@@ -1,0 +1,112 @@
+// Compare the three HTAP architecture designs with the HATtrick
+// benchmark at one scale factor: build the throughput frontier of each,
+// classify its design pattern, check envelopes, and report freshness —
+// a miniature of the paper's Figure 12 workflow.
+//
+// Run: ./build/examples/compare_systems
+
+#include <cstdio>
+
+#include "engine/hybrid_engine.h"
+#include "engine/isolated_engine.h"
+#include "engine/shared_engine.h"
+#include "hattrick/datagen.h"
+#include "hattrick/driver.h"
+#include "hattrick/frontier.h"
+#include "hattrick/report.h"
+
+using namespace hattrick;  // NOLINT: example brevity
+
+namespace {
+
+struct SystemUnderTest {
+  std::string name;
+  std::unique_ptr<HtapEngine> engine;
+  SimSetup setup;
+};
+
+}  // namespace
+
+int main() {
+  DatagenConfig datagen;
+  datagen.scale_factor = 4.0;
+  datagen.seed = 42;
+  const Dataset dataset = GenerateDataset(datagen);
+  std::printf("dataset: %zu lineorders\n\n", dataset.lineorder.size());
+
+  std::vector<SystemUnderTest> systems;
+  {
+    SystemUnderTest s;
+    s.name = "shared (PostgreSQL-like)";
+    s.engine = std::make_unique<SharedEngine>();
+    s.setup = SharedSimSetup();
+    systems.push_back(std::move(s));
+  }
+  {
+    SystemUnderTest s;
+    s.name = "isolated (PostgreSQL-SR-like)";
+    IsolatedEngineConfig config;
+    config.mode = ReplicationMode::kSyncShip;
+    s.engine = std::make_unique<IsolatedEngine>(config);
+    s.setup = IsolatedSimSetup();
+    systems.push_back(std::move(s));
+  }
+  {
+    SystemUnderTest s;
+    s.name = "hybrid (System-X-like)";
+    s.engine = std::make_unique<HybridEngine>(SystemXConfig());
+    s.setup = HybridSimSetup();
+    systems.push_back(std::move(s));
+  }
+
+  FrontierOptions options;
+  options.lines = 4;
+  options.points_per_line = 4;
+  options.max_clients = 24;
+  WorkloadConfig base;
+  base.warmup_seconds = 0.2;
+  base.measure_seconds = 0.8;
+
+  std::vector<GridGraph> grids;
+  std::vector<std::unique_ptr<WorkloadContext>> contexts;
+  for (SystemUnderTest& system : systems) {
+    const Status status =
+        LoadDataset(dataset, PhysicalSchema::kAllIndexes,
+                    system.engine.get());
+    if (!status.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    contexts.push_back(std::make_unique<WorkloadContext>(dataset));
+    SimDriver driver(system.engine.get(), contexts.back().get(),
+                     system.setup);
+    std::printf("measuring %s ...\n", system.name.c_str());
+    GridGraph grid =
+        BuildGridGraph(MakeRunner(&driver, base), options);
+    PrintFrontierSummary(system.name, grid);
+    const auto freshness = MeasureRatioFreshness(MakeRunner(&driver, base),
+                                                 grid.tau_max,
+                                                 grid.alpha_max);
+    PrintRatioFreshness(system.name, freshness);
+    grids.push_back(std::move(grid));
+  }
+
+  std::vector<std::string> labels;
+  std::vector<const GridGraph*> pointers;
+  for (size_t i = 0; i < systems.size(); ++i) {
+    labels.push_back(systems[i].name);
+    pointers.push_back(&grids[i]);
+  }
+  PlotFrontiers(labels, pointers);
+
+  // The paper's comparison rule (Section 6.6).
+  for (size_t i = 0; i < grids.size(); ++i) {
+    for (size_t j = 0; j < grids.size(); ++j) {
+      if (i != j && Envelops(grids[i], grids[j])) {
+        std::printf("%s envelops %s\n", labels[i].c_str(),
+                    labels[j].c_str());
+      }
+    }
+  }
+  return 0;
+}

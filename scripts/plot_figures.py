@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Plot the CSV blocks emitted by the figure benchmarks.
+
+Usage:
+    ./build/bench/fig05_postgres_sf | tee fig05.txt
+    python3 scripts/plot_figures.py fig05.txt --out fig05.png
+
+Each bench prints blocks of the form
+
+    # <label> fixed-T lines (t_clients,a_clients,tps,qps)
+    <csv rows, blank line between lines>
+    # <label> fixed-A lines (...)
+    ...
+    # <label> frontier (tps,qps)
+    <csv rows>
+
+This script renders every frontier found in the file on one axes pair,
+plus per-label grid graphs, using matplotlib if available.
+"""
+
+import argparse
+import re
+import sys
+from collections import defaultdict
+
+
+def parse_blocks(lines):
+    """Returns {label: {"frontier": [(tps,qps)...],
+                        "fixed_t": [[(t,a,tps,qps)...], ...],
+                        "fixed_a": [...]}}"""
+    systems = defaultdict(lambda: {"frontier": [], "fixed_t": [], "fixed_a": []})
+    mode = None
+    label = None
+    current_line = []
+
+    def flush_line():
+        nonlocal current_line
+        if mode in ("fixed_t", "fixed_a") and current_line:
+            systems[label][mode].append(current_line)
+        current_line = []
+
+    frontier_re = re.compile(r"^# (.*) frontier \(tps,qps\)")
+    fixed_t_re = re.compile(r"^# (.*) fixed-T lines")
+    fixed_a_re = re.compile(r"^# (.*) fixed-A lines")
+
+    for raw in lines:
+        line = raw.rstrip("\n")
+        m = fixed_t_re.match(line)
+        if m:
+            flush_line()
+            mode, label = "fixed_t", m.group(1)
+            continue
+        m = fixed_a_re.match(line)
+        if m:
+            flush_line()
+            mode, label = "fixed_a", m.group(1)
+            continue
+        m = frontier_re.match(line)
+        if m:
+            flush_line()
+            mode, label = "frontier", m.group(1)
+            continue
+        if not line.strip():
+            flush_line()
+            continue
+        if line.startswith("#") or mode is None:
+            continue
+        parts = line.split(",")
+        try:
+            values = [float(p) for p in parts]
+        except ValueError:
+            flush_line()
+            mode = None
+            continue
+        if mode == "frontier" and len(values) == 2:
+            systems[label]["frontier"].append(tuple(values))
+        elif mode in ("fixed_t", "fixed_a") and len(values) == 4:
+            current_line.append(tuple(values))
+    flush_line()
+    return systems
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("input", help="bench output file")
+    parser.add_argument("--out", default="figure.png")
+    args = parser.parse_args()
+
+    with open(args.input) as f:
+        systems = parse_blocks(f.readlines())
+    if not systems:
+        sys.exit("no CSV blocks found in input")
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib not installed; the raw CSV is already usable")
+
+    n = len(systems)
+    fig, axes = plt.subplots(1, n + 1, figsize=(5 * (n + 1), 4))
+    if n == 0:
+        sys.exit("nothing to plot")
+
+    # Per-system grid graphs.
+    for ax, (label, data) in zip(axes, systems.items()):
+        for line in data["fixed_t"]:
+            xs = [p[2] for p in line]
+            ys = [p[3] for p in line]
+            ax.plot(xs, ys, "o-", color="tab:blue", alpha=0.5, ms=3)
+        for line in data["fixed_a"]:
+            xs = [p[2] for p in line]
+            ys = [p[3] for p in line]
+            ax.plot(xs, ys, "s-", color="tab:orange", alpha=0.5, ms=3)
+        ax.set_title(label)
+        ax.set_xlabel("T throughput (tps)")
+        ax.set_ylabel("A throughput (qps)")
+
+    # All frontiers on the last axes, with proportional lines.
+    ax = axes[-1]
+    for label, data in systems.items():
+        if not data["frontier"]:
+            continue
+        xs = [p[0] for p in data["frontier"]]
+        ys = [p[1] for p in data["frontier"]]
+        ax.plot(xs, ys, "o-", label=label)
+        ax.plot([max(xs), 0], [0, max(ys)], "--", alpha=0.3)
+    ax.set_title("throughput frontiers")
+    ax.set_xlabel("T throughput (tps)")
+    ax.set_ylabel("A throughput (qps)")
+    ax.legend(fontsize=7)
+
+    fig.tight_layout()
+    fig.savefig(args.out, dpi=150)
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#ifndef HATTRICK_COMMON_CLOCK_H_
+#define HATTRICK_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace hattrick {
+
+/// A point in time in seconds. Both the wall clock and the virtual
+/// simulation clock report in this unit; freshness scores are differences
+/// of TimePoints (the paper reports freshness in seconds).
+using TimePoint = double;
+
+/// Abstract clock used by the benchmark driver so the same driver code
+/// runs against wall time (threaded mode) and virtual time (simulation).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in seconds since an arbitrary epoch.
+  virtual TimePoint Now() const = 0;
+};
+
+/// Steady wall clock.
+class WallClock final : public Clock {
+ public:
+  WallClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  TimePoint Now() const override {
+    const auto d = std::chrono::steady_clock::now() - epoch_;
+    return std::chrono::duration<double>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Manually advanced clock; the simulation scheduler owns and advances it.
+class VirtualClock final : public Clock {
+ public:
+  TimePoint Now() const override { return now_; }
+  void AdvanceTo(TimePoint t) { now_ = t; }
+
+ private:
+  TimePoint now_ = 0.0;
+};
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_COMMON_CLOCK_H_

@@ -1,0 +1,73 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace hattrick {
+
+void Sampler::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Sampler::Sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double Sampler::Mean() const { return empty() ? 0.0 : Sum() / count(); }
+
+double Sampler::Min() const {
+  assert(!empty());
+  EnsureSorted();
+  return samples_.front();
+}
+
+double Sampler::Max() const {
+  assert(!empty());
+  EnsureSorted();
+  return samples_.back();
+}
+
+double Sampler::Percentile(double p) const {
+  if (empty()) return 0.0;
+  EnsureSorted();
+  p = std::clamp(p, 0.0, 1.0);
+  // Nearest-rank: smallest index i with (i+1)/n >= p.
+  const size_t rank =
+      static_cast<size_t>(std::ceil(p * static_cast<double>(count())));
+  const size_t idx = rank == 0 ? 0 : rank - 1;
+  return samples_[std::min(idx, count() - 1)];
+}
+
+double Sampler::CdfAt(double x) const {
+  if (empty()) return 0.0;
+  EnsureSorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(count());
+}
+
+std::vector<std::pair<double, double>> Sampler::Cdf() const {
+  std::vector<std::pair<double, double>> out;
+  if (empty()) return out;
+  EnsureSorted();
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    // Emit one point per distinct value, at its final cumulative fraction.
+    if (i + 1 == samples_.size() || samples_[i + 1] != samples_[i]) {
+      out.emplace_back(samples_[i], static_cast<double>(i + 1) /
+                                        static_cast<double>(count()));
+    }
+  }
+  return out;
+}
+
+const std::vector<double>& Sampler::sorted_samples() const {
+  EnsureSorted();
+  return samples_;
+}
+
+}  // namespace hattrick

@@ -1,0 +1,51 @@
+#ifndef HATTRICK_COMMON_HISTOGRAM_H_
+#define HATTRICK_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hattrick {
+
+/// Accumulates samples (latencies, freshness scores) and answers mean,
+/// percentile, and CDF queries. Exact (stores samples); benchmark runs
+/// produce at most a few hundred thousand samples per series.
+class Sampler {
+ public:
+  Sampler() = default;
+
+  void Add(double sample) { samples_.push_back(sample); sorted_ = false; }
+  void Clear() { samples_.clear(); sorted_ = false; }
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Sum() const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+
+  /// Returns the p-quantile (p in [0,1]) using nearest-rank on the sorted
+  /// samples; e.g. Percentile(0.99) is the 99th percentile.
+  double Percentile(double p) const;
+
+  /// Returns the fraction of samples <= x.
+  double CdfAt(double x) const;
+
+  /// Returns (x, F(x)) pairs at each distinct sample value, suitable for
+  /// plotting an empirical CDF.
+  std::vector<std::pair<double, double>> Cdf() const;
+
+  /// All samples, sorted ascending.
+  const std::vector<double>& sorted_samples() const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_COMMON_HISTOGRAM_H_

@@ -1,0 +1,131 @@
+#include "common/key_encoding.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace hattrick {
+namespace key {
+
+void EncodeInt64(int64_t v, std::string* out) {
+  // Flip the sign bit so that negative values order before positive ones
+  // under unsigned byte comparison, then store big-endian.
+  uint64_t u = static_cast<uint64_t>(v) ^ (1ULL << 63);
+  char buf[8];
+  for (int i = 7; i >= 0; --i) {
+    buf[i] = static_cast<char>(u & 0xff);
+    u >>= 8;
+  }
+  out->append(buf, 8);
+}
+
+void EncodeDouble(double v, std::string* out) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  if (bits >> 63) {
+    bits = ~bits;  // negative: invert all bits
+  } else {
+    bits ^= (1ULL << 63);  // positive: flip sign bit
+  }
+  char buf[8];
+  for (int i = 7; i >= 0; --i) {
+    buf[i] = static_cast<char>(bits & 0xff);
+    bits >>= 8;
+  }
+  out->append(buf, 8);
+}
+
+void EncodeString(const std::string& v, std::string* out) {
+  for (char c : v) {
+    if (c == '\0') {
+      out->push_back('\0');
+      out->push_back('\xff');
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('\0');
+  out->push_back('\0');
+}
+
+void EncodeValue(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case DataType::kInt64:
+      EncodeInt64(v.AsInt(), out);
+      return;
+    case DataType::kDouble:
+      EncodeDouble(v.AsDouble(), out);
+      return;
+    case DataType::kString:
+      EncodeString(v.AsString(), out);
+      return;
+  }
+}
+
+std::string EncodeKey(const std::vector<Value>& values) {
+  std::string out;
+  for (const Value& v : values) EncodeValue(v, &out);
+  return out;
+}
+
+int64_t DecodeInt64(const std::string& in, size_t* pos) {
+  assert(*pos + 8 <= in.size());
+  uint64_t u = 0;
+  for (int i = 0; i < 8; ++i) {
+    u = (u << 8) | static_cast<uint8_t>(in[*pos + i]);
+  }
+  *pos += 8;
+  return static_cast<int64_t>(u ^ (1ULL << 63));
+}
+
+double DecodeDouble(const std::string& in, size_t* pos) {
+  assert(*pos + 8 <= in.size());
+  uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits = (bits << 8) | static_cast<uint8_t>(in[*pos + i]);
+  }
+  *pos += 8;
+  if (bits >> 63) {
+    bits ^= (1ULL << 63);
+  } else {
+    bits = ~bits;
+  }
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string DecodeString(const std::string& in, size_t* pos) {
+  std::string out;
+  size_t i = *pos;
+  while (i + 1 < in.size() || i < in.size()) {
+    const char c = in[i];
+    if (c == '\0') {
+      assert(i + 1 < in.size());
+      const char next = in[i + 1];
+      i += 2;
+      if (next == '\0') break;  // terminator
+      out.push_back('\0');
+    } else {
+      out.push_back(c);
+      ++i;
+    }
+  }
+  *pos = i;
+  return out;
+}
+
+std::string PrefixSuccessor(const std::string& prefix) {
+  std::string out = prefix;
+  while (!out.empty()) {
+    if (static_cast<uint8_t>(out.back()) != 0xff) {
+      out.back() = static_cast<char>(static_cast<uint8_t>(out.back()) + 1);
+      return out;
+    }
+    out.pop_back();
+  }
+  return out;  // empty: no successor
+}
+
+}  // namespace key
+}  // namespace hattrick

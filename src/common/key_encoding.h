@@ -1,0 +1,57 @@
+#ifndef HATTRICK_COMMON_KEY_ENCODING_H_
+#define HATTRICK_COMMON_KEY_ENCODING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace hattrick {
+
+/// Order-preserving ("memcomparable") key encoding.
+///
+/// Index keys are encoded into byte strings such that the lexicographic
+/// byte order of the encodings equals the logical order of the composite
+/// keys. This lets the B+-tree compare keys with memcmp, the standard
+/// technique in storage engines (MyRocks, CockroachDB, TiKV).
+///
+/// Encodings:
+///  - int64:  8 big-endian bytes with the sign bit flipped.
+///  - double: IEEE bits, sign-flipped for positives / fully inverted for
+///            negatives (total order for non-NaN values).
+///  - string: escaped with 0x00 -> 0x00 0xFF, terminated by 0x00 0x00, so
+///            that prefixes order before extensions and embedded zeros are
+///            unambiguous.
+namespace key {
+
+/// Appends the encoding of an int64 to `out`.
+void EncodeInt64(int64_t v, std::string* out);
+
+/// Appends the encoding of a double to `out`.
+void EncodeDouble(double v, std::string* out);
+
+/// Appends the encoding of a string to `out`.
+void EncodeString(const std::string& v, std::string* out);
+
+/// Appends the encoding of a dynamically typed value to `out`.
+void EncodeValue(const Value& v, std::string* out);
+
+/// Encodes a composite key from `values`.
+std::string EncodeKey(const std::vector<Value>& values);
+
+/// Decoding counterparts; `pos` is advanced past the consumed bytes.
+/// Decoding is used by tests and debugging tools, not the hot path.
+int64_t DecodeInt64(const std::string& in, size_t* pos);
+double DecodeDouble(const std::string& in, size_t* pos);
+std::string DecodeString(const std::string& in, size_t* pos);
+
+/// Returns the smallest key that is strictly greater than every key having
+/// `prefix` as a prefix (used for prefix range scans). Returns empty string
+/// if no such key exists (prefix is all 0xFF).
+std::string PrefixSuccessor(const std::string& prefix);
+
+}  // namespace key
+}  // namespace hattrick
+
+#endif  // HATTRICK_COMMON_KEY_ENCODING_H_

@@ -1,0 +1,74 @@
+#ifndef HATTRICK_COMMON_RNG_H_
+#define HATTRICK_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace hattrick {
+
+/// Deterministic, fast pseudo-random number generator (xoshiro256**).
+///
+/// Every randomized component of the library (data generator, workload
+/// drivers, query parameter selection) takes an explicit seed so that runs
+/// are reproducible bit-for-bit.
+class Rng {
+ public:
+  /// Seeds the generator with splitmix64 expansion of `seed`.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator.
+  void Seed(uint64_t seed) {
+    // splitmix64 to fill state; avoids the all-zero state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Returns the next 64 random bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Returns a uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+    return lo + static_cast<int64_t>(Next() % range);
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Derives an independent generator for a sub-stream (e.g. per client).
+  Rng Fork(uint64_t stream) {
+    return Rng(Next() ^ (stream * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL));
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_COMMON_RNG_H_

@@ -1,0 +1,52 @@
+#include "common/schema.h"
+
+#include <cassert>
+
+namespace hattrick {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    by_name_.emplace(columns_[i].name, i);
+  }
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : static_cast<int>(it->second);
+}
+
+size_t Schema::ColumnIndex(const std::string& name) const {
+  const int i = FindColumn(name);
+  assert(i >= 0 && "unknown column");
+  return static_cast<size_t>(i);
+}
+
+Status Schema::ValidateRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(columns_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].type() != columns_[i].type) {
+      return Status::InvalidArgument(
+          "column " + columns_[i].name + " expects " +
+          DataTypeName(columns_[i].type) + " got " +
+          DataTypeName(row[i].type()));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += DataTypeName(columns_[i].type);
+  }
+  return out;
+}
+
+}  // namespace hattrick

@@ -1,0 +1,50 @@
+#ifndef HATTRICK_COMMON_SCHEMA_H_
+#define HATTRICK_COMMON_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace hattrick {
+
+/// Definition of one column: a name and a type.
+struct ColumnDef {
+  std::string name;
+  DataType type;
+};
+
+/// An ordered list of columns with by-name lookup. Schemas are value types
+/// and are cheap to copy relative to table data.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Returns the ordinal of `name`, or -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  /// Returns the ordinal of `name`; asserts that the column exists.
+  /// Convenience for benchmark code where schemas are static.
+  size_t ColumnIndex(const std::string& name) const;
+
+  /// Verifies that `row` has the right arity and cell types.
+  Status ValidateRow(const Row& row) const;
+
+  /// Renders "name:TYPE, ..." for debugging.
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_COMMON_SCHEMA_H_

@@ -1,0 +1,90 @@
+#ifndef HATTRICK_COMMON_STATUS_H_
+#define HATTRICK_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace hattrick {
+
+/// Error categories used throughout the library. The library does not use
+/// exceptions; all fallible operations return a Status or StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kAborted,         // transaction aborted (conflict, validation failure)
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a human-readable name for a StatusCode (e.g. "ABORTED").
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error result, modeled after absl::Status.
+///
+/// Usage:
+///   Status s = table.Insert(row);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define HATTRICK_RETURN_IF_ERROR(expr)             \
+  do {                                             \
+    ::hattrick::Status _status = (expr);           \
+    if (!_status.ok()) return _status;             \
+  } while (0)
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_COMMON_STATUS_H_

@@ -1,0 +1,60 @@
+#ifndef HATTRICK_COMMON_STATUSOR_H_
+#define HATTRICK_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace hattrick {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent, modeled after absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Accessors require ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a StatusOr<T>), propagating a non-OK status, otherwise
+/// move-assigns the value into `lhs`.
+#define HATTRICK_ASSIGN_OR_RETURN(lhs, rexpr)      \
+  auto _statusor_##__LINE__ = (rexpr);             \
+  if (!_statusor_##__LINE__.ok())                  \
+    return _statusor_##__LINE__.status();          \
+  lhs = std::move(_statusor_##__LINE__).value()
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_COMMON_STATUSOR_H_

@@ -1,0 +1,64 @@
+#include "common/value.h"
+
+#include <cstdio>
+
+namespace hattrick {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+int Value::Compare(const Value& other) const {
+  // Numeric types compare with each other; strings only with strings.
+  if (is_string() || other.is_string()) {
+    if (is_string() && other.is_string()) {
+      const int c = AsString().compare(other.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    // Mixed string/number: order by type tag (numbers before strings).
+    return is_string() ? 1 : -1;
+  }
+  if (is_int() && other.is_int()) {
+    const int64_t a = AsInt();
+    const int64_t b = other.AsInt();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  const double a = AsDouble();
+  const double b = other.AsDouble();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kInt64:
+      return std::to_string(AsInt());
+    case DataType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.4f", AsDouble());
+      return buf;
+    }
+    case DataType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace hattrick

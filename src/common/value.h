@@ -1,0 +1,74 @@
+#ifndef HATTRICK_COMMON_VALUE_H_
+#define HATTRICK_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace hattrick {
+
+/// Column data types supported by the storage and execution layers.
+///
+/// Dates are stored as kInt64 in yyyymmdd form (SSB convention); decimals
+/// are stored as kDouble (sufficient for benchmark aggregates).
+enum class DataType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+/// Returns "INT64", "DOUBLE" or "STRING".
+const char* DataTypeName(DataType type);
+
+/// A dynamically typed scalar cell. Rows in the row store and literals in
+/// expressions are built from Values. Columnar storage uses typed vectors
+/// instead (see storage/column_table.h).
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  Value(int64_t v) : v_(v) {}             // NOLINT
+  Value(int v) : v_(int64_t{v}) {}        // NOLINT
+  Value(double v) : v_(v) {}              // NOLINT
+  Value(std::string v) : v_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : v_(std::string(v)) {}  // NOLINT
+
+  DataType type() const { return static_cast<DataType>(v_.index()); }
+
+  bool is_int() const { return type() == DataType::kInt64; }
+  bool is_double() const { return type() == DataType::kDouble; }
+  bool is_string() const { return type() == DataType::kString; }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const {
+    return is_int() ? static_cast<double>(AsInt()) : std::get<double>(v_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Three-way comparison. Values of different types order by type tag;
+  /// ints and doubles compare numerically.
+  int Compare(const Value& other) const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.Compare(b) == 0;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.Compare(b) < 0;
+  }
+
+  /// Renders the value for debugging and report output.
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+/// A tuple of cells; the unit of the row store and of query results.
+using Row = std::vector<Value>;
+
+/// Renders "(v1, v2, ...)".
+std::string RowToString(const Row& row);
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_COMMON_VALUE_H_

@@ -1,0 +1,31 @@
+#include "common/work_meter.h"
+
+#include <cstdio>
+
+namespace hattrick {
+
+std::string WorkMeter::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "WorkMeter{rows_read=%llu rows_written=%llu index_nodes=%llu "
+      "index_writes=%llu column_values=%llu output_rows=%llu "
+      "hash_probes=%llu wal_records=%llu wal_bytes=%llu merged_rows=%llu "
+      "version_hops=%llu predicate_locks=%llu conflict_waits=%llu}",
+      static_cast<unsigned long long>(rows_read),
+      static_cast<unsigned long long>(rows_written),
+      static_cast<unsigned long long>(index_nodes),
+      static_cast<unsigned long long>(index_writes),
+      static_cast<unsigned long long>(column_values),
+      static_cast<unsigned long long>(output_rows),
+      static_cast<unsigned long long>(hash_probes),
+      static_cast<unsigned long long>(wal_records),
+      static_cast<unsigned long long>(wal_bytes),
+      static_cast<unsigned long long>(merged_rows),
+      static_cast<unsigned long long>(version_hops),
+      static_cast<unsigned long long>(predicate_locks),
+      static_cast<unsigned long long>(conflict_waits));
+  return buf;
+}
+
+}  // namespace hattrick

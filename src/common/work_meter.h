@@ -1,0 +1,63 @@
+#ifndef HATTRICK_COMMON_WORK_METER_H_
+#define HATTRICK_COMMON_WORK_METER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hattrick {
+
+/// Counts the abstract work performed by one storage/engine operation.
+///
+/// The storage and execution layers increment these counters as they run;
+/// the simulation layer converts them into virtual service time via a
+/// CostModel (see sim/cost_model.h). This is how the reproduction replaces
+/// the paper's wall-clock measurements on a 32-core server with
+/// deterministic virtual-time measurements: correctness, contention,
+/// aborts and replication lag come from real execution, only *time* is
+/// modeled.
+struct WorkMeter {
+  uint64_t rows_read = 0;        // row-store row versions materialized
+  uint64_t rows_written = 0;     // row-store inserts + new versions
+  uint64_t index_nodes = 0;      // B+-tree nodes visited (reads + writes)
+  uint64_t index_writes = 0;     // B+-tree entry insertions/removals
+  uint64_t column_values = 0;    // columnar cells scanned
+  uint64_t output_rows = 0;      // rows produced by query operators
+  uint64_t hash_probes = 0;      // hash-table build/probe operations
+  uint64_t wal_records = 0;      // WAL records produced or replayed
+  uint64_t wal_bytes = 0;        // encoded WAL bytes produced or replayed
+  uint64_t merged_rows = 0;      // delta rows merged into a column store
+  uint64_t version_hops = 0;     // MVCC version-chain entries traversed
+  uint64_t predicate_locks = 0;  // serializable read-tracking entries
+  uint64_t conflict_waits = 0;   // lock/validation conflicts encountered
+
+  void Reset() { *this = WorkMeter{}; }
+
+  WorkMeter& operator+=(const WorkMeter& o) {
+    rows_read += o.rows_read;
+    rows_written += o.rows_written;
+    index_nodes += o.index_nodes;
+    index_writes += o.index_writes;
+    column_values += o.column_values;
+    output_rows += o.output_rows;
+    hash_probes += o.hash_probes;
+    wal_records += o.wal_records;
+    wal_bytes += o.wal_bytes;
+    merged_rows += o.merged_rows;
+    version_hops += o.version_hops;
+    predicate_locks += o.predicate_locks;
+    conflict_waits += o.conflict_waits;
+    return *this;
+  }
+
+  uint64_t Total() const {
+    return rows_read + rows_written + index_nodes + index_writes +
+           column_values + output_rows + hash_probes + wal_records +
+           merged_rows + version_hops + predicate_locks + conflict_waits;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_COMMON_WORK_METER_H_

@@ -1,0 +1,151 @@
+#ifndef HATTRICK_ENGINE_HTAP_ENGINE_H_
+#define HATTRICK_ENGINE_HTAP_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/work_meter.h"
+#include "exec/operator.h"
+#include "storage/catalog.h"
+#include "txn/txn_manager.h"
+
+namespace hattrick {
+
+/// Declarative description of the database: tables plus the physical
+/// schema (indexes). The paper's physical-schema experiment (Figure 6b)
+/// varies the index list: none / T-accelerating only ("semi") / all.
+struct TableSpec {
+  std::string name;
+  Schema schema;
+};
+
+struct IndexSpec {
+  std::string name;
+  std::string table;
+  std::vector<size_t> key_columns;
+  bool unique = false;
+};
+
+struct DatabaseSpec {
+  std::vector<TableSpec> tables;
+  std::vector<IndexSpec> indexes;
+};
+
+/// What a client must wait for after the local part of a commit finishes.
+/// The benchmark driver (wall-clock or virtual-time) resolves the wait:
+///  - kNone: commit already complete.
+///  - kShipDelay: wait for the record to reach and be written by the
+///    standby (PostgreSQL-SR synchronous_commit=ON); duration derived
+///    from `bytes` by the cost model.
+///  - kReplicaApplied: wait until the standby has replayed `lsn`
+///    (synchronous_commit=remote_apply).
+struct CommitWait {
+  enum class Kind { kNone, kShipDelay, kReplicaApplied };
+  Kind kind = Kind::kNone;
+  uint64_t lsn = 0;
+  uint64_t bytes = 0;
+};
+
+/// Outcome of one transaction execution (after retries).
+struct TxnOutcome {
+  Status status;     // OK iff finally committed
+  int attempts = 1;  // 1 + number of aborts
+  Ts commit_ts = 0;
+  uint64_t lsn = 0;
+  CommitWait wait;
+  /// Rows written ((table_id << 40) | rid); feeds the simulator's
+  /// row-lock contention model.
+  std::vector<uint64_t> write_keys;
+};
+
+/// The analytical side of the engine at one instant: a scan source over a
+/// consistent snapshot. For hybrid engines, constructing the session
+/// merges the outstanding delta into the column store first (the paper's
+/// "merge the tail of the log before every analytical query", Sections
+/// 6.4-6.5), charging that work to the requesting query.
+struct AnalyticsSession {
+  std::unique_ptr<DataSource> source;
+  Ts snapshot = 0;
+  /// Optional RAII guard the engine uses to pin its analytical state for
+  /// the life of the session (e.g. the hybrid engine holds a shared lock
+  /// so a concurrent delta merge cannot move data under a running query
+  /// in wall-clock mode).
+  std::shared_ptr<void> guard;
+};
+
+/// Transaction logic, expressed against the primary's transaction
+/// manager. The HATtrick transactions (hattrick/transactions.h) are
+/// written as TxnBody callbacks, so every engine runs identical logic.
+using TxnBody =
+    std::function<Status(TxnManager*, Transaction*, WorkMeter*)>;
+
+/// Interface of an HTAP database engine. Three implementations mirror the
+/// paper's design classification (Section 2.2):
+///  - SharedEngine: single copy, single engine (PostgreSQL-like).
+///  - IsolatedEngine: primary + log-shipped standby (PostgreSQL-SR-like).
+///  - HybridEngine: row copy for T, columnar copy for A in one engine
+///    (System-X / TiDB-like).
+class HtapEngine {
+ public:
+  virtual ~HtapEngine() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Creates tables and indexes. Must be called exactly once.
+  virtual Status Create(const DatabaseSpec& spec) = 0;
+
+  /// Loads initial rows into `table` (before FinishLoad; not replicated
+  /// through the WAL, like a base backup).
+  virtual Status BulkLoad(const std::string& table,
+                          const std::vector<Row>& rows) = 0;
+
+  /// Finalizes loading and snapshots the state for Reset().
+  virtual Status FinishLoad() = 0;
+
+  /// Executes `body` as one transaction with retry-on-abort, at the
+  /// engine's configured isolation level. Work is metered into `meter`.
+  virtual TxnOutcome ExecuteTransaction(const TxnBody& body,
+                                        uint32_t client_id, uint64_t txn_num,
+                                        WorkMeter* meter) = 0;
+
+  /// Opens an analytical snapshot. Merge/maintenance work performed to
+  /// serve the query is metered into `meter`.
+  virtual AnalyticsSession BeginAnalytics(WorkMeter* meter) = 0;
+
+  /// Performs one unit of background maintenance (standby WAL replay).
+  /// Returns false if there is nothing to do. The driver schedules this
+  /// on the analytical side's resources.
+  virtual bool MaintenanceStep(WorkMeter* meter) { (void)meter; return false; }
+
+  /// True once the standby (if any) has replayed through `lsn`
+  /// (resolves CommitWait::kReplicaApplied).
+  virtual bool IsApplied(uint64_t lsn) const { (void)lsn; return true; }
+
+  /// Highest LSN replayed by the standby; engines without a standby
+  /// report "everything" (they have no replication lag).
+  virtual uint64_t applied_lsn() const { return UINT64_MAX; }
+
+  /// Garbage-collects row versions that no possible snapshot can see
+  /// (older than the newest committed state). Callers must quiesce
+  /// in-flight snapshots first. Returns versions dropped.
+  virtual size_t Vacuum() { return 0; }
+
+  /// Restores the state saved by FinishLoad() (benchmark reset between
+  /// runs, Section 6.1: "Before each benchmark run we reset the data to
+  /// their initial state").
+  virtual Status Reset() = 0;
+
+  /// Primary catalog (transactions resolve indexes/tables through it).
+  virtual Catalog* primary_catalog() = 0;
+
+  /// The primary's transaction manager.
+  virtual TxnManager* txn_manager() = 0;
+};
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_ENGINE_HTAP_ENGINE_H_

@@ -1,0 +1,173 @@
+#include "engine/hybrid_engine.h"
+
+#include <cassert>
+
+#include "engine/shared_engine.h"
+
+namespace hattrick {
+
+HybridEngineConfig SystemXConfig() {
+  HybridEngineConfig config;
+  config.name = "System-X";
+  config.isolation = IsolationLevel::kSerializable;
+  return config;
+}
+
+HybridEngineConfig TidbConfig() {
+  HybridEngineConfig config;
+  config.name = "TiDB";
+  config.isolation = IsolationLevel::kSnapshot;
+  return config;
+}
+
+HybridEngine::HybridEngine(HybridEngineConfig config)
+    : config_(std::move(config)) {}
+
+void HybridEngine::DeltaFeed::OnCommit(const WalRecord& record) {
+  std::lock_guard lock(engine_->delta_mutex_);
+  engine_->delta_.push_back(record);
+}
+
+Status HybridEngine::Create(const DatabaseSpec& spec) {
+  if (created_) return Status::Internal("Create called twice");
+  BuildCatalog(spec, /*with_indexes=*/true, &primary_);
+  BuildCatalog(spec, /*with_indexes=*/false, &snapshot_);
+  columns_.reserve(spec.tables.size());
+  column_snapshots_.reserve(spec.tables.size());
+  for (const TableSpec& table : spec.tables) {
+    columns_.push_back(std::make_unique<ColumnTable>(table.schema));
+    column_snapshots_.push_back(std::make_unique<ColumnTable>(table.schema));
+  }
+  txn_manager_ = std::make_unique<TxnManager>(&primary_, &oracle_, &feed_);
+  created_ = true;
+  return Status::OK();
+}
+
+Status HybridEngine::BulkLoad(const std::string& table,
+                              const std::vector<Row>& rows) {
+  if (!created_) return Status::Internal("Create not called");
+  if (loaded_) return Status::Internal("load already finished");
+  HATTRICK_RETURN_IF_ERROR(BulkLoadInto(&primary_, table, rows));
+  ColumnTable* column = columns_[primary_.GetTableId(table)].get();
+  for (const Row& row : rows) {
+    HATTRICK_RETURN_IF_ERROR(column->Append(row, /*meter=*/nullptr));
+  }
+  return Status::OK();
+}
+
+Status HybridEngine::FinishLoad() {
+  if (loaded_) return Status::Internal("load already finished");
+  snapshot_.CopyContentsFrom(primary_);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    column_snapshots_[i]->CopyFrom(*columns_[i]);
+  }
+  oracle_.ResetTo(1);
+  loaded_ = true;
+  return Status::OK();
+}
+
+TxnOutcome HybridEngine::ExecuteTransaction(const TxnBody& body,
+                                            uint32_t client_id,
+                                            uint64_t txn_num,
+                                            WorkMeter* meter) {
+  TxnOutcome outcome;
+  StatusOr<CommitResult> result = txn_manager_->RunWithRetries(
+      config_.isolation, client_id, txn_num,
+      [&](Transaction* txn) { return body(txn_manager_.get(), txn, meter); },
+      meter,
+      config_.max_retries, &outcome.attempts);
+  if (!result.ok()) {
+    outcome.status = result.status();
+    return outcome;
+  }
+  outcome.status = Status::OK();
+  outcome.commit_ts = result->commit_ts;
+  outcome.lsn = result->lsn;
+  outcome.write_keys = std::move(result.value().write_keys);
+  return outcome;  // no commit wait: merge happens on the analytical side
+}
+
+void HybridEngine::MergeDelta(WorkMeter* meter) {
+  // Serialize whole merge passes so batches apply in commit order, then
+  // drain the queue under the delta mutex and apply under the merge
+  // latch (which excludes running analytical sessions, not commits).
+  std::lock_guard order(merge_order_);
+  std::deque<WalRecord> batch;
+  {
+    std::lock_guard lock(delta_mutex_);
+    batch.swap(delta_);
+  }
+  if (batch.empty()) return;
+  std::unique_lock merge_lock(merge_latch_);
+  for (const WalRecord& record : batch) {
+    for (const WalOp& op : record.ops) {
+      ColumnTable* column = columns_[op.table_id].get();
+      if (op.kind == WalOp::Kind::kInsert) {
+        assert(column->num_rows() == op.rid &&
+               "column copy out of sync with row store");
+        const Status s = column->Append(op.row, meter);
+        assert(s.ok());
+        (void)s;
+      } else {
+        const Status s = column->UpdateRow(op.rid, op.row, meter);
+        assert(s.ok());
+        (void)s;
+      }
+      if (meter != nullptr) ++meter->merged_rows;
+    }
+    if (meter != nullptr) {
+      ++meter->wal_records;
+      meter->wal_bytes += record.Encode().size();
+    }
+  }
+}
+
+AnalyticsSession HybridEngine::BeginAnalytics(WorkMeter* meter) {
+  // Merge the tail of the log so the query sees all committed updates —
+  // the zero-freshness design of System-X and TiDB (Sections 6.4, 6.5).
+  MergeDelta(meter);
+  AnalyticsSession session;
+  session.snapshot = oracle_.last_committed();
+  auto guard = std::make_shared<std::shared_lock<std::shared_mutex>>(
+      merge_latch_);
+  auto source = std::make_unique<ColumnDataSource>();
+  for (size_t id = 0; id < columns_.size(); ++id) {
+    source->AddTable(primary_.table_name(static_cast<TableId>(id)),
+                     columns_[id].get(), columns_[id]->num_rows());
+  }
+  session.source = std::move(source);
+  session.guard = std::move(guard);
+  return session;
+}
+
+size_t HybridEngine::Vacuum() {
+  return primary_.VacuumAll(oracle_.last_committed());
+}
+
+Status HybridEngine::Reset() {
+  if (!loaded_) return Status::Internal("FinishLoad not called");
+  std::unique_lock merge_lock(merge_latch_);
+  primary_.CopyContentsFrom(snapshot_);
+  {
+    std::lock_guard lock(delta_mutex_);
+    delta_.clear();
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i]->CopyFrom(*column_snapshots_[i]);
+  }
+  oracle_.ResetTo(1);
+  txn_manager_->ResetLsn(1);
+  return Status::OK();
+}
+
+size_t HybridEngine::PendingDelta() const {
+  std::lock_guard lock(delta_mutex_);
+  return delta_.size();
+}
+
+const ColumnTable* HybridEngine::column_table(
+    const std::string& table) const {
+  return columns_[primary_.GetTableId(table)].get();
+}
+
+}  // namespace hattrick

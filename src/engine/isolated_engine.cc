@@ -1,0 +1,170 @@
+#include "engine/isolated_engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "engine/shared_engine.h"
+
+namespace hattrick {
+
+IsolatedEngine::IsolatedEngine(IsolatedEngineConfig config)
+    : config_(std::move(config)) {
+  assert(config_.num_replicas >= 1);
+}
+
+void IsolatedEngine::FanOutSink::OnCommit(const WalRecord& record) {
+  for (Standby& standby : engine_->replicas_) {
+    standby.stream->OnCommit(record);
+  }
+}
+
+Status IsolatedEngine::Create(const DatabaseSpec& spec) {
+  if (created_) return Status::Internal("Create called twice");
+  BuildCatalog(spec, /*with_indexes=*/true, &primary_);
+  BuildCatalog(spec, /*with_indexes=*/false, &snapshot_);
+  replicas_.reserve(static_cast<size_t>(config_.num_replicas));
+  for (int i = 0; i < config_.num_replicas; ++i) {
+    Standby standby;
+    standby.catalog = std::make_unique<Catalog>();
+    BuildCatalog(spec, /*with_indexes=*/true, standby.catalog.get());
+    standby.stream = std::make_unique<WalStream>();
+    standby.replica = std::make_unique<Replica>(standby.catalog.get(),
+                                                standby.stream.get());
+    replicas_.push_back(std::move(standby));
+  }
+  txn_manager_ = std::make_unique<TxnManager>(&primary_, &oracle_, &sink_);
+  created_ = true;
+  return Status::OK();
+}
+
+Status IsolatedEngine::BulkLoad(const std::string& table,
+                                const std::vector<Row>& rows) {
+  if (!created_) return Status::Internal("Create not called");
+  if (loaded_) return Status::Internal("load already finished");
+  // Base backup: every node loads the same data outside the WAL channel.
+  HATTRICK_RETURN_IF_ERROR(BulkLoadInto(&primary_, table, rows));
+  for (Standby& standby : replicas_) {
+    HATTRICK_RETURN_IF_ERROR(
+        BulkLoadInto(standby.catalog.get(), table, rows));
+  }
+  return Status::OK();
+}
+
+Status IsolatedEngine::FinishLoad() {
+  if (loaded_) return Status::Internal("load already finished");
+  snapshot_.CopyContentsFrom(primary_);
+  oracle_.ResetTo(1);
+  for (Standby& standby : replicas_) {
+    standby.replica->ResetTo(/*lsn=*/0, /*ts=*/1);
+  }
+  loaded_ = true;
+  return Status::OK();
+}
+
+TxnOutcome IsolatedEngine::ExecuteTransaction(const TxnBody& body,
+                                              uint32_t client_id,
+                                              uint64_t txn_num,
+                                              WorkMeter* meter) {
+  TxnOutcome outcome;
+  const uint64_t bytes_before = meter != nullptr ? meter->wal_bytes : 0;
+  StatusOr<CommitResult> result = txn_manager_->RunWithRetries(
+      config_.isolation, client_id, txn_num,
+      [&](Transaction* txn) { return body(txn_manager_.get(), txn, meter); },
+      meter, config_.max_retries, &outcome.attempts);
+  if (!result.ok()) {
+    outcome.status = result.status();
+    return outcome;
+  }
+  outcome.status = Status::OK();
+  outcome.commit_ts = result->commit_ts;
+  outcome.lsn = result->lsn;
+  outcome.write_keys = std::move(result.value().write_keys);
+  if (result->lsn != 0) {  // write transaction: replication semantics apply
+    switch (config_.mode) {
+      case ReplicationMode::kAsync:
+        break;
+      case ReplicationMode::kSyncShip:
+        outcome.wait.kind = CommitWait::Kind::kShipDelay;
+        outcome.wait.lsn = result->lsn;
+        outcome.wait.bytes =
+            meter != nullptr ? meter->wal_bytes - bytes_before : 0;
+        break;
+      case ReplicationMode::kRemoteApply:
+        outcome.wait.kind = CommitWait::Kind::kReplicaApplied;
+        outcome.wait.lsn = result->lsn;
+        break;
+    }
+  }
+  return outcome;
+}
+
+AnalyticsSession IsolatedEngine::BeginAnalytics(WorkMeter* meter) {
+  (void)meter;  // replay runs as MaintenanceStep, not inside queries
+  // Round-robin load balancing across the standbys.
+  const size_t index = next_session_.fetch_add(1) %
+                       static_cast<size_t>(config_.num_replicas);
+  const Standby& standby = replicas_[index];
+  AnalyticsSession session;
+  session.snapshot = standby.replica->Snapshot();
+  session.source = std::make_unique<RowDataSource>(standby.catalog.get(),
+                                                   session.snapshot);
+  return session;
+}
+
+bool IsolatedEngine::MaintenanceStep(WorkMeter* meter) {
+  // Advance the furthest-behind standby first (one shared maintenance
+  // budget; with one standby this is exactly its single-threaded applier).
+  Standby* laggard = nullptr;
+  for (Standby& standby : replicas_) {
+    if (laggard == nullptr ||
+        standby.replica->applied_lsn() < laggard->replica->applied_lsn()) {
+      laggard = &standby;
+    }
+  }
+  return laggard != nullptr && laggard->replica->ApplyNext(meter);
+}
+
+bool IsolatedEngine::IsApplied(uint64_t lsn) const {
+  // REMOTE_APPLY with multiple synchronous standbys: all must replay.
+  return applied_lsn() >= lsn;
+}
+
+uint64_t IsolatedEngine::applied_lsn() const {
+  uint64_t min_applied = UINT64_MAX;
+  for (const Standby& standby : replicas_) {
+    min_applied = std::min(min_applied, standby.replica->applied_lsn());
+  }
+  return min_applied;
+}
+
+size_t IsolatedEngine::ReplicationLag() const {
+  size_t lag = 0;
+  for (const Standby& standby : replicas_) {
+    lag = std::max(lag, standby.replica->Lag());
+  }
+  return lag;
+}
+
+size_t IsolatedEngine::Vacuum() {
+  size_t dropped = primary_.VacuumAll(oracle_.last_committed());
+  for (Standby& standby : replicas_) {
+    dropped += standby.catalog->VacuumAll(standby.replica->Snapshot());
+  }
+  return dropped;
+}
+
+Status IsolatedEngine::Reset() {
+  if (!loaded_) return Status::Internal("FinishLoad not called");
+  primary_.CopyContentsFrom(snapshot_);
+  oracle_.ResetTo(1);
+  txn_manager_->ResetLsn(1);
+  for (Standby& standby : replicas_) {
+    standby.catalog->CopyContentsFrom(snapshot_);
+    standby.stream->Reset();
+    standby.replica->ResetTo(/*lsn=*/0, /*ts=*/1);
+  }
+  next_session_.store(0);
+  return Status::OK();
+}
+
+}  // namespace hattrick

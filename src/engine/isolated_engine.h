@@ -1,0 +1,101 @@
+#ifndef HATTRICK_ENGINE_ISOLATED_ENGINE_H_
+#define HATTRICK_ENGINE_ISOLATED_ENGINE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/htap_engine.h"
+#include "exec/scan.h"
+#include "replication/replica.h"
+#include "replication/wal_stream.h"
+#include "txn/timestamp.h"
+
+namespace hattrick {
+
+/// Configuration of the isolated-design engine.
+struct IsolatedEngineConfig {
+  std::string name = "isolated";
+  IsolationLevel isolation = IsolationLevel::kSerializable;
+  /// PostgreSQL-SR synchronous_commit: ON (sync ship, async replay) by
+  /// default; REMOTE_APPLY for the zero-freshness mode of Figure 8a.
+  ReplicationMode mode = ReplicationMode::kSyncShip;
+  /// Number of standby nodes ("standby server(s)", Section 6.3).
+  /// Analytical sessions round-robin across standbys; in REMOTE_APPLY
+  /// mode a commit waits until *every* standby has replayed it.
+  int num_replicas = 1;
+  int max_retries = 50;
+};
+
+/// Isolated design (Section 2.2): a primary node executes transactions;
+/// standby node(s) fed by streaming WAL replication serve analytics
+/// (PostgreSQL-SR, Section 6.3).
+///
+/// - Compute isolation: the driver places transactions on the primary's
+///   core pool and queries plus WAL replay on the standby's pool, so the
+///   frontier approaches the bounding box at large scale factors.
+/// - Freshness: analytical queries snapshot the *replayed* state of the
+///   standby serving them. In ON mode replay is asynchronous, so queries
+///   observe stale snapshots when a standby falls behind — the paper's
+///   non-zero freshness scores. In REMOTE_APPLY mode commits wait for
+///   replay on every standby (freshness == 0, lower T-throughput).
+class IsolatedEngine final : public HtapEngine {
+ public:
+  explicit IsolatedEngine(IsolatedEngineConfig config = {});
+
+  const std::string& name() const override { return config_.name; }
+  Status Create(const DatabaseSpec& spec) override;
+  Status BulkLoad(const std::string& table,
+                  const std::vector<Row>& rows) override;
+  Status FinishLoad() override;
+  TxnOutcome ExecuteTransaction(const TxnBody& body, uint32_t client_id,
+                                uint64_t txn_num, WorkMeter* meter) override;
+  AnalyticsSession BeginAnalytics(WorkMeter* meter) override;
+  bool MaintenanceStep(WorkMeter* meter) override;
+  bool IsApplied(uint64_t lsn) const override;
+  uint64_t applied_lsn() const override;
+  size_t Vacuum() override;
+  Status Reset() override;
+  Catalog* primary_catalog() override { return &primary_; }
+  TxnManager* txn_manager() override { return txn_manager_.get(); }
+
+  ReplicationMode mode() const { return config_.mode; }
+  int num_replicas() const { return config_.num_replicas; }
+  /// Standby `i` (0-based; i < num_replicas()).
+  Replica* replica(int i = 0) { return replicas_[i].replica.get(); }
+  /// Records shipped but not yet replayed on the furthest-behind standby.
+  size_t ReplicationLag() const;
+
+ private:
+  /// Fans committed records out to every standby's shipping stream.
+  class FanOutSink final : public WalSink {
+   public:
+    explicit FanOutSink(IsolatedEngine* engine) : engine_(engine) {}
+    void OnCommit(const WalRecord& record) override;
+
+   private:
+    IsolatedEngine* engine_;
+  };
+
+  struct Standby {
+    std::unique_ptr<Catalog> catalog;
+    std::unique_ptr<WalStream> stream;
+    std::unique_ptr<Replica> replica;
+  };
+
+  IsolatedEngineConfig config_;
+  Catalog primary_;
+  Catalog snapshot_;  // post-load state for Reset()
+  TimestampOracle oracle_;
+  FanOutSink sink_{this};
+  std::unique_ptr<TxnManager> txn_manager_;
+  std::vector<Standby> replicas_;
+  std::atomic<uint64_t> next_session_{0};  // round-robin standby selector
+  bool created_ = false;
+  bool loaded_ = false;
+};
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_ENGINE_ISOLATED_ENGINE_H_

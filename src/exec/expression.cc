@@ -1,0 +1,209 @@
+#include "exec/expression.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hattrick {
+
+namespace {
+
+class ColExpr final : public Expr {
+ public:
+  explicit ColExpr(size_t index) : index_(index) {}
+  Value Eval(const Row& row) const override {
+    assert(index_ < row.size());
+    return row[index_];
+  }
+  std::string ToString() const override {
+    return "$" + std::to_string(index_);
+  }
+
+ private:
+  size_t index_;
+};
+
+class LitExpr final : public Expr {
+ public:
+  explicit LitExpr(Value v) : v_(std::move(v)) {}
+  Value Eval(const Row&) const override { return v_; }
+  std::string ToString() const override { return v_.ToString(); }
+
+ private:
+  Value v_;
+};
+
+enum class BinOp { kAdd, kSub, kMul, kEq, kNe, kLt, kLe, kGt, kGe, kAnd, kOr };
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kEq: return "=";
+    case BinOp::kNe: return "<>";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAnd: return "AND";
+    case BinOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+class BinExpr final : public Expr {
+ public:
+  BinExpr(BinOp op, ExprPtr l, ExprPtr r)
+      : op_(op), l_(std::move(l)), r_(std::move(r)) {}
+
+  Value Eval(const Row& row) const override {
+    // Short-circuit the logical connectives.
+    if (op_ == BinOp::kAnd) {
+      if (l_->Eval(row).AsInt() == 0) return Value(int64_t{0});
+      return Value(int64_t{r_->Eval(row).AsInt() != 0});
+    }
+    if (op_ == BinOp::kOr) {
+      if (l_->Eval(row).AsInt() != 0) return Value(int64_t{1});
+      return Value(int64_t{r_->Eval(row).AsInt() != 0});
+    }
+    const Value a = l_->Eval(row);
+    const Value b = r_->Eval(row);
+    switch (op_) {
+      case BinOp::kAdd:
+      case BinOp::kSub:
+      case BinOp::kMul: {
+        if (a.is_int() && b.is_int()) {
+          const int64_t x = a.AsInt();
+          const int64_t y = b.AsInt();
+          switch (op_) {
+            case BinOp::kAdd: return Value(x + y);
+            case BinOp::kSub: return Value(x - y);
+            default: return Value(x * y);
+          }
+        }
+        const double x = a.AsDouble();
+        const double y = b.AsDouble();
+        switch (op_) {
+          case BinOp::kAdd: return Value(x + y);
+          case BinOp::kSub: return Value(x - y);
+          default: return Value(x * y);
+        }
+      }
+      default: {
+        const int c = a.Compare(b);
+        bool result = false;
+        switch (op_) {
+          case BinOp::kEq: result = c == 0; break;
+          case BinOp::kNe: result = c != 0; break;
+          case BinOp::kLt: result = c < 0; break;
+          case BinOp::kLe: result = c <= 0; break;
+          case BinOp::kGt: result = c > 0; break;
+          case BinOp::kGe: result = c >= 0; break;
+          default: break;
+        }
+        return Value(int64_t{result});
+      }
+    }
+  }
+
+  std::string ToString() const override {
+    return "(" + l_->ToString() + " " + BinOpName(op_) + " " +
+           r_->ToString() + ")";
+  }
+
+ private:
+  BinOp op_;
+  ExprPtr l_;
+  ExprPtr r_;
+};
+
+class NotExpr final : public Expr {
+ public:
+  explicit NotExpr(ExprPtr e) : e_(std::move(e)) {}
+  Value Eval(const Row& row) const override {
+    return Value(int64_t{e_->Eval(row).AsInt() == 0});
+  }
+  std::string ToString() const override {
+    return "NOT " + e_->ToString();
+  }
+
+ private:
+  ExprPtr e_;
+};
+
+class InListExpr final : public Expr {
+ public:
+  InListExpr(ExprPtr e, std::vector<Value> candidates)
+      : e_(std::move(e)), candidates_(std::move(candidates)) {}
+  Value Eval(const Row& row) const override {
+    const Value v = e_->Eval(row);
+    const bool found =
+        std::any_of(candidates_.begin(), candidates_.end(),
+                    [&](const Value& c) { return c == v; });
+    return Value(int64_t{found});
+  }
+  std::string ToString() const override {
+    std::string out = e_->ToString() + " IN (";
+    for (size_t i = 0; i < candidates_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += candidates_[i].ToString();
+    }
+    return out + ")";
+  }
+
+ private:
+  ExprPtr e_;
+  std::vector<Value> candidates_;
+};
+
+}  // namespace
+
+ExprPtr Col(size_t index) { return std::make_shared<ColExpr>(index); }
+ExprPtr Lit(Value v) { return std::make_shared<LitExpr>(std::move(v)); }
+
+ExprPtr Add(ExprPtr l, ExprPtr r) {
+  return std::make_shared<BinExpr>(BinOp::kAdd, std::move(l), std::move(r));
+}
+ExprPtr Sub(ExprPtr l, ExprPtr r) {
+  return std::make_shared<BinExpr>(BinOp::kSub, std::move(l), std::move(r));
+}
+ExprPtr Mul(ExprPtr l, ExprPtr r) {
+  return std::make_shared<BinExpr>(BinOp::kMul, std::move(l), std::move(r));
+}
+ExprPtr Eq(ExprPtr l, ExprPtr r) {
+  return std::make_shared<BinExpr>(BinOp::kEq, std::move(l), std::move(r));
+}
+ExprPtr Ne(ExprPtr l, ExprPtr r) {
+  return std::make_shared<BinExpr>(BinOp::kNe, std::move(l), std::move(r));
+}
+ExprPtr Lt(ExprPtr l, ExprPtr r) {
+  return std::make_shared<BinExpr>(BinOp::kLt, std::move(l), std::move(r));
+}
+ExprPtr Le(ExprPtr l, ExprPtr r) {
+  return std::make_shared<BinExpr>(BinOp::kLe, std::move(l), std::move(r));
+}
+ExprPtr Gt(ExprPtr l, ExprPtr r) {
+  return std::make_shared<BinExpr>(BinOp::kGt, std::move(l), std::move(r));
+}
+ExprPtr Ge(ExprPtr l, ExprPtr r) {
+  return std::make_shared<BinExpr>(BinOp::kGe, std::move(l), std::move(r));
+}
+ExprPtr And(ExprPtr l, ExprPtr r) {
+  return std::make_shared<BinExpr>(BinOp::kAnd, std::move(l), std::move(r));
+}
+ExprPtr Or(ExprPtr l, ExprPtr r) {
+  return std::make_shared<BinExpr>(BinOp::kOr, std::move(l), std::move(r));
+}
+ExprPtr Not(ExprPtr e) { return std::make_shared<NotExpr>(std::move(e)); }
+
+ExprPtr Between(ExprPtr e, Value lo, Value hi) {
+  ExprPtr lower = Ge(e, Lit(std::move(lo)));
+  ExprPtr upper = Le(std::move(e), Lit(std::move(hi)));
+  return And(std::move(lower), std::move(upper));
+}
+
+ExprPtr InList(ExprPtr e, std::vector<Value> candidates) {
+  return std::make_shared<InListExpr>(std::move(e), std::move(candidates));
+}
+
+}  // namespace hattrick

@@ -1,0 +1,61 @@
+#ifndef HATTRICK_EXEC_EXPRESSION_H_
+#define HATTRICK_EXEC_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace hattrick {
+
+/// A scalar expression evaluated against a row. Expression trees are
+/// built by the hand-written HATtrick query plans (queries are defined
+/// programmatically; there is no SQL parser in this reproduction).
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  virtual Value Eval(const Row& row) const = 0;
+  virtual std::string ToString() const = 0;
+};
+
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// References column `index` of the input row.
+ExprPtr Col(size_t index);
+
+/// A literal constant.
+ExprPtr Lit(Value v);
+
+/// Arithmetic: numeric operands, numeric result (int if both ints).
+ExprPtr Add(ExprPtr l, ExprPtr r);
+ExprPtr Sub(ExprPtr l, ExprPtr r);
+ExprPtr Mul(ExprPtr l, ExprPtr r);
+
+/// Comparisons: int 1/0 result.
+ExprPtr Eq(ExprPtr l, ExprPtr r);
+ExprPtr Ne(ExprPtr l, ExprPtr r);
+ExprPtr Lt(ExprPtr l, ExprPtr r);
+ExprPtr Le(ExprPtr l, ExprPtr r);
+ExprPtr Gt(ExprPtr l, ExprPtr r);
+ExprPtr Ge(ExprPtr l, ExprPtr r);
+
+/// Logical connectives over int operands.
+ExprPtr And(ExprPtr l, ExprPtr r);
+ExprPtr Or(ExprPtr l, ExprPtr r);
+ExprPtr Not(ExprPtr e);
+
+/// value BETWEEN lo AND hi (inclusive).
+ExprPtr Between(ExprPtr e, Value lo, Value hi);
+
+/// value IN (list).
+ExprPtr InList(ExprPtr e, std::vector<Value> candidates);
+
+/// Evaluates an expression as a boolean predicate.
+inline bool EvalBool(const Expr& e, const Row& row) {
+  return e.Eval(row).AsInt() != 0;
+}
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_EXEC_EXPRESSION_H_

@@ -1,0 +1,294 @@
+#include "exec/operator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+
+#include "common/key_encoding.h"
+
+namespace hattrick {
+
+namespace {
+
+class FilterOp final : public Operator {
+ public:
+  FilterOp(OperatorPtr child, ExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+  void Open(ExecContext* ctx) override { child_->Open(ctx); }
+
+  bool Next(ExecContext* ctx, Row* out) override {
+    while (child_->Next(ctx, out)) {
+      if (EvalBool(*predicate_, *out)) return true;
+    }
+    return false;
+  }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+};
+
+class ProjectOp final : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs)
+      : child_(std::move(child)), exprs_(std::move(exprs)) {}
+
+  void Open(ExecContext* ctx) override { child_->Open(ctx); }
+
+  bool Next(ExecContext* ctx, Row* out) override {
+    Row in;
+    if (!child_->Next(ctx, &in)) return false;
+    out->clear();
+    out->reserve(exprs_.size());
+    for (const ExprPtr& e : exprs_) out->push_back(e->Eval(in));
+    return true;
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> exprs_;
+};
+
+class HashJoinOp final : public Operator {
+ public:
+  HashJoinOp(OperatorPtr probe, size_t probe_key, OperatorPtr build,
+             size_t build_key)
+      : probe_(std::move(probe)),
+        build_(std::move(build)),
+        probe_key_(probe_key),
+        build_key_(build_key) {}
+
+  void Open(ExecContext* ctx) override {
+    probe_->Open(ctx);
+    build_->Open(ctx);
+    Row row;
+    while (build_->Next(ctx, &row)) {
+      std::string key;
+      key::EncodeValue(row[build_key_], &key);
+      table_.emplace(std::move(key), row);
+      if (ctx->meter != nullptr) ++ctx->meter->hash_probes;
+    }
+  }
+
+  bool Next(ExecContext* ctx, Row* out) override {
+    while (true) {
+      if (match_it_ != match_end_) {
+        *out = probe_row_;
+        const Row& build_row = match_it_->second;
+        out->insert(out->end(), build_row.begin(), build_row.end());
+        ++match_it_;
+        if (ctx->meter != nullptr) ++ctx->meter->output_rows;
+        return true;
+      }
+      if (!probe_->Next(ctx, &probe_row_)) return false;
+      std::string key;
+      key::EncodeValue(probe_row_[probe_key_], &key);
+      if (ctx->meter != nullptr) ++ctx->meter->hash_probes;
+      std::tie(match_it_, match_end_) = table_.equal_range(key);
+    }
+  }
+
+ private:
+  using Table = std::unordered_multimap<std::string, Row>;
+
+  OperatorPtr probe_;
+  OperatorPtr build_;
+  size_t probe_key_;
+  size_t build_key_;
+  Table table_;
+  Row probe_row_;
+  Table::iterator match_it_{};
+  Table::iterator match_end_{};
+};
+
+class HashAggregateOp final : public Operator {
+ public:
+  HashAggregateOp(OperatorPtr child, std::vector<ExprPtr> group_by,
+                  std::vector<AggSpec> aggregates)
+      : child_(std::move(child)),
+        group_by_(std::move(group_by)),
+        aggregates_(std::move(aggregates)) {}
+
+  void Open(ExecContext* ctx) override {
+    child_->Open(ctx);
+    std::unordered_map<std::string, State> groups;
+    Row row;
+    while (child_->Next(ctx, &row)) {
+      std::string key;
+      Row key_values;
+      key_values.reserve(group_by_.size());
+      for (const ExprPtr& e : group_by_) {
+        Value v = e->Eval(row);
+        key::EncodeValue(v, &key);
+        key_values.push_back(std::move(v));
+      }
+      auto [it, inserted] = groups.emplace(std::move(key), State{});
+      if (ctx->meter != nullptr) ++ctx->meter->hash_probes;
+      State& state = it->second;
+      if (inserted) {
+        state.key_values = std::move(key_values);
+        state.accum.resize(aggregates_.size());
+        for (size_t i = 0; i < aggregates_.size(); ++i) {
+          switch (aggregates_[i].kind) {
+            case AggSpec::Kind::kMin:
+              state.accum[i] = std::numeric_limits<double>::infinity();
+              break;
+            case AggSpec::Kind::kMax:
+              state.accum[i] = -std::numeric_limits<double>::infinity();
+              break;
+            default:
+              state.accum[i] = 0;
+          }
+        }
+      }
+      for (size_t i = 0; i < aggregates_.size(); ++i) {
+        const AggSpec& agg = aggregates_[i];
+        switch (agg.kind) {
+          case AggSpec::Kind::kSum:
+            state.accum[i] += agg.arg->Eval(row).AsDouble();
+            break;
+          case AggSpec::Kind::kCount:
+            state.accum[i] += 1;
+            break;
+          case AggSpec::Kind::kMin:
+            state.accum[i] =
+                std::min(state.accum[i], agg.arg->Eval(row).AsDouble());
+            break;
+          case AggSpec::Kind::kMax:
+            state.accum[i] =
+                std::max(state.accum[i], agg.arg->Eval(row).AsDouble());
+            break;
+        }
+      }
+    }
+    // Global aggregate with no input rows still emits one (zero) row.
+    if (group_by_.empty() && groups.empty()) {
+      State zero;
+      zero.accum.assign(aggregates_.size(), 0.0);
+      groups.emplace(std::string(), std::move(zero));
+    }
+    // Deterministic output order: sort by encoded key.
+    output_.reserve(groups.size());
+    std::vector<std::pair<std::string, State>> sorted(
+        std::make_move_iterator(groups.begin()),
+        std::make_move_iterator(groups.end()));
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& [key, state] : sorted) {
+      Row out = std::move(state.key_values);
+      for (double a : state.accum) out.emplace_back(a);
+      output_.push_back(std::move(out));
+    }
+  }
+
+  bool Next(ExecContext* ctx, Row* out) override {
+    if (pos_ >= output_.size()) return false;
+    *out = std::move(output_[pos_++]);
+    if (ctx->meter != nullptr) ++ctx->meter->output_rows;
+    return true;
+  }
+
+ private:
+  struct State {
+    Row key_values;
+    std::vector<double> accum;
+  };
+
+  OperatorPtr child_;
+  std::vector<ExprPtr> group_by_;
+  std::vector<AggSpec> aggregates_;
+  std::vector<Row> output_;
+  size_t pos_ = 0;
+};
+
+class OrderByOp final : public Operator {
+ public:
+  OrderByOp(OperatorPtr child, std::vector<SortKey> keys)
+      : child_(std::move(child)), keys_(std::move(keys)) {}
+
+  void Open(ExecContext* ctx) override {
+    child_->Open(ctx);
+    Row row;
+    while (child_->Next(ctx, &row)) rows_.push_back(std::move(row));
+    std::sort(rows_.begin(), rows_.end(), [&](const Row& a, const Row& b) {
+      for (const SortKey& k : keys_) {
+        const int c = k.expr->Eval(a).Compare(k.expr->Eval(b));
+        if (c != 0) return k.ascending ? c < 0 : c > 0;
+      }
+      return false;
+    });
+  }
+
+  bool Next(ExecContext* ctx, Row* out) override {
+    (void)ctx;
+    if (pos_ >= rows_.size()) return false;
+    *out = std::move(rows_[pos_++]);
+    return true;
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+class ValuesScanOp final : public Operator {
+ public:
+  explicit ValuesScanOp(std::vector<Row> rows) : rows_(std::move(rows)) {}
+
+  void Open(ExecContext*) override { pos_ = 0; }
+
+  bool Next(ExecContext* ctx, Row* out) override {
+    (void)ctx;
+    if (pos_ >= rows_.size()) return false;
+    *out = rows_[pos_++];
+    return true;
+  }
+
+ private:
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+OperatorPtr MakeFilter(OperatorPtr child, ExprPtr predicate) {
+  return std::make_unique<FilterOp>(std::move(child), std::move(predicate));
+}
+
+OperatorPtr MakeProject(OperatorPtr child, std::vector<ExprPtr> exprs) {
+  return std::make_unique<ProjectOp>(std::move(child), std::move(exprs));
+}
+
+OperatorPtr MakeHashJoin(OperatorPtr probe, size_t probe_key,
+                         OperatorPtr build, size_t build_key) {
+  return std::make_unique<HashJoinOp>(std::move(probe), probe_key,
+                                      std::move(build), build_key);
+}
+
+OperatorPtr MakeHashAggregate(OperatorPtr child, std::vector<ExprPtr> group_by,
+                              std::vector<AggSpec> aggregates) {
+  return std::make_unique<HashAggregateOp>(
+      std::move(child), std::move(group_by), std::move(aggregates));
+}
+
+OperatorPtr MakeOrderBy(OperatorPtr child, std::vector<SortKey> keys) {
+  return std::make_unique<OrderByOp>(std::move(child), std::move(keys));
+}
+
+OperatorPtr MakeValuesScan(std::vector<Row> rows) {
+  return std::make_unique<ValuesScanOp>(std::move(rows));
+}
+
+std::vector<Row> Collect(Operator* op, ExecContext* ctx) {
+  std::vector<Row> out;
+  op->Open(ctx);
+  Row row;
+  while (op->Next(ctx, &row)) out.push_back(row);
+  return out;
+}
+
+}  // namespace hattrick

@@ -1,0 +1,120 @@
+#ifndef HATTRICK_EXEC_OPERATOR_H_
+#define HATTRICK_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "common/work_meter.h"
+#include "exec/expression.h"
+
+namespace hattrick {
+
+/// Per-query execution state: the work meter that accumulates the cost of
+/// the query (fed to the simulator's cost model).
+struct ExecContext {
+  WorkMeter* meter = nullptr;
+};
+
+/// Volcano-style physical operator. Scans stream; blocking operators
+/// (hash join build, aggregation, sort) materialize internally.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Prepares the operator; called once before Next.
+  virtual void Open(ExecContext* ctx) = 0;
+
+  /// Produces the next row into *out; returns false when exhausted.
+  virtual bool Next(ExecContext* ctx, Row* out) = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Numeric pushdown predicate: lo <= column <= hi (inclusive). The column
+/// scan uses these to prune zone-map blocks.
+struct NumRange {
+  size_t column;
+  double lo;
+  double hi;
+};
+
+/// String pushdown predicate: column IN values (equality when single).
+struct StrIn {
+  size_t column;
+  std::vector<std::string> values;
+};
+
+/// What a query needs from a base table: a projection plus conjunctive
+/// pushdown predicates. Plans are written against the logical HATtrick
+/// schema; the engine's DataSource lowers the spec onto its physical
+/// representation (row store with MVCC snapshot, or column store).
+struct ScanSpec {
+  std::string table;
+  std::vector<size_t> projection;  // output columns, in output order
+  std::vector<NumRange> ranges;
+  std::vector<StrIn> str_in;
+  /// Optional plan hint: name of a B+-tree index whose first key column
+  /// matches one of `ranges`. Row-store backends use an index range scan
+  /// when the index exists (the paper's Figure 6b "all indexes"
+  /// configuration accelerating analytical plans); columnar backends and
+  /// reduced physical schemas ignore the hint.
+  std::string index_hint;
+};
+
+/// Engine-provided factory for base-table scans. The 13 SSB query plans
+/// are backend-agnostic: they consume whatever operators the data source
+/// produces for their scan specs.
+class DataSource {
+ public:
+  virtual ~DataSource() = default;
+  virtual OperatorPtr Scan(const ScanSpec& spec) const = 0;
+};
+
+/// Relational operators used by the HATtrick query plans.
+
+/// Filters rows by a residual predicate.
+OperatorPtr MakeFilter(OperatorPtr child, ExprPtr predicate);
+
+/// Computes one output expression per column.
+OperatorPtr MakeProject(OperatorPtr child, std::vector<ExprPtr> exprs);
+
+/// Hash join: materializes `build`, probes with `probe`. Output is
+/// probe row concatenated with build row. Join keys must be single
+/// columns on each side (all SSB joins are key/foreign-key equijoins).
+OperatorPtr MakeHashJoin(OperatorPtr probe, size_t probe_key,
+                         OperatorPtr build, size_t build_key);
+
+/// One aggregate specification.
+struct AggSpec {
+  enum class Kind { kSum, kCount, kMin, kMax };
+  Kind kind = Kind::kSum;
+  ExprPtr arg;  // unused for kCount
+};
+
+/// Hash aggregation; output = group-by values then aggregate values, with
+/// groups emitted in deterministic (encoded-key) order. With no group-by
+/// columns produces exactly one row (global aggregate).
+OperatorPtr MakeHashAggregate(OperatorPtr child,
+                              std::vector<ExprPtr> group_by,
+                              std::vector<AggSpec> aggregates);
+
+/// Sort specification: expression + direction.
+struct SortKey {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// Full sort (materializing); used for ORDER BY clauses.
+OperatorPtr MakeOrderBy(OperatorPtr child, std::vector<SortKey> keys);
+
+/// Fixed in-memory input (used by tests).
+OperatorPtr MakeValuesScan(std::vector<Row> rows);
+
+/// Drains `op` into a vector (helper for tests and result collection).
+std::vector<Row> Collect(Operator* op, ExecContext* ctx);
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_EXEC_OPERATOR_H_

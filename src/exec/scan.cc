@@ -1,0 +1,261 @@
+#include "exec/scan.h"
+
+#include <cassert>
+
+#include "common/key_encoding.h"
+
+namespace hattrick {
+
+namespace {
+
+/// Applies a spec's pushdown predicates to a full row.
+bool MatchesPushdowns(const Row& row, const ScanSpec& spec) {
+  for (const NumRange& r : spec.ranges) {
+    const double v = row[r.column].AsDouble();
+    if (v < r.lo || v > r.hi) return false;
+  }
+  for (const StrIn& p : spec.str_in) {
+    const std::string& v = row[p.column].AsString();
+    bool found = false;
+    for (const std::string& cand : p.values) {
+      if (v == cand) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+/// Scan over an MVCC row table. Open() materializes the projected columns
+/// of the visible, predicate-passing rows in one pass over the table, so
+/// no full-row copies are made for filtered-out or projected-away cells.
+class RowScanOp final : public Operator {
+ public:
+  RowScanOp(const RowTable* table, Ts snapshot, ScanSpec spec)
+      : table_(table), snapshot_(snapshot), spec_(std::move(spec)) {}
+
+  void Open(ExecContext* ctx) override {
+    rows_.clear();
+    pos_ = 0;
+    table_->Scan(
+        snapshot_,
+        [&](Rid, const Row& row) {
+          if (!MatchesPushdowns(row, spec_)) return true;
+          Row out;
+          out.reserve(spec_.projection.size());
+          for (size_t col : spec_.projection) out.push_back(row[col]);
+          rows_.push_back(std::move(out));
+          return true;
+        },
+        ctx->meter);
+    if (ctx->meter != nullptr) ctx->meter->output_rows += rows_.size();
+  }
+
+  bool Next(ExecContext* ctx, Row* out) override {
+    (void)ctx;
+    if (pos_ >= rows_.size()) return false;
+    *out = std::move(rows_[pos_++]);
+    return true;
+  }
+
+ private:
+  const RowTable* table_;
+  Ts snapshot_;
+  ScanSpec spec_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+/// Streaming scan over a column table with zone-map block pruning.
+class ColumnScanOp final : public Operator {
+ public:
+  ColumnScanOp(const ColumnTable* table, size_t bound, ScanSpec spec)
+      : table_(table), bound_(bound), spec_(std::move(spec)) {}
+
+  void Open(ExecContext*) override {
+    row_ = 0;
+    // Resolve string predicates to dictionary code sets once.
+    code_preds_.clear();
+    impossible_ = false;
+    for (const StrIn& p : spec_.str_in) {
+      CodePred cp;
+      cp.column = p.column;
+      for (const std::string& v : p.values) {
+        const int64_t code = table_->FindStringCode(p.column, v);
+        if (code >= 0) cp.codes.push_back(static_cast<uint32_t>(code));
+      }
+      if (cp.codes.empty()) {
+        impossible_ = true;  // predicate value absent from the dictionary
+        return;
+      }
+      code_preds_.push_back(std::move(cp));
+    }
+  }
+
+  bool Next(ExecContext* ctx, Row* out) override {
+    if (impossible_) return false;
+    while (row_ < bound_) {
+      // Zone-map pruning at block boundaries.
+      if (row_ % ColumnTable::kBlockRows == 0) {
+        while (row_ < bound_ && BlockPruned(row_ / ColumnTable::kBlockRows)) {
+          row_ = std::min<size_t>(bound_, row_ + ColumnTable::kBlockRows);
+        }
+        if (row_ >= bound_) return false;
+      }
+      const size_t r = row_++;
+      if (!Matches(r, ctx)) continue;
+      out->clear();
+      out->reserve(spec_.projection.size());
+      for (size_t col : spec_.projection) {
+        switch (table_->schema().column(col).type) {
+          case DataType::kInt64:
+            out->emplace_back(table_->GetInt(col, r));
+            break;
+          case DataType::kDouble:
+            out->emplace_back(table_->GetDouble(col, r));
+            break;
+          case DataType::kString:
+            out->emplace_back(table_->GetString(col, r));
+            break;
+        }
+      }
+      if (ctx->meter != nullptr) {
+        ctx->meter->column_values += spec_.projection.size();
+        ++ctx->meter->output_rows;
+      }
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  struct CodePred {
+    size_t column;
+    std::vector<uint32_t> codes;
+  };
+
+  bool BlockPruned(size_t block) const {
+    for (const NumRange& pred : spec_.ranges) {
+      double mn;
+      double mx;
+      if (!table_->BlockMinMax(pred.column, block, &mn, &mx)) continue;
+      if (mx < pred.lo || mn > pred.hi) return true;
+    }
+    return false;
+  }
+
+  bool Matches(size_t r, ExecContext* ctx) const {
+    if (ctx->meter != nullptr) {
+      ctx->meter->column_values +=
+          spec_.ranges.size() + code_preds_.size();
+    }
+    for (const NumRange& pred : spec_.ranges) {
+      const double v = table_->GetDouble(pred.column, r);
+      if (v < pred.lo || v > pred.hi) return false;
+    }
+    for (const CodePred& pred : code_preds_) {
+      const uint32_t code = table_->GetStringCode(pred.column, r);
+      bool found = false;
+      for (const uint32_t c : pred.codes) {
+        if (c == code) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    return true;
+  }
+
+  const ColumnTable* table_;
+  size_t bound_;
+  ScanSpec spec_;
+  size_t row_ = 0;
+  std::vector<CodePred> code_preds_;
+  bool impossible_ = false;
+};
+
+/// Index range scan: walks a B+-tree index over [lo, hi] of the hinted
+/// range predicate, fetches visible rows, applies the residual predicates
+/// and projects. Used when a query plan hints an index that exists in the
+/// physical schema (Figure 6b, "all indexes").
+class IndexRangeScanOp final : public Operator {
+ public:
+  IndexRangeScanOp(const RowTable* table, const IndexInfo* index,
+                   Ts snapshot, ScanSpec spec, NumRange bounds)
+      : table_(table),
+        index_(index),
+        snapshot_(snapshot),
+        spec_(std::move(spec)),
+        bounds_(bounds) {}
+
+  void Open(ExecContext* ctx) override {
+    // Materialize candidate rids from the index (bounded range).
+    std::string lo;
+    std::string hi;
+    key::EncodeInt64(static_cast<int64_t>(bounds_.lo), &lo);
+    key::EncodeInt64(static_cast<int64_t>(bounds_.hi) + 1, &hi);
+    index_->tree->ScanRange(
+        lo, hi,
+        [&](const std::string&, uint64_t rid) {
+          rids_.push_back(rid);
+          return true;
+        },
+        ctx->meter);
+    pos_ = 0;
+  }
+
+  bool Next(ExecContext* ctx, Row* out) override {
+    Row row;
+    while (pos_ < rids_.size()) {
+      const Rid rid = rids_[pos_++];
+      if (!table_->Read(rid, snapshot_, &row, ctx->meter)) continue;
+      if (!MatchesPushdowns(row, spec_)) continue;
+      out->clear();
+      out->reserve(spec_.projection.size());
+      for (size_t col : spec_.projection) out->push_back(row[col]);
+      if (ctx->meter != nullptr) ++ctx->meter->output_rows;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  const RowTable* table_;
+  const IndexInfo* index_;
+  Ts snapshot_;
+  ScanSpec spec_;
+  NumRange bounds_;
+  std::vector<Rid> rids_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+OperatorPtr RowDataSource::Scan(const ScanSpec& spec) const {
+  const RowTable* table = catalog_->GetTable(spec.table);
+  assert(table != nullptr && "unknown table in scan spec");
+  if (!spec.index_hint.empty()) {
+    const IndexInfo* index = catalog_->GetIndex(spec.index_hint);
+    if (index != nullptr && index->key_columns.size() == 1) {
+      for (const NumRange& range : spec.ranges) {
+        if (range.column == index->key_columns[0]) {
+          return std::make_unique<IndexRangeScanOp>(table, index, snapshot_,
+                                                    spec, range);
+        }
+      }
+    }
+  }
+  return std::make_unique<RowScanOp>(table, snapshot_, spec);
+}
+
+OperatorPtr ColumnDataSource::Scan(const ScanSpec& spec) const {
+  const auto it = tables_.find(spec.table);
+  assert(it != tables_.end() && "unknown table in scan spec");
+  return std::make_unique<ColumnScanOp>(it->second.table, it->second.bound,
+                                        spec);
+}
+
+}  // namespace hattrick

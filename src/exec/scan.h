@@ -1,0 +1,55 @@
+#ifndef HATTRICK_EXEC_SCAN_H_
+#define HATTRICK_EXEC_SCAN_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "exec/operator.h"
+#include "storage/catalog.h"
+#include "storage/column_table.h"
+#include "storage/row_table.h"
+
+namespace hattrick {
+
+/// Scans MVCC row tables at a fixed snapshot. Used by the shared engine
+/// (analytics on the primary copy) and by the isolated engine (analytics
+/// on the standby's row-store replica).
+class RowDataSource final : public DataSource {
+ public:
+  RowDataSource(const Catalog* catalog, Ts snapshot)
+      : catalog_(catalog), snapshot_(snapshot) {}
+
+  OperatorPtr Scan(const ScanSpec& spec) const override;
+
+ private:
+  const Catalog* catalog_;
+  Ts snapshot_;
+};
+
+/// Scans column tables up to fixed per-table row bounds. Used by the
+/// hybrid engines: the bound is the number of rows merged at query start,
+/// giving the query a consistent columnar snapshot. Numeric pushdown
+/// predicates prune zone-map blocks; string predicates evaluate on
+/// dictionary codes.
+class ColumnDataSource final : public DataSource {
+ public:
+  /// One scannable columnar table and the row bound visible to queries.
+  struct BoundTable {
+    const ColumnTable* table;
+    size_t bound;
+  };
+
+  OperatorPtr Scan(const ScanSpec& spec) const override;
+
+  void AddTable(const std::string& name, const ColumnTable* table,
+                size_t bound) {
+    tables_.emplace(name, BoundTable{table, bound});
+  }
+
+ private:
+  std::unordered_map<std::string, BoundTable> tables_;
+};
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_EXEC_SCAN_H_

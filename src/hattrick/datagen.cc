@@ -1,0 +1,360 @@
+#include "hattrick/datagen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace hattrick {
+
+namespace {
+
+constexpr size_t kBaseLineorders = 6000000;  // SSB rows per SF, unscaled
+
+const char* const kMonths[12] = {
+    "January", "February", "March",     "April",   "May",      "June",
+    "July",    "August",   "September", "October", "November", "December"};
+const char* const kMonthAbbrev[12] = {"Jan", "Feb", "Mar", "Apr",
+                                      "May", "Jun", "Jul", "Aug",
+                                      "Sep", "Oct", "Nov", "Dec"};
+const char* const kWeekdays[7] = {"Sunday",   "Monday", "Tuesday",
+                                  "Wednesday", "Thursday", "Friday",
+                                  "Saturday"};
+const char* const kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                  "MACHINERY", "HOUSEHOLD"};
+const char* const kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                    "4-NOT SPECI", "5-LOW"};
+const char* const kShipModes[7] = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                                   "TRUCK",   "MAIL", "FOB"};
+const char* const kColors[16] = {
+    "almond", "antique", "aquamarine", "azure", "beige",  "bisque",
+    "black",  "blanched", "blue",      "blush", "brown",  "burlywood",
+    "chartreuse", "chiffon", "chocolate", "coral"};
+const char* const kTypes[10] = {
+    "ECONOMY ANODIZED STEEL", "ECONOMY BRUSHED BRASS",
+    "LARGE BURNISHED COPPER", "LARGE PLATED NICKEL",
+    "MEDIUM POLISHED TIN",    "MEDIUM ANODIZED STEEL",
+    "PROMO BRUSHED COPPER",   "PROMO PLATED BRASS",
+    "SMALL BURNISHED NICKEL", "STANDARD POLISHED TIN"};
+const char* const kContainers[10] = {
+    "SM CASE", "SM BOX",  "SM BAG",  "MED CASE", "MED BOX",
+    "MED BAG", "LG CASE", "LG BOX",  "LG BAG",   "JUMBO BOX"};
+
+bool IsLeap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month /*1-12*/) {
+  static const int kDays[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30,
+                                31};
+  if (month == 2 && IsLeap(year)) return 29;
+  return kDays[month - 1];
+}
+
+struct CalendarDay {
+  int year;
+  int month;         // 1-12
+  int day;           // 1-31
+  int day_of_week;   // 0=Sunday .. 6=Saturday
+  int day_of_year;   // 1-based
+};
+
+/// The calendar day `index` days after 1992-01-01 (a Wednesday).
+CalendarDay DayAt(size_t index) {
+  CalendarDay d{1992, 1, 1, /*day_of_week=*/3, 1};
+  size_t remaining = index;
+  // Skip whole years.
+  while (true) {
+    const size_t year_days = IsLeap(d.year) ? 366 : 365;
+    if (remaining < year_days) break;
+    remaining -= year_days;
+    ++d.year;
+  }
+  d.day_of_year = static_cast<int>(remaining) + 1;
+  while (remaining >= static_cast<size_t>(DaysInMonth(d.year, d.month))) {
+    remaining -= DaysInMonth(d.year, d.month);
+    ++d.month;
+  }
+  d.day = static_cast<int>(remaining) + 1;
+  d.day_of_week = static_cast<int>((3 + index) % 7);
+  return d;
+}
+
+std::string Phone(Rng* rng) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%02d-%03d-%03d-%04d",
+                static_cast<int>(rng->Uniform(10, 34)),
+                static_cast<int>(rng->Uniform(100, 999)),
+                static_cast<int>(rng->Uniform(100, 999)),
+                static_cast<int>(rng->Uniform(1000, 9999)));
+  return buf;
+}
+
+std::string Address(Rng* rng) {
+  static const char kAlpha[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ";
+  const int len = static_cast<int>(rng->Uniform(10, 20));
+  std::string out;
+  out.reserve(len);
+  for (int i = 0; i < len; ++i) {
+    out.push_back(kAlpha[rng->Uniform(0, sizeof(kAlpha) - 2)]);
+  }
+  return out;
+}
+
+/// SSB city: first 9 characters of the nation (space padded) + digit.
+std::string CityOf(const std::string& nation, int digit) {
+  std::string prefix = nation.substr(0, 9);
+  prefix.resize(9, ' ');
+  return prefix + std::to_string(digit);
+}
+
+}  // namespace
+
+const char* const kNations[25] = {
+    "ALGERIA",    "ARGENTINA",  "BRAZIL",         "CANADA",
+    "EGYPT",      "ETHIOPIA",   "FRANCE",         "GERMANY",
+    "INDIA",      "INDONESIA",  "IRAN",           "IRAQ",
+    "JAPAN",      "JORDAN",     "KENYA",          "MOROCCO",
+    "MOZAMBIQUE", "PERU",       "CHINA",          "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM",  "RUSSIA",         "UNITED KINGDOM",
+    "UNITED STATES"};
+
+const char* const kNationRegions[25] = {
+    "AFRICA",      "AMERICA", "AMERICA",     "AMERICA", "MIDDLE EAST",
+    "AFRICA",      "EUROPE",  "EUROPE",      "ASIA",    "ASIA",
+    "MIDDLE EAST", "MIDDLE EAST", "ASIA",    "MIDDLE EAST", "AFRICA",
+    "AFRICA",      "AFRICA",  "AMERICA",     "ASIA",    "EUROPE",
+    "MIDDLE EAST", "ASIA",    "EUROPE",      "EUROPE",  "AMERICA"};
+
+int64_t DateKeyAt(size_t index) {
+  const CalendarDay d = DayAt(index);
+  return static_cast<int64_t>(d.year) * 10000 + d.month * 100 + d.day;
+}
+
+size_t DatagenConfig::NumLineorders() const {
+  return std::max<size_t>(
+      200, static_cast<size_t>(std::llround(
+               static_cast<double>(lineorders_per_sf) * scale_factor)));
+}
+
+size_t DatagenConfig::NumCustomers() const {
+  const double ratio =
+      static_cast<double>(lineorders_per_sf) / kBaseLineorders;
+  return std::max<size_t>(
+      10, static_cast<size_t>(std::llround(30000.0 * scale_factor * ratio)));
+}
+
+size_t DatagenConfig::NumSuppliers() const {
+  const double ratio =
+      static_cast<double>(lineorders_per_sf) / kBaseLineorders;
+  return std::max<size_t>(
+      2, static_cast<size_t>(std::llround(2000.0 * scale_factor * ratio)));
+}
+
+size_t DatagenConfig::NumParts() const {
+  const double ratio =
+      static_cast<double>(lineorders_per_sf) / kBaseLineorders;
+  const double base =
+      200000.0 * (1.0 + std::floor(std::log2(std::max(1.0, scale_factor))));
+  return std::max<size_t>(
+      20, static_cast<size_t>(std::llround(base * scale_factor * ratio)));
+}
+
+std::string CustomerName(int64_t custkey) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "Customer#%09lld",
+                static_cast<long long>(custkey));
+  return buf;
+}
+
+std::string SupplierName(int64_t suppkey) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "Supplier#%09lld",
+                static_cast<long long>(suppkey));
+  return buf;
+}
+
+Dataset GenerateDataset(const DatagenConfig& config) {
+  Dataset ds;
+  ds.config = config;
+  Rng rng(config.seed);
+
+  // DATE: fixed 7-year calendar.
+  ds.date.reserve(DatagenConfig::NumDates());
+  for (size_t i = 0; i < DatagenConfig::NumDates(); ++i) {
+    const CalendarDay d = DayAt(i);
+    char date_str[32];
+    std::snprintf(date_str, sizeof(date_str), "%s %d, %d",
+                  kMonths[d.month - 1], d.day, d.year);
+    const std::string yearmonth =
+        std::string(kMonthAbbrev[d.month - 1]) + std::to_string(d.year);
+    const char* season = "Winter";
+    if (d.month >= 3 && d.month <= 5) season = "Spring";
+    if (d.month >= 6 && d.month <= 8) season = "Summer";
+    if (d.month == 9 || d.month == 10) season = "Fall";
+    if (d.month >= 11) season = "Christmas";
+    ds.date.push_back(Row{
+        DateKeyAt(i),
+        std::string(date_str),
+        std::string(kWeekdays[d.day_of_week]),
+        std::string(kMonths[d.month - 1]),
+        int64_t{d.year},
+        static_cast<int64_t>(d.year) * 100 + d.month,
+        yearmonth,
+        int64_t{d.day_of_week + 1},
+        int64_t{d.day},
+        int64_t{d.day_of_year},
+        int64_t{d.month},
+        int64_t{(d.day_of_year - 1) / 7 + 1},
+        std::string(season),
+        int64_t{d.day == DaysInMonth(d.year, d.month)},
+        int64_t{(d.month == 12 && d.day == 25) ||
+                (d.month == 1 && d.day == 1) ||
+                (d.month == 7 && d.day == 4)},
+        int64_t{d.day_of_week >= 1 && d.day_of_week <= 5},
+    });
+  }
+
+  // CUSTOMER.
+  const size_t num_customers = config.NumCustomers();
+  ds.customer.reserve(num_customers);
+  for (size_t i = 1; i <= num_customers; ++i) {
+    const int nation = static_cast<int>(rng.Uniform(0, 24));
+    ds.customer.push_back(Row{
+        static_cast<int64_t>(i),
+        CustomerName(static_cast<int64_t>(i)),
+        Address(&rng),
+        CityOf(kNations[nation], static_cast<int>(rng.Uniform(0, 9))),
+        std::string(kNations[nation]),
+        std::string(kNationRegions[nation]),
+        Phone(&rng),
+        std::string(kSegments[rng.Uniform(0, 4)]),
+        int64_t{0},  // C_PAYMENTCNT
+    });
+  }
+
+  // SUPPLIER.
+  const size_t num_suppliers = config.NumSuppliers();
+  ds.supplier.reserve(num_suppliers);
+  for (size_t i = 1; i <= num_suppliers; ++i) {
+    const int nation = static_cast<int>(rng.Uniform(0, 24));
+    ds.supplier.push_back(Row{
+        static_cast<int64_t>(i),
+        SupplierName(static_cast<int64_t>(i)),
+        Address(&rng),
+        CityOf(kNations[nation], static_cast<int>(rng.Uniform(0, 9))),
+        std::string(kNations[nation]),
+        std::string(kNationRegions[nation]),
+        Phone(&rng),
+        0.0,  // S_YTD
+    });
+  }
+
+  // PART.
+  const size_t num_parts = config.NumParts();
+  ds.part.reserve(num_parts);
+  for (size_t i = 1; i <= num_parts; ++i) {
+    const int mfgr = static_cast<int>(rng.Uniform(1, 5));
+    const int category = static_cast<int>(rng.Uniform(1, 5));
+    const int brand = static_cast<int>(rng.Uniform(1, 40));
+    const std::string mfgr_s = "MFGR#" + std::to_string(mfgr);
+    const std::string category_s = mfgr_s + std::to_string(category);
+    const std::string brand_s = category_s + std::to_string(brand);
+    const double price =
+        (90000.0 + static_cast<double>(i % 20001) +
+         100.0 * static_cast<double>(i % 1000)) /
+        100.0;
+    ds.part.push_back(Row{
+        static_cast<int64_t>(i),
+        std::string(kColors[rng.Uniform(0, 15)]) + " part",
+        mfgr_s,
+        category_s,
+        brand_s,
+        std::string(kColors[rng.Uniform(0, 15)]),
+        std::string(kTypes[rng.Uniform(0, 9)]),
+        rng.Uniform(1, 50),
+        std::string(kContainers[rng.Uniform(0, 9)]),
+        price,
+    });
+  }
+
+  // LINEORDER + HISTORY: whole orders of 1-7 lines until the row budget.
+  const size_t num_lineorders = config.NumLineorders();
+  ds.lineorder.reserve(num_lineorders + 8);
+  int64_t orderkey = 0;
+  while (ds.lineorder.size() < num_lineorders) {
+    ++orderkey;
+    const int num_lines = static_cast<int>(rng.Uniform(1, 7));
+    const int64_t custkey = rng.Uniform(1, num_customers);
+    const int64_t orderdate =
+        DateKeyAt(static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(DatagenConfig::NumDates()) -
+                               1)));
+    const std::string priority = kPriorities[rng.Uniform(0, 4)];
+    const size_t first_line = ds.lineorder.size();
+    double total = 0;
+    for (int line = 1; line <= num_lines; ++line) {
+      const int64_t partkey = rng.Uniform(1, num_parts);
+      const int64_t suppkey = rng.Uniform(1, num_suppliers);
+      const int64_t quantity = rng.Uniform(1, 50);
+      const int64_t discount = rng.Uniform(0, 10);
+      const int64_t tax = rng.Uniform(0, 8);
+      const double price = ds.part[partkey - 1][part::kPrice].AsDouble();
+      const double extended = price * static_cast<double>(quantity);
+      const double revenue =
+          extended * (100.0 - static_cast<double>(discount)) / 100.0;
+      total += extended;
+      const int64_t commitdate = DateKeyAt(static_cast<size_t>(rng.Uniform(
+          0, static_cast<int64_t>(DatagenConfig::NumDates()) - 1)));
+      ds.lineorder.push_back(Row{
+          orderkey,
+          int64_t{line},
+          custkey,
+          partkey,
+          suppkey,
+          orderdate,
+          priority,
+          int64_t{0},
+          quantity,
+          extended,
+          0.0,  // patched below with the order total
+          discount,
+          revenue,
+          0.6 * extended,
+          tax,
+          commitdate,
+          std::string(kShipModes[rng.Uniform(0, 6)]),
+      });
+    }
+    for (size_t i = first_line; i < ds.lineorder.size(); ++i) {
+      ds.lineorder[i][lo::kOrdTotalPrice] = Value(total);
+    }
+    ds.history.push_back(Row{orderkey, custkey, total});
+  }
+  ds.max_orderkey = orderkey;
+  return ds;
+}
+
+Status LoadDataset(const Dataset& dataset, PhysicalSchema physical,
+                   HtapEngine* engine) {
+  const DatabaseSpec spec =
+      MakeDatabaseSpec(physical, dataset.config.num_freshness_tables);
+  HATTRICK_RETURN_IF_ERROR(engine->Create(spec));
+  HATTRICK_RETURN_IF_ERROR(engine->BulkLoad(kLineorder, dataset.lineorder));
+  HATTRICK_RETURN_IF_ERROR(engine->BulkLoad(kCustomer, dataset.customer));
+  HATTRICK_RETURN_IF_ERROR(engine->BulkLoad(kSupplier, dataset.supplier));
+  HATTRICK_RETURN_IF_ERROR(engine->BulkLoad(kPart, dataset.part));
+  HATTRICK_RETURN_IF_ERROR(engine->BulkLoad(kDate, dataset.date));
+  HATTRICK_RETURN_IF_ERROR(engine->BulkLoad(kHistory, dataset.history));
+  const std::vector<Row> zero_row = {Row{int64_t{0}}};
+  for (uint32_t j = 1; j <= dataset.config.num_freshness_tables; ++j) {
+    HATTRICK_RETURN_IF_ERROR(
+        engine->BulkLoad(FreshnessTableName(j), zero_row));
+  }
+  return engine->FinishLoad();
+}
+
+}  // namespace hattrick

@@ -1,0 +1,550 @@
+#include "hattrick/driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cassert>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/core_pool.h"
+#include "sim/lock_model.h"
+#include "sim/simulation.h"
+#include "sim/wait_queue.h"
+
+namespace hattrick {
+
+SimSetup SharedSimSetup() {
+  SimSetup setup;
+  setup.t_cores = 8;
+  setup.separate_pools = false;
+  setup.lock_hold_fraction = 1.0;  // pessimistic row locks held to commit
+  return setup;
+}
+
+SimSetup IsolatedSimSetup() {
+  SimSetup setup;
+  setup.t_cores = 8;
+  setup.a_cores = 8;
+  setup.separate_pools = true;  // primary node + standby node
+  setup.lock_hold_fraction = 1.0;
+  setup.has_maintenance = true;  // standby WAL replay
+  // Single-threaded replay with fsync/page costs: replay keeps up at
+  // A-heavy mixes but falls behind as the T rate approaches the
+  // primary's maximum, which is what produces the paper's non-zero
+  // freshness scores in ON mode (Section 6.3).
+  setup.cost.replay_multiplier = 1.3;
+  return setup;
+}
+
+SimSetup HybridSimSetup() {
+  SimSetup setup;
+  setup.t_cores = 8;
+  setup.separate_pools = false;  // one machine, two data copies
+  // Optimistic engines synchronize only during the validation window
+  // (Section 6.4), not for the full transaction lifetime.
+  setup.lock_hold_fraction = 0.25;
+  // Dual-copy commit bookkeeping makes the transaction path somewhat
+  // heavier than a single-copy row store.
+  setup.cost.txn_fixed_us = 640.0;
+  return setup;
+}
+
+SimSetup TidbDistSimSetup() {
+  SimSetup setup;
+  setup.t_cores = 24;  // 3 TiKV nodes
+  setup.a_cores = 16;  // 2 TiFlash nodes
+  setup.separate_pools = true;
+  setup.lock_hold_fraction = 0.25;
+  setup.cost.txn_fixed_us = 640.0;
+  // Distributed transactions pay TCP/IP CPU overhead and network round
+  // trips (Section 6.5.2).
+  setup.cost.t_work_multiplier = 4.0;
+  setup.cost.txn_extra_latency_us = 800.0;
+  return setup;
+}
+
+namespace {
+
+/// Per-run mutable state shared by the simulated clients.
+struct RunState {
+  RunState(HtapEngine* engine, WorkloadContext* context,
+           const SimSetup& setup, const WorkloadConfig& config)
+      : engine(engine),
+        context(context),
+        setup(setup),
+        config(config),
+        handles(EngineHandles::Resolve(*engine->primary_catalog(),
+                                       context->num_freshness_tables)),
+        t_pool(&sim, "t-pool", setup.t_cores),
+        a_pool_storage(
+            setup.separate_pools
+                ? std::make_unique<CorePool>(&sim, "a-pool", setup.a_cores)
+                : nullptr),
+        a_pool(setup.separate_pools ? a_pool_storage.get() : &t_pool),
+        locks(setup.lock_hold_fraction) {
+    warmup_end = config.warmup_seconds;
+    end = config.warmup_seconds + config.measure_seconds;
+    tracker.SetNumClients(
+        static_cast<uint32_t>(std::max(config.t_clients, 1)));
+  }
+
+  bool InWindow(TimePoint t) const { return t >= warmup_end && t <= end; }
+
+  HtapEngine* engine;
+  WorkloadContext* context;
+  const SimSetup& setup;
+  const WorkloadConfig& config;
+  EngineHandles handles;
+
+  Simulation sim;
+  CorePool t_pool;
+  std::unique_ptr<CorePool> a_pool_storage;
+  CorePool* a_pool;
+  RowLockModel locks;
+  LsnWaitQueue lsn_waits;
+  FreshnessTracker tracker;
+
+  std::vector<FreshnessTracker::Observation> observations;
+  RunMetrics metrics;
+  TimePoint warmup_end = 0;
+  TimePoint end = 0;
+  bool applier_idle = true;
+
+  void WakeApplier();
+  void ApplierPump();
+};
+
+void RunState::ApplierPump() {
+  WorkMeter meter;
+  if (!engine->MaintenanceStep(&meter)) {
+    applier_idle = true;
+    return;
+  }
+  const uint64_t applied = engine->applied_lsn();
+  const double cpu = setup.cost.ReplayCpuSeconds(meter);
+  a_pool->Submit(cpu, [this, applied] {
+    lsn_waits.Publish(applied);
+    ApplierPump();
+  });
+}
+
+void RunState::WakeApplier() {
+  if (!setup.has_maintenance || !applier_idle) return;
+  applier_idle = false;
+  ApplierPump();
+}
+
+/// A simulated transactional client: issues transactions back-to-back,
+/// executing each for real against the engine at issue time and modeling
+/// its duration (CPU on the T pool + lock waits + commit waits).
+class SimTClient {
+ public:
+  SimTClient(RunState* s, uint32_t id, uint64_t seed)
+      : s_(s), id_(id), rng_(seed) {}
+
+  void Start() { IssueNext(); }
+
+ private:
+  void IssueNext() {
+    if (s_->sim.Now() >= s_->end) return;
+    const TxnParams params = GenerateTxnParams(s_->context, &rng_);
+    ++txn_num_;
+    type_ = params.type;
+    issue_time_ = s_->sim.Now();
+
+    WorkMeter meter;
+    const TxnBody body = MakeTxnBody(params, s_->handles, id_, txn_num_);
+    TxnOutcome outcome =
+        s_->engine->ExecuteTransaction(body, id_, txn_num_, &meter);
+    s_->metrics.aborts += static_cast<uint64_t>(outcome.attempts - 1);
+    if (!outcome.status.ok()) {
+      ++s_->metrics.failed;
+      s_->sim.Schedule(1e-3, [this] { IssueNext(); });  // back off, retry
+      return;
+    }
+    if (outcome.lsn != 0) s_->WakeApplier();
+
+    const double cpu = s_->setup.cost.TxnCpuSeconds(meter);
+    // Row-lock waits: written rows are held for roughly the wall time of
+    // the transaction, estimated as CPU inflated by the current load.
+    const double inflation = std::max(
+        1.0, static_cast<double>(s_->t_pool.active_jobs() + 1) /
+                 s_->t_pool.cores());
+    const double lock_wait =
+        s_->locks.AcquireAll(outcome.write_keys, s_->sim.Now(),
+                             cpu * inflation);
+    auto submit = [this, cpu, outcome = std::move(outcome)]() mutable {
+      s_->t_pool.Submit(cpu, [this, outcome = std::move(outcome)] {
+        OnCpuDone(outcome);
+      });
+    };
+    if (lock_wait > 0) {
+      s_->sim.Schedule(lock_wait, std::move(submit));
+    } else {
+      submit();
+    }
+  }
+
+  void OnCpuDone(const TxnOutcome& outcome) {
+    const double extra = s_->setup.cost.txn_extra_latency_us * 1e-6;
+    switch (outcome.wait.kind) {
+      case CommitWait::Kind::kNone:
+        Defer(extra, [this] { Finish(); });
+        return;
+      case CommitWait::Kind::kShipDelay:
+        Defer(extra + s_->setup.cost.ShipDelaySeconds(outcome.wait.bytes),
+              [this] { Finish(); });
+        return;
+      case CommitWait::Kind::kReplicaApplied: {
+        const uint64_t lsn = outcome.wait.lsn;
+        Defer(extra, [this, lsn] {
+          s_->lsn_waits.WaitFor(lsn, [this] { Finish(); });
+        });
+        return;
+      }
+    }
+  }
+
+  void Defer(double delay, std::function<void()> fn) {
+    if (delay > 0) {
+      s_->sim.Schedule(delay, std::move(fn));
+    } else {
+      fn();
+    }
+  }
+
+  void Finish() {
+    const TimePoint now = s_->sim.Now();
+    s_->tracker.RecordCommit(id_, txn_num_, now);
+    if (s_->InWindow(now)) {
+      ++s_->metrics.committed;
+      const double latency = now - issue_time_;
+      s_->metrics.txn_latency.Add(latency);
+      s_->metrics.txn_latency_by_type[static_cast<int>(type_)].Add(latency);
+    }
+    IssueNext();
+  }
+
+  RunState* s_;
+  uint32_t id_;  // 1-based
+  Rng rng_;
+  uint64_t txn_num_ = 0;
+  TimePoint issue_time_ = 0;
+  TxnType type_ = TxnType::kNewOrder;
+};
+
+/// A simulated analytical client: runs random permutations of the
+/// 13-query batch (Section 5.3), executing each query for real at issue
+/// time and modeling its duration on the A pool.
+class SimAClient {
+ public:
+  SimAClient(RunState* s, uint64_t seed) : s_(s), rng_(seed) {
+    for (int i = 0; i < kNumQueries; ++i) batch_[i] = i;
+    batch_pos_ = kNumQueries;  // force a shuffle on first issue
+  }
+
+  void Start() { IssueNext(); }
+
+ private:
+  void IssueNext() {
+    if (s_->sim.Now() >= s_->end) return;
+    if (batch_pos_ >= kNumQueries) {
+      // New random permutation of the batch.
+      for (int i = kNumQueries - 1; i > 0; --i) {
+        std::swap(batch_[i], batch_[rng_.Uniform(0, i)]);
+      }
+      batch_pos_ = 0;
+    }
+    const int qid = batch_[batch_pos_++];
+    const TimePoint issue_time = s_->sim.Now();
+
+    WorkMeter meter;
+    AnalyticsSession session = s_->engine->BeginAnalytics(&meter);
+    ExecContext ctx{&meter};
+    QueryResult result = RunQuery(qid, *session.source,
+                                  s_->context->num_freshness_tables, &ctx);
+    session.source.reset();
+    session.guard.reset();
+
+    const double cpu = s_->setup.cost.QueryCpuSeconds(meter);
+    s_->a_pool->Submit(
+        cpu, [this, qid, issue_time, result = std::move(result)] {
+          const TimePoint now = s_->sim.Now();
+          if (s_->InWindow(now)) {
+            ++s_->metrics.queries;
+            const double latency = now - issue_time;
+            s_->metrics.query_latency.Add(latency);
+            s_->metrics.query_latency_by_id[qid].Add(latency);
+            FreshnessTracker::Observation obs;
+            obs.query_start = issue_time;
+            obs.seen.assign(
+                result.freshness.begin(),
+                result.freshness.begin() +
+                    std::min<size_t>(result.freshness.size(),
+                                     static_cast<size_t>(
+                                         s_->config.t_clients)));
+            s_->observations.push_back(std::move(obs));
+          }
+          IssueNext();
+        });
+  }
+
+  RunState* s_;
+  Rng rng_;
+  int batch_[kNumQueries];
+  int batch_pos_ = 0;
+};
+
+}  // namespace
+
+SimDriver::SimDriver(HtapEngine* engine, WorkloadContext* context,
+                     SimSetup setup)
+    : engine_(engine), context_(context), setup_(std::move(setup)) {}
+
+RunMetrics SimDriver::Run(const WorkloadConfig& config) {
+  if (static_cast<uint32_t>(config.t_clients) >
+      context_->num_freshness_tables) {
+    std::fprintf(stderr,
+                 "SimDriver: %d T-clients exceed the %u FRESHNESS_j "
+                 "tables created at load time\n",
+                 config.t_clients, context_->num_freshness_tables);
+    std::abort();
+  }
+  // Reset to the initial database image (Section 6.1).
+  Status reset = engine_->Reset();
+  assert(reset.ok());
+  (void)reset;
+  context_->Reset();
+
+  RunState state(engine_, context_, setup_, config);
+  Rng seeder(config.seed);
+
+  std::vector<std::unique_ptr<SimTClient>> t_clients;
+  t_clients.reserve(config.t_clients);
+  for (int i = 0; i < config.t_clients; ++i) {
+    t_clients.push_back(std::make_unique<SimTClient>(
+        &state, static_cast<uint32_t>(i + 1), seeder.Next()));
+  }
+  std::vector<std::unique_ptr<SimAClient>> a_clients;
+  a_clients.reserve(config.a_clients);
+  for (int i = 0; i < config.a_clients; ++i) {
+    a_clients.push_back(std::make_unique<SimAClient>(&state, seeder.Next()));
+  }
+
+  // Stagger client starts slightly to avoid artificial lockstep.
+  for (size_t i = 0; i < t_clients.size(); ++i) {
+    SimTClient* client = t_clients[i].get();
+    state.sim.Schedule(static_cast<double>(i) * 13e-6,
+                       [client] { client->Start(); });
+  }
+  for (size_t i = 0; i < a_clients.size(); ++i) {
+    SimAClient* client = a_clients[i].get();
+    state.sim.Schedule(static_cast<double>(i) * 17e-6,
+                       [client] { client->Start(); });
+  }
+
+  // Clients stop issuing at `end`; remaining events drain afterwards.
+  state.sim.RunToCompletion();
+
+  RunMetrics metrics = std::move(state.metrics);
+  metrics.measure_seconds = config.measure_seconds;
+  metrics.t_throughput =
+      static_cast<double>(metrics.committed) / config.measure_seconds;
+  metrics.a_throughput =
+      static_cast<double>(metrics.queries) / config.measure_seconds;
+  for (const FreshnessTracker::Observation& obs : state.observations) {
+    metrics.freshness.Add(state.tracker.Score(obs));
+  }
+  return metrics;
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock driver.
+// ---------------------------------------------------------------------------
+
+ThreadedDriver::ThreadedDriver(HtapEngine* engine, WorkloadContext* context,
+                               double ship_delay_seconds)
+    : engine_(engine),
+      context_(context),
+      ship_delay_seconds_(ship_delay_seconds) {}
+
+RunMetrics ThreadedDriver::Run(const WorkloadConfig& config) {
+  if (static_cast<uint32_t>(config.t_clients) >
+      context_->num_freshness_tables) {
+    std::fprintf(stderr,
+                 "ThreadedDriver: %d T-clients exceed the %u FRESHNESS_j "
+                 "tables created at load time\n",
+                 config.t_clients, context_->num_freshness_tables);
+    std::abort();
+  }
+  Status reset = engine_->Reset();
+  assert(reset.ok());
+  (void)reset;
+  context_->Reset();
+
+  const EngineHandles handles = EngineHandles::Resolve(
+      *engine_->primary_catalog(), context_->num_freshness_tables);
+  WallClock clock;
+  FreshnessTracker tracker;
+  tracker.SetNumClients(static_cast<uint32_t>(std::max(config.t_clients, 1)));
+
+  const double warmup_end = config.warmup_seconds;
+  const double end = config.warmup_seconds + config.measure_seconds;
+  std::atomic<bool> stop{false};
+
+  struct TLocal {
+    uint64_t committed = 0;
+    uint64_t failed = 0;
+    uint64_t aborts = 0;
+    Sampler latency;
+    Sampler latency_by_type[3];
+  };
+  struct ALocal {
+    uint64_t queries = 0;
+    Sampler latency;
+    Sampler latency_by_id[kNumQueries];
+    std::vector<FreshnessTracker::Observation> observations;
+  };
+  std::vector<TLocal> t_locals(config.t_clients);
+  std::vector<ALocal> a_locals(config.a_clients);
+
+  // Applier thread (isolated engine): replays WAL continuously.
+  std::thread applier([&] {
+    WorkMeter meter;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!engine_->MaintenanceStep(&meter)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  });
+
+  std::vector<std::thread> threads;
+  threads.reserve(config.t_clients + config.a_clients);
+  for (int i = 0; i < config.t_clients; ++i) {
+    threads.emplace_back([&, i] {
+      const uint32_t id = static_cast<uint32_t>(i + 1);
+      Rng rng(config.seed * 7919 + id);
+      TLocal& local = t_locals[i];
+      uint64_t txn_num = 0;
+      while (clock.Now() < end) {
+        const TxnParams params = GenerateTxnParams(context_, &rng);
+        ++txn_num;
+        const double issue = clock.Now();
+        WorkMeter meter;
+        const TxnBody body = MakeTxnBody(params, handles, id, txn_num);
+        TxnOutcome outcome =
+            engine_->ExecuteTransaction(body, id, txn_num, &meter);
+        local.aborts += static_cast<uint64_t>(outcome.attempts - 1);
+        if (!outcome.status.ok()) {
+          ++local.failed;
+          continue;
+        }
+        switch (outcome.wait.kind) {
+          case CommitWait::Kind::kNone:
+            break;
+          case CommitWait::Kind::kShipDelay: {
+            const auto delay = std::chrono::duration<double>(
+                ship_delay_seconds_);
+            std::this_thread::sleep_for(delay);
+            break;
+          }
+          case CommitWait::Kind::kReplicaApplied:
+            while (!engine_->IsApplied(outcome.wait.lsn)) {
+              std::this_thread::yield();
+            }
+            break;
+        }
+        const double now = clock.Now();
+        tracker.RecordCommit(id, txn_num, now);
+        if (now >= warmup_end && now <= end) {
+          ++local.committed;
+          local.latency.Add(now - issue);
+          local.latency_by_type[static_cast<int>(params.type)].Add(now -
+                                                                   issue);
+        }
+      }
+    });
+  }
+  for (int i = 0; i < config.a_clients; ++i) {
+    threads.emplace_back([&, i] {
+      Rng rng(config.seed * 104729 + static_cast<uint64_t>(i) + 1);
+      ALocal& local = a_locals[i];
+      int batch[kNumQueries];
+      for (int q = 0; q < kNumQueries; ++q) batch[q] = q;
+      int pos = kNumQueries;
+      while (clock.Now() < end) {
+        if (pos >= kNumQueries) {
+          for (int q = kNumQueries - 1; q > 0; --q) {
+            std::swap(batch[q], batch[rng.Uniform(0, q)]);
+          }
+          pos = 0;
+        }
+        const int qid = batch[pos++];
+        const double issue = clock.Now();
+        WorkMeter meter;
+        AnalyticsSession session = engine_->BeginAnalytics(&meter);
+        ExecContext ctx{&meter};
+        QueryResult result = RunQuery(
+            qid, *session.source, context_->num_freshness_tables, &ctx);
+        session.guard.reset();
+        const double now = clock.Now();
+        if (now >= warmup_end && now <= end) {
+          ++local.queries;
+          local.latency.Add(now - issue);
+          local.latency_by_id[qid].Add(now - issue);
+          FreshnessTracker::Observation obs;
+          obs.query_start = issue;
+          obs.seen.assign(
+              result.freshness.begin(),
+              result.freshness.begin() +
+                  std::min<size_t>(result.freshness.size(),
+                                   static_cast<size_t>(config.t_clients)));
+          local.observations.push_back(std::move(obs));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  stop.store(true);
+  applier.join();
+
+  RunMetrics metrics;
+  metrics.measure_seconds = config.measure_seconds;
+  for (const TLocal& local : t_locals) {
+    metrics.committed += local.committed;
+    metrics.failed += local.failed;
+    metrics.aborts += local.aborts;
+    for (double v : local.latency.sorted_samples()) {
+      metrics.txn_latency.Add(v);
+    }
+    for (int t = 0; t < 3; ++t) {
+      for (double v : local.latency_by_type[t].sorted_samples()) {
+        metrics.txn_latency_by_type[t].Add(v);
+      }
+    }
+  }
+  for (const ALocal& local : a_locals) {
+    metrics.queries += local.queries;
+    for (double v : local.latency.sorted_samples()) {
+      metrics.query_latency.Add(v);
+    }
+    for (int q = 0; q < kNumQueries; ++q) {
+      for (double v : local.latency_by_id[q].sorted_samples()) {
+        metrics.query_latency_by_id[q].Add(v);
+      }
+    }
+    for (const FreshnessTracker::Observation& obs : local.observations) {
+      metrics.freshness.Add(tracker.Score(obs));
+    }
+  }
+  metrics.t_throughput =
+      static_cast<double>(metrics.committed) / config.measure_seconds;
+  metrics.a_throughput =
+      static_cast<double>(metrics.queries) / config.measure_seconds;
+  return metrics;
+}
+
+}  // namespace hattrick

@@ -1,0 +1,118 @@
+#ifndef HATTRICK_HATTRICK_DRIVER_H_
+#define HATTRICK_HATTRICK_DRIVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/histogram.h"
+#include "engine/htap_engine.h"
+#include "hattrick/freshness.h"
+#include "hattrick/queries.h"
+#include "hattrick/transactions.h"
+#include "sim/cost_model.h"
+
+namespace hattrick {
+
+/// One benchmark run: a fixed (T-clients, A-clients) operating point
+/// executed for a warm-up period followed by a measurement period
+/// (Section 5.3 / 6.1). Each client issues requests back-to-back: a new
+/// request as soon as the previous result returns.
+struct WorkloadConfig {
+  int t_clients = 0;
+  int a_clients = 0;
+  double warmup_seconds = 0.3;
+  double measure_seconds = 1.5;
+  uint64_t seed = 7;
+};
+
+/// Metrics extracted from one run. Throughput counts completions whose
+/// results returned within the measurement window; only successfully
+/// committed transactions count (tps) and only finished queries count
+/// (qps), as in the paper.
+struct RunMetrics {
+  double t_throughput = 0;  // tps
+  double a_throughput = 0;  // qps
+  uint64_t committed = 0;
+  uint64_t failed = 0;   // transactions that exhausted retries
+  uint64_t aborts = 0;   // retried validation aborts
+  uint64_t queries = 0;
+
+  Sampler txn_latency;                     // seconds, all types
+  Sampler txn_latency_by_type[3];          // indexed by TxnType
+  Sampler query_latency;                   // seconds, all queries
+  Sampler query_latency_by_id[kNumQueries];
+  Sampler freshness;                       // seconds, per measured query
+
+  double measure_seconds = 0;
+};
+
+/// Placement and cost parameters of a simulated deployment.
+struct SimSetup {
+  /// Core pools. With separate_pools=false (single machine: shared and
+  /// hybrid designs) every job runs on the T pool and `a_cores` is
+  /// ignored; with separate_pools=true (isolated / distributed designs)
+  /// transactions run on the T pool while queries and WAL replay run on
+  /// the A pool.
+  double t_cores = 8;
+  double a_cores = 8;
+  bool separate_pools = false;
+
+  CostModel cost;
+
+  /// Row-lock contention model: fraction of a transaction's service time
+  /// during which its written rows block other writers (1.0 pessimistic,
+  /// lower for optimistic validation-window-only engines).
+  double lock_hold_fraction = 1.0;
+
+  /// Whether the engine has a background applier to drive (the isolated
+  /// engine's standby WAL replay).
+  bool has_maintenance = false;
+};
+
+/// Canned deployments mirroring the paper's testbed (Section 6.1): equal
+/// single nodes for PostgreSQL/System-X/TiDB, two nodes for
+/// PostgreSQL-SR, 3 TiKV + 2 TiFlash nodes for TiDB-Dist.
+SimSetup SharedSimSetup();    // PostgreSQL-like, one node
+SimSetup IsolatedSimSetup();  // PostgreSQL-SR-like, two nodes
+SimSetup HybridSimSetup();    // System-X / single-node TiDB
+SimSetup TidbDistSimSetup();  // distributed TiDB
+
+/// Virtual-time benchmark driver: executes the HATtrick procedure against
+/// a real engine with simulated clients on modeled core pools (see
+/// DESIGN.md for why this substitutes for the paper's wall-clock runs).
+/// Deterministic: identical seeds give identical metrics.
+class SimDriver {
+ public:
+  /// `engine` must be loaded (FinishLoad called). The driver resets the
+  /// engine at the start of every Run.
+  SimDriver(HtapEngine* engine, WorkloadContext* context, SimSetup setup);
+
+  /// Executes one operating point and returns its metrics.
+  RunMetrics Run(const WorkloadConfig& config);
+
+ private:
+  HtapEngine* engine_;
+  WorkloadContext* context_;
+  SimSetup setup_;
+};
+
+/// Wall-clock driver: real client threads against the thread-safe
+/// engines. Used by the examples and integration tests to demonstrate
+/// the system live; the figure-generating benchmarks use SimDriver.
+class ThreadedDriver {
+ public:
+  ThreadedDriver(HtapEngine* engine, WorkloadContext* context,
+                 double ship_delay_seconds = 200e-6);
+
+  RunMetrics Run(const WorkloadConfig& config);
+
+ private:
+  HtapEngine* engine_;
+  WorkloadContext* context_;
+  double ship_delay_seconds_;
+};
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_HATTRICK_DRIVER_H_

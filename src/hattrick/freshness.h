@@ -1,0 +1,82 @@
+#ifndef HATTRICK_HATTRICK_FRESHNESS_H_
+#define HATTRICK_HATTRICK_FRESHNESS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace hattrick {
+
+/// Client-side freshness measurement (Section 4).
+///
+/// Every T-client records the *client-observed* commit time of each of
+/// its transactions (the instant the commit result returns to the
+/// client, resolving the paper's "no global clock" challenge). Every
+/// analytical query returns the last transaction number it observed for
+/// each T-client (the FRESHNESS_j read-back, resolving the "hard to
+/// identify first-not-seen transaction" challenge). The freshness score
+/// of a query is then
+///
+///   f = max(0, ts_start - tc(first transaction not seen)),
+///
+/// where the first-not-seen transaction is the earliest-committing
+/// transaction, across all clients, with a number greater than the
+/// observed one.
+class FreshnessTracker {
+ public:
+  /// Prepares per-client storage for clients 1..n.
+  void SetNumClients(uint32_t n) {
+    commit_times_.assign(n, {});
+  }
+
+  /// Records the commit of transaction `txn_num` (1-based, sequential per
+  /// client) of `client` (1-based) at client-observed time `t`.
+  /// Transactions that ultimately failed are never recorded; the gap is
+  /// skipped by Score.
+  void RecordCommit(uint32_t client, uint64_t txn_num, TimePoint t) {
+    auto& times = commit_times_[client - 1];
+    if (times.size() < txn_num) {
+      times.resize(txn_num, kNever);
+    }
+    times[txn_num - 1] = t;
+  }
+
+  /// A query's raw observation, scored after the run completes (by then
+  /// all relevant commit times are known).
+  struct Observation {
+    TimePoint query_start = 0;
+    std::vector<int64_t> seen;  // last TXNNUM per client; index j-1
+  };
+
+  /// Computes the freshness score of `obs` in seconds.
+  double Score(const Observation& obs) const {
+    double score = 0;
+    const size_t n = std::min(obs.seen.size(), commit_times_.size());
+    for (size_t j = 0; j < n; ++j) {
+      const auto& times = commit_times_[j];
+      // First committed transaction with number > seen[j].
+      for (size_t i = static_cast<size_t>(obs.seen[j]); i < times.size();
+           ++i) {
+        if (times[i] == kNever) continue;  // failed txn: no commit
+        score = std::max(score, obs.query_start - times[i]);
+        break;
+      }
+    }
+    return std::max(0.0, score);
+  }
+
+  void Reset() {
+    for (auto& times : commit_times_) times.clear();
+  }
+
+ private:
+  static constexpr TimePoint kNever = -1.0;
+
+  std::vector<std::vector<TimePoint>> commit_times_;
+};
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_HATTRICK_FRESHNESS_H_

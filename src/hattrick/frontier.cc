@@ -1,0 +1,268 @@
+#include "hattrick/frontier.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace hattrick {
+
+PointRunner MakeRunner(SimDriver* driver, const WorkloadConfig& base) {
+  return [driver, base](int t_clients, int a_clients) {
+    WorkloadConfig config = base;
+    config.t_clients = t_clients;
+    config.a_clients = a_clients;
+    const RunMetrics metrics = driver->Run(config);
+    OperatingPoint point;
+    point.t_clients = t_clients;
+    point.a_clients = a_clients;
+    point.tps = metrics.t_throughput;
+    point.qps = metrics.a_throughput;
+    if (!metrics.freshness.empty()) {
+      point.freshness_p99 = metrics.freshness.Percentile(0.99);
+      point.freshness_mean = metrics.freshness.Mean();
+    }
+    return point;
+  };
+}
+
+int FindSaturation(const std::function<double(int)>& throughput_of,
+                   int max_clients, double epsilon) {
+  int best_clients = 1;
+  double best = throughput_of(1);
+  int clients = 1;
+  while (clients < max_clients) {
+    clients = std::min(max_clients, clients * 2);
+    const double value = throughput_of(clients);
+    if (value > best * (1.0 + epsilon)) {
+      best = value;
+      best_clients = clients;
+    } else {
+      break;  // saturated: no meaningful improvement
+    }
+  }
+  return best_clients;
+}
+
+namespace {
+
+std::vector<int> SpreadClients(int max, int count) {
+  // `count` client counts spread over [0, max], always including 0 and
+  // max, deduplicated (small max values collapse).
+  std::vector<int> out;
+  for (int i = 0; i < count; ++i) {
+    const int value = static_cast<int>(std::lround(
+        static_cast<double>(max) * i / (count - 1)));
+    if (out.empty() || value != out.back()) out.push_back(value);
+  }
+  return out;
+}
+
+}  // namespace
+
+GridGraph BuildGridGraph(
+    const PointRunner& runner, const FrontierOptions& options,
+    const std::function<void(const std::string&)>& progress) {
+  auto note = [&](const std::string& message) {
+    if (progress) progress(message);
+  };
+
+  GridGraph grid;
+  // Step 1: saturation search for tau_max and alpha_max (Section 3.3).
+  note("saturating pure-T workload");
+  grid.tau_max = FindSaturation(
+      [&](int clients) { return runner(clients, 0).tps; },
+      options.max_clients, options.saturation_epsilon);
+  note("saturating pure-A workload");
+  grid.alpha_max = FindSaturation(
+      [&](int clients) { return runner(0, clients).qps; },
+      options.max_clients, options.saturation_epsilon);
+
+  // Step 2: fixed-T and fixed-A lines over [0, tau_max] x [0, alpha_max].
+  const std::vector<int> t_values =
+      SpreadClients(grid.tau_max, options.lines);
+  const std::vector<int> a_values =
+      SpreadClients(grid.alpha_max, options.lines);
+  const std::vector<int> t_sweep =
+      SpreadClients(grid.tau_max, options.points_per_line);
+  const std::vector<int> a_sweep =
+      SpreadClients(grid.alpha_max, options.points_per_line);
+
+  // Measure each distinct point once; lines share corner points.
+  std::vector<OperatingPoint> cache;
+  auto measure = [&](int t, int a) -> OperatingPoint {
+    for (const OperatingPoint& p : cache) {
+      if (p.t_clients == t && p.a_clients == a) return p;
+    }
+    note("measuring T=" + std::to_string(t) + " A=" + std::to_string(a));
+    OperatingPoint p = runner(t, a);
+    cache.push_back(p);
+    return p;
+  };
+
+  for (const int t : t_values) {
+    GridLine line;
+    line.fixed_t = true;
+    line.fixed_clients = t;
+    for (const int a : a_sweep) {
+      if (t == 0 && a == 0) continue;
+      line.points.push_back(measure(t, a));
+    }
+    grid.fixed_t_lines.push_back(std::move(line));
+  }
+  for (const int a : a_values) {
+    GridLine line;
+    line.fixed_t = false;
+    line.fixed_clients = a;
+    for (const int t : t_sweep) {
+      if (t == 0 && a == 0) continue;
+      line.points.push_back(measure(t, a));
+    }
+    grid.fixed_a_lines.push_back(std::move(line));
+  }
+
+  // Step 3: extremes and the frontier ("made up from the highest point
+  // of each fixed-T and fixed-A line").
+  std::vector<OperatingPoint> candidates;
+  for (const GridLine& line : grid.fixed_t_lines) {
+    const auto it = std::max_element(
+        line.points.begin(), line.points.end(),
+        [](const OperatingPoint& a, const OperatingPoint& b) {
+          return a.qps < b.qps;
+        });
+    if (it != line.points.end()) candidates.push_back(*it);
+  }
+  for (const GridLine& line : grid.fixed_a_lines) {
+    const auto it = std::max_element(
+        line.points.begin(), line.points.end(),
+        [](const OperatingPoint& a, const OperatingPoint& b) {
+          return a.tps < b.tps;
+        });
+    if (it != line.points.end()) candidates.push_back(*it);
+  }
+  for (const OperatingPoint& p : cache) {
+    grid.xt = std::max(grid.xt, p.tps);
+    grid.xa = std::max(grid.xa, p.qps);
+  }
+  grid.frontier = ParetoFrontier(std::move(candidates));
+  return grid;
+}
+
+std::vector<OperatingPoint> SampleOperatingPoints(const PointRunner& runner,
+                                                  int n, int max_t,
+                                                  int max_a,
+                                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<OperatingPoint> samples;
+  samples.reserve(static_cast<size_t>(n));
+  while (static_cast<int>(samples.size()) < n) {
+    const int t = static_cast<int>(rng.Uniform(0, max_t));
+    const int a = static_cast<int>(rng.Uniform(0, max_a));
+    if (t == 0 && a == 0) continue;
+    samples.push_back(runner(t, a));
+  }
+  return samples;
+}
+
+std::vector<OperatingPoint> ParetoFrontier(
+    std::vector<OperatingPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const OperatingPoint& a, const OperatingPoint& b) {
+              if (a.tps != b.tps) return a.tps < b.tps;
+              return a.qps > b.qps;
+            });
+  // Walk from the highest tps down, keeping points whose qps exceeds the
+  // best seen so far.
+  std::vector<OperatingPoint> frontier;
+  double best_qps = -1;
+  for (auto it = points.rbegin(); it != points.rend(); ++it) {
+    if (it->qps > best_qps) {
+      frontier.push_back(*it);
+      best_qps = it->qps;
+    }
+  }
+  std::reverse(frontier.begin(), frontier.end());
+  return frontier;
+}
+
+double FrontierCoverage(const GridGraph& grid) {
+  if (grid.xt <= 0 || grid.xa <= 0 || grid.frontier.empty()) return 0;
+  // Trapezoidal integration under the frontier polyline (the paper draws
+  // the frontier as a connected curve). The leading segment from tps=0
+  // is flat at the first point's qps; a perfectly proportional frontier
+  // integrates to exactly 0.5, the bounding box to 1.0.
+  double area = 0;
+  double prev_tps = 0;
+  double prev_qps = grid.frontier.front().qps;
+  for (const OperatingPoint& p : grid.frontier) {
+    area += (p.tps - prev_tps) * 0.5 * (prev_qps + p.qps);
+    prev_tps = p.tps;
+    prev_qps = p.qps;
+  }
+  return area / (grid.xt * grid.xa);
+}
+
+double ProportionalDeviation(const GridGraph& grid) {
+  if (grid.xt <= 0 || grid.xa <= 0 || grid.frontier.empty()) return 0;
+  // For each frontier point, signed normalized distance above the
+  // proportional line qps = XA * (1 - tps/XT).
+  double sum = 0;
+  for (const OperatingPoint& p : grid.frontier) {
+    const double line_qps = grid.xa * (1.0 - p.tps / grid.xt);
+    sum += (p.qps - line_qps) / grid.xa;
+  }
+  return sum / static_cast<double>(grid.frontier.size());
+}
+
+const char* FrontierPatternName(FrontierPattern pattern) {
+  switch (pattern) {
+    case FrontierPattern::kIsolation:
+      return "performance isolation (close to bounding box)";
+    case FrontierPattern::kProportional:
+      return "proportional trade-off (close to proportional line)";
+    case FrontierPattern::kInterference:
+      return "negative interference (below proportional line)";
+  }
+  return "?";
+}
+
+FrontierPattern ClassifyFrontier(const GridGraph& grid) {
+  const double coverage = FrontierCoverage(grid);
+  if (coverage >= 0.75) return FrontierPattern::kIsolation;
+  if (coverage >= 0.45) return FrontierPattern::kProportional;
+  return FrontierPattern::kInterference;
+}
+
+bool Envelops(const GridGraph& a, const GridGraph& b) {
+  for (const OperatingPoint& p : b.frontier) {
+    bool dominated = false;
+    for (const OperatingPoint& q : a.frontier) {
+      if (q.tps >= p.tps && q.qps >= p.qps) {
+        dominated = true;
+        break;
+      }
+    }
+    // Also allow domination by interpolation along a's staircase: a
+    // point of b is covered if some a-point has tps >= p.tps with qps >=
+    // p.qps (checked above) or the staircase passes above it.
+    if (!dominated) {
+      for (size_t i = 0; i + 1 < a.frontier.size(); ++i) {
+        const OperatingPoint& l = a.frontier[i];
+        const OperatingPoint& r = a.frontier[i + 1];
+        if (p.tps >= l.tps && p.tps <= r.tps) {
+          const double t = (p.tps - l.tps) / std::max(1e-12, r.tps - l.tps);
+          const double qps = l.qps + t * (r.qps - l.qps);
+          if (qps >= p.qps) {
+            dominated = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+}  // namespace hattrick

@@ -1,0 +1,118 @@
+#ifndef HATTRICK_HATTRICK_FRONTIER_H_
+#define HATTRICK_HATTRICK_FRONTIER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hattrick/driver.h"
+
+namespace hattrick {
+
+/// One measured operating point of the grid graph.
+struct OperatingPoint {
+  int t_clients = 0;
+  int a_clients = 0;
+  double tps = 0;
+  double qps = 0;
+  double freshness_p99 = 0;   // 99th percentile freshness (seconds)
+  double freshness_mean = 0;
+};
+
+/// A fixed-T or fixed-A line: one client count held fixed, the other
+/// varied (Section 3.3).
+struct GridLine {
+  bool fixed_t = true;  // true: T-clients fixed, A-clients varied
+  int fixed_clients = 0;
+  std::vector<OperatingPoint> points;
+};
+
+/// The full grid graph plus the derived throughput frontier.
+struct GridGraph {
+  int tau_max = 0;    // T-clients that maximize pure-T throughput
+  int alpha_max = 0;  // A-clients that maximize pure-A throughput
+  double xt = 0;      // maximum transactional throughput (tps)
+  double xa = 0;      // maximum analytical throughput (qps)
+  std::vector<GridLine> fixed_t_lines;
+  std::vector<GridLine> fixed_a_lines;
+  /// The Pareto-maximal points (ascending tps, descending qps).
+  std::vector<OperatingPoint> frontier;
+};
+
+/// Options of the saturation method (Section 3.3). The paper uses six
+/// lines of six points; the defaults trade a little resolution for
+/// simulation time and are overridden by the figure benchmarks as needed.
+struct FrontierOptions {
+  int lines = 5;            // fixed-T lines == fixed-A lines
+  int points_per_line = 5;
+  int max_clients = 48;
+  /// Saturation search stops when adding clients improves throughput by
+  /// less than this fraction.
+  double saturation_epsilon = 0.03;
+};
+
+/// Measures one (t_clients, a_clients) operating point.
+using PointRunner = std::function<OperatingPoint(int t_clients,
+                                                 int a_clients)>;
+
+/// Wraps a SimDriver as a PointRunner using `base` for the run
+/// parameters (seed, periods).
+PointRunner MakeRunner(SimDriver* driver, const WorkloadConfig& base);
+
+/// Finds the client count in [1, max_clients] that saturates throughput:
+/// client counts are swept (1, 2, 4, ..) until the improvement falls
+/// below epsilon; returns the best count found.
+int FindSaturation(const std::function<double(int)>& throughput_of,
+                   int max_clients, double epsilon);
+
+/// Runs the full saturation method: finds tau_max/alpha_max, sweeps the
+/// fixed-T and fixed-A lines, and extracts the frontier. `progress` (may
+/// be null) receives a human-readable note per run.
+GridGraph BuildGridGraph(const PointRunner& runner,
+                         const FrontierOptions& options,
+                         const std::function<void(const std::string&)>&
+                             progress = nullptr);
+
+/// The paper's Figure 1a "sampling method": measures `n` random
+/// (t_clients, a_clients) mixes with t <= max_t, a <= max_a (skipping
+/// 0:0), deterministic in `seed`. The Pareto frontier of the sample
+/// approximates the saturation method's frontier at much higher cost.
+std::vector<OperatingPoint> SampleOperatingPoints(const PointRunner& runner,
+                                                  int n, int max_t,
+                                                  int max_a, uint64_t seed);
+
+/// Pareto-maximal subset of `points` (ascending tps). Points dominated
+/// in both tps and qps are dropped.
+std::vector<OperatingPoint> ParetoFrontier(
+    std::vector<OperatingPoint> points);
+
+/// Area under the frontier polyline (trapezoidal) normalized by the
+/// bounding-box area XT*XA. 1.0 = perfect isolation (frontier on the
+/// box), 0.5 = the proportional line, -> 0 = total interference.
+double FrontierCoverage(const GridGraph& grid);
+
+/// Mean signed deviation of the frontier from the proportional line,
+/// normalized: positive = above the line (toward isolation), negative =
+/// below (interference).
+double ProportionalDeviation(const GridGraph& grid);
+
+/// The design category the frontier shape reveals (Section 2.3 "discover
+/// the design category"): isolation (near bounding box), proportional
+/// trade-off, or interference (near the axes).
+enum class FrontierPattern { kIsolation, kProportional, kInterference };
+
+const char* FrontierPatternName(FrontierPattern pattern);
+
+/// Classifies by frontier coverage: >= 0.75 isolation, >= 0.45
+/// proportional, else interference.
+FrontierPattern ClassifyFrontier(const GridGraph& grid);
+
+/// True if `a` envelops `b`: for every frontier point of `b` there is an
+/// operating point of `a` that weakly dominates it (the Section 6.6
+/// comparison rule).
+bool Envelops(const GridGraph& a, const GridGraph& b);
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_HATTRICK_FRONTIER_H_

@@ -1,0 +1,177 @@
+#include "hattrick/hattrick_schema.h"
+
+namespace hattrick {
+
+std::string FreshnessTableName(uint32_t client) {
+  return "FRESHNESS_" + std::to_string(client);
+}
+
+const char* PhysicalSchemaName(PhysicalSchema schema) {
+  switch (schema) {
+    case PhysicalSchema::kNoIndexes:
+      return "none";
+    case PhysicalSchema::kSemiIndexes:
+      return "semi";
+    case PhysicalSchema::kAllIndexes:
+      return "all";
+  }
+  return "?";
+}
+
+Schema LineorderSchema() {
+  return Schema({{"LO_ORDERKEY", DataType::kInt64},
+                 {"LO_LINENUMBER", DataType::kInt64},
+                 {"LO_CUSTKEY", DataType::kInt64},
+                 {"LO_PARTKEY", DataType::kInt64},
+                 {"LO_SUPPKEY", DataType::kInt64},
+                 {"LO_ORDERDATE", DataType::kInt64},
+                 {"LO_ORDPRIORITY", DataType::kString},
+                 {"LO_SHIPPRIORITY", DataType::kInt64},
+                 {"LO_QUANTITY", DataType::kInt64},
+                 {"LO_EXTENDEDPRICE", DataType::kDouble},
+                 {"LO_ORDTOTALPRICE", DataType::kDouble},
+                 {"LO_DISCOUNT", DataType::kInt64},
+                 {"LO_REVENUE", DataType::kDouble},
+                 {"LO_SUPPLYCOST", DataType::kDouble},
+                 {"LO_TAX", DataType::kInt64},
+                 {"LO_COMMITDATE", DataType::kInt64},
+                 {"LO_SHIPMODE", DataType::kString}});
+}
+
+Schema CustomerSchema() {
+  return Schema({{"C_CUSTKEY", DataType::kInt64},
+                 {"C_NAME", DataType::kString},
+                 {"C_ADDRESS", DataType::kString},
+                 {"C_CITY", DataType::kString},
+                 {"C_NATION", DataType::kString},
+                 {"C_REGION", DataType::kString},
+                 {"C_PHONE", DataType::kString},
+                 {"C_MKTSEGMENT", DataType::kString},
+                 {"C_PAYMENTCNT", DataType::kInt64}});
+}
+
+Schema SupplierSchema() {
+  return Schema({{"S_SUPPKEY", DataType::kInt64},
+                 {"S_NAME", DataType::kString},
+                 {"S_ADDRESS", DataType::kString},
+                 {"S_CITY", DataType::kString},
+                 {"S_NATION", DataType::kString},
+                 {"S_REGION", DataType::kString},
+                 {"S_PHONE", DataType::kString},
+                 {"S_YTD", DataType::kDouble}});
+}
+
+Schema PartSchema() {
+  return Schema({{"P_PARTKEY", DataType::kInt64},
+                 {"P_NAME", DataType::kString},
+                 {"P_MFGR", DataType::kString},
+                 {"P_CATEGORY", DataType::kString},
+                 {"P_BRAND1", DataType::kString},
+                 {"P_COLOR", DataType::kString},
+                 {"P_TYPE", DataType::kString},
+                 {"P_SIZE", DataType::kInt64},
+                 {"P_CONTAINER", DataType::kString},
+                 {"P_PRICE", DataType::kDouble}});
+}
+
+Schema DateSchema() {
+  return Schema({{"D_DATEKEY", DataType::kInt64},
+                 {"D_DATE", DataType::kString},
+                 {"D_DAYOFWEEK", DataType::kString},
+                 {"D_MONTH", DataType::kString},
+                 {"D_YEAR", DataType::kInt64},
+                 {"D_YEARMONTHNUM", DataType::kInt64},
+                 {"D_YEARMONTH", DataType::kString},
+                 {"D_DAYNUMINWEEK", DataType::kInt64},
+                 {"D_DAYNUMINMONTH", DataType::kInt64},
+                 {"D_DAYNUMINYEAR", DataType::kInt64},
+                 {"D_MONTHNUMINYEAR", DataType::kInt64},
+                 {"D_WEEKNUMINYEAR", DataType::kInt64},
+                 {"D_SELLINGSEASON", DataType::kString},
+                 {"D_LASTDAYINMONTHFL", DataType::kInt64},
+                 {"D_HOLIDAYFL", DataType::kInt64},
+                 {"D_WEEKDAYFL", DataType::kInt64}});
+}
+
+Schema HistorySchema() {
+  return Schema({{"H_ORDERKEY", DataType::kInt64},
+                 {"H_CUSTKEY", DataType::kInt64},
+                 {"H_AMOUNT", DataType::kDouble}});
+}
+
+Schema FreshnessSchema() {
+  return Schema({{"TXNNUM", DataType::kInt64}});
+}
+
+DatabaseSpec MakeDatabaseSpec(PhysicalSchema physical,
+                              uint32_t num_freshness_tables) {
+  DatabaseSpec spec;
+  spec.tables.push_back({kLineorder, LineorderSchema()});
+  spec.tables.push_back({kCustomer, CustomerSchema()});
+  spec.tables.push_back({kSupplier, SupplierSchema()});
+  spec.tables.push_back({kPart, PartSchema()});
+  spec.tables.push_back({kDate, DateSchema()});
+  spec.tables.push_back({kHistory, HistorySchema()});
+  for (uint32_t j = 1; j <= num_freshness_tables; ++j) {
+    spec.tables.push_back({FreshnessTableName(j), FreshnessSchema()});
+  }
+
+  if (physical != PhysicalSchema::kNoIndexes) {
+    // T-accelerating indexes ("semi"): primary keys for point lookups,
+    // name secondaries for the by-name customer/supplier selections, and
+    // the LO_CUSTKEY secondary used by count-orders.
+    spec.indexes.push_back(
+        {"customer_pk", kCustomer, {cust::kCustKey}, /*unique=*/true});
+    spec.indexes.push_back(
+        {"customer_name", kCustomer, {cust::kName}, /*unique=*/false});
+    spec.indexes.push_back(
+        {"supplier_pk", kSupplier, {supp::kSuppKey}, /*unique=*/true});
+    spec.indexes.push_back(
+        {"supplier_name", kSupplier, {supp::kName}, /*unique=*/false});
+    spec.indexes.push_back(
+        {"part_pk", kPart, {part::kPartKey}, /*unique=*/true});
+    spec.indexes.push_back(
+        {"date_pk", kDate, {date::kDateKey}, /*unique=*/true});
+    spec.indexes.push_back(
+        {"lineorder_custkey", kLineorder, {lo::kCustKey}, /*unique=*/false});
+  }
+  if (physical == PhysicalSchema::kAllIndexes) {
+    // A-accelerating indexes over analytical predicate attributes. They
+    // give the optimizer index-scan plans for the Q1 flight and charge
+    // maintenance to every new-order insert (the paper's SF100 max-T
+    // degradation, Section 6.2).
+    spec.indexes.push_back({"lineorder_orderdate",
+                            kLineorder,
+                            {lo::kOrderDate},
+                            /*unique=*/false});
+    spec.indexes.push_back({"lineorder_partkey",
+                            kLineorder,
+                            {lo::kPartKey},
+                            /*unique=*/false});
+    spec.indexes.push_back({"lineorder_suppkey",
+                            kLineorder,
+                            {lo::kSuppKey},
+                            /*unique=*/false});
+    spec.indexes.push_back({"lineorder_discount",
+                            kLineorder,
+                            {lo::kDiscount},
+                            /*unique=*/false});
+    spec.indexes.push_back({"lineorder_quantity",
+                            kLineorder,
+                            {lo::kQuantity},
+                            /*unique=*/false});
+    spec.indexes.push_back(
+        {"part_brand1", kPart, {part::kBrand1}, /*unique=*/false});
+    spec.indexes.push_back(
+        {"part_category", kPart, {part::kCategory}, /*unique=*/false});
+    spec.indexes.push_back(
+        {"supplier_region", kSupplier, {supp::kRegion}, /*unique=*/false});
+    spec.indexes.push_back(
+        {"customer_region", kCustomer, {cust::kRegion}, /*unique=*/false});
+    spec.indexes.push_back(
+        {"date_year", kDate, {date::kYear}, /*unique=*/false});
+  }
+  return spec;
+}
+
+}  // namespace hattrick

@@ -1,0 +1,153 @@
+#ifndef HATTRICK_HATTRICK_HATTRICK_SCHEMA_H_
+#define HATTRICK_HATTRICK_HATTRICK_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+
+#include "engine/htap_engine.h"
+
+namespace hattrick {
+
+/// The HATtrick schema (paper Figure 4): the Star-Schema Benchmark
+/// entities extended with
+///  - CUSTOMER.PAYMENTCNT (payments made per customer),
+///  - SUPPLIER.YTD (year-to-date supplier balance),
+///  - PART.PRICE (unit price used by new-order),
+///  - a HISTORY relation (payment history),
+///  - FRESHNESS_j relations (one single-row table per T-client, holding
+///    the last transaction number of that client; Section 4.2).
+///
+/// Column ordinals are exported as constants so transactions and query
+/// plans reference columns by name-like identifiers.
+
+namespace lo {  // LINEORDER
+inline constexpr size_t kOrderKey = 0;
+inline constexpr size_t kLineNumber = 1;
+inline constexpr size_t kCustKey = 2;
+inline constexpr size_t kPartKey = 3;
+inline constexpr size_t kSuppKey = 4;
+inline constexpr size_t kOrderDate = 5;   // yyyymmdd int
+inline constexpr size_t kOrdPriority = 6;
+inline constexpr size_t kShipPriority = 7;
+inline constexpr size_t kQuantity = 8;
+inline constexpr size_t kExtendedPrice = 9;
+inline constexpr size_t kOrdTotalPrice = 10;
+inline constexpr size_t kDiscount = 11;
+inline constexpr size_t kRevenue = 12;
+inline constexpr size_t kSupplyCost = 13;
+inline constexpr size_t kTax = 14;
+inline constexpr size_t kCommitDate = 15;
+inline constexpr size_t kShipMode = 16;
+inline constexpr size_t kNumColumns = 17;
+}  // namespace lo
+
+namespace cust {  // CUSTOMER
+inline constexpr size_t kCustKey = 0;
+inline constexpr size_t kName = 1;
+inline constexpr size_t kAddress = 2;
+inline constexpr size_t kCity = 3;
+inline constexpr size_t kNation = 4;
+inline constexpr size_t kRegion = 5;
+inline constexpr size_t kPhone = 6;
+inline constexpr size_t kMktSegment = 7;
+inline constexpr size_t kPaymentCnt = 8;  // HATtrick addition
+inline constexpr size_t kNumColumns = 9;
+}  // namespace cust
+
+namespace supp {  // SUPPLIER
+inline constexpr size_t kSuppKey = 0;
+inline constexpr size_t kName = 1;
+inline constexpr size_t kAddress = 2;
+inline constexpr size_t kCity = 3;
+inline constexpr size_t kNation = 4;
+inline constexpr size_t kRegion = 5;
+inline constexpr size_t kPhone = 6;
+inline constexpr size_t kYtd = 7;  // HATtrick addition
+inline constexpr size_t kNumColumns = 8;
+}  // namespace supp
+
+namespace part {  // PART
+inline constexpr size_t kPartKey = 0;
+inline constexpr size_t kName = 1;
+inline constexpr size_t kMfgr = 2;
+inline constexpr size_t kCategory = 3;
+inline constexpr size_t kBrand1 = 4;
+inline constexpr size_t kColor = 5;
+inline constexpr size_t kType = 6;
+inline constexpr size_t kSize = 7;
+inline constexpr size_t kContainer = 8;
+inline constexpr size_t kPrice = 9;  // HATtrick addition
+inline constexpr size_t kNumColumns = 10;
+}  // namespace part
+
+namespace date {  // DATE
+inline constexpr size_t kDateKey = 0;  // yyyymmdd int
+inline constexpr size_t kDate = 1;
+inline constexpr size_t kDayOfWeek = 2;
+inline constexpr size_t kMonth = 3;
+inline constexpr size_t kYear = 4;
+inline constexpr size_t kYearMonthNum = 5;  // yyyymm int
+inline constexpr size_t kYearMonth = 6;     // "Dec1997"
+inline constexpr size_t kDayNumInWeek = 7;
+inline constexpr size_t kDayNumInMonth = 8;
+inline constexpr size_t kDayNumInYear = 9;
+inline constexpr size_t kMonthNumInYear = 10;
+inline constexpr size_t kWeekNumInYear = 11;
+inline constexpr size_t kSellingSeason = 12;
+inline constexpr size_t kLastDayInMonthFl = 13;
+inline constexpr size_t kHolidayFl = 14;
+inline constexpr size_t kWeekdayFl = 15;
+inline constexpr size_t kNumColumns = 16;
+}  // namespace date
+
+namespace hist {  // HISTORY
+inline constexpr size_t kOrderKey = 0;
+inline constexpr size_t kCustKey = 1;
+inline constexpr size_t kAmount = 2;
+inline constexpr size_t kNumColumns = 3;
+}  // namespace hist
+
+namespace fresh {  // FRESHNESS_j
+inline constexpr size_t kTxnNum = 0;
+inline constexpr size_t kNumColumns = 1;
+}  // namespace fresh
+
+/// Table names.
+inline constexpr const char* kLineorder = "LINEORDER";
+inline constexpr const char* kCustomer = "CUSTOMER";
+inline constexpr const char* kSupplier = "SUPPLIER";
+inline constexpr const char* kPart = "PART";
+inline constexpr const char* kDate = "DATE";
+inline constexpr const char* kHistory = "HISTORY";
+
+/// Name of FRESHNESS_j for T-client j (1-based).
+std::string FreshnessTableName(uint32_t client);
+
+/// Physical-schema configurations of the Figure 6b experiment.
+enum class PhysicalSchema {
+  kNoIndexes,    // no B+-tree indexes at all
+  kSemiIndexes,  // indexes that accelerate only the T workload
+  kAllIndexes,   // all indexes over T and A predicate attributes
+};
+
+/// Returns "none"/"semi"/"all".
+const char* PhysicalSchemaName(PhysicalSchema schema);
+
+/// Schemas of the individual tables.
+Schema LineorderSchema();
+Schema CustomerSchema();
+Schema SupplierSchema();
+Schema PartSchema();
+Schema DateSchema();
+Schema HistorySchema();
+Schema FreshnessSchema();
+
+/// The full database: tables plus the index set for `physical`.
+/// `num_freshness_tables` FRESHNESS_j tables are created (must cover the
+/// maximum number of T-clients the benchmark will use).
+DatabaseSpec MakeDatabaseSpec(PhysicalSchema physical,
+                              uint32_t num_freshness_tables);
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_HATTRICK_HATTRICK_SCHEMA_H_

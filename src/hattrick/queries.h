@@ -1,0 +1,46 @@
+#ifndef HATTRICK_HATTRICK_QUERIES_H_
+#define HATTRICK_HATTRICK_QUERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace hattrick {
+
+/// Number of analytical queries in the HATtrick batch (the 13 SSB
+/// queries, Section 5.2.2).
+inline constexpr int kNumQueries = 13;
+
+/// Returns "Q1.1" .. "Q4.3" for query ids 0..12.
+const char* QueryName(int query_id);
+
+/// Result summary of one analytical query.
+struct QueryResult {
+  int query_id = 0;
+  size_t rows = 0;
+  /// Order-insensitive checksum over the result cells; used by the tests
+  /// to verify that every engine computes identical answers on identical
+  /// snapshots.
+  double checksum = 0;
+  /// FRESHNESS_j read-back: the last transaction number of each T-client
+  /// visible in the query's snapshot (index j-1 for client j). The paper
+  /// unions the FRESHNESS_j tables and cross-joins them with the query;
+  /// reading them within the same snapshot-consistent source is
+  /// semantically identical and is how this implementation returns them.
+  std::vector<int64_t> freshness;
+};
+
+/// Executes SSB query `query_id` (0..12) against `source`, reading back
+/// `num_freshness_tables` FRESHNESS_j tables. All work meters into `ctx`.
+QueryResult RunQuery(int query_id, const DataSource& source,
+                     uint32_t num_freshness_tables, ExecContext* ctx);
+
+/// Builds the physical plan of query `query_id` without running it
+/// (exposed for tests and plan inspection).
+OperatorPtr BuildQueryPlan(int query_id, const DataSource& source);
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_HATTRICK_QUERIES_H_

@@ -1,0 +1,140 @@
+#include "hattrick/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace hattrick {
+
+void PrintGridCsv(const std::string& label, const GridGraph& grid) {
+  std::printf("# %s fixed-T lines (t_clients,a_clients,tps,qps)\n",
+              label.c_str());
+  for (const GridLine& line : grid.fixed_t_lines) {
+    for (const OperatingPoint& p : line.points) {
+      std::printf("%d,%d,%.1f,%.2f\n", p.t_clients, p.a_clients, p.tps,
+                  p.qps);
+    }
+    std::printf("\n");
+  }
+  std::printf("# %s fixed-A lines (t_clients,a_clients,tps,qps)\n",
+              label.c_str());
+  for (const GridLine& line : grid.fixed_a_lines) {
+    for (const OperatingPoint& p : line.points) {
+      std::printf("%d,%d,%.1f,%.2f\n", p.t_clients, p.a_clients, p.tps,
+                  p.qps);
+    }
+    std::printf("\n");
+  }
+  std::printf("# %s frontier (tps,qps)\n", label.c_str());
+  for (const OperatingPoint& p : grid.frontier) {
+    std::printf("%.1f,%.2f\n", p.tps, p.qps);
+  }
+  std::printf("\n");
+}
+
+void PrintFrontierSummary(const std::string& label, const GridGraph& grid) {
+  std::printf("== %s ==\n", label.c_str());
+  std::printf("  tau_max=%d clients, alpha_max=%d clients\n", grid.tau_max,
+              grid.alpha_max);
+  std::printf("  XT=%.1f tps, XA=%.2f qps\n", grid.xt, grid.xa);
+  std::printf("  frontier coverage of bounding box: %.3f\n",
+              FrontierCoverage(grid));
+  std::printf("  mean deviation from proportional line: %+.3f\n",
+              ProportionalDeviation(grid));
+  std::printf("  pattern: %s\n",
+              FrontierPatternName(ClassifyFrontier(grid)));
+}
+
+void PlotFrontiers(const std::vector<std::string>& labels,
+                   const std::vector<const GridGraph*>& grids) {
+  constexpr int kWidth = 72;
+  constexpr int kHeight = 24;
+  double max_x = 0;
+  double max_y = 0;
+  for (const GridGraph* grid : grids) {
+    max_x = std::max(max_x, grid->xt);
+    max_y = std::max(max_y, grid->xa);
+  }
+  if (max_x <= 0 || max_y <= 0) return;
+
+  std::vector<std::string> canvas(kHeight, std::string(kWidth, ' '));
+  static const char kGlyphs[] = "*o+x#@%&";
+  // Proportional line of the first grid as reference.
+  if (!grids.empty()) {
+    const GridGraph* g = grids[0];
+    for (int col = 0; col < kWidth; ++col) {
+      const double x = max_x * col / (kWidth - 1);
+      if (x > g->xt) continue;
+      const double y = g->xa * (1.0 - x / g->xt);
+      const int row =
+          kHeight - 1 - static_cast<int>(std::lround(y / max_y *
+                                                     (kHeight - 1)));
+      if (row >= 0 && row < kHeight && canvas[row][col] == ' ') {
+        canvas[row][col] = '.';
+      }
+    }
+  }
+  for (size_t s = 0; s < grids.size(); ++s) {
+    const char glyph = kGlyphs[s % (sizeof(kGlyphs) - 1)];
+    for (const OperatingPoint& p : grids[s]->frontier) {
+      const int col =
+          static_cast<int>(std::lround(p.tps / max_x * (kWidth - 1)));
+      const int row = kHeight - 1 -
+                      static_cast<int>(std::lround(p.qps / max_y *
+                                                   (kHeight - 1)));
+      if (row >= 0 && row < kHeight && col >= 0 && col < kWidth) {
+        canvas[row][col] = glyph;
+      }
+    }
+  }
+  std::printf("  qps (max %.2f)\n", max_y);
+  for (const std::string& line : canvas) {
+    std::printf("  |%s\n", line.c_str());
+  }
+  std::printf("  +%s tps (max %.1f)\n", std::string(kWidth, '-').c_str(),
+              max_x);
+  for (size_t s = 0; s < labels.size() && s < grids.size(); ++s) {
+    std::printf("    '%c' = %s\n", kGlyphs[s % (sizeof(kGlyphs) - 1)],
+                labels[s].c_str());
+  }
+}
+
+std::vector<RatioFreshness> MeasureRatioFreshness(const PointRunner& runner,
+                                                  int tau_max,
+                                                  int alpha_max) {
+  auto scaled = [](int max, double fraction) {
+    return std::max(1, static_cast<int>(std::lround(max * fraction)));
+  };
+  const struct {
+    const char* name;
+    double t_fraction;
+    double a_fraction;
+  } kRatios[] = {{"20:80", 0.2, 0.8}, {"50:50", 0.5, 0.5}, {"80:20", 0.8,
+                                                            0.2}};
+  std::vector<RatioFreshness> rows;
+  for (const auto& ratio : kRatios) {
+    RatioFreshness row;
+    row.ratio = ratio.name;
+    row.t_clients = scaled(tau_max, ratio.t_fraction);
+    row.a_clients = scaled(alpha_max, ratio.a_fraction);
+    const OperatingPoint p = runner(row.t_clients, row.a_clients);
+    row.p99 = p.freshness_p99;
+    row.mean = p.freshness_mean;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void PrintRatioFreshness(const std::string& label,
+                         const std::vector<RatioFreshness>& rows) {
+  std::printf("# %s freshness (T:A ratio, t_clients, a_clients, p99_s, "
+              "mean_s)\n",
+              label.c_str());
+  for (const RatioFreshness& row : rows) {
+    std::printf("%s,%d,%d,%.4f,%.4f\n", row.ratio.c_str(), row.t_clients,
+                row.a_clients, row.p99, row.mean);
+  }
+  std::printf("\n");
+}
+
+}  // namespace hattrick

@@ -1,0 +1,50 @@
+#ifndef HATTRICK_HATTRICK_REPORT_H_
+#define HATTRICK_HATTRICK_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "hattrick/frontier.h"
+
+namespace hattrick {
+
+/// Reporting helpers used by the figure benchmarks: every bench prints
+/// the series the corresponding paper figure plots (CSV blocks a plotting
+/// script can consume) plus an ASCII rendering of the frontier.
+
+/// Prints the fixed-T lines, fixed-A lines and frontier of `grid` as CSV
+/// blocks, each prefixed by "# <label> <block>".
+void PrintGridCsv(const std::string& label, const GridGraph& grid);
+
+/// Prints the frontier summary: XT, XA, coverage, proportional deviation,
+/// classification, and the freshness scores at the 20:80 / 50:50 / 80:20
+/// client-ratio points (the paper's f2 / f5 / f8 annotations).
+void PrintFrontierSummary(const std::string& label, const GridGraph& grid);
+
+/// ASCII scatter of one or more frontiers in an 72x24 grid; each series
+/// is drawn with its own glyph, with the proportional line of the first
+/// series as reference.
+void PlotFrontiers(const std::vector<std::string>& labels,
+                   const std::vector<const GridGraph*>& grids);
+
+/// Runs the T:A ratio points the paper reports freshness for (20:80,
+/// 50:50, 80:20 of tau_max:alpha_max) and returns their p99 freshness
+/// scores, printing as it goes.
+struct RatioFreshness {
+  std::string ratio;  // "20:80"
+  int t_clients = 0;
+  int a_clients = 0;
+  double p99 = 0;
+  double mean = 0;
+};
+std::vector<RatioFreshness> MeasureRatioFreshness(const PointRunner& runner,
+                                                  int tau_max,
+                                                  int alpha_max);
+
+/// Prints a RatioFreshness table.
+void PrintRatioFreshness(const std::string& label,
+                         const std::vector<RatioFreshness>& rows);
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_HATTRICK_REPORT_H_

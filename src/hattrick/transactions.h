@@ -1,0 +1,110 @@
+#ifndef HATTRICK_HATTRICK_TRANSACTIONS_H_
+#define HATTRICK_HATTRICK_TRANSACTIONS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/htap_engine.h"
+#include "hattrick/datagen.h"
+
+namespace hattrick {
+
+/// The three HATtrick transaction types (Section 5.2.1), modeled after
+/// TPC-C's NewOrder / Payment and a read-only order count.
+enum class TxnType { kNewOrder, kPayment, kCountOrders };
+
+/// Returns "new_order" etc.
+const char* TxnTypeName(TxnType type);
+
+/// Shared mutable workload state: key ranges for parameter generation and
+/// the order-key sequence continued from the initial load.
+struct WorkloadContext {
+  explicit WorkloadContext(const Dataset& dataset)
+      : num_customers(dataset.customer.size()),
+        num_suppliers(dataset.supplier.size()),
+        num_parts(dataset.part.size()),
+        initial_max_orderkey(dataset.max_orderkey),
+        next_orderkey(dataset.max_orderkey + 1),
+        num_freshness_tables(dataset.config.num_freshness_tables) {}
+
+  size_t num_customers;
+  size_t num_suppliers;
+  size_t num_parts;
+  int64_t initial_max_orderkey;
+  std::atomic<int64_t> next_orderkey;
+  uint32_t num_freshness_tables;
+
+  /// Rewinds the order-key sequence (benchmark reset).
+  void Reset() { next_orderkey.store(initial_max_orderkey + 1); }
+};
+
+/// Resolved table ids and index handles for one engine instance (indexes
+/// may be null under the reduced physical schemas; transactions then fall
+/// back to scans, which is what makes the no-index configuration of
+/// Figure 6b slow).
+struct EngineHandles {
+  TableId lineorder = 0;
+  TableId customer = 0;
+  TableId supplier = 0;
+  TableId part = 0;
+  TableId date = 0;
+  TableId history = 0;
+  std::vector<TableId> freshness;  // index j-1 => FRESHNESS_j
+
+  IndexInfo* customer_pk = nullptr;
+  IndexInfo* customer_name = nullptr;
+  IndexInfo* supplier_pk = nullptr;
+  IndexInfo* supplier_name = nullptr;
+  IndexInfo* part_pk = nullptr;
+  IndexInfo* date_pk = nullptr;
+  IndexInfo* lineorder_custkey = nullptr;
+
+  static EngineHandles Resolve(const Catalog& catalog,
+                               uint32_t num_freshness_tables);
+};
+
+/// Fully materialized parameters of one transaction. Parameters are
+/// generated up-front (Section 5.2.1's random selections) so that a
+/// retried transaction re-runs with identical inputs.
+struct TxnParams {
+  TxnType type = TxnType::kNewOrder;
+
+  // NewOrder.
+  int64_t orderkey = 0;
+  std::string customer_name;  // also Payment (60%) and CountOrders
+  int64_t orderdate = 0;
+  struct OrderLine {
+    int64_t partkey;
+    std::string supplier_name;
+    int64_t quantity;
+    int64_t discount;
+    int64_t tax;
+    std::string shipmode;
+    std::string priority;
+  };
+  std::vector<OrderLine> lines;
+
+  // Payment.
+  bool by_custkey = false;  // 40% of payments select by C_CUSTKEY
+  int64_t custkey = 0;
+  int64_t suppkey = 0;
+  int64_t payment_orderkey = 0;
+  double amount = 0;
+};
+
+/// Draws the next transaction (48% NewOrder / 48% Payment / 4%
+/// CountOrders) with random parameters.
+TxnParams GenerateTxnParams(WorkloadContext* ctx, Rng* rng);
+
+/// Builds the transaction body for `params`. `client` is the 1-based
+/// T-client id (selects the FRESHNESS_j table); `txn_num` is the
+/// client-local sequence number written into FRESHNESS_j.
+TxnBody MakeTxnBody(const TxnParams& params, const EngineHandles& handles,
+                    uint32_t client, uint64_t txn_num);
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_HATTRICK_TRANSACTIONS_H_

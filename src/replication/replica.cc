@@ -1,0 +1,61 @@
+#include "replication/replica.h"
+
+#include <cassert>
+
+namespace hattrick {
+
+Replica::Replica(Catalog* catalog, WalStream* stream)
+    : catalog_(catalog), stream_(stream) {}
+
+bool Replica::ApplyNext(WorkMeter* meter) {
+  std::optional<WalRecord> record = stream_->Peek(applied_lsn_);
+  if (!record.has_value()) return false;
+  assert(record->lsn == applied_lsn_ + 1);
+
+  const Ts commit_ts = oracle_.Allocate();
+  for (const WalOp& op : record->ops) {
+    RowTable* table = catalog_->GetTable(op.table_id);
+    assert(table != nullptr);
+    if (op.kind == WalOp::Kind::kInsert) {
+      const Rid rid = table->Insert(op.row, commit_ts, meter);
+      assert(rid == op.rid && "replica diverged from primary");
+      (void)rid;
+      for (const IndexInfo* index : catalog_->TableIndexes(op.table_id)) {
+        index->tree->Insert(index->KeyFor(op.row, op.rid), op.rid, meter);
+      }
+    } else {
+      Row old_row;
+      const bool had =
+          table->ReadLatest(op.rid, &old_row, /*meter=*/nullptr);
+      const Status s = table->AddVersion(op.rid, op.row, commit_ts, meter);
+      assert(s.ok());
+      (void)s;
+      for (const IndexInfo* index : catalog_->TableIndexes(op.table_id)) {
+        const std::string new_key = index->KeyFor(op.row, op.rid);
+        if (had && new_key == index->KeyFor(old_row, op.rid)) continue;
+        index->tree->Insert(new_key, op.rid, meter);
+      }
+    }
+  }
+  if (meter != nullptr) {
+    ++meter->wal_records;
+    meter->wal_bytes += record->Encode().size();
+  }
+  oracle_.AdvanceCommitted(commit_ts);
+  stream_->Consume(record->lsn);
+  applied_lsn_ = record->lsn;
+  return true;
+}
+
+size_t Replica::CatchUp(WorkMeter* meter) {
+  size_t applied = 0;
+  while (ApplyNext(meter)) ++applied;
+  return applied;
+}
+
+void Replica::ResetTo(uint64_t lsn, Ts ts) {
+  applied_lsn_ = lsn;
+  oracle_.ResetTo(ts);
+}
+
+}  // namespace hattrick

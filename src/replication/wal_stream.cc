@@ -1,0 +1,72 @@
+#include "replication/wal_stream.h"
+
+#include <cassert>
+
+namespace hattrick {
+
+const char* ReplicationModeName(ReplicationMode mode) {
+  switch (mode) {
+    case ReplicationMode::kAsync:
+      return "ASYNC";
+    case ReplicationMode::kSyncShip:
+      return "ON";
+    case ReplicationMode::kRemoteApply:
+      return "REMOTE_APPLY";
+  }
+  return "UNKNOWN";
+}
+
+void WalStream::OnCommit(const WalRecord& record) {
+  std::lock_guard lock(mutex_);
+  assert(record.lsn > head_lsn_ && "records must arrive in commit order");
+  if (encoded_.empty()) front_lsn_ = record.lsn;
+  std::string bytes = record.Encode();
+  shipped_bytes_ += bytes.size();
+  encoded_.push_back(std::move(bytes));
+  head_lsn_ = record.lsn;
+}
+
+std::optional<WalRecord> WalStream::Peek(uint64_t applied_lsn) const {
+  std::lock_guard lock(mutex_);
+  if (encoded_.empty()) return std::nullopt;
+  assert(front_lsn_ > applied_lsn && "applier fell out of sync");
+  (void)applied_lsn;
+  StatusOr<WalRecord> rec = WalRecord::Decode(encoded_.front());
+  assert(rec.ok());
+  return std::move(rec).value();
+}
+
+void WalStream::Consume(uint64_t lsn) {
+  std::lock_guard lock(mutex_);
+  assert(!encoded_.empty());
+  assert(front_lsn_ == lsn);
+  (void)lsn;
+  encoded_.pop_front();
+  front_lsn_ += 1;
+}
+
+uint64_t WalStream::head_lsn() const {
+  std::lock_guard lock(mutex_);
+  return head_lsn_;
+}
+
+size_t WalStream::PendingAfter(uint64_t applied_lsn) const {
+  std::lock_guard lock(mutex_);
+  if (head_lsn_ <= applied_lsn) return 0;
+  return head_lsn_ - applied_lsn;
+}
+
+uint64_t WalStream::shipped_bytes() const {
+  std::lock_guard lock(mutex_);
+  return shipped_bytes_;
+}
+
+void WalStream::Reset() {
+  std::lock_guard lock(mutex_);
+  encoded_.clear();
+  head_lsn_ = 0;
+  front_lsn_ = 0;
+  shipped_bytes_ = 0;
+}
+
+}  // namespace hattrick

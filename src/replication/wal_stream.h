@@ -1,0 +1,69 @@
+#ifndef HATTRICK_REPLICATION_WAL_STREAM_H_
+#define HATTRICK_REPLICATION_WAL_STREAM_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "txn/wal.h"
+
+namespace hattrick {
+
+/// Streaming-replication modes, mirroring PostgreSQL's
+/// `synchronous_commit` settings evaluated in Section 6.3:
+///  - kAsync: commit returns after the local apply; records ship later.
+///  - kSyncShip ("ON"): commit returns once the record is shipped to and
+///    durably written by the standby; the standby *replays* it later, so
+///    analytical queries can observe a stale snapshot (freshness > 0).
+///  - kRemoteApply ("RA"): commit returns only after the standby has
+///    replayed the record; freshness is always zero at the cost of
+///    transaction latency.
+enum class ReplicationMode { kAsync, kSyncShip, kRemoteApply };
+
+/// Returns "ASYNC", "ON" or "REMOTE_APPLY".
+const char* ReplicationModeName(ReplicationMode mode);
+
+/// An in-order, in-memory WAL shipping channel from a primary to one
+/// standby. The primary's TxnManager appends committed records (WalSink);
+/// the standby's applier consumes them. Records are round-tripped through
+/// their binary encoding so shipped bytes are what the cost model charges
+/// for network/disk work.
+class WalStream final : public WalSink {
+ public:
+  WalStream() = default;
+
+  /// WalSink: appends the record in commit order.
+  void OnCommit(const WalRecord& record) override;
+
+  /// Returns the next unconsumed record after `applied_lsn`, or nullopt
+  /// if the stream is drained. Does not consume; call Consume after a
+  /// successful apply.
+  std::optional<WalRecord> Peek(uint64_t applied_lsn) const;
+
+  /// Drops the front record; `lsn` must equal its LSN (sanity check).
+  void Consume(uint64_t lsn);
+
+  /// LSN of the newest appended record (0 if none ever appended).
+  uint64_t head_lsn() const;
+
+  /// Number of shipped-but-unapplied records after `applied_lsn`.
+  size_t PendingAfter(uint64_t applied_lsn) const;
+
+  /// Total encoded bytes appended since construction/reset.
+  uint64_t shipped_bytes() const;
+
+  /// Clears the stream (benchmark reset).
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<std::string> encoded_;  // FIFO of encoded records
+  uint64_t head_lsn_ = 0;
+  uint64_t front_lsn_ = 0;  // LSN of encoded_.front() when non-empty
+  uint64_t shipped_bytes_ = 0;
+};
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_REPLICATION_WAL_STREAM_H_

@@ -1,0 +1,75 @@
+#include "sim/core_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+namespace hattrick {
+
+namespace {
+constexpr double kEpsilon = 1e-12;
+}  // namespace
+
+CorePool::CorePool(Simulation* sim, std::string name, double cores)
+    : sim_(sim), name_(std::move(name)), cores_(cores) {
+  assert(cores_ > 0);
+}
+
+double CorePool::RatePerJob() const {
+  if (jobs_.empty()) return 0;
+  return std::min(1.0, cores_ / static_cast<double>(jobs_.size()));
+}
+
+double CorePool::CurrentUtilization() const {
+  if (jobs_.empty()) return 0;
+  return std::min(1.0, static_cast<double>(jobs_.size()) / cores_);
+}
+
+void CorePool::Advance() {
+  const TimePoint now = sim_->Now();
+  const double dt = now - last_update_;
+  if (dt > 0 && !jobs_.empty()) {
+    const double rate = RatePerJob();
+    for (auto& [id, job] : jobs_) {
+      job.remaining = std::max(0.0, job.remaining - rate * dt);
+    }
+    busy_seconds_ +=
+        dt * std::min(static_cast<double>(jobs_.size()), cores_);
+  }
+  last_update_ = now;
+}
+
+void CorePool::Submit(double cpu_seconds, Callback done) {
+  assert(cpu_seconds >= 0);
+  Advance();
+  jobs_.emplace(next_job_id_++, Job{cpu_seconds, std::move(done)});
+  ScheduleNextCompletion();
+}
+
+void CorePool::ScheduleNextCompletion() {
+  const uint64_t generation = ++generation_;
+  if (jobs_.empty()) return;
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& [id, job] : jobs_) {
+    min_remaining = std::min(min_remaining, job.remaining);
+  }
+  const double delay = min_remaining / RatePerJob();
+  sim_->Schedule(delay, [this, generation] {
+    if (generation != generation_) return;  // superseded by a later change
+    Advance();
+    std::vector<Callback> finished;
+    for (auto it = jobs_.begin(); it != jobs_.end();) {
+      if (it->second.remaining <= kEpsilon) {
+        finished.push_back(std::move(it->second.done));
+        it = jobs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    ScheduleNextCompletion();
+    for (Callback& cb : finished) cb();
+  });
+}
+
+}  // namespace hattrick

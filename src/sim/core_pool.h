@@ -1,0 +1,72 @@
+#ifndef HATTRICK_SIM_CORE_POOL_H_
+#define HATTRICK_SIM_CORE_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "sim/simulation.h"
+
+namespace hattrick {
+
+/// A processor-sharing multi-core server in virtual time.
+///
+/// Jobs carry a CPU demand in seconds. With n active jobs on m cores each
+/// job progresses at rate min(1, m/n) — the standard egalitarian
+/// processor-sharing model of a multi-core box running n runnable
+/// threads. This is what produces the paper's interference shapes: on a
+/// shared pool, adding A-clients slows T-transactions (frontier near or
+/// below the proportional line); with dedicated pools per workload they
+/// don't interact (frontier near the bounding box).
+class CorePool {
+ public:
+  using Callback = std::function<void()>;
+
+  /// `cores` may be fractional (e.g. modeling a throttled container).
+  CorePool(Simulation* sim, std::string name, double cores);
+
+  CorePool(const CorePool&) = delete;
+  CorePool& operator=(const CorePool&) = delete;
+
+  /// Submits a job with `cpu_seconds` demand; `done` fires when it
+  /// finishes. Zero-demand jobs complete via an immediate event.
+  void Submit(double cpu_seconds, Callback done);
+
+  /// Number of currently active jobs.
+  size_t active_jobs() const { return jobs_.size(); }
+
+  /// Aggregate CPU-seconds of demand completed so far.
+  double busy_seconds() const { return busy_seconds_; }
+
+  /// Current utilization in [0, 1]: fraction of cores busy right now.
+  double CurrentUtilization() const;
+
+  const std::string& name() const { return name_; }
+  double cores() const { return cores_; }
+
+ private:
+  struct Job {
+    double remaining;  // cpu-seconds
+    Callback done;
+  };
+
+  /// Advances all jobs' remaining work to Now() and reschedules the next
+  /// completion event.
+  void Advance();
+  void ScheduleNextCompletion();
+  double RatePerJob() const;
+
+  Simulation* sim_;
+  std::string name_;
+  double cores_;
+  std::unordered_map<uint64_t, Job> jobs_;
+  uint64_t next_job_id_ = 1;
+  TimePoint last_update_ = 0;
+  uint64_t generation_ = 0;  // invalidates stale completion events
+  double busy_seconds_ = 0;
+};
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_SIM_CORE_POOL_H_

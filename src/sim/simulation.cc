@@ -1,0 +1,34 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+
+namespace hattrick {
+
+void Simulation::Schedule(double delay, Callback cb) {
+  assert(delay >= 0 && "cannot schedule into the past");
+  if (delay < 0) delay = 0;
+  queue_.push(Event{clock_.Now() + delay, next_seq_++, std::move(cb)});
+}
+
+void Simulation::RunUntil(TimePoint until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    Event event = queue_.top();
+    queue_.pop();
+    clock_.AdvanceTo(event.time);
+    ++events_executed_;
+    event.cb();
+  }
+  if (clock_.Now() < until) clock_.AdvanceTo(until);
+}
+
+void Simulation::RunToCompletion() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    clock_.AdvanceTo(event.time);
+    ++events_executed_;
+    event.cb();
+  }
+}
+
+}  // namespace hattrick

@@ -1,0 +1,58 @@
+#ifndef HATTRICK_SIM_WAIT_QUEUE_H_
+#define HATTRICK_SIM_WAIT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace hattrick {
+
+/// Virtual-time condition variable keyed by a monotonically increasing
+/// sequence number (LSN). Clients in REMOTE_APPLY mode block until the
+/// standby has replayed their commit; the applier publishes progress and
+/// wakes them.
+class LsnWaitQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Runs `cb` immediately if `lsn` is already published, otherwise
+  /// queues it.
+  void WaitFor(uint64_t lsn, Callback cb) {
+    if (lsn <= published_) {
+      cb();
+      return;
+    }
+    waiters_.emplace(lsn, std::move(cb));
+  }
+
+  /// Publishes progress through `lsn` and wakes all satisfied waiters in
+  /// LSN order.
+  void Publish(uint64_t lsn) {
+    if (lsn <= published_) return;
+    published_ = lsn;
+    std::vector<Callback> ready;
+    auto it = waiters_.begin();
+    while (it != waiters_.end() && it->first <= lsn) {
+      ready.push_back(std::move(it->second));
+      it = waiters_.erase(it);
+    }
+    for (Callback& cb : ready) cb();
+  }
+
+  uint64_t published() const { return published_; }
+  size_t waiting() const { return waiters_.size(); }
+
+  void Reset() {
+    waiters_.clear();
+    published_ = 0;
+  }
+
+ private:
+  std::multimap<uint64_t, Callback> waiters_;
+  uint64_t published_ = 0;
+};
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_SIM_WAIT_QUEUE_H_

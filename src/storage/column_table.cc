@@ -1,0 +1,213 @@
+#include "storage/column_table.h"
+
+#include <algorithm>
+#include <mutex>
+#include <cassert>
+
+namespace hattrick {
+
+ColumnTable::ColumnTable(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.num_columns());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].type = schema_.column(i).type;
+  }
+}
+
+Status ColumnTable::Append(const Row& row, WorkMeter* meter) {
+  std::unique_lock lock(latch_);
+  HATTRICK_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  const size_t block = num_rows_ / kBlockRows;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    Column& col = columns_[i];
+    double numeric = 0;
+    switch (col.type) {
+      case DataType::kInt64:
+        col.ints.push_back(row[i].AsInt());
+        numeric = static_cast<double>(row[i].AsInt());
+        break;
+      case DataType::kDouble:
+        col.doubles.push_back(row[i].AsDouble());
+        numeric = row[i].AsDouble();
+        break;
+      case DataType::kString: {
+        const std::string& s = row[i].AsString();
+        auto [it, inserted] =
+            col.dict_index.emplace(s, static_cast<uint32_t>(col.dict.size()));
+        if (inserted) col.dict.push_back(s);
+        col.codes.push_back(it->second);
+        break;
+      }
+    }
+    if (col.type != DataType::kString) {
+      if (block >= col.block_min.size()) {
+        col.block_min.push_back(numeric);
+        col.block_max.push_back(numeric);
+      } else {
+        col.block_min[block] = std::min(col.block_min[block], numeric);
+        col.block_max[block] = std::max(col.block_max[block], numeric);
+      }
+    }
+  }
+  ++num_rows_;
+  if (meter != nullptr) {
+    ++meter->rows_written;
+    meter->column_values += columns_.size();
+  }
+  return Status::OK();
+}
+
+size_t ColumnTable::num_rows() const {
+  std::shared_lock lock(latch_);
+  return num_rows_;
+}
+
+int64_t ColumnTable::GetInt(size_t col, size_t row) const {
+  return columns_[col].ints[row];
+}
+
+double ColumnTable::GetDouble(size_t col, size_t row) const {
+  const Column& c = columns_[col];
+  return c.type == DataType::kInt64 ? static_cast<double>(c.ints[row])
+                                    : c.doubles[row];
+}
+
+const std::string& ColumnTable::GetString(size_t col, size_t row) const {
+  const Column& c = columns_[col];
+  return c.dict[c.codes[row]];
+}
+
+uint32_t ColumnTable::GetStringCode(size_t col, size_t row) const {
+  return columns_[col].codes[row];
+}
+
+int64_t ColumnTable::FindStringCode(size_t col, const std::string& s) const {
+  const Column& c = columns_[col];
+  const auto it = c.dict_index.find(s);
+  return it == c.dict_index.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+size_t ColumnTable::DictionarySize(size_t col) const {
+  return columns_[col].dict.size();
+}
+
+Row ColumnTable::GetRow(size_t row) const {
+  Row out;
+  out.reserve(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    switch (columns_[i].type) {
+      case DataType::kInt64:
+        out.emplace_back(GetInt(i, row));
+        break;
+      case DataType::kDouble:
+        out.emplace_back(GetDouble(i, row));
+        break;
+      case DataType::kString:
+        out.emplace_back(GetString(i, row));
+        break;
+    }
+  }
+  return out;
+}
+
+bool ColumnTable::BlockMinMax(size_t col, size_t block, double* min,
+                              double* max) const {
+  const Column& c = columns_[col];
+  if (c.type == DataType::kString) return false;
+  assert(block < c.block_min.size());
+  *min = c.block_min[block];
+  *max = c.block_max[block];
+  return true;
+}
+
+Status ColumnTable::UpdateRow(size_t row, const Row& values,
+                              WorkMeter* meter) {
+  std::unique_lock lock(latch_);
+  if (row >= num_rows_) return Status::OutOfRange("row beyond table");
+  HATTRICK_RETURN_IF_ERROR(schema_.ValidateRow(values));
+  const size_t block = row / kBlockRows;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    Column& col = columns_[i];
+    switch (col.type) {
+      case DataType::kInt64:
+        col.ints[row] = values[i].AsInt();
+        break;
+      case DataType::kDouble:
+        col.doubles[row] = values[i].AsDouble();
+        break;
+      case DataType::kString: {
+        const std::string& s = values[i].AsString();
+        auto [it, inserted] =
+            col.dict_index.emplace(s, static_cast<uint32_t>(col.dict.size()));
+        if (inserted) col.dict.push_back(s);
+        col.codes[row] = it->second;
+        break;
+      }
+    }
+    if (col.type != DataType::kString) {
+      const double v = values[i].AsDouble();
+      col.block_min[block] = std::min(col.block_min[block], v);
+      col.block_max[block] = std::max(col.block_max[block], v);
+    }
+  }
+  if (meter != nullptr) {
+    ++meter->rows_written;
+    meter->column_values += columns_.size();
+  }
+  return Status::OK();
+}
+
+void ColumnTable::CopyFrom(const ColumnTable& other) {
+  std::unique_lock lock(latch_);
+  std::shared_lock other_lock(other.latch_);
+  schema_ = other.schema_;
+  columns_ = other.columns_;
+  num_rows_ = other.num_rows_;
+}
+
+void ColumnTable::TruncateTo(size_t n) {
+  std::unique_lock lock(latch_);
+  if (n >= num_rows_) return;
+  for (Column& col : columns_) {
+    switch (col.type) {
+      case DataType::kInt64:
+        col.ints.resize(n);
+        break;
+      case DataType::kDouble:
+        col.doubles.resize(n);
+        break;
+      case DataType::kString:
+        col.codes.resize(n);
+        // The dictionary may retain unused entries; harmless.
+        break;
+    }
+  }
+  // Zone maps for the truncated tail are stale beyond the new bound;
+  // rebuild the last partial block conservatively by widening to the
+  // remaining rows.
+  const size_t blocks = NumBlocks(n);
+  for (Column& col : columns_) {
+    if (col.type == DataType::kString) continue;
+    col.block_min.resize(blocks);
+    col.block_max.resize(blocks);
+    if (blocks == 0) continue;
+    const size_t first = (blocks - 1) * kBlockRows;
+    double mn = 0;
+    double mx = 0;
+    for (size_t r = first; r < n; ++r) {
+      const double v = col.type == DataType::kInt64
+                           ? static_cast<double>(col.ints[r])
+                           : col.doubles[r];
+      if (r == first) {
+        mn = mx = v;
+      } else {
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+      }
+    }
+    col.block_min[blocks - 1] = mn;
+    col.block_max[blocks - 1] = mx;
+  }
+  num_rows_ = n;
+}
+
+}  // namespace hattrick

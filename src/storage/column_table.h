@@ -1,0 +1,104 @@
+#ifndef HATTRICK_STORAGE_COLUMN_TABLE_H_
+#define HATTRICK_STORAGE_COLUMN_TABLE_H_
+
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/work_meter.h"
+
+namespace hattrick {
+
+/// A columnar, append-only table used as the analytical copy of the data
+/// in the "hybrid" engine designs (System-X / TiDB-TiFlash analogues,
+/// Section 2.2 of the paper).
+///
+/// Storage layout:
+///  - int64/double columns: flat typed vectors.
+///  - string columns: dictionary-encoded (uint32 codes into a per-column
+///    dictionary), the paper's "efficient data compression" for
+///    column stores.
+///  - per-block (kBlockRows rows) min/max zone maps on numeric columns,
+///    used by the column scan operator to prune blocks.
+///
+/// The table is not versioned: the engine that owns it decides which
+/// committed rows have been merged (see engine/hybrid_engine.cc). Reads
+/// pass an explicit row-count bound so a query sees a consistent prefix.
+class ColumnTable {
+ public:
+  /// Rows per zone-map block.
+  static constexpr size_t kBlockRows = 1024;
+
+  explicit ColumnTable(Schema schema);
+
+  ColumnTable(const ColumnTable&) = delete;
+  ColumnTable& operator=(const ColumnTable&) = delete;
+
+  const Schema& schema() const { return schema_; }
+
+  /// Appends a row; meters one write plus one cell per column.
+  Status Append(const Row& row, WorkMeter* meter);
+
+  size_t num_rows() const;
+
+  /// Cell accessors. `row` must be < num_rows(); `col` must have the
+  /// matching type.
+  int64_t GetInt(size_t col, size_t row) const;
+  double GetDouble(size_t col, size_t row) const;
+  /// Returns the dictionary string for a string cell (stable reference).
+  const std::string& GetString(size_t col, size_t row) const;
+  /// Returns the dictionary code of a string cell (for fast group-by).
+  uint32_t GetStringCode(size_t col, size_t row) const;
+  /// Looks up the code of `s` in the column dictionary; -1 if absent.
+  int64_t FindStringCode(size_t col, const std::string& s) const;
+  /// Dictionary size for a string column.
+  size_t DictionarySize(size_t col) const;
+
+  /// Materializes row `row` (mostly for tests and debugging).
+  Row GetRow(size_t row) const;
+
+  /// Zone map for block `block` of numeric column `col`; returns false if
+  /// the column is a string column (no zone map).
+  bool BlockMinMax(size_t col, size_t block, double* min, double* max) const;
+
+  /// Number of zone-map blocks covering `bound` rows.
+  static size_t NumBlocks(size_t bound) {
+    return (bound + kBlockRows - 1) / kBlockRows;
+  }
+
+  /// Overwrites row `row` in place (delta merge of an update). Zone maps
+  /// are widened, never narrowed, so pruning stays conservative.
+  Status UpdateRow(size_t row, const Row& values, WorkMeter* meter);
+
+  /// Replaces contents with a deep copy of `other` (benchmark reset).
+  void CopyFrom(const ColumnTable& other);
+
+  /// Drops all rows with index >= `n` (used by reset in delta designs).
+  void TruncateTo(size_t n);
+
+ private:
+  struct Column {
+    DataType type;
+    std::vector<int64_t> ints;
+    std::vector<double> doubles;
+    std::vector<uint32_t> codes;
+    std::vector<std::string> dict;
+    std::unordered_map<std::string, uint32_t> dict_index;
+    // Zone maps, one entry per block (numeric columns only).
+    std::vector<double> block_min;
+    std::vector<double> block_max;
+  };
+
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+  mutable std::shared_mutex latch_;
+};
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_STORAGE_COLUMN_TABLE_H_

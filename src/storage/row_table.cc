@@ -1,0 +1,140 @@
+#include "storage/row_table.h"
+
+#include <cassert>
+#include <mutex>
+
+namespace hattrick {
+
+RowTable::RowTable(Schema schema) : schema_(std::move(schema)) {}
+
+Rid RowTable::Insert(const Row& row, Ts begin_ts, WorkMeter* meter) {
+  std::unique_lock lock(latch_);
+  const Rid rid = slots_.size();
+  Chain chain;
+  chain.versions.push_back(Version{begin_ts, kMaxTs, row});
+  slots_.push_back(std::move(chain));
+  if (meter != nullptr) ++meter->rows_written;
+  return rid;
+}
+
+Status RowTable::AddVersion(Rid rid, const Row& row, Ts commit_ts,
+                            WorkMeter* meter) {
+  std::unique_lock lock(latch_);
+  if (rid >= slots_.size()) return Status::NotFound("rid out of range");
+  Chain& chain = slots_[rid];
+  assert(!chain.versions.empty());
+  Version& newest = chain.versions.back();
+  newest.end_ts = commit_ts;
+  chain.versions.push_back(Version{commit_ts, kMaxTs, row});
+  if (meter != nullptr) ++meter->rows_written;
+  return Status::OK();
+}
+
+Status RowTable::MarkDeleted(Rid rid, Ts commit_ts, WorkMeter* meter) {
+  std::unique_lock lock(latch_);
+  if (rid >= slots_.size()) return Status::NotFound("rid out of range");
+  Chain& chain = slots_[rid];
+  assert(!chain.versions.empty());
+  chain.versions.back().end_ts = commit_ts;
+  if (meter != nullptr) ++meter->rows_written;
+  return Status::OK();
+}
+
+bool RowTable::Read(Rid rid, Ts snapshot, Row* out, WorkMeter* meter) const {
+  std::shared_lock lock(latch_);
+  if (rid >= slots_.size()) return false;
+  const Chain& chain = slots_[rid];
+  // Walk newest-to-oldest: an OLTP access usually wants a recent version.
+  for (auto it = chain.versions.rbegin(); it != chain.versions.rend(); ++it) {
+    if (meter != nullptr) ++meter->version_hops;
+    if (it->begin_ts <= snapshot) {
+      if (it->end_ts <= snapshot) return false;  // deleted as of snapshot
+      *out = it->data;
+      if (meter != nullptr) ++meter->rows_read;
+      return true;
+    }
+  }
+  return false;  // row did not exist at snapshot
+}
+
+bool RowTable::ReadLatest(Rid rid, Row* out, WorkMeter* meter) const {
+  std::shared_lock lock(latch_);
+  if (rid >= slots_.size()) return false;
+  const Version& newest = slots_[rid].versions.back();
+  if (meter != nullptr) ++meter->version_hops;
+  if (newest.end_ts != kMaxTs) return false;  // deleted
+  *out = newest.data;
+  if (meter != nullptr) ++meter->rows_read;
+  return true;
+}
+
+Ts RowTable::LatestVersionTs(Rid rid) const {
+  std::shared_lock lock(latch_);
+  if (rid >= slots_.size()) return 0;
+  return slots_[rid].versions.back().begin_ts;
+}
+
+void RowTable::Scan(Ts snapshot,
+                    const std::function<bool(Rid, const Row&)>& visitor,
+                    WorkMeter* meter) const {
+  std::shared_lock lock(latch_);
+  for (Rid rid = 0; rid < slots_.size(); ++rid) {
+    const Chain& chain = slots_[rid];
+    // A heap scan reads every version physically present in the slot
+    // (dead-tuple bloat, the PostgreSQL behaviour Vacuum exists to fix);
+    // meter the whole chain, not just the hops to the visible version.
+    if (meter != nullptr) {
+      meter->version_hops += chain.versions.size();
+    }
+    for (auto it = chain.versions.rbegin(); it != chain.versions.rend();
+         ++it) {
+      if (it->begin_ts <= snapshot) {
+        if (it->end_ts > snapshot) {
+          if (meter != nullptr) ++meter->rows_read;
+          if (!visitor(rid, it->data)) return;
+        }
+        break;
+      }
+    }
+  }
+}
+
+size_t RowTable::NumSlots() const {
+  std::shared_lock lock(latch_);
+  return slots_.size();
+}
+
+size_t RowTable::NumVersions() const {
+  std::shared_lock lock(latch_);
+  size_t n = 0;
+  for (const Chain& chain : slots_) n += chain.versions.size();
+  return n;
+}
+
+size_t RowTable::Vacuum(Ts horizon) {
+  std::unique_lock lock(latch_);
+  size_t dropped = 0;
+  for (Chain& chain : slots_) {
+    auto& v = chain.versions;
+    size_t keep_from = 0;
+    // Keep the newest version always; drop older versions whose end_ts is
+    // at or before the horizon (no active snapshot can see them).
+    while (keep_from + 1 < v.size() && v[keep_from].end_ts <= horizon) {
+      ++keep_from;
+    }
+    if (keep_from > 0) {
+      v.erase(v.begin(), v.begin() + static_cast<ptrdiff_t>(keep_from));
+      dropped += keep_from;
+    }
+  }
+  return dropped;
+}
+
+void RowTable::CopyFrom(const RowTable& other) {
+  std::unique_lock lock(latch_);
+  std::shared_lock other_lock(other.latch_);
+  schema_ = other.schema_;
+  slots_ = other.slots_;
+}
+
+}  // namespace hattrick

@@ -1,0 +1,50 @@
+#ifndef HATTRICK_TXN_TIMESTAMP_H_
+#define HATTRICK_TXN_TIMESTAMP_H_
+
+#include <atomic>
+
+#include "storage/row_table.h"
+
+namespace hattrick {
+
+/// Hands out commit timestamps and tracks the newest fully-applied commit.
+///
+/// Snapshots are `last_committed()` at transaction/query start: because the
+/// transaction manager applies a commit's writes *before* advancing
+/// last_committed (under its commit latch), a snapshot never exposes a
+/// partially applied commit.
+class TimestampOracle {
+ public:
+  TimestampOracle() = default;
+
+  TimestampOracle(const TimestampOracle&) = delete;
+  TimestampOracle& operator=(const TimestampOracle&) = delete;
+
+  /// Allocates the next commit timestamp (monotonically increasing, >= 1).
+  Ts Allocate() { return next_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Newest timestamp whose commit is fully applied.
+  Ts last_committed() const {
+    return last_committed_.load(std::memory_order_acquire);
+  }
+
+  /// Publishes `ts` as fully applied.
+  void AdvanceCommitted(Ts ts) {
+    last_committed_.store(ts, std::memory_order_release);
+  }
+
+  /// Resets to the initial state with `ts` as the last committed timestamp
+  /// (benchmark reset back to a loaded snapshot).
+  void ResetTo(Ts ts) {
+    next_.store(ts + 1, std::memory_order_relaxed);
+    last_committed_.store(ts, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<Ts> next_{1};
+  std::atomic<Ts> last_committed_{0};
+};
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_TXN_TIMESTAMP_H_

@@ -1,0 +1,224 @@
+#include "txn/txn_manager.h"
+
+#include <cassert>
+
+#include "common/key_encoding.h"
+
+namespace hattrick {
+
+const char* IsolationLevelName(IsolationLevel level) {
+  switch (level) {
+    case IsolationLevel::kReadCommitted:
+      return "READ_COMMITTED";
+    case IsolationLevel::kSnapshot:
+      return "SNAPSHOT";
+    case IsolationLevel::kSerializable:
+      return "SERIALIZABLE";
+  }
+  return "UNKNOWN";
+}
+
+TxnManager::TxnManager(Catalog* catalog, TimestampOracle* oracle,
+                       WalSink* sink)
+    : catalog_(catalog), oracle_(oracle), sink_(sink) {}
+
+Transaction TxnManager::Begin(IsolationLevel isolation, uint32_t client_id,
+                              uint64_t txn_num) const {
+  Transaction txn;
+  txn.snapshot_ = oracle_->last_committed();
+  txn.isolation_ = isolation;
+  txn.client_id_ = client_id;
+  txn.txn_num_ = txn_num;
+  return txn;
+}
+
+Status TxnManager::Read(Transaction* txn, TableId table_id, Rid rid, Row* out,
+                        WorkMeter* meter) const {
+  // Read-your-own-writes: check the write set first (newest last).
+  for (auto it = txn->writes_.rbegin(); it != txn->writes_.rend(); ++it) {
+    if (it->table_id == table_id && it->kind == WalOp::Kind::kUpdate &&
+        it->rid == rid) {
+      *out = it->row;
+      return Status::OK();
+    }
+  }
+  RowTable* table = catalog_->GetTable(table_id);
+  if (table == nullptr) return Status::NotFound("no such table");
+  bool found;
+  if (txn->isolation_ == IsolationLevel::kReadCommitted) {
+    found = table->ReadLatest(rid, out, meter);
+  } else {
+    found = table->Read(rid, txn->snapshot_, out, meter);
+  }
+  if (!found) return Status::NotFound("row invisible");
+  if (txn->isolation_ == IsolationLevel::kSerializable) {
+    txn->reads_.push_back(
+        Transaction::ReadEntry{table_id, rid, table->LatestVersionTs(rid)});
+    if (meter != nullptr) ++meter->predicate_locks;
+  }
+  return Status::OK();
+}
+
+size_t TxnManager::IndexLookup(
+    Transaction* txn, const IndexInfo& index,
+    const std::vector<Value>& key_values,
+    const std::function<bool(Rid, const Row&)>& visitor,
+    WorkMeter* meter) const {
+  const std::string prefix = key::EncodeKey(key_values);
+  size_t matches = 0;
+  std::vector<Rid> rids;
+  if (index.unique) {
+    uint64_t rid = 0;
+    if (index.tree->Lookup(prefix, &rid, meter)) rids.push_back(rid);
+  } else {
+    index.tree->ScanPrefix(
+        prefix,
+        [&](const std::string&, uint64_t rid) {
+          rids.push_back(rid);
+          return true;
+        },
+        meter);
+  }
+  Row row;
+  for (const Rid rid : rids) {
+    if (!Read(txn, index.table_id, rid, &row, meter).ok()) continue;
+    // Re-check the key: index entries can be stale if an update changed
+    // an indexed column (old entries are not removed eagerly).
+    bool key_matches = true;
+    for (size_t i = 0; i < index.key_columns.size(); ++i) {
+      if (!(row[index.key_columns[i]] == key_values[i])) {
+        key_matches = false;
+        break;
+      }
+    }
+    if (!key_matches) continue;
+    ++matches;
+    if (!visitor(rid, row)) break;
+  }
+  return matches;
+}
+
+void TxnManager::BufferInsert(Transaction* txn, TableId table_id,
+                              Row row) const {
+  txn->writes_.push_back(Transaction::Write{
+      WalOp::Kind::kInsert, table_id, /*rid=*/0, std::move(row), Row{}});
+}
+
+void TxnManager::BufferUpdate(Transaction* txn, TableId table_id, Rid rid,
+                              Row old_row, Row new_row) const {
+  txn->writes_.push_back(Transaction::Write{WalOp::Kind::kUpdate, table_id,
+                                            rid, std::move(new_row),
+                                            std::move(old_row)});
+}
+
+StatusOr<CommitResult> TxnManager::Commit(Transaction* txn, WorkMeter* meter) {
+  std::lock_guard lock(commit_latch_);
+
+  if (txn->isolation_ != IsolationLevel::kReadCommitted) {
+    // First-updater-wins write-write validation.
+    for (const auto& w : txn->writes_) {
+      if (w.kind != WalOp::Kind::kUpdate) continue;
+      RowTable* table = catalog_->GetTable(w.table_id);
+      if (table->LatestVersionTs(w.rid) > txn->snapshot_) {
+        if (meter != nullptr) ++meter->conflict_waits;
+        return Status::Aborted("write-write conflict");
+      }
+    }
+  }
+  if (txn->isolation_ == IsolationLevel::kSerializable) {
+    // Backward OCC read validation: every row read must still be current.
+    for (const auto& r : txn->reads_) {
+      RowTable* table = catalog_->GetTable(r.table_id);
+      if (table->LatestVersionTs(r.rid) != r.observed_version_ts) {
+        if (meter != nullptr) ++meter->conflict_waits;
+        return Status::Aborted("read validation failure");
+      }
+    }
+  }
+
+  CommitResult result;
+  if (txn->writes_.empty()) {
+    // Read-only: commits at its snapshot, no timestamp consumed.
+    result.commit_ts = txn->snapshot_;
+    result.lsn = 0;
+    return result;
+  }
+
+  const Ts commit_ts = oracle_->Allocate();
+  WalRecord record;
+  record.lsn = next_lsn_++;
+  record.commit_ts = commit_ts;
+  record.client_id = txn->client_id_;
+  record.txn_num = txn->txn_num_;
+  record.ops.reserve(txn->writes_.size());
+
+  for (auto& w : txn->writes_) {
+    RowTable* table = catalog_->GetTable(w.table_id);
+    if (w.kind == WalOp::Kind::kInsert) {
+      const Rid rid = table->Insert(w.row, commit_ts, meter);
+      w.rid = rid;
+      for (const IndexInfo* index : catalog_->TableIndexes(w.table_id)) {
+        index->tree->Insert(index->KeyFor(w.row, rid), rid, meter);
+      }
+    } else {
+      const Status s = table->AddVersion(w.rid, w.row, commit_ts, meter);
+      assert(s.ok());
+      (void)s;
+      // Maintain only indexes whose key actually changed; stale old
+      // entries are tolerated and filtered by IndexLookup's re-check.
+      for (const IndexInfo* index : catalog_->TableIndexes(w.table_id)) {
+        const std::string new_key = index->KeyFor(w.row, w.rid);
+        if (!w.old_row.empty() &&
+            new_key == index->KeyFor(w.old_row, w.rid)) {
+          continue;
+        }
+        index->tree->Insert(new_key, w.rid, meter);
+      }
+    }
+    record.ops.push_back(WalOp{w.kind, w.table_id, w.rid, w.row});
+    result.write_keys.push_back(PackRowKey(w.table_id, w.rid));
+  }
+
+  if (meter != nullptr) {
+    ++meter->wal_records;
+    meter->wal_bytes += record.Encode().size();
+  }
+  if (sink_ != nullptr) sink_->OnCommit(record);
+  oracle_->AdvanceCommitted(commit_ts);
+
+  result.commit_ts = commit_ts;
+  result.lsn = record.lsn;
+  return result;
+}
+
+void TxnManager::Abort(Transaction* txn) const {
+  txn->writes_.clear();
+  txn->reads_.clear();
+}
+
+StatusOr<CommitResult> TxnManager::RunWithRetries(
+    IsolationLevel isolation, uint32_t client_id, uint64_t txn_num,
+    const std::function<Status(Transaction*)>& body, WorkMeter* meter,
+    int max_retries, int* attempts) {
+  Status last = Status::Internal("not run");
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    if (attempts != nullptr) *attempts = attempt + 1;
+    Transaction txn = Begin(isolation, client_id, txn_num);
+    const Status body_status = body(&txn);
+    if (!body_status.ok()) {
+      Abort(&txn);
+      if (body_status.code() == StatusCode::kAborted) {
+        last = body_status;
+        continue;
+      }
+      return body_status;
+    }
+    StatusOr<CommitResult> commit = Commit(&txn, meter);
+    if (commit.ok()) return commit;
+    if (commit.status().code() != StatusCode::kAborted) return commit;
+    last = commit.status();
+  }
+  return last;
+}
+
+}  // namespace hattrick

@@ -1,0 +1,143 @@
+#include "txn/wal.h"
+
+#include <cstring>
+
+namespace hattrick {
+
+namespace {
+
+void PutU64(uint64_t v, std::string* out) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+bool GetU64(const std::string& in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+bool GetU32(const std::string& in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, 4);
+  *pos += 4;
+  return true;
+}
+
+void PutValue(const Value& v, std::string* out) {
+  out->push_back(static_cast<char>(v.type()));
+  switch (v.type()) {
+    case DataType::kInt64:
+      PutU64(static_cast<uint64_t>(v.AsInt()), out);
+      break;
+    case DataType::kDouble: {
+      const double d = v.AsDouble();
+      uint64_t bits;
+      std::memcpy(&bits, &d, 8);
+      PutU64(bits, out);
+      break;
+    }
+    case DataType::kString: {
+      const std::string& s = v.AsString();
+      PutU32(static_cast<uint32_t>(s.size()), out);
+      out->append(s);
+      break;
+    }
+  }
+}
+
+bool GetValue(const std::string& in, size_t* pos, Value* v) {
+  if (*pos >= in.size()) return false;
+  const auto type = static_cast<DataType>(in[*pos]);
+  ++*pos;
+  switch (type) {
+    case DataType::kInt64: {
+      uint64_t u;
+      if (!GetU64(in, pos, &u)) return false;
+      *v = Value(static_cast<int64_t>(u));
+      return true;
+    }
+    case DataType::kDouble: {
+      uint64_t bits;
+      if (!GetU64(in, pos, &bits)) return false;
+      double d;
+      std::memcpy(&d, &bits, 8);
+      *v = Value(d);
+      return true;
+    }
+    case DataType::kString: {
+      uint32_t len;
+      if (!GetU32(in, pos, &len)) return false;
+      if (*pos + len > in.size()) return false;
+      *v = Value(in.substr(*pos, len));
+      *pos += len;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string WalRecord::Encode() const {
+  std::string out;
+  PutU64(lsn, &out);
+  PutU64(commit_ts, &out);
+  PutU32(client_id, &out);
+  PutU64(txn_num, &out);
+  PutU32(static_cast<uint32_t>(ops.size()), &out);
+  for (const WalOp& op : ops) {
+    out.push_back(static_cast<char>(op.kind));
+    PutU32(op.table_id, &out);
+    PutU64(op.rid, &out);
+    PutU32(static_cast<uint32_t>(op.row.size()), &out);
+    for (const Value& v : op.row) PutValue(v, &out);
+  }
+  return out;
+}
+
+StatusOr<WalRecord> WalRecord::Decode(const std::string& bytes) {
+  WalRecord rec;
+  size_t pos = 0;
+  uint32_t num_ops = 0;
+  if (!GetU64(bytes, &pos, &rec.lsn) || !GetU64(bytes, &pos, &rec.commit_ts) ||
+      !GetU32(bytes, &pos, &rec.client_id) ||
+      !GetU64(bytes, &pos, &rec.txn_num) || !GetU32(bytes, &pos, &num_ops)) {
+    return Status::InvalidArgument("truncated WAL header");
+  }
+  rec.ops.reserve(num_ops);
+  for (uint32_t i = 0; i < num_ops; ++i) {
+    WalOp op;
+    if (pos >= bytes.size()) return Status::InvalidArgument("truncated op");
+    op.kind = static_cast<WalOp::Kind>(bytes[pos]);
+    ++pos;
+    uint32_t arity = 0;
+    if (!GetU32(bytes, &pos, &op.table_id) || !GetU64(bytes, &pos, &op.rid) ||
+        !GetU32(bytes, &pos, &arity)) {
+      return Status::InvalidArgument("truncated op header");
+    }
+    op.row.reserve(arity);
+    for (uint32_t c = 0; c < arity; ++c) {
+      Value v;
+      if (!GetValue(bytes, &pos, &v)) {
+        return Status::InvalidArgument("truncated value");
+      }
+      op.row.push_back(std::move(v));
+    }
+    rec.ops.push_back(std::move(op));
+  }
+  if (pos != bytes.size()) {
+    return Status::InvalidArgument("trailing bytes after WAL record");
+  }
+  return rec;
+}
+
+}  // namespace hattrick

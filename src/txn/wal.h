@@ -1,0 +1,65 @@
+#ifndef HATTRICK_TXN_WAL_H_
+#define HATTRICK_TXN_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "common/value.h"
+#include "storage/catalog.h"
+#include "storage/row_table.h"
+
+namespace hattrick {
+
+/// One logical write within a committed transaction.
+struct WalOp {
+  enum class Kind : uint8_t { kInsert = 0, kUpdate = 1 };
+
+  Kind kind = Kind::kInsert;
+  TableId table_id = 0;
+  Rid rid = 0;  // slot assigned at commit (insert) or updated slot (update)
+  Row row;      // full after-image
+
+  friend bool operator==(const WalOp& a, const WalOp& b) {
+    return a.kind == b.kind && a.table_id == b.table_id && a.rid == b.rid &&
+           a.row == b.row;
+  }
+};
+
+/// The WAL record of one committed transaction. Records are the unit of
+/// streaming replication (isolated design) and of delta maintenance
+/// (hybrid design). Encoded size is metered as shipped bytes.
+struct WalRecord {
+  uint64_t lsn = 0;
+  Ts commit_ts = 0;
+  uint32_t client_id = 0;   // issuing T-client (0 = none/loader)
+  uint64_t txn_num = 0;     // client-local sequence number
+  std::vector<WalOp> ops;
+
+  /// Serializes to a length-delimited binary format.
+  std::string Encode() const;
+
+  /// Parses a record encoded by Encode().
+  static StatusOr<WalRecord> Decode(const std::string& bytes);
+
+  friend bool operator==(const WalRecord& a, const WalRecord& b) {
+    return a.lsn == b.lsn && a.commit_ts == b.commit_ts &&
+           a.client_id == b.client_id && a.txn_num == b.txn_num &&
+           a.ops == b.ops;
+  }
+};
+
+/// Receives the WAL records of committed transactions, in commit order.
+/// Implementations: the replication stream (isolated engine) and the
+/// column-store delta feed (hybrid engine).
+class WalSink {
+ public:
+  virtual ~WalSink() = default;
+  virtual void OnCommit(const WalRecord& record) = 0;
+};
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_TXN_WAL_H_

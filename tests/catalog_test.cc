@@ -1,0 +1,135 @@
+// Tests for the catalog: table/index registration, key derivation, index
+// rebuild on content copy, and the physical-schema helpers.
+
+#include <gtest/gtest.h>
+
+#include "common/key_encoding.h"
+#include "storage/catalog.h"
+
+namespace hattrick {
+namespace {
+
+Schema PersonSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"name", DataType::kString},
+                 {"age", DataType::kInt64}});
+}
+
+TEST(CatalogTest, CreateAndLookupTables) {
+  Catalog catalog;
+  RowTable* people = catalog.CreateTable("people", PersonSchema());
+  RowTable* pets = catalog.CreateTable("pets", PersonSchema());
+  EXPECT_EQ(catalog.num_tables(), 2u);
+  EXPECT_EQ(catalog.GetTable("people"), people);
+  EXPECT_EQ(catalog.GetTable("pets"), pets);
+  EXPECT_EQ(catalog.GetTable("absent"), nullptr);
+  EXPECT_EQ(catalog.GetTableId("people"), 0u);
+  EXPECT_EQ(catalog.GetTableId("pets"), 1u);
+  EXPECT_EQ(catalog.GetTable(TableId{1}), pets);
+  EXPECT_EQ(catalog.table_name(0), "people");
+}
+
+TEST(CatalogTest, CreateIndexAndTableIndexes) {
+  Catalog catalog;
+  catalog.CreateTable("people", PersonSchema());
+  IndexInfo* pk = catalog.CreateIndex("people_pk", "people", {0}, true);
+  IndexInfo* by_name = catalog.CreateIndex("people_name", "people", {1},
+                                           false);
+  EXPECT_EQ(catalog.GetIndex("people_pk"), pk);
+  EXPECT_EQ(catalog.GetIndex("absent"), nullptr);
+  const auto& indexes = catalog.TableIndexes(0);
+  ASSERT_EQ(indexes.size(), 2u);
+  EXPECT_EQ(indexes[0], pk);
+  EXPECT_EQ(indexes[1], by_name);
+}
+
+TEST(CatalogTest, IndexKeyForUniqueOmitsRid) {
+  Catalog catalog;
+  catalog.CreateTable("people", PersonSchema());
+  IndexInfo* pk = catalog.CreateIndex("pk", "people", {0}, true);
+  const Row row{int64_t{7}, std::string("bob"), int64_t{30}};
+  EXPECT_EQ(pk->KeyFor(row, 99), key::EncodeKey({Value(int64_t{7})}));
+}
+
+TEST(CatalogTest, IndexKeyForNonUniqueAppendsRid) {
+  Catalog catalog;
+  catalog.CreateTable("people", PersonSchema());
+  IndexInfo* by_name = catalog.CreateIndex("name", "people", {1}, false);
+  const Row row{int64_t{7}, std::string("bob"), int64_t{30}};
+  std::string expected = key::EncodeKey({Value("bob")});
+  key::EncodeInt64(99, &expected);
+  EXPECT_EQ(by_name->KeyFor(row, 99), expected);
+  // Same key values, different rids -> distinct index keys.
+  EXPECT_NE(by_name->KeyFor(row, 99), by_name->KeyFor(row, 100));
+}
+
+TEST(CatalogTest, CompositeIndexKey) {
+  Catalog catalog;
+  catalog.CreateTable("people", PersonSchema());
+  IndexInfo* composite =
+      catalog.CreateIndex("name_age", "people", {1, 2}, true);
+  const Row row{int64_t{1}, std::string("amy"), int64_t{41}};
+  EXPECT_EQ(composite->KeyFor(row, 0),
+            key::EncodeKey({Value("amy"), Value(int64_t{41})}));
+}
+
+TEST(CatalogTest, DropAllIndexes) {
+  Catalog catalog;
+  catalog.CreateTable("people", PersonSchema());
+  catalog.CreateIndex("pk", "people", {0}, true);
+  catalog.DropAllIndexes();
+  EXPECT_EQ(catalog.GetIndex("pk"), nullptr);
+  EXPECT_TRUE(catalog.TableIndexes(0).empty());
+}
+
+TEST(CatalogTest, CopyContentsRebuildsIndexes) {
+  Catalog source;
+  RowTable* src_table = source.CreateTable("people", PersonSchema());
+  for (int i = 0; i < 20; ++i) {
+    src_table->Insert(Row{int64_t{i}, std::string("p" + std::to_string(i)),
+                          int64_t{20 + i}},
+                      /*begin_ts=*/1, nullptr);
+  }
+
+  Catalog dest;
+  dest.CreateTable("people", PersonSchema());
+  IndexInfo* pk = dest.CreateIndex("pk", "people", {0}, true);
+  dest.CopyContentsFrom(source);
+
+  EXPECT_EQ(dest.GetTable("people")->NumSlots(), 20u);
+  EXPECT_EQ(pk->tree->size(), 20u);
+  uint64_t rid = 0;
+  ASSERT_TRUE(pk->tree->Lookup(key::EncodeKey({Value(int64_t{7})}), &rid,
+                               nullptr));
+  EXPECT_EQ(rid, 7u);
+}
+
+TEST(CatalogTest, CopyContentsSeesLatestCommittedVersions) {
+  Catalog source;
+  RowTable* src_table = source.CreateTable("people", PersonSchema());
+  const Rid rid = src_table->Insert(
+      Row{int64_t{1}, std::string("old"), int64_t{1}}, 1, nullptr);
+  ASSERT_TRUE(src_table
+                  ->AddVersion(rid,
+                               Row{int64_t{1}, std::string("new"),
+                                   int64_t{2}},
+                               5, nullptr)
+                  .ok());
+
+  Catalog dest;
+  dest.CreateTable("people", PersonSchema());
+  IndexInfo* by_name = dest.CreateIndex("name", "people", {1}, false);
+  dest.CopyContentsFrom(source);
+  // The rebuilt index reflects the newest committed version.
+  size_t hits = 0;
+  by_name->tree->ScanPrefix(key::EncodeKey({Value("new")}),
+                            [&](const std::string&, uint64_t) {
+                              ++hits;
+                              return true;
+                            },
+                            nullptr);
+  EXPECT_EQ(hits, 1u);
+}
+
+}  // namespace
+}  // namespace hattrick

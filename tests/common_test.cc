@@ -1,0 +1,415 @@
+// Tests for src/common: Status, StatusOr, Rng, Value, Schema,
+// key encoding (including order-preservation properties), Sampler.
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "common/key_encoding.h"
+#include "common/rng.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "common/value.h"
+
+namespace hattrick {
+namespace {
+
+// --------------------------------------------------------------------------
+// Status / StatusOr
+// --------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing row");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing row");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing row");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Aborted("x"), Status::Aborted("x"));
+  EXPECT_FALSE(Status::Aborted("x") == Status::Aborted("y"));
+  EXPECT_FALSE(Status::Aborted("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kAborted,
+        StatusCode::kOutOfRange, StatusCode::kInternal,
+        StatusCode::kUnimplemented}) {
+    EXPECT_STRNE(StatusCodeName(code), "UNKNOWN");
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    HATTRICK_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("payload");
+  std::string out = std::move(v).value();
+  EXPECT_EQ(out, "payload");
+}
+
+// --------------------------------------------------------------------------
+// Rng
+// --------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.Uniform(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(RngTest, UniformSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Uniform(3, 3), 3);
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(11);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) ++hits[rng.Uniform(0, 9)];
+  for (int h : hits) EXPECT_GT(h, 700);  // roughly uniform
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng base(19);
+  Rng fork1 = base.Fork(1);
+  Rng fork2 = base.Fork(2);
+  EXPECT_NE(fork1.Next(), fork2.Next());
+}
+
+// --------------------------------------------------------------------------
+// Value
+// --------------------------------------------------------------------------
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value(int64_t{5}).is_int());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value("abc").is_string());
+  EXPECT_EQ(Value(int64_t{5}).AsInt(), 5);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+}
+
+TEST(ValueTest, IntPromotesToDouble) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{7}).AsDouble(), 7.0);
+}
+
+TEST(ValueTest, CompareSameTypes) {
+  EXPECT_LT(Value(int64_t{1}).Compare(Value(int64_t{2})), 0);
+  EXPECT_EQ(Value(int64_t{2}).Compare(Value(int64_t{2})), 0);
+  EXPECT_GT(Value("b").Compare(Value("a")), 0);
+  EXPECT_LT(Value(1.5).Compare(Value(2.5)), 0);
+}
+
+TEST(ValueTest, CompareMixedNumerics) {
+  EXPECT_EQ(Value(int64_t{2}).Compare(Value(2.0)), 0);
+  EXPECT_LT(Value(int64_t{2}).Compare(Value(2.5)), 0);
+}
+
+TEST(ValueTest, NumbersOrderBeforeStrings) {
+  EXPECT_LT(Value(int64_t{5}).Compare(Value("5")), 0);
+  EXPECT_GT(Value("5").Compare(Value(5.0)), 0);
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+  EXPECT_EQ(Value(1.5).ToString(), "1.5000");
+}
+
+TEST(ValueTest, RowToString) {
+  EXPECT_EQ(RowToString(Row{Value(int64_t{1}), Value("x")}), "(1, x)");
+}
+
+// --------------------------------------------------------------------------
+// Schema
+// --------------------------------------------------------------------------
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"name", DataType::kString},
+                 {"price", DataType::kDouble}});
+}
+
+TEST(SchemaTest, LookupByName) {
+  const Schema s = TestSchema();
+  EXPECT_EQ(s.num_columns(), 3u);
+  EXPECT_EQ(s.FindColumn("name"), 1);
+  EXPECT_EQ(s.FindColumn("absent"), -1);
+  EXPECT_EQ(s.ColumnIndex("price"), 2u);
+}
+
+TEST(SchemaTest, ValidateRowAcceptsMatching) {
+  const Schema s = TestSchema();
+  EXPECT_TRUE(s.ValidateRow(Row{int64_t{1}, std::string("a"), 2.0}).ok());
+}
+
+TEST(SchemaTest, ValidateRowRejectsArity) {
+  const Schema s = TestSchema();
+  EXPECT_EQ(s.ValidateRow(Row{int64_t{1}}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, ValidateRowRejectsTypeMismatch) {
+  const Schema s = TestSchema();
+  EXPECT_EQ(
+      s.ValidateRow(Row{int64_t{1}, int64_t{2}, 3.0}).code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  EXPECT_EQ(TestSchema().ToString(), "id:INT64, name:STRING, price:DOUBLE");
+}
+
+// --------------------------------------------------------------------------
+// Key encoding: order preservation is the core invariant.
+// --------------------------------------------------------------------------
+
+TEST(KeyEncodingTest, Int64RoundTrip) {
+  for (int64_t v : {INT64_MIN, int64_t{-1}, int64_t{0}, int64_t{1},
+                    int64_t{123456789}, INT64_MAX}) {
+    std::string buf;
+    key::EncodeInt64(v, &buf);
+    size_t pos = 0;
+    EXPECT_EQ(key::DecodeInt64(buf, &pos), v);
+    EXPECT_EQ(pos, 8u);
+  }
+}
+
+TEST(KeyEncodingTest, DoubleRoundTrip) {
+  for (double v : {-1e308, -1.5, -0.0, 0.0, 1.5, 3.14159, 1e308}) {
+    std::string buf;
+    key::EncodeDouble(v, &buf);
+    size_t pos = 0;
+    EXPECT_DOUBLE_EQ(key::DecodeDouble(buf, &pos), v);
+  }
+}
+
+TEST(KeyEncodingTest, StringRoundTripWithEmbeddedZeros) {
+  const std::string value = std::string("a\0b", 3) + "tail";
+  std::string buf;
+  key::EncodeString(value, &buf);
+  size_t pos = 0;
+  EXPECT_EQ(key::DecodeString(buf, &pos), value);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(KeyEncodingTest, Int64OrderPreservedProperty) {
+  Rng rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t a = static_cast<int64_t>(rng.Next());
+    const int64_t b = static_cast<int64_t>(rng.Next());
+    std::string ea;
+    std::string eb;
+    key::EncodeInt64(a, &ea);
+    key::EncodeInt64(b, &eb);
+    EXPECT_EQ(a < b, ea < eb) << a << " vs " << b;
+  }
+}
+
+TEST(KeyEncodingTest, DoubleOrderPreservedProperty) {
+  Rng rng(29);
+  for (int i = 0; i < 2000; ++i) {
+    const double a = (rng.NextDouble() - 0.5) * 1e12;
+    const double b = (rng.NextDouble() - 0.5) * 1e12;
+    std::string ea;
+    std::string eb;
+    key::EncodeDouble(a, &ea);
+    key::EncodeDouble(b, &eb);
+    EXPECT_EQ(a < b, ea < eb) << a << " vs " << b;
+  }
+}
+
+TEST(KeyEncodingTest, StringOrderPreservedProperty) {
+  Rng rng(31);
+  auto random_string = [&] {
+    std::string s;
+    const int len = static_cast<int>(rng.Uniform(0, 12));
+    for (int i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>(rng.Uniform(0, 3)));  // many zeros
+    }
+    return s;
+  };
+  for (int i = 0; i < 2000; ++i) {
+    const std::string a = random_string();
+    const std::string b = random_string();
+    std::string ea;
+    std::string eb;
+    key::EncodeString(a, &ea);
+    key::EncodeString(b, &eb);
+    EXPECT_EQ(a < b, ea < eb) << "a.size=" << a.size();
+  }
+}
+
+TEST(KeyEncodingTest, CompositeKeysOrderLexicographically) {
+  const std::string k1 = key::EncodeKey({Value("abc"), Value(int64_t{5})});
+  const std::string k2 = key::EncodeKey({Value("abc"), Value(int64_t{6})});
+  const std::string k3 = key::EncodeKey({Value("abd"), Value(int64_t{0})});
+  EXPECT_LT(k1, k2);
+  EXPECT_LT(k2, k3);
+}
+
+TEST(KeyEncodingTest, StringPrefixOrdersBeforeExtension) {
+  std::string ea;
+  std::string eb;
+  key::EncodeString("ab", &ea);
+  key::EncodeString("abc", &eb);
+  EXPECT_LT(ea, eb);
+}
+
+TEST(KeyEncodingTest, PrefixSuccessorBoundsPrefixRange) {
+  const std::string prefix = "abc";
+  const std::string successor = key::PrefixSuccessor(prefix);
+  EXPECT_EQ(successor, "abd");
+  EXPECT_LT(prefix + "zzz", successor);
+  const std::string all_ff = "\xff\xff";
+  EXPECT_TRUE(key::PrefixSuccessor(all_ff).empty());
+}
+
+// --------------------------------------------------------------------------
+// Sampler
+// --------------------------------------------------------------------------
+
+TEST(SamplerTest, EmptyBehaviour) {
+  Sampler s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.Mean(), 0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.5), 0);
+}
+
+TEST(SamplerTest, MeanMinMax) {
+  Sampler s;
+  for (double v : {3.0, 1.0, 2.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 3.0);
+}
+
+TEST(SamplerTest, PercentileNearestRank) {
+  Sampler s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.5), 50);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.99), 99);
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 100);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 1);
+}
+
+TEST(SamplerTest, CdfAt) {
+  Sampler s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.CdfAt(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.CdfAt(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.CdfAt(10.0), 1.0);
+}
+
+TEST(SamplerTest, CdfPointsMonotone) {
+  Sampler s;
+  Rng rng(37);
+  for (int i = 0; i < 500; ++i) s.Add(rng.NextDouble());
+  const auto cdf = s.Cdf();
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LT(cdf[i - 1].first, cdf[i].first);
+    EXPECT_LT(cdf[i - 1].second, cdf[i].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(SamplerTest, AddAfterSortKeepsCorrectness) {
+  Sampler s;
+  s.Add(5);
+  EXPECT_DOUBLE_EQ(s.Max(), 5);
+  s.Add(9);
+  EXPECT_DOUBLE_EQ(s.Max(), 9);  // re-sorts lazily
+}
+
+// --------------------------------------------------------------------------
+// Clocks
+// --------------------------------------------------------------------------
+
+TEST(ClockTest, VirtualClockAdvances) {
+  VirtualClock clock;
+  EXPECT_DOUBLE_EQ(clock.Now(), 0.0);
+  clock.AdvanceTo(2.5);
+  EXPECT_DOUBLE_EQ(clock.Now(), 2.5);
+}
+
+TEST(ClockTest, WallClockMonotone) {
+  WallClock clock;
+  const TimePoint a = clock.Now();
+  const TimePoint b = clock.Now();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace hattrick

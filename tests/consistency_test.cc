@@ -1,0 +1,173 @@
+// Cross-representation consistency properties: after a random committed
+// HATtrick workload, every engine's analytical view must agree with its
+// transactional row store — the hybrid's column copy, the isolated
+// engine's drained standby, and vacuumed stores must all answer queries
+// identically. Also covers engine-level Vacuum().
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "engine/hybrid_engine.h"
+#include "engine/isolated_engine.h"
+#include "engine/shared_engine.h"
+#include "hattrick/datagen.h"
+#include "hattrick/queries.h"
+#include "hattrick/transactions.h"
+
+namespace hattrick {
+namespace {
+
+DatagenConfig SmallConfig(uint64_t seed) {
+  DatagenConfig config;
+  config.scale_factor = 1.0;
+  config.lineorders_per_sf = 1500;
+  config.seed = seed;
+  config.num_freshness_tables = 4;
+  return config;
+}
+
+/// Runs `n` random HATtrick transactions against `engine`.
+void RunRandomWorkload(HtapEngine* engine, WorkloadContext* context,
+                       uint64_t seed, int n) {
+  const EngineHandles handles =
+      EngineHandles::Resolve(*engine->primary_catalog(), 4);
+  Rng rng(seed);
+  uint64_t txn_num = 0;
+  for (int i = 0; i < n; ++i) {
+    const TxnParams params = GenerateTxnParams(context, &rng);
+    ++txn_num;
+    WorkMeter meter;
+    const TxnOutcome outcome = engine->ExecuteTransaction(
+        MakeTxnBody(params, handles, /*client=*/1 + (i % 4), txn_num),
+        1 + (i % 4), txn_num, &meter);
+    ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  }
+}
+
+/// Checksums of all 13 queries through the engine's analytical path
+/// (maintenance drained first).
+std::vector<double> AllQueryChecksums(HtapEngine* engine) {
+  WorkMeter meter;
+  while (engine->MaintenanceStep(&meter)) {
+  }
+  std::vector<double> checksums;
+  for (int qid = 0; qid < kNumQueries; ++qid) {
+    AnalyticsSession session = engine->BeginAnalytics(&meter);
+    ExecContext ctx{&meter};
+    checksums.push_back(RunQuery(qid, *session.source, 4, &ctx).checksum);
+  }
+  return checksums;
+}
+
+class ConsistencyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConsistencyTest, HybridColumnCopyMatchesRowStore) {
+  const Dataset dataset = GenerateDataset(SmallConfig(GetParam()));
+  HybridEngine engine;
+  ASSERT_TRUE(
+      LoadDataset(dataset, PhysicalSchema::kSemiIndexes, &engine).ok());
+  WorkloadContext context(dataset);
+  RunRandomWorkload(&engine, &context, GetParam() * 13, 300);
+
+  WorkMeter meter;
+  AnalyticsSession session = engine.BeginAnalytics(&meter);  // merge
+  session.guard.reset();
+
+  // Every table: the column copy equals the newest row-store contents.
+  Catalog* catalog = engine.primary_catalog();
+  for (TableId id = 0; id < catalog->num_tables(); ++id) {
+    RowTable* rows = catalog->GetTable(id);
+    const ColumnTable* columns =
+        engine.column_table(catalog->table_name(id));
+    ASSERT_EQ(rows->NumSlots(), columns->num_rows())
+        << catalog->table_name(id);
+    for (Rid rid = 0; rid < rows->NumSlots(); rid += 7) {
+      Row row_version;
+      ASSERT_TRUE(rows->ReadLatest(rid, &row_version, nullptr));
+      EXPECT_EQ(row_version, columns->GetRow(rid))
+          << catalog->table_name(id) << " rid " << rid;
+    }
+  }
+}
+
+TEST_P(ConsistencyTest, IsolatedStandbyConvergesToPrimary) {
+  const Dataset dataset = GenerateDataset(SmallConfig(GetParam()));
+  IsolatedEngineConfig config;
+  config.mode = ReplicationMode::kSyncShip;
+  IsolatedEngine engine(config);
+  ASSERT_TRUE(
+      LoadDataset(dataset, PhysicalSchema::kAllIndexes, &engine).ok());
+  WorkloadContext context(dataset);
+  RunRandomWorkload(&engine, &context, GetParam() * 17, 300);
+
+  WorkMeter meter;
+  while (engine.MaintenanceStep(&meter)) {
+  }
+  EXPECT_EQ(engine.ReplicationLag(), 0u);
+
+  Catalog* primary = engine.primary_catalog();
+  Catalog* standby = engine.replica()->catalog();
+  for (TableId id = 0; id < primary->num_tables(); ++id) {
+    RowTable* p = primary->GetTable(id);
+    RowTable* s = standby->GetTable(id);
+    ASSERT_EQ(p->NumSlots(), s->NumSlots()) << primary->table_name(id);
+    for (Rid rid = 0; rid < p->NumSlots(); rid += 5) {
+      Row pr;
+      Row sr;
+      ASSERT_TRUE(p->ReadLatest(rid, &pr, nullptr));
+      ASSERT_TRUE(s->ReadLatest(rid, &sr, nullptr));
+      EXPECT_EQ(pr, sr) << primary->table_name(id) << " rid " << rid;
+    }
+  }
+}
+
+TEST_P(ConsistencyTest, SharedAndHybridAgreeOnAllQueries) {
+  const Dataset dataset = GenerateDataset(SmallConfig(GetParam()));
+  SharedEngine shared;
+  ASSERT_TRUE(
+      LoadDataset(dataset, PhysicalSchema::kSemiIndexes, &shared).ok());
+  HybridEngine hybrid;
+  ASSERT_TRUE(
+      LoadDataset(dataset, PhysicalSchema::kSemiIndexes, &hybrid).ok());
+
+  // Identical committed histories on both engines.
+  WorkloadContext shared_context(dataset);
+  WorkloadContext hybrid_context(dataset);
+  RunRandomWorkload(&shared, &shared_context, GetParam() * 19, 200);
+  RunRandomWorkload(&hybrid, &hybrid_context, GetParam() * 19, 200);
+
+  const std::vector<double> a = AllQueryChecksums(&shared);
+  const std::vector<double> b = AllQueryChecksums(&hybrid);
+  for (int qid = 0; qid < kNumQueries; ++qid) {
+    EXPECT_NEAR(a[qid], b[qid], std::abs(a[qid]) * 1e-9 + 1e-6)
+        << QueryName(qid);
+  }
+}
+
+TEST_P(ConsistencyTest, VacuumPreservesQueryResults) {
+  const Dataset dataset = GenerateDataset(SmallConfig(GetParam()));
+  SharedEngine engine;
+  ASSERT_TRUE(
+      LoadDataset(dataset, PhysicalSchema::kAllIndexes, &engine).ok());
+  WorkloadContext context(dataset);
+  RunRandomWorkload(&engine, &context, GetParam() * 23, 400);
+
+  const std::vector<double> before = AllQueryChecksums(&engine);
+  // Updates (payments, freshness bumps) must have produced garbage.
+  const size_t dropped = engine.Vacuum();
+  EXPECT_GT(dropped, 0u);
+  EXPECT_EQ(engine.Vacuum(), 0u);  // idempotent once clean
+  const std::vector<double> after = AllQueryChecksums(&engine);
+  for (int qid = 0; qid < kNumQueries; ++qid) {
+    EXPECT_DOUBLE_EQ(before[qid], after[qid]) << QueryName(qid);
+  }
+  // Transactions still work post-vacuum.
+  RunRandomWorkload(&engine, &context, GetParam() * 29, 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencyTest,
+                         ::testing::Values(1001, 2002, 3003));
+
+}  // namespace
+}  // namespace hattrick

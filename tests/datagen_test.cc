@@ -1,0 +1,254 @@
+// Tests for the HATtrick schema and data generator: cardinalities and
+// ratios, determinism, value domains required by the SSB queries, and
+// calendar correctness.
+
+#include <map>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "hattrick/datagen.h"
+#include "hattrick/hattrick_schema.h"
+
+namespace hattrick {
+namespace {
+
+TEST(SchemaSpecTest, TableArities) {
+  EXPECT_EQ(LineorderSchema().num_columns(), lo::kNumColumns);
+  EXPECT_EQ(CustomerSchema().num_columns(), cust::kNumColumns);
+  EXPECT_EQ(SupplierSchema().num_columns(), supp::kNumColumns);
+  EXPECT_EQ(PartSchema().num_columns(), part::kNumColumns);
+  EXPECT_EQ(DateSchema().num_columns(), date::kNumColumns);
+  EXPECT_EQ(HistorySchema().num_columns(), hist::kNumColumns);
+  EXPECT_EQ(FreshnessSchema().num_columns(), fresh::kNumColumns);
+}
+
+TEST(SchemaSpecTest, HattrickAdditionsPresent) {
+  // Paper Figure 4: new attributes and tables added to SSB.
+  EXPECT_EQ(CustomerSchema().ColumnIndex("C_PAYMENTCNT"), cust::kPaymentCnt);
+  EXPECT_EQ(SupplierSchema().ColumnIndex("S_YTD"), supp::kYtd);
+  EXPECT_EQ(PartSchema().ColumnIndex("P_PRICE"), part::kPrice);
+  EXPECT_EQ(FreshnessSchema().ColumnIndex("TXNNUM"), fresh::kTxnNum);
+}
+
+TEST(SchemaSpecTest, DatabaseSpecTableCountIncludesFreshness) {
+  const DatabaseSpec spec =
+      MakeDatabaseSpec(PhysicalSchema::kAllIndexes, /*freshness=*/8);
+  EXPECT_EQ(spec.tables.size(), 6u + 8u);
+  EXPECT_EQ(spec.tables[0].name, kLineorder);
+}
+
+TEST(SchemaSpecTest, PhysicalSchemasDifferInIndexes) {
+  const auto none = MakeDatabaseSpec(PhysicalSchema::kNoIndexes, 1);
+  const auto semi = MakeDatabaseSpec(PhysicalSchema::kSemiIndexes, 1);
+  const auto all = MakeDatabaseSpec(PhysicalSchema::kAllIndexes, 1);
+  EXPECT_TRUE(none.indexes.empty());
+  EXPECT_GT(semi.indexes.size(), 0u);
+  EXPECT_GT(all.indexes.size(), semi.indexes.size());
+}
+
+TEST(SchemaSpecTest, FreshnessTableNames) {
+  EXPECT_EQ(FreshnessTableName(1), "FRESHNESS_1");
+  EXPECT_EQ(FreshnessTableName(64), "FRESHNESS_64");
+}
+
+TEST(SchemaSpecTest, PhysicalSchemaNames) {
+  EXPECT_STREQ(PhysicalSchemaName(PhysicalSchema::kNoIndexes), "none");
+  EXPECT_STREQ(PhysicalSchemaName(PhysicalSchema::kSemiIndexes), "semi");
+  EXPECT_STREQ(PhysicalSchemaName(PhysicalSchema::kAllIndexes), "all");
+}
+
+class DatagenTest : public ::testing::Test {
+ protected:
+  static DatagenConfig SmallConfig() {
+    DatagenConfig config;
+    config.scale_factor = 1.0;
+    config.lineorders_per_sf = 3000;
+    config.seed = 99;
+    config.num_freshness_tables = 4;
+    return config;
+  }
+};
+
+TEST_F(DatagenTest, CardinalitiesFollowSsbRatios) {
+  DatagenConfig config = SmallConfig();
+  const Dataset ds = GenerateDataset(config);
+  EXPECT_GE(ds.lineorder.size(), config.NumLineorders());
+  EXPECT_LE(ds.lineorder.size(), config.NumLineorders() + 7);
+  EXPECT_EQ(ds.customer.size(), config.NumCustomers());
+  EXPECT_EQ(ds.supplier.size(), config.NumSuppliers());
+  EXPECT_EQ(ds.part.size(), config.NumParts());
+  EXPECT_EQ(ds.date.size(), DatagenConfig::NumDates());
+}
+
+TEST_F(DatagenTest, ScaleFactorScalesLinearly) {
+  DatagenConfig sf1 = SmallConfig();
+  DatagenConfig sf10 = SmallConfig();
+  sf10.scale_factor = 10.0;
+  EXPECT_NEAR(static_cast<double>(sf10.NumLineorders()),
+              10.0 * static_cast<double>(sf1.NumLineorders()),
+              static_cast<double>(sf1.NumLineorders()) * 0.01);
+  EXPECT_GT(sf10.NumCustomers(), sf1.NumCustomers());
+  EXPECT_GT(sf10.NumParts(), sf1.NumParts());
+}
+
+TEST_F(DatagenTest, DeterministicForSeed) {
+  const Dataset a = GenerateDataset(SmallConfig());
+  const Dataset b = GenerateDataset(SmallConfig());
+  ASSERT_EQ(a.lineorder.size(), b.lineorder.size());
+  for (size_t i = 0; i < a.lineorder.size(); i += 97) {
+    EXPECT_EQ(a.lineorder[i], b.lineorder[i]) << i;
+  }
+  DatagenConfig other = SmallConfig();
+  other.seed = 100;
+  const Dataset c = GenerateDataset(other);
+  EXPECT_NE(a.lineorder[0], c.lineorder[0]);
+}
+
+TEST_F(DatagenTest, HistoryHasOneRowPerOrder) {
+  const Dataset ds = GenerateDataset(SmallConfig());
+  std::set<int64_t> orders;
+  for (const Row& row : ds.lineorder) {
+    orders.insert(row[lo::kOrderKey].AsInt());
+  }
+  EXPECT_EQ(ds.history.size(), orders.size());
+  EXPECT_EQ(ds.max_orderkey, static_cast<int64_t>(orders.size()));
+  // History is roughly 25% of lineorder (1-7 lines per order, mean 4).
+  const double ratio = static_cast<double>(ds.history.size()) /
+                       static_cast<double>(ds.lineorder.size());
+  EXPECT_GT(ratio, 0.18);
+  EXPECT_LT(ratio, 0.35);
+}
+
+TEST_F(DatagenTest, LineorderValueDomains) {
+  const Dataset ds = GenerateDataset(SmallConfig());
+  for (size_t i = 0; i < ds.lineorder.size(); i += 13) {
+    const Row& row = ds.lineorder[i];
+    EXPECT_GE(row[lo::kQuantity].AsInt(), 1);
+    EXPECT_LE(row[lo::kQuantity].AsInt(), 50);
+    EXPECT_GE(row[lo::kDiscount].AsInt(), 0);
+    EXPECT_LE(row[lo::kDiscount].AsInt(), 10);
+    EXPECT_GE(row[lo::kTax].AsInt(), 0);
+    EXPECT_LE(row[lo::kTax].AsInt(), 8);
+    EXPECT_GE(row[lo::kOrderDate].AsInt(), 19920101);
+    EXPECT_LE(row[lo::kOrderDate].AsInt(), 19981231);
+    EXPECT_GE(row[lo::kCustKey].AsInt(), 1);
+    EXPECT_LE(row[lo::kCustKey].AsInt(),
+              static_cast<int64_t>(ds.customer.size()));
+    EXPECT_GE(row[lo::kPartKey].AsInt(), 1);
+    EXPECT_LE(row[lo::kPartKey].AsInt(),
+              static_cast<int64_t>(ds.part.size()));
+    // Revenue = extendedprice * (100 - discount) / 100.
+    EXPECT_NEAR(row[lo::kRevenue].AsDouble(),
+                row[lo::kExtendedPrice].AsDouble() *
+                    (100.0 -
+                     static_cast<double>(row[lo::kDiscount].AsInt())) /
+                    100.0,
+                1e-6);
+  }
+}
+
+TEST_F(DatagenTest, OrderTotalsConsistent) {
+  const Dataset ds = GenerateDataset(SmallConfig());
+  std::map<int64_t, double> sums;
+  for (const Row& row : ds.lineorder) {
+    sums[row[lo::kOrderKey].AsInt()] += row[lo::kExtendedPrice].AsDouble();
+  }
+  for (const Row& row : ds.lineorder) {
+    EXPECT_NEAR(row[lo::kOrdTotalPrice].AsDouble(),
+                sums[row[lo::kOrderKey].AsInt()], 1e-6);
+  }
+}
+
+TEST_F(DatagenTest, CustomerLocalesConsistent) {
+  DatagenConfig config = SmallConfig();
+  config.scale_factor = 20;  // enough rows to cover nations
+  const Dataset ds = GenerateDataset(config);
+  std::set<std::string> regions;
+  for (const Row& row : ds.customer) {
+    regions.insert(row[cust::kRegion].AsString());
+    // City = 9-char nation prefix (space padded) + digit.
+    const std::string& city = row[cust::kCity].AsString();
+    const std::string& nation = row[cust::kNation].AsString();
+    ASSERT_EQ(city.size(), 10u);
+    std::string prefix = nation.substr(0, 9);
+    prefix.resize(9, ' ');
+    EXPECT_EQ(city.substr(0, 9), prefix);
+  }
+  // All five regions appear (required by the Q2/Q3/Q4 filters).
+  EXPECT_EQ(regions.size(), 5u);
+}
+
+TEST_F(DatagenTest, PartHierarchyFormats) {
+  const Dataset ds = GenerateDataset(SmallConfig());
+  for (size_t i = 0; i < ds.part.size(); i += 7) {
+    const Row& row = ds.part[i];
+    const std::string& mfgr = row[part::kMfgr].AsString();
+    const std::string& category = row[part::kCategory].AsString();
+    const std::string& brand = row[part::kBrand1].AsString();
+    EXPECT_EQ(mfgr.substr(0, 5), "MFGR#");
+    EXPECT_EQ(category.substr(0, mfgr.size()), mfgr);
+    EXPECT_EQ(brand.substr(0, category.size()), category);
+    EXPECT_GT(row[part::kPrice].AsDouble(), 0);
+  }
+}
+
+TEST_F(DatagenTest, NamesMatchKeyDerivation) {
+  const Dataset ds = GenerateDataset(SmallConfig());
+  EXPECT_EQ(ds.customer[0][cust::kName].AsString(), CustomerName(1));
+  EXPECT_EQ(ds.supplier[0][supp::kName].AsString(), SupplierName(1));
+  EXPECT_EQ(CustomerName(42), "Customer#000000042");
+}
+
+TEST_F(DatagenTest, CalendarIsCorrect) {
+  const Dataset ds = GenerateDataset(SmallConfig());
+  // 1992-01-01 was a Wednesday.
+  EXPECT_EQ(ds.date[0][date::kDateKey].AsInt(), 19920101);
+  EXPECT_EQ(ds.date[0][date::kDayOfWeek].AsString(), "Wednesday");
+  EXPECT_EQ(ds.date[0][date::kYear].AsInt(), 1992);
+  EXPECT_EQ(ds.date[0][date::kYearMonthNum].AsInt(), 199201);
+  EXPECT_EQ(ds.date[0][date::kYearMonth].AsString(), "Jan1992");
+  // 1992 is a leap year: day index 59 is Feb 29.
+  EXPECT_EQ(DateKeyAt(59), 19920229);
+  EXPECT_EQ(DateKeyAt(60), 19920301);
+  // Datekeys strictly increase.
+  for (size_t i = 1; i < ds.date.size(); ++i) {
+    EXPECT_LT(ds.date[i - 1][date::kDateKey].AsInt(),
+              ds.date[i][date::kDateKey].AsInt());
+  }
+  // 'Dec1997' exists (needed by Q3.4).
+  bool dec1997 = false;
+  for (const Row& row : ds.date) {
+    if (row[date::kYearMonth].AsString() == "Dec1997") dec1997 = true;
+  }
+  EXPECT_TRUE(dec1997);
+}
+
+TEST_F(DatagenTest, MinimumsEnforcedAtTinyScale) {
+  DatagenConfig config;
+  config.scale_factor = 0.001;
+  config.lineorders_per_sf = 1000;
+  EXPECT_GE(config.NumCustomers(), 10u);
+  EXPECT_GE(config.NumSuppliers(), 2u);
+  EXPECT_GE(config.NumParts(), 20u);
+  EXPECT_GE(config.NumLineorders(), 200u);
+  const Dataset ds = GenerateDataset(config);
+  EXPECT_GE(ds.lineorder.size(), 200u);
+}
+
+TEST_F(DatagenTest, RowsValidateAgainstSchemas) {
+  const Dataset ds = GenerateDataset(SmallConfig());
+  const Schema lo_schema = LineorderSchema();
+  for (size_t i = 0; i < ds.lineorder.size(); i += 101) {
+    EXPECT_TRUE(lo_schema.ValidateRow(ds.lineorder[i]).ok());
+  }
+  EXPECT_TRUE(CustomerSchema().ValidateRow(ds.customer[0]).ok());
+  EXPECT_TRUE(SupplierSchema().ValidateRow(ds.supplier[0]).ok());
+  EXPECT_TRUE(PartSchema().ValidateRow(ds.part[0]).ok());
+  EXPECT_TRUE(DateSchema().ValidateRow(ds.date[0]).ok());
+  EXPECT_TRUE(HistorySchema().ValidateRow(ds.history[0]).ok());
+}
+
+}  // namespace
+}  // namespace hattrick

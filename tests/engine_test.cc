@@ -1,0 +1,459 @@
+// Engine conformance suite: the same behavioural contract exercised
+// against all three HTAP designs (shared, isolated, hybrid) via a
+// parameterized factory, plus design-specific tests (replication modes,
+// delta merge).
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "engine/hybrid_engine.h"
+#include "engine/isolated_engine.h"
+#include "engine/shared_engine.h"
+
+namespace hattrick {
+namespace {
+
+DatabaseSpec SmallSpec() {
+  DatabaseSpec spec;
+  spec.tables.push_back(
+      {"items", Schema({{"id", DataType::kInt64},
+                        {"name", DataType::kString},
+                        {"qty", DataType::kInt64}})});
+  spec.indexes.push_back({"items_pk", "items", {0}, true});
+  return spec;
+}
+
+std::vector<Row> SeedRows() {
+  std::vector<Row> rows;
+  for (int i = 0; i < 50; ++i) {
+    rows.push_back(Row{int64_t{i}, "item" + std::to_string(i),
+                       int64_t{10}});
+  }
+  return rows;
+}
+
+using EngineFactory = std::function<std::unique_ptr<HtapEngine>()>;
+
+struct EngineCase {
+  std::string name;
+  EngineFactory factory;
+};
+
+class EngineConformanceTest : public ::testing::TestWithParam<EngineCase> {
+ protected:
+  void SetUp() override {
+    engine_ = GetParam().factory();
+    ASSERT_TRUE(engine_->Create(SmallSpec()).ok());
+    ASSERT_TRUE(engine_->BulkLoad("items", SeedRows()).ok());
+    ASSERT_TRUE(engine_->FinishLoad().ok());
+  }
+
+  /// Commits qty+1 on row `rid`; returns the outcome.
+  TxnOutcome IncrementQty(Rid rid, uint32_t client = 1,
+                          uint64_t txn_num = 1) {
+    WorkMeter meter;
+    return engine_->ExecuteTransaction(
+        [rid](TxnManager* tm, Transaction* txn, WorkMeter* m) -> Status {
+          Row row;
+          HATTRICK_RETURN_IF_ERROR(tm->Read(txn, 0, rid, &row, m));
+          Row updated = row;
+          updated[2] = Value(row[2].AsInt() + 1);
+          tm->BufferUpdate(txn, 0, rid, row, std::move(updated));
+          return Status::OK();
+        },
+        client, txn_num, &meter);
+  }
+
+  /// Sums the qty column through the engine's analytical path, draining
+  /// any maintenance backlog first so the result is up to date.
+  int64_t AnalyticalQtySum() {
+    WorkMeter meter;
+    while (engine_->MaintenanceStep(&meter)) {
+    }
+    AnalyticsSession session = engine_->BeginAnalytics(&meter);
+    ScanSpec spec;
+    spec.table = "items";
+    spec.projection = {2};
+    OperatorPtr scan = session.source->Scan(spec);
+    ExecContext ctx{&meter};
+    scan->Open(&ctx);
+    Row row;
+    int64_t sum = 0;
+    while (scan->Next(&ctx, &row)) sum += row[0].AsInt();
+    return sum;
+  }
+
+  std::unique_ptr<HtapEngine> engine_;
+};
+
+TEST_P(EngineConformanceTest, LoadedDataVisibleToAnalytics) {
+  EXPECT_EQ(AnalyticalQtySum(), 500);
+}
+
+TEST_P(EngineConformanceTest, CommittedTransactionVisibleToAnalytics) {
+  ASSERT_TRUE(IncrementQty(0).status.ok());
+  EXPECT_EQ(AnalyticalQtySum(), 501);
+}
+
+TEST_P(EngineConformanceTest, InsertsReachAnalytics) {
+  WorkMeter meter;
+  TxnOutcome outcome = engine_->ExecuteTransaction(
+      [](TxnManager* tm, Transaction* txn, WorkMeter*) {
+        tm->BufferInsert(txn, 0,
+                         Row{int64_t{1000}, std::string("new"),
+                             int64_t{7}});
+        return Status::OK();
+      },
+      1, 1, &meter);
+  ASSERT_TRUE(outcome.status.ok());
+  EXPECT_EQ(AnalyticalQtySum(), 507);
+}
+
+TEST_P(EngineConformanceTest, TxnOutcomeCarriesWriteKeys) {
+  TxnOutcome outcome = IncrementQty(3);
+  ASSERT_TRUE(outcome.status.ok());
+  ASSERT_EQ(outcome.write_keys.size(), 1u);
+  EXPECT_EQ(outcome.write_keys[0], PackRowKey(0, 3));
+}
+
+TEST_P(EngineConformanceTest, FailingBodyChangesNothing) {
+  WorkMeter meter;
+  TxnOutcome outcome = engine_->ExecuteTransaction(
+      [](TxnManager* tm, Transaction* txn, WorkMeter*) {
+        tm->BufferInsert(txn, 0,
+                         Row{int64_t{1}, std::string("x"), int64_t{1}});
+        return Status::NotFound("simulated failure");
+      },
+      1, 1, &meter);
+  EXPECT_FALSE(outcome.status.ok());
+  EXPECT_EQ(AnalyticalQtySum(), 500);
+}
+
+TEST_P(EngineConformanceTest, ResetRestoresInitialState) {
+  ASSERT_TRUE(IncrementQty(0).status.ok());
+  ASSERT_TRUE(IncrementQty(1).status.ok());
+  ASSERT_TRUE(engine_->Reset().ok());
+  EXPECT_EQ(AnalyticalQtySum(), 500);
+  // Indexes were rebuilt: transactional point access still works.
+  ASSERT_TRUE(IncrementQty(5).status.ok());
+  EXPECT_EQ(AnalyticalQtySum(), 501);
+}
+
+TEST_P(EngineConformanceTest, ResetIsRepeatable) {
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(IncrementQty(0).status.ok());
+    ASSERT_TRUE(engine_->Reset().ok());
+    EXPECT_EQ(AnalyticalQtySum(), 500) << "round " << round;
+  }
+}
+
+TEST_P(EngineConformanceTest, AnalyticsSnapshotIsStable) {
+  // A session opened before a commit must not observe that commit.
+  WorkMeter meter;
+  while (engine_->MaintenanceStep(&meter)) {
+  }
+  AnalyticsSession session = engine_->BeginAnalytics(&meter);
+  ASSERT_TRUE(IncrementQty(0).status.ok());
+  ScanSpec spec;
+  spec.table = "items";
+  spec.projection = {2};
+  OperatorPtr scan = session.source->Scan(spec);
+  ExecContext ctx{&meter};
+  scan->Open(&ctx);
+  Row row;
+  int64_t sum = 0;
+  while (scan->Next(&ctx, &row)) sum += row[0].AsInt();
+  session.guard.reset();
+  EXPECT_EQ(sum, 500);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, EngineConformanceTest,
+    ::testing::Values(
+        EngineCase{"shared",
+                   [] {
+                     return std::unique_ptr<HtapEngine>(
+                         std::make_unique<SharedEngine>());
+                   }},
+        EngineCase{"isolated",
+                   [] {
+                     IsolatedEngineConfig config;
+                     config.mode = ReplicationMode::kSyncShip;
+                     return std::unique_ptr<HtapEngine>(
+                         std::make_unique<IsolatedEngine>(config));
+                   }},
+        EngineCase{"hybrid",
+                   [] {
+                     return std::unique_ptr<HtapEngine>(
+                         std::make_unique<HybridEngine>());
+                   }}),
+    [](const ::testing::TestParamInfo<EngineCase>& info) {
+      return info.param.name;
+    });
+
+// --------------------------------------------------------------------------
+// Design-specific behaviour.
+// --------------------------------------------------------------------------
+
+class IsolatedEngineTest : public ::testing::Test {
+ protected:
+  void Load(ReplicationMode mode) {
+    IsolatedEngineConfig config;
+    config.mode = mode;
+    engine_ = std::make_unique<IsolatedEngine>(config);
+    ASSERT_TRUE(engine_->Create(SmallSpec()).ok());
+    ASSERT_TRUE(engine_->BulkLoad("items", SeedRows()).ok());
+    ASSERT_TRUE(engine_->FinishLoad().ok());
+  }
+
+  TxnOutcome Insert(int64_t id) {
+    WorkMeter meter;
+    return engine_->ExecuteTransaction(
+        [id](TxnManager* tm, Transaction* txn, WorkMeter*) {
+          tm->BufferInsert(txn, 0,
+                           Row{id, std::string("n"), int64_t{1}});
+          return Status::OK();
+        },
+        1, 1, &meter);
+  }
+
+  std::unique_ptr<IsolatedEngine> engine_;
+};
+
+TEST_F(IsolatedEngineTest, OnModeRequestsShipWait) {
+  Load(ReplicationMode::kSyncShip);
+  TxnOutcome outcome = Insert(100);
+  ASSERT_TRUE(outcome.status.ok());
+  EXPECT_EQ(outcome.wait.kind, CommitWait::Kind::kShipDelay);
+  EXPECT_GT(outcome.wait.bytes, 0u);
+}
+
+TEST_F(IsolatedEngineTest, RemoteApplyModeRequestsApplyWait) {
+  Load(ReplicationMode::kRemoteApply);
+  TxnOutcome outcome = Insert(100);
+  ASSERT_TRUE(outcome.status.ok());
+  EXPECT_EQ(outcome.wait.kind, CommitWait::Kind::kReplicaApplied);
+  EXPECT_EQ(outcome.wait.lsn, outcome.lsn);
+  EXPECT_FALSE(engine_->IsApplied(outcome.lsn));
+  WorkMeter meter;
+  ASSERT_TRUE(engine_->MaintenanceStep(&meter));
+  EXPECT_TRUE(engine_->IsApplied(outcome.lsn));
+}
+
+TEST_F(IsolatedEngineTest, AsyncModeNoWait) {
+  Load(ReplicationMode::kAsync);
+  TxnOutcome outcome = Insert(100);
+  ASSERT_TRUE(outcome.status.ok());
+  EXPECT_EQ(outcome.wait.kind, CommitWait::Kind::kNone);
+}
+
+TEST_F(IsolatedEngineTest, StandbyAnalyticsLagUntilReplay) {
+  Load(ReplicationMode::kSyncShip);
+  ASSERT_TRUE(Insert(100).status.ok());
+  EXPECT_EQ(engine_->ReplicationLag(), 1u);
+
+  // Before replay: standby analytics do not see the insert.
+  WorkMeter meter;
+  AnalyticsSession stale = engine_->BeginAnalytics(&meter);
+  ScanSpec spec;
+  spec.table = "items";
+  spec.projection = {0};
+  {
+    OperatorPtr scan = stale.source->Scan(spec);
+    ExecContext ctx{&meter};
+    scan->Open(&ctx);
+    Row row;
+    size_t rows = 0;
+    while (scan->Next(&ctx, &row)) ++rows;
+    EXPECT_EQ(rows, 50u);
+  }
+
+  ASSERT_TRUE(engine_->MaintenanceStep(&meter));
+  EXPECT_EQ(engine_->ReplicationLag(), 0u);
+  AnalyticsSession fresh = engine_->BeginAnalytics(&meter);
+  OperatorPtr scan = fresh.source->Scan(spec);
+  ExecContext ctx{&meter};
+  scan->Open(&ctx);
+  Row row;
+  size_t rows = 0;
+  while (scan->Next(&ctx, &row)) ++rows;
+  EXPECT_EQ(rows, 51u);
+}
+
+TEST_F(IsolatedEngineTest, ReadOnlyTxnHasNoReplicationWait) {
+  Load(ReplicationMode::kRemoteApply);
+  WorkMeter meter;
+  TxnOutcome outcome = engine_->ExecuteTransaction(
+      [](TxnManager* tm, Transaction* txn, WorkMeter* m) {
+        Row row;
+        return tm->Read(txn, 0, 0, &row, m);
+      },
+      1, 1, &meter);
+  ASSERT_TRUE(outcome.status.ok());
+  EXPECT_EQ(outcome.wait.kind, CommitWait::Kind::kNone);
+}
+
+TEST_F(IsolatedEngineTest, MultiReplicaRoundRobinAndConvergence) {
+  IsolatedEngineConfig config;
+  config.mode = ReplicationMode::kSyncShip;
+  config.num_replicas = 3;
+  engine_ = std::make_unique<IsolatedEngine>(config);
+  ASSERT_TRUE(engine_->Create(SmallSpec()).ok());
+  ASSERT_TRUE(engine_->BulkLoad("items", SeedRows()).ok());
+  ASSERT_TRUE(engine_->FinishLoad().ok());
+  ASSERT_TRUE(Insert(100).status.ok());
+
+  // One record shipped to each standby; lag reported as the max.
+  EXPECT_EQ(engine_->ReplicationLag(), 1u);
+  WorkMeter meter;
+  // Draining requires one apply per standby.
+  EXPECT_TRUE(engine_->MaintenanceStep(&meter));
+  EXPECT_TRUE(engine_->MaintenanceStep(&meter));
+  EXPECT_EQ(engine_->ReplicationLag(), 1u);  // one standby still behind
+  EXPECT_TRUE(engine_->MaintenanceStep(&meter));
+  EXPECT_EQ(engine_->ReplicationLag(), 0u);
+  EXPECT_FALSE(engine_->MaintenanceStep(&meter));
+
+  // All standbys converged: three consecutive sessions (round-robin hits
+  // each standby once) all see the insert.
+  for (int i = 0; i < 3; ++i) {
+    AnalyticsSession session = engine_->BeginAnalytics(&meter);
+    ScanSpec spec;
+    spec.table = "items";
+    spec.projection = {0};
+    OperatorPtr scan = session.source->Scan(spec);
+    ExecContext ctx{&meter};
+    scan->Open(&ctx);
+    Row row;
+    size_t rows = 0;
+    while (scan->Next(&ctx, &row)) ++rows;
+    EXPECT_EQ(rows, 51u) << "standby " << i;
+  }
+}
+
+TEST_F(IsolatedEngineTest, MultiReplicaRemoteApplyWaitsForAll) {
+  IsolatedEngineConfig config;
+  config.mode = ReplicationMode::kRemoteApply;
+  config.num_replicas = 2;
+  engine_ = std::make_unique<IsolatedEngine>(config);
+  ASSERT_TRUE(engine_->Create(SmallSpec()).ok());
+  ASSERT_TRUE(engine_->BulkLoad("items", SeedRows()).ok());
+  ASSERT_TRUE(engine_->FinishLoad().ok());
+  const TxnOutcome outcome = Insert(200);
+  ASSERT_TRUE(outcome.status.ok());
+  EXPECT_EQ(outcome.wait.kind, CommitWait::Kind::kReplicaApplied);
+  WorkMeter meter;
+  ASSERT_TRUE(engine_->MaintenanceStep(&meter));  // first standby only
+  EXPECT_FALSE(engine_->IsApplied(outcome.lsn));
+  ASSERT_TRUE(engine_->MaintenanceStep(&meter));
+  EXPECT_TRUE(engine_->IsApplied(outcome.lsn));
+}
+
+TEST_F(IsolatedEngineTest, MultiReplicaReset) {
+  IsolatedEngineConfig config;
+  config.mode = ReplicationMode::kSyncShip;
+  config.num_replicas = 2;
+  engine_ = std::make_unique<IsolatedEngine>(config);
+  ASSERT_TRUE(engine_->Create(SmallSpec()).ok());
+  ASSERT_TRUE(engine_->BulkLoad("items", SeedRows()).ok());
+  ASSERT_TRUE(engine_->FinishLoad().ok());
+  ASSERT_TRUE(Insert(300).status.ok());
+  ASSERT_TRUE(engine_->Reset().ok());
+  EXPECT_EQ(engine_->ReplicationLag(), 0u);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(engine_->replica(i)->catalog()->GetTable("items")->NumSlots(),
+              50u);
+  }
+  // Works again after reset.
+  EXPECT_TRUE(Insert(301).status.ok());
+}
+
+class HybridEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_unique<HybridEngine>();
+    ASSERT_TRUE(engine_->Create(SmallSpec()).ok());
+    ASSERT_TRUE(engine_->BulkLoad("items", SeedRows()).ok());
+    ASSERT_TRUE(engine_->FinishLoad().ok());
+  }
+
+  std::unique_ptr<HybridEngine> engine_;
+};
+
+TEST_F(HybridEngineTest, CommitsQueueAsDelta) {
+  WorkMeter meter;
+  ASSERT_TRUE(engine_
+                  ->ExecuteTransaction(
+                      [](TxnManager* tm, Transaction* txn, WorkMeter*) {
+                        tm->BufferInsert(txn, 0,
+                                         Row{int64_t{99},
+                                             std::string("d"),
+                                             int64_t{1}});
+                        return Status::OK();
+                      },
+                      1, 1, &meter)
+                  .status.ok());
+  EXPECT_EQ(engine_->PendingDelta(), 1u);
+  // Opening analytics merges the delta ("merge the tail before query").
+  AnalyticsSession session = engine_->BeginAnalytics(&meter);
+  EXPECT_EQ(engine_->PendingDelta(), 0u);
+  EXPECT_GT(meter.merged_rows, 0u);
+  EXPECT_EQ(engine_->column_table("items")->num_rows(), 51u);
+}
+
+TEST_F(HybridEngineTest, MergeAppliesUpdatesInPlace) {
+  WorkMeter meter;
+  ASSERT_TRUE(engine_
+                  ->ExecuteTransaction(
+                      [](TxnManager* tm, Transaction* txn, WorkMeter* m) {
+                        Row row;
+                        HATTRICK_RETURN_IF_ERROR(
+                            tm->Read(txn, 0, 7, &row, m));
+                        Row updated = row;
+                        updated[2] = Value(int64_t{777});
+                        tm->BufferUpdate(txn, 0, 7, row,
+                                         std::move(updated));
+                        return Status::OK();
+                      },
+                      1, 1, &meter)
+                  .status.ok());
+  AnalyticsSession session = engine_->BeginAnalytics(&meter);
+  EXPECT_EQ(engine_->column_table("items")->GetInt(2, 7), 777);
+  EXPECT_EQ(engine_->column_table("items")->num_rows(), 50u);
+}
+
+TEST_F(HybridEngineTest, SystemXAndTidbConfigs) {
+  EXPECT_EQ(SystemXConfig().isolation, IsolationLevel::kSerializable);
+  EXPECT_EQ(TidbConfig().isolation, IsolationLevel::kSnapshot);
+  EXPECT_EQ(SystemXConfig().name, "System-X");
+  EXPECT_EQ(TidbConfig().name, "TiDB");
+}
+
+TEST_F(HybridEngineTest, ResetClearsDeltaAndColumnGrowth) {
+  WorkMeter meter;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(engine_
+                    ->ExecuteTransaction(
+                        [i](TxnManager* tm, Transaction* txn, WorkMeter*) {
+                          tm->BufferInsert(
+                              txn, 0,
+                              Row{int64_t{100 + i}, std::string("d"),
+                                  int64_t{1}});
+                          return Status::OK();
+                        },
+                        1, 1, &meter)
+                    .status.ok());
+  }
+  AnalyticsSession session = engine_->BeginAnalytics(&meter);  // merge
+  session.guard.reset();
+  EXPECT_EQ(engine_->column_table("items")->num_rows(), 55u);
+  ASSERT_TRUE(engine_->Reset().ok());
+  EXPECT_EQ(engine_->PendingDelta(), 0u);
+  EXPECT_EQ(engine_->column_table("items")->num_rows(), 50u);
+}
+
+}  // namespace
+}  // namespace hattrick

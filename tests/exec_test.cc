@@ -1,0 +1,394 @@
+// Tests for the execution layer: expressions, relational operators
+// (including randomized checks against naive reference implementations),
+// and the row/column scan sources with pushdowns, zone-map pruning, and
+// index-assisted scans.
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/expression.h"
+#include "exec/operator.h"
+#include "exec/scan.h"
+#include "storage/catalog.h"
+#include "storage/column_table.h"
+
+namespace hattrick {
+namespace {
+
+Row R(std::initializer_list<Value> values) { return Row(values); }
+
+std::vector<Row> RunPlan(OperatorPtr op, WorkMeter* meter = nullptr) {
+  WorkMeter local;
+  ExecContext ctx{meter != nullptr ? meter : &local};
+  return Collect(op.get(), &ctx);
+}
+
+// --------------------------------------------------------------------------
+// Expressions
+// --------------------------------------------------------------------------
+
+TEST(ExpressionTest, ColumnAndLiteral) {
+  const Row row = R({int64_t{5}, std::string("x")});
+  EXPECT_EQ(Col(0)->Eval(row).AsInt(), 5);
+  EXPECT_EQ(Col(1)->Eval(row).AsString(), "x");
+  EXPECT_EQ(Lit(Value(int64_t{9}))->Eval(row).AsInt(), 9);
+}
+
+TEST(ExpressionTest, IntArithmetic) {
+  const Row row = R({int64_t{6}, int64_t{4}});
+  EXPECT_EQ(Add(Col(0), Col(1))->Eval(row).AsInt(), 10);
+  EXPECT_EQ(Sub(Col(0), Col(1))->Eval(row).AsInt(), 2);
+  EXPECT_EQ(Mul(Col(0), Col(1))->Eval(row).AsInt(), 24);
+}
+
+TEST(ExpressionTest, MixedArithmeticPromotesToDouble) {
+  const Row row = R({int64_t{6}, 0.5});
+  const Value v = Mul(Col(0), Col(1))->Eval(row);
+  EXPECT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 3.0);
+}
+
+TEST(ExpressionTest, Comparisons) {
+  const Row row = R({int64_t{3}, int64_t{7}});
+  EXPECT_TRUE(EvalBool(*Lt(Col(0), Col(1)), row));
+  EXPECT_FALSE(EvalBool(*Gt(Col(0), Col(1)), row));
+  EXPECT_TRUE(EvalBool(*Le(Col(0), Lit(Value(int64_t{3}))), row));
+  EXPECT_TRUE(EvalBool(*Ge(Col(1), Lit(Value(int64_t{7}))), row));
+  EXPECT_TRUE(EvalBool(*Ne(Col(0), Col(1)), row));
+  EXPECT_FALSE(EvalBool(*Eq(Col(0), Col(1)), row));
+}
+
+TEST(ExpressionTest, LogicShortCircuits) {
+  const Row row = R({int64_t{1}, int64_t{0}});
+  EXPECT_TRUE(EvalBool(*Or(Col(0), Col(1)), row));
+  EXPECT_FALSE(EvalBool(*And(Col(0), Col(1)), row));
+  EXPECT_TRUE(EvalBool(*Not(Col(1)), row));
+}
+
+TEST(ExpressionTest, BetweenInclusive) {
+  EXPECT_TRUE(EvalBool(
+      *Between(Col(0), Value(int64_t{1}), Value(int64_t{3})),
+      R({int64_t{1}})));
+  EXPECT_TRUE(EvalBool(
+      *Between(Col(0), Value(int64_t{1}), Value(int64_t{3})),
+      R({int64_t{3}})));
+  EXPECT_FALSE(EvalBool(
+      *Between(Col(0), Value(int64_t{1}), Value(int64_t{3})),
+      R({int64_t{4}})));
+}
+
+TEST(ExpressionTest, InList) {
+  const ExprPtr e =
+      InList(Col(0), {Value("a"), Value("b")});
+  EXPECT_TRUE(EvalBool(*e, R({std::string("a")})));
+  EXPECT_FALSE(EvalBool(*e, R({std::string("c")})));
+}
+
+TEST(ExpressionTest, ToStringIsReadable) {
+  EXPECT_EQ(Eq(Col(0), Lit(Value(int64_t{5})))->ToString(), "($0 = 5)");
+}
+
+// --------------------------------------------------------------------------
+// Operators
+// --------------------------------------------------------------------------
+
+TEST(OperatorTest, FilterKeepsMatching) {
+  std::vector<Row> rows;
+  for (int i = 0; i < 10; ++i) rows.push_back(R({int64_t{i}}));
+  auto out = RunPlan(MakeFilter(MakeValuesScan(rows),
+                            Ge(Col(0), Lit(Value(int64_t{7})))));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0][0].AsInt(), 7);
+}
+
+TEST(OperatorTest, ProjectComputesExpressions) {
+  auto out = RunPlan(MakeProject(MakeValuesScan({R({int64_t{2}, int64_t{3}})}),
+                             {Mul(Col(0), Col(1)), Col(0)}));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0][0].AsInt(), 6);
+  EXPECT_EQ(out[0][1].AsInt(), 2);
+}
+
+TEST(OperatorTest, HashJoinMatchesPairs) {
+  std::vector<Row> probe = {R({int64_t{1}, std::string("p1")}),
+                            R({int64_t{2}, std::string("p2")}),
+                            R({int64_t{3}, std::string("p3")})};
+  std::vector<Row> build = {R({int64_t{2}, std::string("b2")}),
+                            R({int64_t{3}, std::string("b3")}),
+                            R({int64_t{4}, std::string("b4")})};
+  auto out = RunPlan(MakeHashJoin(MakeValuesScan(probe), 0,
+                              MakeValuesScan(build), 0));
+  ASSERT_EQ(out.size(), 2u);
+  // Output = probe row ++ build row.
+  for (const Row& row : out) {
+    EXPECT_EQ(row.size(), 4u);
+    EXPECT_EQ(row[0].AsInt(), row[2].AsInt());
+  }
+}
+
+TEST(OperatorTest, HashJoinDuplicateBuildKeys) {
+  std::vector<Row> probe = {R({int64_t{1}})};
+  std::vector<Row> build = {R({int64_t{1}, std::string("a")}),
+                            R({int64_t{1}, std::string("b")})};
+  auto out = RunPlan(MakeHashJoin(MakeValuesScan(probe), 0,
+                              MakeValuesScan(build), 0));
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(OperatorTest, HashJoinEmptySides) {
+  EXPECT_TRUE(RunPlan(MakeHashJoin(MakeValuesScan({}), 0,
+                               MakeValuesScan({R({int64_t{1}})}), 0))
+                  .empty());
+  EXPECT_TRUE(RunPlan(MakeHashJoin(MakeValuesScan({R({int64_t{1}})}), 0,
+                               MakeValuesScan({}), 0))
+                  .empty());
+}
+
+TEST(OperatorTest, HashAggregateGroupsAndSums) {
+  std::vector<Row> rows = {R({std::string("a"), int64_t{1}}),
+                           R({std::string("b"), int64_t{2}}),
+                           R({std::string("a"), int64_t{3}})};
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggSpec::Kind::kSum, Col(1)});
+  aggs.push_back({AggSpec::Kind::kCount, nullptr});
+  auto out = RunPlan(MakeHashAggregate(MakeValuesScan(rows), {Col(0)},
+                                   std::move(aggs)));
+  ASSERT_EQ(out.size(), 2u);  // groups a, b in key order
+  EXPECT_EQ(out[0][0].AsString(), "a");
+  EXPECT_DOUBLE_EQ(out[0][1].AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(out[0][2].AsDouble(), 2.0);
+  EXPECT_EQ(out[1][0].AsString(), "b");
+  EXPECT_DOUBLE_EQ(out[1][1].AsDouble(), 2.0);
+}
+
+TEST(OperatorTest, HashAggregateMinMax) {
+  std::vector<Row> rows = {R({int64_t{5}}), R({int64_t{-2}}),
+                           R({int64_t{9}})};
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggSpec::Kind::kMin, Col(0)});
+  aggs.push_back({AggSpec::Kind::kMax, Col(0)});
+  auto out = RunPlan(MakeHashAggregate(MakeValuesScan(rows), {},
+                                   std::move(aggs)));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0][0].AsDouble(), -2.0);
+  EXPECT_DOUBLE_EQ(out[0][1].AsDouble(), 9.0);
+}
+
+TEST(OperatorTest, GlobalAggregateOnEmptyInputEmitsZeroRow) {
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggSpec::Kind::kSum, Col(0)});
+  auto out = RunPlan(MakeHashAggregate(MakeValuesScan({}), {},
+                                   std::move(aggs)));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0][0].AsDouble(), 0.0);
+}
+
+TEST(OperatorTest, GroupedAggregateOnEmptyInputIsEmpty) {
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggSpec::Kind::kSum, Col(1)});
+  auto out = RunPlan(MakeHashAggregate(MakeValuesScan({}), {Col(0)},
+                                   std::move(aggs)));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(OperatorTest, OrderBySortsAscendingAndDescending) {
+  std::vector<Row> rows = {R({int64_t{2}}), R({int64_t{3}}),
+                           R({int64_t{1}})};
+  auto asc = RunPlan(MakeOrderBy(MakeValuesScan(rows), {{Col(0), true}}));
+  EXPECT_EQ(asc[0][0].AsInt(), 1);
+  EXPECT_EQ(asc[2][0].AsInt(), 3);
+  auto desc = RunPlan(MakeOrderBy(MakeValuesScan(rows), {{Col(0), false}}));
+  EXPECT_EQ(desc[0][0].AsInt(), 3);
+}
+
+TEST(OperatorTest, OrderByTieBreaksWithSecondKey) {
+  std::vector<Row> rows = {R({int64_t{1}, std::string("b")}),
+                           R({int64_t{1}, std::string("a")})};
+  auto out = RunPlan(MakeOrderBy(MakeValuesScan(rows),
+                             {{Col(0), true}, {Col(1), true}}));
+  EXPECT_EQ(out[0][1].AsString(), "a");
+}
+
+// Randomized join+aggregate against a reference implementation.
+class ExecPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExecPropertyTest, JoinAggregateMatchesReference) {
+  Rng rng(GetParam());
+  std::vector<Row> fact;
+  std::vector<Row> dim;
+  const int num_keys = 20;
+  for (int i = 0; i < num_keys; ++i) {
+    dim.push_back(R({int64_t{i}, std::string(i % 3 == 0 ? "g0" : "g1")}));
+  }
+  for (int i = 0; i < 500; ++i) {
+    fact.push_back(
+        R({rng.Uniform(0, num_keys + 5), rng.Uniform(1, 100)}));
+  }
+
+  // Reference: sum fact.v grouped by dim.group for joined keys.
+  std::map<std::string, double> expected;
+  for (const Row& f : fact) {
+    const int64_t k = f[0].AsInt();
+    if (k < num_keys) {
+      expected[k % 3 == 0 ? "g0" : "g1"] += static_cast<double>(f[1].AsInt());
+    }
+  }
+
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggSpec::Kind::kSum, Col(1)});
+  auto out = RunPlan(MakeHashAggregate(
+      MakeHashJoin(MakeValuesScan(fact), 0, MakeValuesScan(dim), 0),
+      {Col(3)}, std::move(aggs)));
+
+  std::map<std::string, double> got;
+  for (const Row& row : out) got[row[0].AsString()] = row[1].AsDouble();
+  ASSERT_EQ(got.size(), expected.size());
+  for (const auto& [k, v] : expected) {
+    EXPECT_NEAR(got[k], v, 1e-6) << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// --------------------------------------------------------------------------
+// Scan sources
+// --------------------------------------------------------------------------
+
+class ScanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = catalog_.CreateTable(
+        "t", Schema({{"k", DataType::kInt64},
+                     {"v", DataType::kDouble},
+                     {"s", DataType::kString}}));
+    catalog_.CreateIndex("t_k", "t", {0}, false);
+    column_ = std::make_unique<ColumnTable>(table_->schema());
+    for (int i = 0; i < 2500; ++i) {
+      const Row row{int64_t{i}, static_cast<double>(i) / 2,
+                    std::string(i % 2 == 0 ? "even" : "odd")};
+      const Rid rid = table_->Insert(row, 1, nullptr);
+      catalog_.GetIndex("t_k")->tree->Insert(
+          catalog_.GetIndex("t_k")->KeyFor(row, rid), rid, nullptr);
+      ASSERT_TRUE(column_->Append(row, nullptr).ok());
+    }
+  }
+
+  ScanSpec BaseSpec() {
+    ScanSpec spec;
+    spec.table = "t";
+    spec.projection = {0, 2};
+    return spec;
+  }
+
+  Catalog catalog_;
+  RowTable* table_ = nullptr;
+  std::unique_ptr<ColumnTable> column_;
+};
+
+TEST_F(ScanTest, RowScanProjectsAndFilters) {
+  RowDataSource source(&catalog_, /*snapshot=*/1);
+  ScanSpec spec = BaseSpec();
+  spec.ranges = {{0, 10, 19}};
+  spec.str_in = {{2, {"even"}}};
+  auto out = RunPlan(source.Scan(spec));
+  ASSERT_EQ(out.size(), 5u);  // 10,12,14,16,18
+  EXPECT_EQ(out[0].size(), 2u);
+  EXPECT_EQ(out[0][0].AsInt(), 10);
+  EXPECT_EQ(out[0][1].AsString(), "even");
+}
+
+TEST_F(ScanTest, RowScanHonorsSnapshot) {
+  // New row inserted at ts=5 is invisible to a snapshot at ts=1.
+  table_->Insert(Row{int64_t{9999}, 0.0, std::string("even")}, 5, nullptr);
+  RowDataSource old_source(&catalog_, 1);
+  ScanSpec spec = BaseSpec();
+  spec.ranges = {{0, 9999, 9999}};
+  EXPECT_TRUE(RunPlan(old_source.Scan(spec)).empty());
+  RowDataSource new_source(&catalog_, 5);
+  EXPECT_EQ(RunPlan(new_source.Scan(spec)).size(), 1u);
+}
+
+TEST_F(ScanTest, ColumnScanMatchesRowScan) {
+  RowDataSource row_source(&catalog_, 1);
+  ColumnDataSource col_source;
+  col_source.AddTable("t", column_.get(), column_->num_rows());
+  ScanSpec spec = BaseSpec();
+  spec.ranges = {{1, 100.0, 200.0}};  // v in [100, 200]
+  spec.str_in = {{2, {"odd"}}};
+  auto rows = RunPlan(row_source.Scan(spec));
+  auto cols = RunPlan(col_source.Scan(spec));
+  ASSERT_EQ(rows.size(), cols.size());
+  for (size_t i = 0; i < rows.size(); ++i) EXPECT_EQ(rows[i], cols[i]);
+}
+
+TEST_F(ScanTest, ColumnScanRespectsBound) {
+  ColumnDataSource source;
+  source.AddTable("t", column_.get(), /*bound=*/100);
+  auto out = RunPlan(source.Scan(BaseSpec()));
+  EXPECT_EQ(out.size(), 100u);
+}
+
+TEST_F(ScanTest, ColumnScanImpossibleStringPredicate) {
+  ColumnDataSource source;
+  source.AddTable("t", column_.get(), column_->num_rows());
+  ScanSpec spec = BaseSpec();
+  spec.str_in = {{2, {"no-such-value"}}};
+  EXPECT_TRUE(RunPlan(source.Scan(spec)).empty());
+}
+
+TEST_F(ScanTest, ZoneMapPruningSkipsBlocks) {
+  ColumnDataSource source;
+  source.AddTable("t", column_.get(), column_->num_rows());
+  ScanSpec spec = BaseSpec();
+  spec.ranges = {{0, 0, 10}};  // first block only (k ascending)
+  WorkMeter meter;
+  auto out = RunPlan(source.Scan(spec), &meter);
+  EXPECT_EQ(out.size(), 11u);
+  // Cells evaluated must be far below a full 2500-row scan: only block 0
+  // (1024 rows) and the pruned remainder contribute.
+  EXPECT_LT(meter.column_values, 1200 * 3u);
+}
+
+TEST_F(ScanTest, IndexHintUsesIndexScan) {
+  RowDataSource source(&catalog_, 1);
+  ScanSpec spec = BaseSpec();
+  spec.ranges = {{0, 50, 59}};
+  spec.index_hint = "t_k";
+  WorkMeter meter;
+  auto out = RunPlan(source.Scan(spec), &meter);
+  ASSERT_EQ(out.size(), 10u);
+  // Index scan touches ~10 rows, not 2500.
+  EXPECT_LT(meter.rows_read, 50u);
+  EXPECT_GT(meter.index_nodes, 0u);
+}
+
+TEST_F(ScanTest, IndexHintFallsBackWhenIndexMissing) {
+  RowDataSource source(&catalog_, 1);
+  ScanSpec spec = BaseSpec();
+  spec.ranges = {{0, 50, 59}};
+  spec.index_hint = "no_such_index";
+  auto out = RunPlan(source.Scan(spec));
+  EXPECT_EQ(out.size(), 10u);  // same answer via sequential scan
+}
+
+TEST_F(ScanTest, IndexScanResultsMatchSeqScan) {
+  RowDataSource source(&catalog_, 1);
+  ScanSpec seq = BaseSpec();
+  seq.ranges = {{0, 100, 220}};
+  seq.str_in = {{2, {"odd"}}};
+  ScanSpec idx = seq;
+  idx.index_hint = "t_k";
+  auto a = RunPlan(source.Scan(seq));
+  auto b = RunPlan(source.Scan(idx));
+  ASSERT_EQ(a.size(), b.size());
+  // Index scan returns in key order == rid order here.
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace hattrick

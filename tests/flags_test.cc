@@ -1,0 +1,74 @@
+// Tests for the CLI flags parser (tools/flags.h).
+
+#include <gtest/gtest.h>
+
+#include "tools/flags.h"
+
+namespace hattrick {
+namespace tools {
+namespace {
+
+Flags Parse(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  std::vector<char*> argv;
+  for (std::string& s : storage) argv.push_back(s.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, KeyEqualsValue) {
+  const Flags flags = Parse({"--mode=frontier", "--sf=10"});
+  EXPECT_EQ(flags.GetString("mode", ""), "frontier");
+  EXPECT_EQ(flags.GetInt("sf", 0), 10);
+}
+
+TEST(FlagsTest, KeySpaceValue) {
+  const Flags flags = Parse({"--system", "tidb", "--t", "8"});
+  EXPECT_EQ(flags.GetString("system", ""), "tidb");
+  EXPECT_EQ(flags.GetInt("t", 0), 8);
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  const Flags flags = Parse({"--threaded"});
+  EXPECT_TRUE(flags.GetBool("threaded", false));
+  EXPECT_TRUE(flags.Has("threaded"));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const Flags flags = Parse({});
+  EXPECT_EQ(flags.GetString("mode", "point"), "point");
+  EXPECT_EQ(flags.GetInt("t", 4), 4);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("sf", 1.5), 1.5);
+  EXPECT_FALSE(flags.GetBool("threaded", false));
+  EXPECT_FALSE(flags.Has("mode"));
+}
+
+TEST(FlagsTest, DoubleValues) {
+  const Flags flags = Parse({"--measure=2.5"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("measure", 0), 2.5);
+}
+
+TEST(FlagsTest, BoolSpellings) {
+  EXPECT_TRUE(Parse({"--x=yes"}).GetBool("x", false));
+  EXPECT_TRUE(Parse({"--x=1"}).GetBool("x", false));
+  EXPECT_TRUE(Parse({"--x=true"}).GetBool("x", false));
+  EXPECT_FALSE(Parse({"--x=no"}).GetBool("x", true));
+}
+
+TEST(FlagsTest, PositionalCollected) {
+  const Flags flags = Parse({"input.csv", "--mode=sweep", "extra"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.csv");
+  EXPECT_EQ(flags.positional()[1], "extra");
+}
+
+TEST(FlagsTest, BareFlagBeforeAnotherFlag) {
+  const Flags flags = Parse({"--verbose", "--sf=2"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_EQ(flags.GetInt("sf", 0), 2);
+}
+
+}  // namespace
+}  // namespace tools
+}  // namespace hattrick

@@ -1,0 +1,135 @@
+// Tests for the freshness score (Section 4): the paper's Figure 3
+// example, clamping, multi-client aggregation, and failed-transaction
+// gaps.
+
+#include <gtest/gtest.h>
+
+#include "hattrick/freshness.h"
+
+namespace hattrick {
+namespace {
+
+TEST(FreshnessTest, PaperFigure3Example) {
+  // Transactions T1, T2, T3 commit at tc1 < tc2 < tc3; query A1 starts at
+  // ts1 and sees only T1. First-not-seen is T2, so f = ts1 - tc2.
+  FreshnessTracker tracker;
+  tracker.SetNumClients(1);
+  tracker.RecordCommit(1, 1, /*tc1=*/1.0);
+  tracker.RecordCommit(1, 2, /*tc2=*/2.0);
+  tracker.RecordCommit(1, 3, /*tc3=*/3.0);
+
+  FreshnessTracker::Observation obs;
+  obs.query_start = 3.5;  // after tc3
+  obs.seen = {1};         // saw only T1
+  EXPECT_DOUBLE_EQ(tracker.Score(obs), 3.5 - 2.0);
+}
+
+TEST(FreshnessTest, UpToDateSnapshotScoresZero) {
+  FreshnessTracker tracker;
+  tracker.SetNumClients(1);
+  tracker.RecordCommit(1, 1, 1.0);
+  FreshnessTracker::Observation obs;
+  obs.query_start = 2.0;
+  obs.seen = {1};  // saw everything committed before it
+  EXPECT_DOUBLE_EQ(tracker.Score(obs), 0.0);
+}
+
+TEST(FreshnessTest, FutureCommitsClampToZero) {
+  // The first unseen transaction committed *after* the query started:
+  // the snapshot was up to date, f = max(0, negative) = 0.
+  FreshnessTracker tracker;
+  tracker.SetNumClients(1);
+  tracker.RecordCommit(1, 1, 1.0);
+  tracker.RecordCommit(1, 2, 5.0);
+  FreshnessTracker::Observation obs;
+  obs.query_start = 2.0;
+  obs.seen = {1};
+  EXPECT_DOUBLE_EQ(tracker.Score(obs), 0.0);
+}
+
+TEST(FreshnessTest, EarliestUnseenAcrossClientsWins) {
+  // Client 1's first unseen committed at 4.0; client 2's at 1.0. The
+  // first-not-seen transaction overall is client 2's -> f = ts - 1.0.
+  FreshnessTracker tracker;
+  tracker.SetNumClients(2);
+  tracker.RecordCommit(1, 1, 3.0);
+  tracker.RecordCommit(1, 2, 4.0);
+  tracker.RecordCommit(2, 1, 1.0);
+  FreshnessTracker::Observation obs;
+  obs.query_start = 6.0;
+  obs.seen = {1, 0};  // saw client 1's txn 1, nothing from client 2
+  EXPECT_DOUBLE_EQ(tracker.Score(obs), 5.0);
+}
+
+TEST(FreshnessTest, FailedTransactionGapsAreSkipped) {
+  // Client 1 committed txns 1 and 3; txn 2 failed (never recorded). A
+  // query that saw txn 1 has first unseen *committed* txn 3.
+  FreshnessTracker tracker;
+  tracker.SetNumClients(1);
+  tracker.RecordCommit(1, 1, 1.0);
+  tracker.RecordCommit(1, 3, 2.0);
+  FreshnessTracker::Observation obs;
+  obs.query_start = 10.0;
+  obs.seen = {1};
+  EXPECT_DOUBLE_EQ(tracker.Score(obs), 8.0);
+}
+
+TEST(FreshnessTest, NoUnseenTransactionsScoresZero) {
+  FreshnessTracker tracker;
+  tracker.SetNumClients(1);
+  FreshnessTracker::Observation obs;
+  obs.query_start = 5.0;
+  obs.seen = {0};
+  EXPECT_DOUBLE_EQ(tracker.Score(obs), 0.0);
+}
+
+TEST(FreshnessTest, ObservationWithFewerClientsThanTracker) {
+  FreshnessTracker tracker;
+  tracker.SetNumClients(4);
+  tracker.RecordCommit(1, 1, 1.0);
+  FreshnessTracker::Observation obs;
+  obs.query_start = 3.0;
+  obs.seen = {0};  // only client 1 reported
+  EXPECT_DOUBLE_EQ(tracker.Score(obs), 2.0);
+}
+
+TEST(FreshnessTest, ResetClearsHistory) {
+  FreshnessTracker tracker;
+  tracker.SetNumClients(1);
+  tracker.RecordCommit(1, 1, 1.0);
+  tracker.Reset();
+  FreshnessTracker::Observation obs;
+  obs.query_start = 5.0;
+  obs.seen = {0};
+  EXPECT_DOUBLE_EQ(tracker.Score(obs), 0.0);
+}
+
+TEST(FreshnessTest, OutOfOrderRecordingAcrossClients) {
+  FreshnessTracker tracker;
+  tracker.SetNumClients(2);
+  tracker.RecordCommit(2, 1, 0.5);
+  tracker.RecordCommit(1, 1, 0.7);
+  tracker.RecordCommit(2, 2, 0.9);
+  FreshnessTracker::Observation obs;
+  obs.query_start = 2.0;
+  obs.seen = {0, 1};
+  // Unseen: client 1 txn 1 (tc 0.7), client 2 txn 2 (tc 0.9); earliest
+  // unseen commit is 0.7.
+  EXPECT_DOUBLE_EQ(tracker.Score(obs), 2.0 - 0.7);
+}
+
+TEST(FreshnessTest, MonotoneInQueryStart) {
+  FreshnessTracker tracker;
+  tracker.SetNumClients(1);
+  tracker.RecordCommit(1, 1, 1.0);
+  FreshnessTracker::Observation early;
+  early.query_start = 2.0;
+  early.seen = {0};
+  FreshnessTracker::Observation late;
+  late.query_start = 4.0;
+  late.seen = {0};
+  EXPECT_LT(tracker.Score(early), tracker.Score(late));
+}
+
+}  // namespace
+}  // namespace hattrick

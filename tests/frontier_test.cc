@@ -1,0 +1,264 @@
+// Tests for the throughput-frontier machinery (Section 3): saturation
+// search, grid construction against synthetic analytic performance
+// models, Pareto extraction, coverage/deviation metrics, pattern
+// classification, and the envelope comparison rule.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "hattrick/frontier.h"
+
+namespace hattrick {
+namespace {
+
+/// Synthetic system models: given client counts, produce throughput with
+/// a known analytic shape.
+OperatingPoint IdealIsolated(int t, int a) {
+  // Dedicated resources: each side saturates independently at 8 clients.
+  OperatingPoint p;
+  p.t_clients = t;
+  p.a_clients = a;
+  p.tps = 1000.0 * std::min(t, 8);
+  p.qps = 10.0 * std::min(a, 8);
+  return p;
+}
+
+OperatingPoint SharedProportional(int t, int a) {
+  // One resource of capacity C split by client counts; service times
+  // 1/1000 (txn) and 1/10 (query) per unit.
+  OperatingPoint p;
+  p.t_clients = t;
+  p.a_clients = a;
+  if (t + a == 0) return p;
+  const double share_t = static_cast<double>(t) / (t + a);
+  const double share_a = static_cast<double>(a) / (t + a);
+  const double cores = std::min<double>(8.0, t + a);
+  p.tps = 1000.0 * cores * share_t;
+  p.qps = 10.0 * cores * share_a;
+  return p;
+}
+
+OperatingPoint Interfering(int t, int a) {
+  // Strong negative interference: cross terms crush both sides.
+  OperatingPoint p = SharedProportional(t, a);
+  if (t > 0 && a > 0) {
+    p.tps *= 0.25;
+    p.qps *= 0.25;
+  }
+  return p;
+}
+
+FrontierOptions FastOptions() {
+  FrontierOptions options;
+  options.lines = 5;
+  options.points_per_line = 5;
+  options.max_clients = 32;
+  return options;
+}
+
+TEST(FindSaturationTest, FindsKneeOfConcaveCurve) {
+  // Throughput saturates at 8 clients.
+  const int sat = FindSaturation(
+      [](int clients) { return 100.0 * std::min(clients, 8); }, 64, 0.03);
+  EXPECT_EQ(sat, 8);
+}
+
+TEST(FindSaturationTest, MonotoneGrowthHitsMax) {
+  const int sat = FindSaturation(
+      [](int clients) { return static_cast<double>(clients); }, 16, 0.03);
+  EXPECT_EQ(sat, 16);
+}
+
+TEST(FindSaturationTest, FlatCurveStopsEarly) {
+  const int sat =
+      FindSaturation([](int) { return 100.0; }, 64, 0.03);
+  EXPECT_EQ(sat, 1);
+}
+
+TEST(ParetoFrontierTest, DropsDominatedPoints) {
+  std::vector<OperatingPoint> points(4);
+  points[0].tps = 10;
+  points[0].qps = 10;
+  points[1].tps = 5;
+  points[1].qps = 5;  // dominated by points[0]
+  points[2].tps = 20;
+  points[2].qps = 2;
+  points[3].tps = 1;
+  points[3].qps = 20;
+  const auto frontier = ParetoFrontier(points);
+  ASSERT_EQ(frontier.size(), 3u);
+  // Ascending tps, descending qps.
+  EXPECT_DOUBLE_EQ(frontier[0].tps, 1);
+  EXPECT_DOUBLE_EQ(frontier[1].tps, 10);
+  EXPECT_DOUBLE_EQ(frontier[2].tps, 20);
+  EXPECT_GT(frontier[0].qps, frontier[1].qps);
+}
+
+TEST(ParetoFrontierTest, SingletonAndEmpty) {
+  EXPECT_TRUE(ParetoFrontier({}).empty());
+  std::vector<OperatingPoint> one(1);
+  one[0].tps = 5;
+  one[0].qps = 5;
+  EXPECT_EQ(ParetoFrontier(one).size(), 1u);
+}
+
+TEST(GridGraphTest, IsolatedSystemClassifiedAsIsolation) {
+  const GridGraph grid = BuildGridGraph(IdealIsolated, FastOptions());
+  EXPECT_EQ(grid.tau_max, 8);
+  EXPECT_EQ(grid.alpha_max, 8);
+  EXPECT_NEAR(grid.xt, 8000, 1);
+  EXPECT_NEAR(grid.xa, 80, 0.1);
+  EXPECT_GT(FrontierCoverage(grid), 0.75);
+  EXPECT_GT(ProportionalDeviation(grid), 0.2);
+  EXPECT_EQ(ClassifyFrontier(grid), FrontierPattern::kIsolation);
+}
+
+TEST(GridGraphTest, SharedSystemClassifiedAsProportional) {
+  const GridGraph grid = BuildGridGraph(SharedProportional, FastOptions());
+  const double coverage = FrontierCoverage(grid);
+  EXPECT_GT(coverage, 0.45);
+  EXPECT_LT(coverage, 0.75);
+  EXPECT_EQ(ClassifyFrontier(grid), FrontierPattern::kProportional);
+  EXPECT_NEAR(std::abs(ProportionalDeviation(grid)), 0.0, 0.15);
+}
+
+TEST(GridGraphTest, InterferingSystemClassifiedAsInterference) {
+  const GridGraph grid = BuildGridGraph(Interfering, FastOptions());
+  EXPECT_LT(FrontierCoverage(grid), 0.45);
+  EXPECT_EQ(ClassifyFrontier(grid), FrontierPattern::kInterference);
+  EXPECT_LT(ProportionalDeviation(grid), 0.0);
+}
+
+TEST(GridGraphTest, GridHasRequestedLines) {
+  FrontierOptions options = FastOptions();
+  const GridGraph grid = BuildGridGraph(IdealIsolated, options);
+  EXPECT_EQ(grid.fixed_t_lines.size(),
+            static_cast<size_t>(options.lines));
+  EXPECT_EQ(grid.fixed_a_lines.size(),
+            static_cast<size_t>(options.lines));
+  // Fixed-T line client counts span [0, tau_max].
+  EXPECT_EQ(grid.fixed_t_lines.front().fixed_clients, 0);
+  EXPECT_EQ(grid.fixed_t_lines.back().fixed_clients, grid.tau_max);
+}
+
+TEST(GridGraphTest, FrontierWithinBoundingBox) {
+  const GridGraph grid = BuildGridGraph(SharedProportional, FastOptions());
+  for (const OperatingPoint& p : grid.frontier) {
+    EXPECT_LE(p.tps, grid.xt * (1 + 1e-9));
+    EXPECT_LE(p.qps, grid.xa * (1 + 1e-9));
+  }
+}
+
+TEST(GridGraphTest, FrontierSortedAndPareto) {
+  const GridGraph grid = BuildGridGraph(SharedProportional, FastOptions());
+  for (size_t i = 1; i < grid.frontier.size(); ++i) {
+    EXPECT_LT(grid.frontier[i - 1].tps, grid.frontier[i].tps);
+    EXPECT_GT(grid.frontier[i - 1].qps, grid.frontier[i].qps);
+  }
+}
+
+TEST(EnvelopsTest, IsolatedEnvelopsInterfering) {
+  const GridGraph big = BuildGridGraph(IdealIsolated, FastOptions());
+  const GridGraph small = BuildGridGraph(Interfering, FastOptions());
+  EXPECT_TRUE(Envelops(big, small));
+  EXPECT_FALSE(Envelops(small, big));
+}
+
+TEST(EnvelopsTest, SystemEnvelopsItself) {
+  const GridGraph grid = BuildGridGraph(SharedProportional, FastOptions());
+  EXPECT_TRUE(Envelops(grid, grid));
+}
+
+TEST(EnvelopsTest, CrossingFrontiersDoNotEnvelop) {
+  // System A: strong T, weak A. System B: weak T, strong A.
+  auto a_runner = [](int t, int a) {
+    OperatingPoint p;
+    p.t_clients = t;
+    p.a_clients = a;
+    p.tps = 2000.0 * std::min(t, 4);
+    p.qps = 1.0 * std::min(a, 4);
+    return p;
+  };
+  auto b_runner = [](int t, int a) {
+    OperatingPoint p;
+    p.t_clients = t;
+    p.a_clients = a;
+    p.tps = 100.0 * std::min(t, 4);
+    p.qps = 20.0 * std::min(a, 4);
+    return p;
+  };
+  const GridGraph a = BuildGridGraph(a_runner, FastOptions());
+  const GridGraph b = BuildGridGraph(b_runner, FastOptions());
+  EXPECT_FALSE(Envelops(a, b));
+  EXPECT_FALSE(Envelops(b, a));
+}
+
+TEST(FrontierMetricsTest, CoverageOfBoxIsOne) {
+  GridGraph grid;
+  grid.xt = 100;
+  grid.xa = 10;
+  OperatingPoint corner;
+  corner.tps = 100;
+  corner.qps = 10;
+  grid.frontier = {corner};
+  EXPECT_NEAR(FrontierCoverage(grid), 1.0, 1e-9);
+}
+
+TEST(FrontierMetricsTest, EmptyFrontierCoverageZero) {
+  GridGraph grid;
+  EXPECT_DOUBLE_EQ(FrontierCoverage(grid), 0.0);
+  EXPECT_DOUBLE_EQ(ProportionalDeviation(grid), 0.0);
+}
+
+TEST(SamplingMethodTest, DeterministicAndSkipsOrigin) {
+  int calls = 0;
+  PointRunner runner = [&](int t, int a) {
+    ++calls;
+    OperatingPoint p;
+    p.t_clients = t;
+    p.a_clients = a;
+    p.tps = t * 100.0;
+    p.qps = a * 1.0;
+    return p;
+  };
+  const auto a = SampleOperatingPoints(runner, 20, 16, 12, 99);
+  EXPECT_EQ(a.size(), 20u);
+  EXPECT_EQ(calls, 20);
+  for (const OperatingPoint& p : a) {
+    EXPECT_TRUE(p.t_clients > 0 || p.a_clients > 0);
+    EXPECT_LE(p.t_clients, 16);
+    EXPECT_LE(p.a_clients, 12);
+  }
+  const auto b = SampleOperatingPoints(runner, 20, 16, 12, 99);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].t_clients, b[i].t_clients);
+    EXPECT_EQ(a[i].a_clients, b[i].a_clients);
+  }
+  const auto c = SampleOperatingPoints(runner, 20, 16, 12, 100);
+  bool differs = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].t_clients != c[i].t_clients) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SamplingMethodTest, SampledFrontierWithinSaturationFrontier) {
+  // On the ideal isolated system the sampling method's Pareto frontier
+  // is always enveloped by the saturation method's frontier.
+  const GridGraph grid = BuildGridGraph(IdealIsolated, FastOptions());
+  const auto samples =
+      SampleOperatingPoints(IdealIsolated, 40, 16, 16, 7);
+  GridGraph sampled = grid;
+  sampled.frontier = ParetoFrontier(samples);
+  EXPECT_TRUE(Envelops(grid, sampled));
+}
+
+TEST(FrontierMetricsTest, PatternNamesAreDistinct) {
+  EXPECT_STRNE(FrontierPatternName(FrontierPattern::kIsolation),
+               FrontierPatternName(FrontierPattern::kInterference));
+}
+
+}  // namespace
+}  // namespace hattrick

@@ -1,0 +1,205 @@
+// Tests for streaming replication: WAL shipping, replica replay and
+// convergence with the primary, lag accounting, reset.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "replication/replica.h"
+#include "replication/wal_stream.h"
+#include "storage/catalog.h"
+#include "txn/timestamp.h"
+#include "txn/txn_manager.h"
+
+namespace hattrick {
+namespace {
+
+Schema KvSchema() {
+  return Schema({{"k", DataType::kInt64}, {"v", DataType::kString}});
+}
+
+struct Node {
+  Catalog catalog;
+  TimestampOracle oracle;
+};
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    primary_.catalog.CreateTable("kv", KvSchema());
+    primary_.catalog.CreateIndex("kv_pk", "kv", {0}, true);
+    standby_.catalog.CreateTable("kv", KvSchema());
+    standby_.catalog.CreateIndex("kv_pk", "kv", {0}, true);
+    tm_ = std::make_unique<TxnManager>(&primary_.catalog, &primary_.oracle,
+                                       &stream_);
+    replica_ = std::make_unique<Replica>(&standby_.catalog, &stream_);
+  }
+
+  void CommitInsert(int64_t k, const std::string& v) {
+    Transaction txn = tm_->Begin(IsolationLevel::kSnapshot);
+    tm_->BufferInsert(&txn, 0, Row{k, v});
+    ASSERT_TRUE(tm_->Commit(&txn, nullptr).ok());
+  }
+
+  void CommitUpdate(Rid rid, int64_t k, const std::string& v) {
+    Transaction txn = tm_->Begin(IsolationLevel::kSnapshot);
+    Row row;
+    ASSERT_TRUE(tm_->Read(&txn, 0, rid, &row, nullptr).ok());
+    tm_->BufferUpdate(&txn, 0, rid, row, Row{k, v});
+    ASSERT_TRUE(tm_->Commit(&txn, nullptr).ok());
+  }
+
+  Node primary_;
+  Node standby_;
+  WalStream stream_;
+  std::unique_ptr<TxnManager> tm_;
+  std::unique_ptr<Replica> replica_;
+};
+
+TEST_F(ReplicationTest, StreamShipsRecordsInOrder) {
+  CommitInsert(1, "a");
+  CommitInsert(2, "b");
+  EXPECT_EQ(stream_.head_lsn(), 2u);
+  EXPECT_EQ(stream_.PendingAfter(0), 2u);
+  EXPECT_GT(stream_.shipped_bytes(), 0u);
+
+  auto first = stream_.Peek(0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->lsn, 1u);
+  stream_.Consume(1);
+  auto second = stream_.Peek(1);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->lsn, 2u);
+}
+
+TEST_F(ReplicationTest, ApplyNextReplaysOneRecord) {
+  CommitInsert(1, "a");
+  CommitInsert(2, "b");
+  WorkMeter meter;
+  EXPECT_TRUE(replica_->ApplyNext(&meter));
+  EXPECT_EQ(replica_->applied_lsn(), 1u);
+  EXPECT_EQ(replica_->Lag(), 1u);
+  EXPECT_GT(meter.wal_records, 0u);
+  EXPECT_GT(meter.rows_written, 0u);
+
+  Row row;
+  ASSERT_TRUE(standby_.catalog.GetTable("kv")->Read(
+      0, replica_->Snapshot(), &row, nullptr));
+  EXPECT_EQ(row[1].AsString(), "a");
+}
+
+TEST_F(ReplicationTest, CatchUpConverges) {
+  for (int i = 0; i < 20; ++i) CommitInsert(i, "v" + std::to_string(i));
+  CommitUpdate(3, 3, "updated");
+  EXPECT_EQ(replica_->CatchUp(nullptr), 21u);
+  EXPECT_EQ(replica_->Lag(), 0u);
+
+  // Replica state equals primary state (same slots, same latest values).
+  RowTable* p = primary_.catalog.GetTable("kv");
+  RowTable* s = standby_.catalog.GetTable("kv");
+  ASSERT_EQ(p->NumSlots(), s->NumSlots());
+  for (Rid rid = 0; rid < p->NumSlots(); ++rid) {
+    Row pr;
+    Row sr;
+    ASSERT_TRUE(p->ReadLatest(rid, &pr, nullptr));
+    ASSERT_TRUE(s->ReadLatest(rid, &sr, nullptr));
+    EXPECT_EQ(pr, sr) << "rid=" << rid;
+  }
+}
+
+TEST_F(ReplicationTest, ReplicaMaintainsIndexes) {
+  CommitInsert(41, "x");
+  replica_->CatchUp(nullptr);
+  IndexInfo* index = standby_.catalog.GetIndex("kv_pk");
+  EXPECT_EQ(index->tree->size(), 1u);
+}
+
+TEST_F(ReplicationTest, ApplyNextFalseWhenDrained) {
+  EXPECT_FALSE(replica_->ApplyNext(nullptr));
+  CommitInsert(1, "a");
+  EXPECT_TRUE(replica_->ApplyNext(nullptr));
+  EXPECT_FALSE(replica_->ApplyNext(nullptr));
+}
+
+TEST_F(ReplicationTest, SnapshotAdvancesOnlyOnApply) {
+  const Ts before = replica_->Snapshot();
+  CommitInsert(1, "a");
+  EXPECT_EQ(replica_->Snapshot(), before);  // shipped but not applied
+  replica_->ApplyNext(nullptr);
+  EXPECT_GT(replica_->Snapshot(), before);
+}
+
+TEST_F(ReplicationTest, StreamReset) {
+  CommitInsert(1, "a");
+  stream_.Reset();
+  EXPECT_EQ(stream_.head_lsn(), 0u);
+  EXPECT_EQ(stream_.PendingAfter(0), 0u);
+  EXPECT_FALSE(stream_.Peek(0).has_value());
+}
+
+TEST_F(ReplicationTest, ModeNames) {
+  EXPECT_STREQ(ReplicationModeName(ReplicationMode::kAsync), "ASYNC");
+  EXPECT_STREQ(ReplicationModeName(ReplicationMode::kSyncShip), "ON");
+  EXPECT_STREQ(ReplicationModeName(ReplicationMode::kRemoteApply),
+               "REMOTE_APPLY");
+}
+
+// Property: a random committed history replayed on the standby leaves
+// both nodes with identical visible contents.
+class ReplicationConvergenceTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReplicationConvergenceTest, RandomHistoriesConverge) {
+  Node primary;
+  Node standby;
+  primary.catalog.CreateTable("kv", KvSchema());
+  standby.catalog.CreateTable("kv", KvSchema());
+  WalStream stream;
+  TxnManager tm(&primary.catalog, &primary.oracle, &stream);
+  Replica replica(&standby.catalog, &stream);
+
+  Rng rng(GetParam());
+  size_t committed_rows = 0;  // rows visible to new transactions
+  for (int step = 0; step < 300; ++step) {
+    Transaction txn = tm.Begin(IsolationLevel::kSnapshot);
+    size_t pending_inserts = 0;
+    const int ops = static_cast<int>(rng.Uniform(1, 4));
+    for (int i = 0; i < ops; ++i) {
+      if (committed_rows == 0 || rng.Bernoulli(0.5)) {
+        tm.BufferInsert(&txn, 0,
+                        Row{static_cast<int64_t>(step),
+                            "s" + std::to_string(step * 10 + i)});
+        ++pending_inserts;
+      } else {
+        const Rid rid = static_cast<Rid>(
+            rng.Uniform(0, static_cast<int64_t>(committed_rows) - 1));
+        Row row;
+        ASSERT_TRUE(tm.Read(&txn, 0, rid, &row, nullptr).ok());
+        tm.BufferUpdate(&txn, 0, rid, row,
+                        Row{row[0].AsInt(),
+                            "u" + std::to_string(step * 10 + i)});
+      }
+    }
+    ASSERT_TRUE(tm.Commit(&txn, nullptr).ok());
+    committed_rows += pending_inserts;
+    // Interleave partial replay.
+    if (rng.Bernoulli(0.5)) replica.ApplyNext(nullptr);
+  }
+  replica.CatchUp(nullptr);
+
+  RowTable* p = primary.catalog.GetTable("kv");
+  RowTable* s = standby.catalog.GetTable("kv");
+  ASSERT_EQ(p->NumSlots(), s->NumSlots());
+  for (Rid rid = 0; rid < p->NumSlots(); ++rid) {
+    Row pr;
+    Row sr;
+    ASSERT_TRUE(p->ReadLatest(rid, &pr, nullptr));
+    ASSERT_TRUE(s->ReadLatest(rid, &sr, nullptr));
+    EXPECT_EQ(pr, sr);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplicationConvergenceTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace hattrick

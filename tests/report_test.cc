@@ -1,0 +1,136 @@
+// Tests for the reporting layer: CSV emission, frontier summaries, ASCII
+// plots, and ratio-freshness measurement, using gtest's stdout capture.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "hattrick/report.h"
+
+namespace hattrick {
+namespace {
+
+GridGraph SyntheticGrid() {
+  GridGraph grid;
+  grid.tau_max = 4;
+  grid.alpha_max = 4;
+  grid.xt = 1000;
+  grid.xa = 10;
+  GridLine t_line;
+  t_line.fixed_t = true;
+  t_line.fixed_clients = 2;
+  OperatingPoint p;
+  p.t_clients = 2;
+  p.a_clients = 2;
+  p.tps = 600;
+  p.qps = 6;
+  t_line.points.push_back(p);
+  grid.fixed_t_lines.push_back(t_line);
+  GridLine a_line;
+  a_line.fixed_t = false;
+  a_line.fixed_clients = 2;
+  a_line.points.push_back(p);
+  grid.fixed_a_lines.push_back(a_line);
+  OperatingPoint corner_t;
+  corner_t.tps = 1000;
+  corner_t.qps = 0;
+  OperatingPoint corner_a;
+  corner_a.tps = 0;
+  corner_a.qps = 10;
+  grid.frontier = {corner_a, p, corner_t};
+  return grid;
+}
+
+TEST(ReportTest, PrintGridCsvEmitsAllBlocks) {
+  ::testing::internal::CaptureStdout();
+  PrintGridCsv("sys", SyntheticGrid());
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("# sys fixed-T lines"), std::string::npos);
+  EXPECT_NE(out.find("# sys fixed-A lines"), std::string::npos);
+  EXPECT_NE(out.find("# sys frontier"), std::string::npos);
+  EXPECT_NE(out.find("2,2,600.0,6.00"), std::string::npos);
+  EXPECT_NE(out.find("1000.0,0.00"), std::string::npos);
+}
+
+TEST(ReportTest, PrintFrontierSummaryIncludesMetrics) {
+  ::testing::internal::CaptureStdout();
+  PrintFrontierSummary("sys", SyntheticGrid());
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("tau_max=4"), std::string::npos);
+  EXPECT_NE(out.find("XT=1000.0"), std::string::npos);
+  EXPECT_NE(out.find("coverage"), std::string::npos);
+  EXPECT_NE(out.find("pattern:"), std::string::npos);
+}
+
+TEST(ReportTest, PlotFrontiersRendersCanvasAndLegend) {
+  const GridGraph grid = SyntheticGrid();
+  ::testing::internal::CaptureStdout();
+  PlotFrontiers({"alpha", "beta"}, {&grid, &grid});
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("qps (max"), std::string::npos);
+  EXPECT_NE(out.find("tps (max"), std::string::npos);
+  EXPECT_NE(out.find("'*' = alpha"), std::string::npos);
+  EXPECT_NE(out.find("'o' = beta"), std::string::npos);
+  // Frontier glyphs actually plotted.
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(ReportTest, PlotFrontiersEmptyGridIsSilent) {
+  GridGraph empty;
+  ::testing::internal::CaptureStdout();
+  PlotFrontiers({"none"}, {&empty});
+  EXPECT_TRUE(::testing::internal::GetCapturedStdout().empty());
+}
+
+TEST(ReportTest, MeasureRatioFreshnessUsesScaledClients) {
+  std::vector<std::pair<int, int>> seen;
+  PointRunner runner = [&](int t, int a) {
+    seen.emplace_back(t, a);
+    OperatingPoint p;
+    p.t_clients = t;
+    p.a_clients = a;
+    p.freshness_p99 = t * 0.1;
+    p.freshness_mean = t * 0.05;
+    return p;
+  };
+  const auto rows = MeasureRatioFreshness(runner, /*tau_max=*/10,
+                                          /*alpha_max=*/10);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].ratio, "20:80");
+  EXPECT_EQ(rows[0].t_clients, 2);
+  EXPECT_EQ(rows[0].a_clients, 8);
+  EXPECT_EQ(rows[1].t_clients, 5);
+  EXPECT_EQ(rows[2].t_clients, 8);
+  EXPECT_EQ(rows[2].a_clients, 2);
+  EXPECT_DOUBLE_EQ(rows[2].p99, 0.8);
+}
+
+TEST(ReportTest, MeasureRatioFreshnessClampsToOneClient) {
+  PointRunner runner = [](int t, int a) {
+    OperatingPoint p;
+    p.t_clients = t;
+    p.a_clients = a;
+    return p;
+  };
+  const auto rows = MeasureRatioFreshness(runner, 1, 1);
+  for (const auto& row : rows) {
+    EXPECT_GE(row.t_clients, 1);
+    EXPECT_GE(row.a_clients, 1);
+  }
+}
+
+TEST(ReportTest, PrintRatioFreshnessFormat) {
+  std::vector<RatioFreshness> rows(1);
+  rows[0].ratio = "50:50";
+  rows[0].t_clients = 5;
+  rows[0].a_clients = 5;
+  rows[0].p99 = 1.25;
+  rows[0].mean = 0.5;
+  ::testing::internal::CaptureStdout();
+  PrintRatioFreshness("sys", rows);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("50:50,5,5,1.2500,0.5000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hattrick

@@ -1,0 +1,224 @@
+// Tests for the MVCC row store: version visibility, snapshot isolation of
+// reads, deletes, vacuum, and copy semantics.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/row_table.h"
+
+namespace hattrick {
+namespace {
+
+Schema TwoCol() {
+  return Schema({{"k", DataType::kInt64}, {"v", DataType::kString}});
+}
+
+Row MakeRow(int64_t k, const std::string& v) { return Row{k, v}; }
+
+TEST(RowTableTest, InsertAssignsSequentialRids) {
+  RowTable table(TwoCol());
+  EXPECT_EQ(table.Insert(MakeRow(1, "a"), 10, nullptr), 0u);
+  EXPECT_EQ(table.Insert(MakeRow(2, "b"), 10, nullptr), 1u);
+  EXPECT_EQ(table.NumSlots(), 2u);
+}
+
+TEST(RowTableTest, RowInvisibleBeforeItsBeginTs) {
+  RowTable table(TwoCol());
+  const Rid rid = table.Insert(MakeRow(1, "a"), /*begin_ts=*/10, nullptr);
+  Row out;
+  EXPECT_FALSE(table.Read(rid, /*snapshot=*/9, &out, nullptr));
+  EXPECT_TRUE(table.Read(rid, 10, &out, nullptr));
+  EXPECT_EQ(out[1].AsString(), "a");
+}
+
+TEST(RowTableTest, VersionChainSnapshotReads) {
+  RowTable table(TwoCol());
+  const Rid rid = table.Insert(MakeRow(1, "v1"), 10, nullptr);
+  ASSERT_TRUE(table.AddVersion(rid, MakeRow(1, "v2"), 20, nullptr).ok());
+  ASSERT_TRUE(table.AddVersion(rid, MakeRow(1, "v3"), 30, nullptr).ok());
+
+  Row out;
+  ASSERT_TRUE(table.Read(rid, 15, &out, nullptr));
+  EXPECT_EQ(out[1].AsString(), "v1");
+  ASSERT_TRUE(table.Read(rid, 20, &out, nullptr));
+  EXPECT_EQ(out[1].AsString(), "v2");
+  ASSERT_TRUE(table.Read(rid, 29, &out, nullptr));
+  EXPECT_EQ(out[1].AsString(), "v2");
+  ASSERT_TRUE(table.Read(rid, 1000, &out, nullptr));
+  EXPECT_EQ(out[1].AsString(), "v3");
+}
+
+TEST(RowTableTest, ReadLatestIgnoresSnapshot) {
+  RowTable table(TwoCol());
+  const Rid rid = table.Insert(MakeRow(1, "v1"), 10, nullptr);
+  ASSERT_TRUE(table.AddVersion(rid, MakeRow(1, "v2"), 20, nullptr).ok());
+  Row out;
+  ASSERT_TRUE(table.ReadLatest(rid, &out, nullptr));
+  EXPECT_EQ(out[1].AsString(), "v2");
+}
+
+TEST(RowTableTest, DeleteTerminatesVisibility) {
+  RowTable table(TwoCol());
+  const Rid rid = table.Insert(MakeRow(1, "a"), 10, nullptr);
+  ASSERT_TRUE(table.MarkDeleted(rid, 20, nullptr).ok());
+  Row out;
+  EXPECT_TRUE(table.Read(rid, 19, &out, nullptr));
+  EXPECT_FALSE(table.Read(rid, 20, &out, nullptr));
+  EXPECT_FALSE(table.ReadLatest(rid, &out, nullptr));
+}
+
+TEST(RowTableTest, LatestVersionTs) {
+  RowTable table(TwoCol());
+  const Rid rid = table.Insert(MakeRow(1, "a"), 10, nullptr);
+  EXPECT_EQ(table.LatestVersionTs(rid), 10u);
+  ASSERT_TRUE(table.AddVersion(rid, MakeRow(1, "b"), 25, nullptr).ok());
+  EXPECT_EQ(table.LatestVersionTs(rid), 25u);
+  EXPECT_EQ(table.LatestVersionTs(999), 0u);  // out of range
+}
+
+TEST(RowTableTest, AddVersionOutOfRangeFails) {
+  RowTable table(TwoCol());
+  EXPECT_EQ(table.AddVersion(5, MakeRow(1, "x"), 10, nullptr).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RowTableTest, ScanSeesConsistentSnapshot) {
+  RowTable table(TwoCol());
+  const Rid r0 = table.Insert(MakeRow(1, "a"), 10, nullptr);
+  table.Insert(MakeRow(2, "b"), 20, nullptr);
+  ASSERT_TRUE(table.AddVersion(r0, MakeRow(1, "a2"), 30, nullptr).ok());
+
+  std::vector<std::string> at15;
+  table.Scan(15,
+             [&](Rid, const Row& row) {
+               at15.push_back(row[1].AsString());
+               return true;
+             },
+             nullptr);
+  EXPECT_EQ(at15, std::vector<std::string>({"a"}));
+
+  std::vector<std::string> at30;
+  table.Scan(30,
+             [&](Rid, const Row& row) {
+               at30.push_back(row[1].AsString());
+               return true;
+             },
+             nullptr);
+  EXPECT_EQ(at30, std::vector<std::string>({"a2", "b"}));
+}
+
+TEST(RowTableTest, ScanEarlyStop) {
+  RowTable table(TwoCol());
+  for (int i = 0; i < 10; ++i) table.Insert(MakeRow(i, "x"), 1, nullptr);
+  int count = 0;
+  table.Scan(10, [&](Rid, const Row&) { return ++count < 4; }, nullptr);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(RowTableTest, MeterCountsReadsWritesHops) {
+  RowTable table(TwoCol());
+  WorkMeter meter;
+  const Rid rid = table.Insert(MakeRow(1, "a"), 10, &meter);
+  EXPECT_EQ(meter.rows_written, 1u);
+  ASSERT_TRUE(table.AddVersion(rid, MakeRow(1, "b"), 20, &meter).ok());
+  EXPECT_EQ(meter.rows_written, 2u);
+  WorkMeter read_meter;
+  Row out;
+  // Reading the old snapshot traverses past the newest version.
+  ASSERT_TRUE(table.Read(rid, 15, &out, &read_meter));
+  EXPECT_EQ(read_meter.rows_read, 1u);
+  EXPECT_EQ(read_meter.version_hops, 2u);
+}
+
+TEST(RowTableTest, VacuumDropsOnlyDeadVersions) {
+  RowTable table(TwoCol());
+  const Rid rid = table.Insert(MakeRow(1, "v1"), 10, nullptr);
+  ASSERT_TRUE(table.AddVersion(rid, MakeRow(1, "v2"), 20, nullptr).ok());
+  ASSERT_TRUE(table.AddVersion(rid, MakeRow(1, "v3"), 30, nullptr).ok());
+  EXPECT_EQ(table.NumVersions(), 3u);
+
+  // Horizon 15: v1 ended at 20 > 15, nothing to drop.
+  EXPECT_EQ(table.Vacuum(15), 0u);
+  // Horizon 25: v1 (ended 20) is invisible to any snapshot >= 25.
+  EXPECT_EQ(table.Vacuum(25), 1u);
+  EXPECT_EQ(table.NumVersions(), 2u);
+  Row out;
+  ASSERT_TRUE(table.Read(rid, 25, &out, nullptr));
+  EXPECT_EQ(out[1].AsString(), "v2");
+  // Newest version always survives.
+  EXPECT_EQ(table.Vacuum(kMaxTs - 1), 1u);
+  EXPECT_EQ(table.NumVersions(), 1u);
+  ASSERT_TRUE(table.ReadLatest(rid, &out, nullptr));
+  EXPECT_EQ(out[1].AsString(), "v3");
+}
+
+TEST(RowTableTest, CopyFromDeepCopies) {
+  RowTable table(TwoCol());
+  const Rid rid = table.Insert(MakeRow(1, "a"), 10, nullptr);
+  ASSERT_TRUE(table.AddVersion(rid, MakeRow(1, "b"), 20, nullptr).ok());
+
+  RowTable copy(TwoCol());
+  copy.CopyFrom(table);
+  EXPECT_EQ(copy.NumSlots(), 1u);
+  EXPECT_EQ(copy.NumVersions(), 2u);
+
+  // Mutating the copy does not affect the original.
+  ASSERT_TRUE(copy.AddVersion(0, MakeRow(1, "c"), 30, nullptr).ok());
+  Row out;
+  ASSERT_TRUE(table.ReadLatest(0, &out, nullptr));
+  EXPECT_EQ(out[1].AsString(), "b");
+}
+
+// Property: random interleavings of inserts/updates produce version
+// chains whose visibility matches a per-snapshot reference model.
+class RowTableVisibilityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RowTableVisibilityTest, SnapshotsMatchReference) {
+  Rng rng(GetParam());
+  RowTable table(TwoCol());
+  // reference[rid] = list of (ts, value) in ts order.
+  std::vector<std::vector<std::pair<Ts, std::string>>> reference;
+
+  Ts ts = 1;
+  for (int step = 0; step < 500; ++step) {
+    ts += 1 + static_cast<Ts>(rng.Uniform(0, 3));
+    if (reference.empty() || rng.Bernoulli(0.3)) {
+      const std::string v = "v" + std::to_string(step);
+      table.Insert(MakeRow(step, v), ts, nullptr);
+      reference.push_back({{ts, v}});
+    } else {
+      const size_t rid = static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(reference.size()) - 1));
+      const std::string v = "u" + std::to_string(step);
+      ASSERT_TRUE(
+          table.AddVersion(rid, MakeRow(step, v), ts, nullptr).ok());
+      reference[rid].emplace_back(ts, v);
+    }
+  }
+
+  // Check random snapshots.
+  for (int probe = 0; probe < 200; ++probe) {
+    const Ts snapshot = static_cast<Ts>(rng.Uniform(0, static_cast<int64_t>(ts)));
+    for (size_t rid = 0; rid < reference.size(); ++rid) {
+      const auto& versions = reference[rid];
+      std::string expected;
+      bool visible = false;
+      for (const auto& [vts, value] : versions) {
+        if (vts <= snapshot) {
+          expected = value;
+          visible = true;
+        }
+      }
+      Row out;
+      const bool got = table.Read(rid, snapshot, &out, nullptr);
+      ASSERT_EQ(got, visible) << "rid=" << rid << " snap=" << snapshot;
+      if (visible) EXPECT_EQ(out[1].AsString(), expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RowTableVisibilityTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace hattrick

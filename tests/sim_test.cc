@@ -1,0 +1,295 @@
+// Tests for the simulation kernel: event ordering, processor-sharing
+// timing math (exact expectations), LSN wait queue, row-lock model, and
+// the cost model.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/core_pool.h"
+#include "sim/cost_model.h"
+#include "sim/lock_model.h"
+#include "sim/simulation.h"
+#include "sim/wait_queue.h"
+
+namespace hattrick {
+namespace {
+
+TEST(SimulationTest, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(3.0, [&] { order.push_back(3); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(2.0, [&] { order.push_back(2); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, std::vector<int>({1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+}
+
+TEST(SimulationTest, EqualTimesFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(1.0, [&, i] { order.push_back(i); });
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(order, std::vector<int>({0, 1, 2, 3, 4}));
+}
+
+TEST(SimulationTest, NestedScheduling) {
+  Simulation sim;
+  double fired_at = -1;
+  sim.Schedule(1.0, [&] {
+    sim.Schedule(0.5, [&] { fired_at = sim.Now(); });
+  });
+  sim.RunToCompletion();
+  EXPECT_DOUBLE_EQ(fired_at, 1.5);
+}
+
+TEST(SimulationTest, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(1.0, [&] { ++fired; });
+  sim.Schedule(5.0, [&] { ++fired; });
+  sim.RunUntil(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.Now(), 2.0);
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, CountsEvents) {
+  Simulation sim;
+  sim.Schedule(0, [] {});
+  sim.Schedule(0, [] {});
+  sim.RunToCompletion();
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+// --------------------------------------------------------------------------
+// CorePool: exact processor-sharing math.
+// --------------------------------------------------------------------------
+
+TEST(CorePoolTest, SingleJobRunsAtFullRate) {
+  Simulation sim;
+  CorePool pool(&sim, "p", 2.0);
+  double done_at = -1;
+  pool.Submit(3.0, [&] { done_at = sim.Now(); });
+  sim.RunToCompletion();
+  EXPECT_NEAR(done_at, 3.0, 1e-9);  // one job never exceeds rate 1
+}
+
+TEST(CorePoolTest, JobsWithinCapacityDoNotInterfere) {
+  Simulation sim;
+  CorePool pool(&sim, "p", 4.0);
+  std::vector<double> done;
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit(2.0, [&] { done.push_back(sim.Now()); });
+  }
+  sim.RunToCompletion();
+  ASSERT_EQ(done.size(), 4u);
+  for (double t : done) EXPECT_NEAR(t, 2.0, 1e-9);
+}
+
+TEST(CorePoolTest, OverloadSharesProportionally) {
+  // 2 cores, 4 equal jobs of 1s: each runs at rate 0.5 -> all done at 2s.
+  Simulation sim;
+  CorePool pool(&sim, "p", 2.0);
+  std::vector<double> done;
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit(1.0, [&] { done.push_back(sim.Now()); });
+  }
+  sim.RunToCompletion();
+  ASSERT_EQ(done.size(), 4u);
+  for (double t : done) EXPECT_NEAR(t, 2.0, 1e-9);
+}
+
+TEST(CorePoolTest, LateArrivalSlowsExistingJob) {
+  // 1 core. Job A (2s) starts at 0; job B (1s) arrives at 1.
+  // From t=1 both share: rate 1/2. A has 1s left -> needs 2s -> ends at 3.
+  // B needs 1s at rate 1/2 -> ends at 3.
+  Simulation sim;
+  CorePool pool(&sim, "p", 1.0);
+  double a_done = -1;
+  double b_done = -1;
+  pool.Submit(2.0, [&] { a_done = sim.Now(); });
+  sim.Schedule(1.0, [&] { pool.Submit(1.0, [&] { b_done = sim.Now(); }); });
+  sim.RunToCompletion();
+  EXPECT_NEAR(a_done, 3.0, 1e-9);
+  EXPECT_NEAR(b_done, 3.0, 1e-9);
+}
+
+TEST(CorePoolTest, ShortJobFinishesFirstUnderPs) {
+  // 1 core, jobs of 0.5s and 2s arriving together: short one completes at
+  // 1.0 (rate 1/2), long one then speeds up: remaining 1.5 at rate 1 ->
+  // completes at 2.5.
+  Simulation sim;
+  CorePool pool(&sim, "p", 1.0);
+  double short_done = -1;
+  double long_done = -1;
+  pool.Submit(0.5, [&] { short_done = sim.Now(); });
+  pool.Submit(2.0, [&] { long_done = sim.Now(); });
+  sim.RunToCompletion();
+  EXPECT_NEAR(short_done, 1.0, 1e-9);
+  EXPECT_NEAR(long_done, 2.5, 1e-9);
+}
+
+TEST(CorePoolTest, ZeroDemandCompletesImmediately) {
+  Simulation sim;
+  CorePool pool(&sim, "p", 1.0);
+  double done_at = -1;
+  pool.Submit(0.0, [&] { done_at = sim.Now(); });
+  sim.RunToCompletion();
+  EXPECT_DOUBLE_EQ(done_at, 0.0);
+}
+
+TEST(CorePoolTest, BusySecondsAccumulate) {
+  Simulation sim;
+  CorePool pool(&sim, "p", 2.0);
+  for (int i = 0; i < 3; ++i) pool.Submit(1.0, [] {});
+  sim.RunToCompletion();
+  EXPECT_NEAR(pool.busy_seconds(), 3.0, 1e-9);
+}
+
+TEST(CorePoolTest, CompletionCallbackCanResubmit) {
+  Simulation sim;
+  CorePool pool(&sim, "p", 1.0);
+  int completed = 0;
+  std::function<void()> loop = [&] {
+    ++completed;
+    if (completed < 5) pool.Submit(1.0, loop);
+  };
+  pool.Submit(1.0, loop);
+  sim.RunToCompletion();
+  EXPECT_EQ(completed, 5);
+  EXPECT_NEAR(sim.Now(), 5.0, 1e-9);
+}
+
+// --------------------------------------------------------------------------
+// LsnWaitQueue
+// --------------------------------------------------------------------------
+
+TEST(LsnWaitQueueTest, ImmediateWhenAlreadyPublished) {
+  LsnWaitQueue q;
+  q.Publish(5);
+  bool fired = false;
+  q.WaitFor(3, [&] { fired = true; });
+  EXPECT_TRUE(fired);
+}
+
+TEST(LsnWaitQueueTest, WakesInLsnOrder) {
+  LsnWaitQueue q;
+  std::vector<int> order;
+  q.WaitFor(2, [&] { order.push_back(2); });
+  q.WaitFor(1, [&] { order.push_back(1); });
+  q.WaitFor(4, [&] { order.push_back(4); });
+  q.Publish(2);
+  EXPECT_EQ(order, std::vector<int>({1, 2}));
+  EXPECT_EQ(q.waiting(), 1u);
+  q.Publish(10);
+  EXPECT_EQ(order, std::vector<int>({1, 2, 4}));
+}
+
+TEST(LsnWaitQueueTest, PublishIsMonotone) {
+  LsnWaitQueue q;
+  q.Publish(5);
+  q.Publish(3);  // ignored
+  EXPECT_EQ(q.published(), 5u);
+}
+
+TEST(LsnWaitQueueTest, ResetClears) {
+  LsnWaitQueue q;
+  q.WaitFor(9, [] {});
+  q.Publish(1);
+  q.Reset();
+  EXPECT_EQ(q.published(), 0u);
+  EXPECT_EQ(q.waiting(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// RowLockModel
+// --------------------------------------------------------------------------
+
+TEST(RowLockModelTest, UncontendedHasNoWait) {
+  RowLockModel locks(1.0);
+  const std::vector<uint64_t> keys = {1, 2};
+  EXPECT_DOUBLE_EQ(locks.AcquireAll(keys, 0.0, 0.1), 0.0);
+}
+
+TEST(RowLockModelTest, SecondWriterWaitsForRelease) {
+  RowLockModel locks(1.0);
+  const std::vector<uint64_t> keys = {42};
+  EXPECT_DOUBLE_EQ(locks.AcquireAll(keys, 0.0, 0.5), 0.0);
+  // Issued at 0.2 while the row is held until 0.5: waits 0.3.
+  EXPECT_NEAR(locks.AcquireAll(keys, 0.2, 0.5), 0.3, 1e-12);
+}
+
+TEST(RowLockModelTest, ChainsExtendHolds) {
+  RowLockModel locks(1.0);
+  const std::vector<uint64_t> keys = {7};
+  locks.AcquireAll(keys, 0.0, 1.0);             // held to 1.0
+  EXPECT_NEAR(locks.AcquireAll(keys, 0.0, 1.0), 1.0, 1e-12);  // to 2.0
+  EXPECT_NEAR(locks.AcquireAll(keys, 0.0, 1.0), 2.0, 1e-12);  // to 3.0
+}
+
+TEST(RowLockModelTest, HoldFractionScalesWindow) {
+  RowLockModel locks(0.25);
+  const std::vector<uint64_t> keys = {7};
+  locks.AcquireAll(keys, 0.0, 1.0);  // held only until 0.25
+  EXPECT_NEAR(locks.AcquireAll(keys, 0.1, 1.0), 0.15, 1e-12);
+}
+
+TEST(RowLockModelTest, DisjointKeysDoNotInteract) {
+  RowLockModel locks(1.0);
+  locks.AcquireAll(std::vector<uint64_t>{1}, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(
+      locks.AcquireAll(std::vector<uint64_t>{2}, 0.0, 1.0), 0.0);
+}
+
+TEST(RowLockModelTest, TrimDropsExpired) {
+  RowLockModel locks(1.0);
+  locks.AcquireAll(std::vector<uint64_t>{1}, 0.0, 0.5);
+  locks.AcquireAll(std::vector<uint64_t>{2}, 0.0, 5.0);
+  locks.Trim(1.0);
+  EXPECT_EQ(locks.size(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// CostModel
+// --------------------------------------------------------------------------
+
+TEST(CostModelTest, FixedCostsApply) {
+  CostModel cost;
+  WorkMeter empty;
+  EXPECT_NEAR(cost.TxnCpuSeconds(empty), cost.txn_fixed_us * 1e-6, 1e-12);
+  EXPECT_NEAR(cost.QueryCpuSeconds(empty), cost.query_fixed_us * 1e-6,
+              1e-12);
+  EXPECT_DOUBLE_EQ(cost.ReplayCpuSeconds(empty), 0.0);
+}
+
+TEST(CostModelTest, WorkScalesLinearly) {
+  CostModel cost;
+  WorkMeter one;
+  one.rows_read = 1;
+  WorkMeter ten;
+  ten.rows_read = 10;
+  EXPECT_NEAR(cost.WorkUs(ten), 10 * cost.WorkUs(one), 1e-12);
+}
+
+TEST(CostModelTest, MultipliersApply) {
+  CostModel cost;
+  cost.t_work_multiplier = 2.0;
+  WorkMeter m;
+  m.rows_read = 100;
+  CostModel base;
+  EXPECT_NEAR(cost.TxnCpuSeconds(m), 2.0 * base.TxnCpuSeconds(m), 1e-15);
+}
+
+TEST(CostModelTest, ShipDelayGrowsWithBytes) {
+  CostModel cost;
+  EXPECT_GT(cost.ShipDelaySeconds(10000), cost.ShipDelaySeconds(100));
+  EXPECT_NEAR(cost.ShipDelaySeconds(0), cost.ship_fixed_us * 1e-6, 1e-12);
+}
+
+}  // namespace
+}  // namespace hattrick

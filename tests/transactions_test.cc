@@ -1,0 +1,270 @@
+// Tests for the three HATtrick transactions (Section 5.2.1): parameter
+// generation and mix, and the observable database effects of each
+// transaction against a loaded engine — including the no-index fallback
+// paths used by the Figure 6b physical schemas.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "engine/shared_engine.h"
+#include "hattrick/datagen.h"
+#include "hattrick/transactions.h"
+
+namespace hattrick {
+namespace {
+
+class TransactionsTest : public ::testing::TestWithParam<PhysicalSchema> {
+ protected:
+  void SetUp() override {
+    DatagenConfig config;
+    config.scale_factor = 1.0;
+    config.lineorders_per_sf = 2000;
+    config.seed = 7;
+    config.num_freshness_tables = 4;
+    dataset_ = GenerateDataset(config);
+    engine_ = std::make_unique<SharedEngine>();
+    ASSERT_TRUE(LoadDataset(dataset_, GetParam(), engine_.get()).ok());
+    context_ = std::make_unique<WorkloadContext>(dataset_);
+    handles_ = EngineHandles::Resolve(*engine_->primary_catalog(),
+                                      config.num_freshness_tables);
+  }
+
+  TxnOutcome Execute(const TxnParams& params, uint32_t client,
+                     uint64_t txn_num) {
+    WorkMeter meter;
+    return engine_->ExecuteTransaction(
+        MakeTxnBody(params, handles_, client, txn_num), client, txn_num,
+        &meter);
+  }
+
+  int64_t FreshnessValue(uint32_t client) {
+    Row row;
+    EXPECT_TRUE(engine_->primary_catalog()
+                    ->GetTable(handles_.freshness[client - 1])
+                    ->ReadLatest(0, &row, nullptr));
+    return row[fresh::kTxnNum].AsInt();
+  }
+
+  Dataset dataset_;
+  std::unique_ptr<SharedEngine> engine_;
+  std::unique_ptr<WorkloadContext> context_;
+  EngineHandles handles_;
+};
+
+TEST_P(TransactionsTest, NewOrderInsertsLineordersAndBumpsFreshness) {
+  RowTable* lineorder =
+      engine_->primary_catalog()->GetTable(handles_.lineorder);
+  const size_t before = lineorder->NumSlots();
+
+  TxnParams params;
+  params.type = TxnType::kNewOrder;
+  params.orderkey = context_->next_orderkey.fetch_add(1);
+  params.customer_name = CustomerName(3);
+  params.orderdate = DateKeyAt(100);
+  for (int i = 0; i < 3; ++i) {
+    params.lines.push_back({/*partkey=*/static_cast<int64_t>(i + 1),
+                            SupplierName(1), /*quantity=*/int64_t{10},
+                            /*discount=*/int64_t{2}, /*tax=*/int64_t{1},
+                            "AIR", "1-URGENT"});
+  }
+  const TxnOutcome outcome = Execute(params, /*client=*/2, /*txn_num=*/5);
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  EXPECT_EQ(lineorder->NumSlots(), before + 3);
+  EXPECT_EQ(FreshnessValue(2), 5);
+  // New lines carry the right keys and computed prices.
+  Row row;
+  ASSERT_TRUE(lineorder->ReadLatest(before, &row, nullptr));
+  EXPECT_EQ(row[lo::kOrderKey].AsInt(), params.orderkey);
+  EXPECT_EQ(row[lo::kCustKey].AsInt(), 3);
+  const double price = dataset_.part[0][part::kPrice].AsDouble();
+  EXPECT_NEAR(row[lo::kExtendedPrice].AsDouble(), price * 10, 1e-9);
+  EXPECT_NEAR(row[lo::kRevenue].AsDouble(), price * 10 * 0.98, 1e-9);
+  // write_keys include the three inserts + freshness row.
+  EXPECT_EQ(outcome.write_keys.size(), 4u);
+}
+
+TEST_P(TransactionsTest, PaymentUpdatesCustomerSupplierHistory) {
+  TxnParams params;
+  params.type = TxnType::kPayment;
+  params.by_custkey = false;
+  params.custkey = 5;
+  params.customer_name = CustomerName(5);
+  params.suppkey = 1;
+  params.payment_orderkey = 1;
+  params.amount = 123.5;
+
+  RowTable* history =
+      engine_->primary_catalog()->GetTable(handles_.history);
+  const size_t history_before = history->NumSlots();
+  const double ytd_before =
+      dataset_.supplier[0][supp::kYtd].AsDouble();
+
+  ASSERT_TRUE(Execute(params, 1, 1).status.ok());
+
+  Row customer;
+  ASSERT_TRUE(engine_->primary_catalog()
+                  ->GetTable(handles_.customer)
+                  ->ReadLatest(4, &customer, nullptr));
+  EXPECT_EQ(customer[cust::kPaymentCnt].AsInt(), 1);
+
+  Row supplier;
+  ASSERT_TRUE(engine_->primary_catalog()
+                  ->GetTable(handles_.supplier)
+                  ->ReadLatest(0, &supplier, nullptr));
+  EXPECT_NEAR(supplier[supp::kYtd].AsDouble(), ytd_before + 123.5, 1e-9);
+
+  EXPECT_EQ(history->NumSlots(), history_before + 1);
+  Row hist_row;
+  ASSERT_TRUE(history->ReadLatest(history_before, &hist_row, nullptr));
+  EXPECT_EQ(hist_row[hist::kCustKey].AsInt(), 5);
+  EXPECT_NEAR(hist_row[hist::kAmount].AsDouble(), 123.5, 1e-9);
+  EXPECT_EQ(FreshnessValue(1), 1);
+}
+
+TEST_P(TransactionsTest, PaymentByCustkeyPath) {
+  TxnParams params;
+  params.type = TxnType::kPayment;
+  params.by_custkey = true;
+  params.custkey = 7;
+  params.customer_name = CustomerName(7);
+  params.suppkey = 1;
+  params.payment_orderkey = 1;
+  params.amount = 10;
+  ASSERT_TRUE(Execute(params, 1, 1).status.ok());
+  Row customer;
+  ASSERT_TRUE(engine_->primary_catalog()
+                  ->GetTable(handles_.customer)
+                  ->ReadLatest(6, &customer, nullptr));
+  EXPECT_EQ(customer[cust::kPaymentCnt].AsInt(), 1);
+}
+
+TEST_P(TransactionsTest, CountOrdersIsReadOnlyExceptFreshness) {
+  TxnParams params;
+  params.type = TxnType::kCountOrders;
+  params.customer_name = CustomerName(2);
+
+  RowTable* lineorder =
+      engine_->primary_catalog()->GetTable(handles_.lineorder);
+  const size_t lineorders_before = lineorder->NumSlots();
+  const TxnOutcome outcome = Execute(params, 3, 9);
+  ASSERT_TRUE(outcome.status.ok());
+  EXPECT_EQ(lineorder->NumSlots(), lineorders_before);
+  EXPECT_EQ(FreshnessValue(3), 9);
+  // Only the freshness row was written.
+  EXPECT_EQ(outcome.write_keys.size(), 1u);
+}
+
+TEST_P(TransactionsTest, MissingCustomerFails) {
+  TxnParams params;
+  params.type = TxnType::kCountOrders;
+  params.customer_name = "Customer#999999999";
+  const TxnOutcome outcome = Execute(params, 1, 1);
+  EXPECT_FALSE(outcome.status.ok());
+  EXPECT_EQ(outcome.status.code(), StatusCode::kNotFound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PhysicalSchemas, TransactionsTest,
+    ::testing::Values(PhysicalSchema::kAllIndexes,
+                      PhysicalSchema::kSemiIndexes,
+                      PhysicalSchema::kNoIndexes),
+    [](const ::testing::TestParamInfo<PhysicalSchema>& info) {
+      return PhysicalSchemaName(info.param);
+    });
+
+// --------------------------------------------------------------------------
+// Parameter generation.
+// --------------------------------------------------------------------------
+
+class ParamGenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatagenConfig config;
+    config.scale_factor = 1.0;
+    config.lineorders_per_sf = 2000;
+    dataset_ = GenerateDataset(config);
+    context_ = std::make_unique<WorkloadContext>(dataset_);
+  }
+
+  Dataset dataset_;
+  std::unique_ptr<WorkloadContext> context_;
+};
+
+TEST_F(ParamGenTest, MixMatchesPaperDistribution) {
+  Rng rng(42);
+  int counts[3] = {0, 0, 0};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const TxnParams params = GenerateTxnParams(context_.get(), &rng);
+    ++counts[static_cast<int>(params.type)];
+  }
+  // 48% new order, 48% payment, 4% count orders (Section 5.3).
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.48, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.48, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.04, 0.005);
+}
+
+TEST_F(ParamGenTest, PaymentSelectorMix) {
+  Rng rng(43);
+  int by_key = 0;
+  int payments = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const TxnParams params = GenerateTxnParams(context_.get(), &rng);
+    if (params.type == TxnType::kPayment) {
+      ++payments;
+      if (params.by_custkey) ++by_key;
+    }
+  }
+  // Customer selected by name 60% of the time (Section 5.2.1).
+  EXPECT_NEAR(by_key / static_cast<double>(payments), 0.40, 0.02);
+}
+
+TEST_F(ParamGenTest, NewOrderKeysAreSequentialAndUnique) {
+  Rng rng(44);
+  int64_t last = context_->initial_max_orderkey;
+  for (int i = 0; i < 1000; ++i) {
+    const TxnParams params = GenerateTxnParams(context_.get(), &rng);
+    if (params.type == TxnType::kNewOrder) {
+      EXPECT_GT(params.orderkey, last);
+      last = params.orderkey;
+      EXPECT_GE(params.lines.size(), 1u);
+      EXPECT_LE(params.lines.size(), 7u);
+    }
+  }
+}
+
+TEST_F(ParamGenTest, ParamsStayInDomains) {
+  Rng rng(45);
+  for (int i = 0; i < 2000; ++i) {
+    const TxnParams params = GenerateTxnParams(context_.get(), &rng);
+    if (params.type == TxnType::kNewOrder) {
+      EXPECT_GE(params.orderdate, 19920101);
+      EXPECT_LE(params.orderdate, 19981231);
+      for (const auto& line : params.lines) {
+        EXPECT_GE(line.partkey, 1);
+        EXPECT_LE(line.partkey,
+                  static_cast<int64_t>(context_->num_parts));
+        EXPECT_GE(line.quantity, 1);
+        EXPECT_LE(line.quantity, 50);
+      }
+    }
+  }
+}
+
+TEST_F(ParamGenTest, ContextResetRewindsOrderKeys) {
+  Rng rng(46);
+  for (int i = 0; i < 100; ++i) GenerateTxnParams(context_.get(), &rng);
+  context_->Reset();
+  EXPECT_EQ(context_->next_orderkey.load(),
+            context_->initial_max_orderkey + 1);
+}
+
+TEST_F(ParamGenTest, TxnTypeNames) {
+  EXPECT_STREQ(TxnTypeName(TxnType::kNewOrder), "new_order");
+  EXPECT_STREQ(TxnTypeName(TxnType::kPayment), "payment");
+  EXPECT_STREQ(TxnTypeName(TxnType::kCountOrders), "count_orders");
+}
+
+}  // namespace
+}  // namespace hattrick

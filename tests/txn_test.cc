@@ -1,0 +1,374 @@
+// Tests for the transaction manager: atomic commit, read-your-own-writes,
+// isolation-level semantics (including classic anomalies: lost update,
+// write skew), index maintenance, WAL emission and encoding.
+
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "txn/timestamp.h"
+#include "txn/txn_manager.h"
+#include "txn/wal.h"
+
+namespace hattrick {
+namespace {
+
+Schema AccountSchema() {
+  return Schema({{"id", DataType::kInt64}, {"balance", DataType::kInt64}});
+}
+
+class TxnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = catalog_.CreateTable("accounts", AccountSchema());
+    index_ = catalog_.CreateIndex("accounts_pk", "accounts", {0}, true);
+    tm_ = std::make_unique<TxnManager>(&catalog_, &oracle_, nullptr);
+    // Seed two accounts at load time.
+    for (int64_t id : {1, 2}) {
+      const Rid rid = table_->Insert(Row{id, int64_t{100}}, 1, nullptr);
+      index_->tree->Insert(index_->KeyFor(Row{id, int64_t{100}}, rid), rid,
+                           nullptr);
+    }
+    oracle_.ResetTo(1);
+  }
+
+  Row ReadCommitted(Rid rid) {
+    Row row;
+    EXPECT_TRUE(table_->ReadLatest(rid, &row, nullptr));
+    return row;
+  }
+
+  Catalog catalog_;
+  RowTable* table_ = nullptr;
+  IndexInfo* index_ = nullptr;
+  TimestampOracle oracle_;
+  std::unique_ptr<TxnManager> tm_;
+};
+
+TEST_F(TxnTest, ReadOnlyCommitConsumesNoTimestamp) {
+  Transaction txn = tm_->Begin(IsolationLevel::kSnapshot);
+  Row row;
+  ASSERT_TRUE(tm_->Read(&txn, 0, 0, &row, nullptr).ok());
+  const Ts before = oracle_.last_committed();
+  StatusOr<CommitResult> result = tm_->Commit(&txn, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->lsn, 0u);
+  EXPECT_EQ(oracle_.last_committed(), before);
+}
+
+TEST_F(TxnTest, InsertVisibleAfterCommitOnly) {
+  Transaction txn = tm_->Begin(IsolationLevel::kSnapshot);
+  tm_->BufferInsert(&txn, 0, Row{int64_t{3}, int64_t{50}});
+  EXPECT_EQ(table_->NumSlots(), 2u);  // nothing installed yet
+  ASSERT_TRUE(tm_->Commit(&txn, nullptr).ok());
+  EXPECT_EQ(table_->NumSlots(), 3u);
+  EXPECT_EQ(ReadCommitted(2)[1].AsInt(), 50);
+}
+
+TEST_F(TxnTest, AbortDiscardsEverything) {
+  Transaction txn = tm_->Begin(IsolationLevel::kSnapshot);
+  tm_->BufferInsert(&txn, 0, Row{int64_t{3}, int64_t{50}});
+  Row row;
+  ASSERT_TRUE(tm_->Read(&txn, 0, 0, &row, nullptr).ok());
+  tm_->BufferUpdate(&txn, 0, 0, row, Row{int64_t{1}, int64_t{0}});
+  tm_->Abort(&txn);
+  EXPECT_EQ(table_->NumSlots(), 2u);
+  EXPECT_EQ(ReadCommitted(0)[1].AsInt(), 100);
+}
+
+TEST_F(TxnTest, ReadYourOwnWrites) {
+  Transaction txn = tm_->Begin(IsolationLevel::kSnapshot);
+  Row row;
+  ASSERT_TRUE(tm_->Read(&txn, 0, 0, &row, nullptr).ok());
+  tm_->BufferUpdate(&txn, 0, 0, row, Row{int64_t{1}, int64_t{77}});
+  Row reread;
+  ASSERT_TRUE(tm_->Read(&txn, 0, 0, &reread, nullptr).ok());
+  EXPECT_EQ(reread[1].AsInt(), 77);
+}
+
+TEST_F(TxnTest, SnapshotReadsIgnoreLaterCommits) {
+  Transaction reader = tm_->Begin(IsolationLevel::kSnapshot);
+
+  Transaction writer = tm_->Begin(IsolationLevel::kSnapshot);
+  Row row;
+  ASSERT_TRUE(tm_->Read(&writer, 0, 0, &row, nullptr).ok());
+  tm_->BufferUpdate(&writer, 0, 0, row, Row{int64_t{1}, int64_t{55}});
+  ASSERT_TRUE(tm_->Commit(&writer, nullptr).ok());
+
+  Row seen;
+  ASSERT_TRUE(tm_->Read(&reader, 0, 0, &seen, nullptr).ok());
+  EXPECT_EQ(seen[1].AsInt(), 100);  // pre-commit snapshot
+}
+
+TEST_F(TxnTest, ReadCommittedSeesLatest) {
+  Transaction reader = tm_->Begin(IsolationLevel::kReadCommitted);
+
+  Transaction writer = tm_->Begin(IsolationLevel::kSnapshot);
+  Row row;
+  ASSERT_TRUE(tm_->Read(&writer, 0, 0, &row, nullptr).ok());
+  tm_->BufferUpdate(&writer, 0, 0, row, Row{int64_t{1}, int64_t{55}});
+  ASSERT_TRUE(tm_->Commit(&writer, nullptr).ok());
+
+  Row seen;
+  ASSERT_TRUE(tm_->Read(&reader, 0, 0, &seen, nullptr).ok());
+  EXPECT_EQ(seen[1].AsInt(), 55);
+}
+
+TEST_F(TxnTest, LostUpdatePreventedUnderSnapshotIsolation) {
+  // Two concurrent increments of the same balance: first-updater-wins
+  // forces the second to abort instead of silently losing an update.
+  Transaction t1 = tm_->Begin(IsolationLevel::kSnapshot);
+  Transaction t2 = tm_->Begin(IsolationLevel::kSnapshot);
+  Row r1;
+  Row r2;
+  ASSERT_TRUE(tm_->Read(&t1, 0, 0, &r1, nullptr).ok());
+  ASSERT_TRUE(tm_->Read(&t2, 0, 0, &r2, nullptr).ok());
+  tm_->BufferUpdate(&t1, 0, 0, r1, Row{int64_t{1}, int64_t{110}});
+  tm_->BufferUpdate(&t2, 0, 0, r2, Row{int64_t{1}, int64_t{120}});
+  ASSERT_TRUE(tm_->Commit(&t1, nullptr).ok());
+  WorkMeter meter;
+  StatusOr<CommitResult> second = tm_->Commit(&t2, &meter);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(meter.conflict_waits, 1u);
+  EXPECT_EQ(ReadCommitted(0)[1].AsInt(), 110);
+}
+
+TEST_F(TxnTest, LostUpdateAllowedUnderReadCommitted) {
+  // Read committed performs no write-write validation: the classic lost
+  // update proceeds (last writer wins).
+  Transaction t1 = tm_->Begin(IsolationLevel::kReadCommitted);
+  Transaction t2 = tm_->Begin(IsolationLevel::kReadCommitted);
+  Row r1;
+  Row r2;
+  ASSERT_TRUE(tm_->Read(&t1, 0, 0, &r1, nullptr).ok());
+  ASSERT_TRUE(tm_->Read(&t2, 0, 0, &r2, nullptr).ok());
+  tm_->BufferUpdate(&t1, 0, 0, r1, Row{int64_t{1}, int64_t{110}});
+  tm_->BufferUpdate(&t2, 0, 0, r2, Row{int64_t{1}, int64_t{120}});
+  ASSERT_TRUE(tm_->Commit(&t1, nullptr).ok());
+  ASSERT_TRUE(tm_->Commit(&t2, nullptr).ok());
+  EXPECT_EQ(ReadCommitted(0)[1].AsInt(), 120);
+}
+
+TEST_F(TxnTest, WriteSkewAllowedUnderSnapshotIsolation) {
+  // The classic SI anomaly: each txn reads both accounts, writes the
+  // other one. Disjoint write sets -> both commit under SI.
+  Transaction t1 = tm_->Begin(IsolationLevel::kSnapshot);
+  Transaction t2 = tm_->Begin(IsolationLevel::kSnapshot);
+  Row a1;
+  Row b1;
+  ASSERT_TRUE(tm_->Read(&t1, 0, 0, &a1, nullptr).ok());
+  ASSERT_TRUE(tm_->Read(&t1, 0, 1, &b1, nullptr).ok());
+  Row a2;
+  Row b2;
+  ASSERT_TRUE(tm_->Read(&t2, 0, 0, &a2, nullptr).ok());
+  ASSERT_TRUE(tm_->Read(&t2, 0, 1, &b2, nullptr).ok());
+  tm_->BufferUpdate(&t1, 0, 0, a1, Row{int64_t{1}, int64_t{0}});
+  tm_->BufferUpdate(&t2, 0, 1, b2, Row{int64_t{2}, int64_t{0}});
+  EXPECT_TRUE(tm_->Commit(&t1, nullptr).ok());
+  EXPECT_TRUE(tm_->Commit(&t2, nullptr).ok());  // anomaly permitted
+}
+
+TEST_F(TxnTest, WriteSkewRejectedUnderSerializable) {
+  Transaction t1 = tm_->Begin(IsolationLevel::kSerializable);
+  Transaction t2 = tm_->Begin(IsolationLevel::kSerializable);
+  Row a1;
+  Row b1;
+  ASSERT_TRUE(tm_->Read(&t1, 0, 0, &a1, nullptr).ok());
+  ASSERT_TRUE(tm_->Read(&t1, 0, 1, &b1, nullptr).ok());
+  Row a2;
+  Row b2;
+  ASSERT_TRUE(tm_->Read(&t2, 0, 0, &a2, nullptr).ok());
+  ASSERT_TRUE(tm_->Read(&t2, 0, 1, &b2, nullptr).ok());
+  tm_->BufferUpdate(&t1, 0, 0, a1, Row{int64_t{1}, int64_t{0}});
+  tm_->BufferUpdate(&t2, 0, 1, b2, Row{int64_t{2}, int64_t{0}});
+  EXPECT_TRUE(tm_->Commit(&t1, nullptr).ok());
+  // t2's read of account 1 is stale -> OCC read validation aborts it.
+  StatusOr<CommitResult> second = tm_->Commit(&t2, nullptr);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAborted);
+}
+
+TEST_F(TxnTest, IndexMaintainedOnInsert) {
+  Transaction txn = tm_->Begin(IsolationLevel::kSnapshot);
+  tm_->BufferInsert(&txn, 0, Row{int64_t{42}, int64_t{1}});
+  ASSERT_TRUE(tm_->Commit(&txn, nullptr).ok());
+
+  Transaction reader = tm_->Begin(IsolationLevel::kSnapshot);
+  size_t hits = tm_->IndexLookup(&reader, *index_, {Value(int64_t{42})},
+                                 [](Rid, const Row&) { return true; },
+                                 nullptr);
+  EXPECT_EQ(hits, 1u);
+}
+
+TEST_F(TxnTest, IndexLookupFiltersStaleEntries) {
+  // Update an indexed column: the old index entry remains but the
+  // re-check filters it.
+  Catalog catalog;
+  RowTable* table = catalog.CreateTable("t", AccountSchema());
+  IndexInfo* by_balance = catalog.CreateIndex("bal", "t", {1}, false);
+  TimestampOracle oracle;
+  TxnManager tm(&catalog, &oracle, nullptr);
+  const Rid rid = table->Insert(Row{int64_t{1}, int64_t{100}}, 1, nullptr);
+  by_balance->tree->Insert(
+      by_balance->KeyFor(Row{int64_t{1}, int64_t{100}}, rid), rid, nullptr);
+  oracle.ResetTo(1);
+
+  Transaction writer = tm.Begin(IsolationLevel::kSnapshot);
+  Row row;
+  ASSERT_TRUE(tm.Read(&writer, 0, rid, &row, nullptr).ok());
+  tm.BufferUpdate(&writer, 0, rid, row, Row{int64_t{1}, int64_t{200}});
+  ASSERT_TRUE(tm.Commit(&writer, nullptr).ok());
+
+  Transaction reader = tm.Begin(IsolationLevel::kSnapshot);
+  EXPECT_EQ(tm.IndexLookup(&reader, *by_balance, {Value(int64_t{100})},
+                           [](Rid, const Row&) { return true; }, nullptr),
+            0u);
+  EXPECT_EQ(tm.IndexLookup(&reader, *by_balance, {Value(int64_t{200})},
+                           [](Rid, const Row&) { return true; }, nullptr),
+            1u);
+}
+
+TEST_F(TxnTest, WalEmittedToSinkInCommitOrder) {
+  struct CapturingSink : WalSink {
+    std::vector<WalRecord> records;
+    void OnCommit(const WalRecord& record) override {
+      records.push_back(record);
+    }
+  } sink;
+  tm_->set_sink(&sink);
+
+  for (int i = 0; i < 3; ++i) {
+    Transaction txn = tm_->Begin(IsolationLevel::kSnapshot, /*client_id=*/7,
+                                 /*txn_num=*/static_cast<uint64_t>(i + 1));
+    tm_->BufferInsert(&txn, 0, Row{int64_t{10 + i}, int64_t{0}});
+    ASSERT_TRUE(tm_->Commit(&txn, nullptr).ok());
+  }
+  ASSERT_EQ(sink.records.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(sink.records[i].lsn, i + 1);
+    EXPECT_EQ(sink.records[i].client_id, 7u);
+    EXPECT_EQ(sink.records[i].txn_num, i + 1);
+    ASSERT_EQ(sink.records[i].ops.size(), 1u);
+    EXPECT_EQ(sink.records[i].ops[0].kind, WalOp::Kind::kInsert);
+  }
+  EXPECT_LT(sink.records[0].commit_ts, sink.records[2].commit_ts);
+}
+
+TEST_F(TxnTest, CommitReportsWriteKeys) {
+  Transaction txn = tm_->Begin(IsolationLevel::kSnapshot);
+  Row row;
+  ASSERT_TRUE(tm_->Read(&txn, 0, 0, &row, nullptr).ok());
+  tm_->BufferUpdate(&txn, 0, 0, row, Row{int64_t{1}, int64_t{1}});
+  tm_->BufferInsert(&txn, 0, Row{int64_t{5}, int64_t{5}});
+  StatusOr<CommitResult> result = tm_->Commit(&txn, nullptr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->write_keys.size(), 2u);
+  EXPECT_EQ(result->write_keys[0], PackRowKey(0, 0));
+  EXPECT_EQ(result->write_keys[1], PackRowKey(0, 2));
+}
+
+TEST_F(TxnTest, RunWithRetriesRetriesAbortedBodies) {
+  int calls = 0;
+  int attempts = 0;
+  StatusOr<CommitResult> result = tm_->RunWithRetries(
+      IsolationLevel::kSnapshot, 1, 1,
+      [&](Transaction* txn) -> Status {
+        ++calls;
+        if (calls < 3) return Status::Aborted("try again");
+        tm_->BufferInsert(txn, 0, Row{int64_t{9}, int64_t{9}});
+        return Status::OK();
+      },
+      nullptr, /*max_retries=*/5, &attempts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(attempts, 3);
+}
+
+TEST_F(TxnTest, RunWithRetriesGivesUpAfterMax) {
+  int attempts = 0;
+  StatusOr<CommitResult> result = tm_->RunWithRetries(
+      IsolationLevel::kSnapshot, 1, 1,
+      [&](Transaction*) { return Status::Aborted("always"); }, nullptr,
+      /*max_retries=*/3, &attempts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(attempts, 4);  // 1 + 3 retries
+}
+
+TEST_F(TxnTest, RunWithRetriesPropagatesNonAbortErrors) {
+  StatusOr<CommitResult> result = tm_->RunWithRetries(
+      IsolationLevel::kSnapshot, 1, 1,
+      [&](Transaction*) { return Status::NotFound("no row"); }, nullptr, 5,
+      nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+// --------------------------------------------------------------------------
+// WAL encoding
+// --------------------------------------------------------------------------
+
+TEST(WalTest, EncodeDecodeRoundTrip) {
+  WalRecord record;
+  record.lsn = 42;
+  record.commit_ts = 1234;
+  record.client_id = 3;
+  record.txn_num = 99;
+  record.ops.push_back(WalOp{WalOp::Kind::kInsert, 1, 17,
+                             Row{int64_t{-5}, 2.75, std::string("hello")}});
+  record.ops.push_back(
+      WalOp{WalOp::Kind::kUpdate, 2, 0, Row{std::string("")}});
+
+  StatusOr<WalRecord> decoded = WalRecord::Decode(record.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, record);
+}
+
+TEST(WalTest, DecodeRejectsTruncated) {
+  WalRecord record;
+  record.lsn = 1;
+  record.ops.push_back(
+      WalOp{WalOp::Kind::kInsert, 0, 0, Row{std::string("payload")}});
+  const std::string bytes = record.Encode();
+  for (size_t cut : {size_t{0}, size_t{4}, bytes.size() - 3}) {
+    StatusOr<WalRecord> decoded = WalRecord::Decode(bytes.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(WalTest, DecodeRejectsTrailingGarbage) {
+  WalRecord record;
+  record.lsn = 1;
+  EXPECT_FALSE(WalRecord::Decode(record.Encode() + "x").ok());
+}
+
+TEST(WalTest, EmptyRecordRoundTrips) {
+  WalRecord record;
+  record.lsn = 7;
+  StatusOr<WalRecord> decoded = WalRecord::Decode(record.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, record);
+}
+
+// --------------------------------------------------------------------------
+// Timestamp oracle
+// --------------------------------------------------------------------------
+
+TEST(TimestampOracleTest, AllocateMonotone) {
+  TimestampOracle oracle;
+  const Ts a = oracle.Allocate();
+  const Ts b = oracle.Allocate();
+  EXPECT_LT(a, b);
+}
+
+TEST(TimestampOracleTest, ResetTo) {
+  TimestampOracle oracle;
+  oracle.Allocate();
+  oracle.Allocate();
+  oracle.ResetTo(1);
+  EXPECT_EQ(oracle.last_committed(), 1u);
+  EXPECT_EQ(oracle.Allocate(), 2u);
+}
+
+}  // namespace
+}  // namespace hattrick

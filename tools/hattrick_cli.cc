@@ -1,0 +1,223 @@
+// hattrick_cli — run the HATtrick benchmark from the command line.
+//
+// Modes:
+//   point    run one (T, A) operating point and print its metrics
+//   frontier run the full saturation method and print grid + frontier
+//   sweep    sweep A-clients at a fixed T (one fixed-T line)
+//
+// Examples:
+//   hattrick_cli --mode=point --system=postgres --sf=10 --t=8 --a=4
+//   hattrick_cli --mode=frontier --system=postgres-sr --sf=100
+//   hattrick_cli --mode=sweep --system=tidb --sf=10 --t=4 --max_a=12
+//
+// Flags:
+//   --system    postgres | postgres-rc | postgres-sr | postgres-sr-ra |
+//               system-x | tidb | tidb-dist            (default postgres)
+//   --sf        scale factor                           (default 1)
+//   --schema    none | semi | all                      (default per system)
+//   --t, --a    client counts for --mode=point         (default 4 / 2)
+//   --warmup, --measure   period lengths in virtual s  (default 0.25 / 1)
+//   --seed      workload seed                          (default 7)
+//   --lines, --points, --max_clients   frontier options
+//   --rows_per_sf  lineorders per SF unit              (default 2000)
+//   --threaded  use wall-clock threads instead of the simulator (point)
+
+#include <cstdio>
+#include <string>
+
+#include "bench/support.h"
+#include "tools/flags.h"
+
+namespace hattrick {
+namespace tools {
+namespace {
+
+using bench::EngineKind;
+
+bool ParseSystem(const std::string& name, EngineKind* kind) {
+  static const std::pair<const char*, EngineKind> kSystems[] = {
+      {"postgres", EngineKind::kPostgres},
+      {"postgres-rc", EngineKind::kPostgresRC},
+      {"postgres-sr", EngineKind::kPostgresSR},
+      {"postgres-sr-ra", EngineKind::kPostgresSRRA},
+      {"system-x", EngineKind::kSystemX},
+      {"tidb", EngineKind::kTidb},
+      {"tidb-dist", EngineKind::kTidbDist},
+  };
+  for (const auto& [key, value] : kSystems) {
+    if (name == key) {
+      *kind = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+PhysicalSchema DefaultSchema(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kPostgres:
+    case EngineKind::kPostgresRC:
+    case EngineKind::kPostgresSR:
+    case EngineKind::kPostgresSRRA:
+      return PhysicalSchema::kAllIndexes;
+    default:
+      return PhysicalSchema::kSemiIndexes;  // hybrid: T indexes only
+  }
+}
+
+bool ParseSchema(const std::string& name, PhysicalSchema* schema) {
+  if (name == "none") {
+    *schema = PhysicalSchema::kNoIndexes;
+  } else if (name == "semi") {
+    *schema = PhysicalSchema::kSemiIndexes;
+  } else if (name == "all") {
+    *schema = PhysicalSchema::kAllIndexes;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void PrintPoint(const RunMetrics& metrics) {
+  std::printf("t_throughput_tps,%.2f\n", metrics.t_throughput);
+  std::printf("a_throughput_qps,%.3f\n", metrics.a_throughput);
+  std::printf("committed,%llu\n",
+              static_cast<unsigned long long>(metrics.committed));
+  std::printf("aborts,%llu\n",
+              static_cast<unsigned long long>(metrics.aborts));
+  std::printf("failed,%llu\n",
+              static_cast<unsigned long long>(metrics.failed));
+  std::printf("queries,%llu\n",
+              static_cast<unsigned long long>(metrics.queries));
+  if (!metrics.txn_latency.empty()) {
+    std::printf("txn_latency_ms_p50,%.4f\n",
+                metrics.txn_latency.Percentile(0.5) * 1e3);
+    std::printf("txn_latency_ms_p99,%.4f\n",
+                metrics.txn_latency.Percentile(0.99) * 1e3);
+  }
+  for (int t = 0; t < 3; ++t) {
+    const Sampler& sampler = metrics.txn_latency_by_type[t];
+    if (!sampler.empty()) {
+      std::printf("txn_latency_ms_mean_%s,%.4f\n",
+                  TxnTypeName(static_cast<TxnType>(t)),
+                  sampler.Mean() * 1e3);
+    }
+  }
+  if (!metrics.query_latency.empty()) {
+    std::printf("query_latency_ms_p50,%.3f\n",
+                metrics.query_latency.Percentile(0.5) * 1e3);
+    std::printf("query_latency_ms_p99,%.3f\n",
+                metrics.query_latency.Percentile(0.99) * 1e3);
+  }
+  for (int q = 0; q < kNumQueries; ++q) {
+    const Sampler& sampler = metrics.query_latency_by_id[q];
+    if (!sampler.empty()) {
+      std::printf("query_latency_ms_mean_%s,%.3f\n", QueryName(q),
+                  sampler.Mean() * 1e3);
+    }
+  }
+  if (!metrics.freshness.empty()) {
+    std::printf("freshness_s_p50,%.5f\n",
+                metrics.freshness.Percentile(0.5));
+    std::printf("freshness_s_p99,%.5f\n",
+                metrics.freshness.Percentile(0.99));
+    std::printf("freshness_fresh_fraction,%.4f\n",
+                metrics.freshness.CdfAt(1e-3));
+  }
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hattrick_cli --mode=point|frontier|sweep "
+               "--system=<name> [--sf=N] [--t=N --a=N] ...\n"
+               "see the header of tools/hattrick_cli.cc for all flags\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::string mode = flags.GetString("mode", "point");
+
+  EngineKind kind;
+  if (!ParseSystem(flags.GetString("system", "postgres"), &kind)) {
+    std::fprintf(stderr, "unknown --system\n");
+    return Usage();
+  }
+  PhysicalSchema schema = DefaultSchema(kind);
+  if (flags.Has("schema") &&
+      !ParseSchema(flags.GetString("schema", ""), &schema)) {
+    std::fprintf(stderr, "unknown --schema\n");
+    return Usage();
+  }
+  const double sf = flags.GetDouble("sf", 1.0);
+
+  std::printf("# system=%s sf=%.1f schema=%s\n",
+              bench::EngineKindName(kind), sf, PhysicalSchemaName(schema));
+  std::printf("# loading...\n");
+  std::fflush(stdout);
+  bench::BenchEnv env = bench::MakeEnv(kind, sf, schema);
+  std::printf("# loaded %zu lineorders\n", env.dataset.lineorder.size());
+
+  WorkloadConfig base;
+  base.warmup_seconds = flags.GetDouble("warmup", 0.25);
+  base.measure_seconds = flags.GetDouble("measure", 1.0);
+  base.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+
+  if (mode == "point") {
+    base.t_clients = flags.GetInt("t", 4);
+    base.a_clients = flags.GetInt("a", 2);
+    RunMetrics metrics;
+    if (flags.GetBool("threaded", false)) {
+      ThreadedDriver threaded(env.engine.get(), env.context.get());
+      metrics = threaded.Run(base);
+    } else {
+      metrics = env.driver->Run(base);
+    }
+    PrintPoint(metrics);
+    return 0;
+  }
+  if (mode == "frontier") {
+    FrontierOptions options;
+    options.lines = flags.GetInt("lines", 5);
+    options.points_per_line = flags.GetInt("points", 5);
+    options.max_clients = flags.GetInt("max_clients", 32);
+    const GridGraph grid = BuildGridGraph(
+        MakeRunner(env.driver.get(), base), options,
+        [](const std::string& note) {
+          std::fprintf(stderr, "%s\n", note.c_str());
+        });
+    PrintFrontierSummary(bench::EngineKindName(kind), grid);
+    PrintGridCsv(bench::EngineKindName(kind), grid);
+    const auto freshness = MeasureRatioFreshness(
+        MakeRunner(env.driver.get(), base), grid.tau_max, grid.alpha_max);
+    PrintRatioFreshness(bench::EngineKindName(kind), freshness);
+    PlotFrontiers({bench::EngineKindName(kind)}, {&grid});
+    return 0;
+  }
+  if (mode == "sweep") {
+    const int t = flags.GetInt("t", 4);
+    const int max_a = flags.GetInt("max_a", 8);
+    std::printf("t_clients,a_clients,tps,qps,freshness_p99_s\n");
+    for (int a = 0; a <= max_a; ++a) {
+      base.t_clients = t;
+      base.a_clients = a;
+      const RunMetrics metrics = env.driver->Run(base);
+      std::printf("%d,%d,%.1f,%.2f,%.5f\n", t, a, metrics.t_throughput,
+                  metrics.a_throughput,
+                  metrics.freshness.empty()
+                      ? 0.0
+                      : metrics.freshness.Percentile(0.99));
+      std::fflush(stdout);
+    }
+    return 0;
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace tools
+}  // namespace hattrick
+
+int main(int argc, char** argv) {
+  return hattrick::tools::Main(argc, argv);
+}
