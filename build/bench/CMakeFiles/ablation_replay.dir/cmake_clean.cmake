@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_replay.dir/ablation_replay.cc.o"
+  "CMakeFiles/ablation_replay.dir/ablation_replay.cc.o.d"
+  "ablation_replay"
+  "ablation_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_frontier_methods.dir/fig01_frontier_methods.cc.o"
+  "CMakeFiles/fig01_frontier_methods.dir/fig01_frontier_methods.cc.o.d"
+  "fig01_frontier_methods"
+  "fig01_frontier_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_frontier_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

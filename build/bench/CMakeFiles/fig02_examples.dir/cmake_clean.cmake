@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_examples.dir/fig02_examples.cc.o"
+  "CMakeFiles/fig02_examples.dir/fig02_examples.cc.o.d"
+  "fig02_examples"
+  "fig02_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_postgres_sf.dir/fig05_postgres_sf.cc.o"
+  "CMakeFiles/fig05_postgres_sf.dir/fig05_postgres_sf.cc.o.d"
+  "fig05_postgres_sf"
+  "fig05_postgres_sf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_postgres_sf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

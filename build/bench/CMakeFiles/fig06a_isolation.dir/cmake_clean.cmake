@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06a_isolation.dir/fig06a_isolation.cc.o"
+  "CMakeFiles/fig06a_isolation.dir/fig06a_isolation.cc.o.d"
+  "fig06a_isolation"
+  "fig06a_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06a_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06a_isolation.
+# This may be replaced when dependencies are built.

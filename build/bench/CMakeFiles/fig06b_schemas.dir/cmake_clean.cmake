@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06b_schemas.dir/fig06b_schemas.cc.o"
+  "CMakeFiles/fig06b_schemas.dir/fig06b_schemas.cc.o.d"
+  "fig06b_schemas"
+  "fig06b_schemas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06b_schemas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06b_schemas.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_postgres_sr_sf.dir/fig07_postgres_sr_sf.cc.o"
+  "CMakeFiles/fig07_postgres_sr_sf.dir/fig07_postgres_sr_sf.cc.o.d"
+  "fig07_postgres_sr_sf"
+  "fig07_postgres_sr_sf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_postgres_sr_sf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

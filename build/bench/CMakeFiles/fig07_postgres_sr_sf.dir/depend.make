@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_postgres_sr_sf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08a_replication_modes.dir/fig08a_replication_modes.cc.o"
+  "CMakeFiles/fig08a_replication_modes.dir/fig08a_replication_modes.cc.o.d"
+  "fig08a_replication_modes"
+  "fig08a_replication_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08a_replication_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08b_freshness_cdf.dir/fig08b_freshness_cdf.cc.o"
+  "CMakeFiles/fig08b_freshness_cdf.dir/fig08b_freshness_cdf.cc.o.d"
+  "fig08b_freshness_cdf"
+  "fig08b_freshness_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08b_freshness_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_systemx_sf.dir/fig09_systemx_sf.cc.o"
+  "CMakeFiles/fig09_systemx_sf.dir/fig09_systemx_sf.cc.o.d"
+  "fig09_systemx_sf"
+  "fig09_systemx_sf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_systemx_sf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

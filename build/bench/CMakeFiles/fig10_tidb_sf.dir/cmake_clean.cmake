@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tidb_sf.dir/fig10_tidb_sf.cc.o"
+  "CMakeFiles/fig10_tidb_sf.dir/fig10_tidb_sf.cc.o.d"
+  "fig10_tidb_sf"
+  "fig10_tidb_sf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tidb_sf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

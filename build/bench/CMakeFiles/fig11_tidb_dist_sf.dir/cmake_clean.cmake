@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_tidb_dist_sf.dir/fig11_tidb_dist_sf.cc.o"
+  "CMakeFiles/fig11_tidb_dist_sf.dir/fig11_tidb_dist_sf.cc.o.d"
+  "fig11_tidb_dist_sf"
+  "fig11_tidb_dist_sf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tidb_dist_sf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cross_system.dir/fig12_cross_system.cc.o"
+  "CMakeFiles/fig12_cross_system.dir/fig12_cross_system.cc.o.d"
+  "fig12_cross_system"
+  "fig12_cross_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cross_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

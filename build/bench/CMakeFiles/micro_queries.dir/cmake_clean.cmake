@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_queries.dir/micro_queries.cc.o"
+  "CMakeFiles/micro_queries.dir/micro_queries.cc.o.d"
+  "micro_queries"
+  "micro_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

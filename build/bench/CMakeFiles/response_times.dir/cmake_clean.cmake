@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/response_times.dir/response_times.cc.o"
+  "CMakeFiles/response_times.dir/response_times.cc.o.d"
+  "response_times"
+  "response_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/response_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freshness_tradeoff.dir/freshness_tradeoff.cpp.o"
+  "CMakeFiles/freshness_tradeoff.dir/freshness_tradeoff.cpp.o.d"
+  "freshness_tradeoff"
+  "freshness_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freshness_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

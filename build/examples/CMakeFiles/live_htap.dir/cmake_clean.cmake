@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_htap.dir/live_htap.cpp.o"
+  "CMakeFiles/live_htap.dir/live_htap.cpp.o.d"
+  "live_htap"
+  "live_htap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_htap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hattrick_common.dir/histogram.cc.o"
+  "CMakeFiles/hattrick_common.dir/histogram.cc.o.d"
+  "CMakeFiles/hattrick_common.dir/key_encoding.cc.o"
+  "CMakeFiles/hattrick_common.dir/key_encoding.cc.o.d"
+  "CMakeFiles/hattrick_common.dir/schema.cc.o"
+  "CMakeFiles/hattrick_common.dir/schema.cc.o.d"
+  "CMakeFiles/hattrick_common.dir/status.cc.o"
+  "CMakeFiles/hattrick_common.dir/status.cc.o.d"
+  "CMakeFiles/hattrick_common.dir/value.cc.o"
+  "CMakeFiles/hattrick_common.dir/value.cc.o.d"
+  "CMakeFiles/hattrick_common.dir/work_meter.cc.o"
+  "CMakeFiles/hattrick_common.dir/work_meter.cc.o.d"
+  "libhattrick_common.a"
+  "libhattrick_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hattrick_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/hybrid_engine.cc" "src/engine/CMakeFiles/hattrick_engine.dir/hybrid_engine.cc.o" "gcc" "src/engine/CMakeFiles/hattrick_engine.dir/hybrid_engine.cc.o.d"
+  "/root/repo/src/engine/isolated_engine.cc" "src/engine/CMakeFiles/hattrick_engine.dir/isolated_engine.cc.o" "gcc" "src/engine/CMakeFiles/hattrick_engine.dir/isolated_engine.cc.o.d"
+  "/root/repo/src/engine/shared_engine.cc" "src/engine/CMakeFiles/hattrick_engine.dir/shared_engine.cc.o" "gcc" "src/engine/CMakeFiles/hattrick_engine.dir/shared_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/hattrick_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/hattrick_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/hattrick_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hattrick_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hattrick_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hattrick_engine.dir/hybrid_engine.cc.o"
+  "CMakeFiles/hattrick_engine.dir/hybrid_engine.cc.o.d"
+  "CMakeFiles/hattrick_engine.dir/isolated_engine.cc.o"
+  "CMakeFiles/hattrick_engine.dir/isolated_engine.cc.o.d"
+  "CMakeFiles/hattrick_engine.dir/shared_engine.cc.o"
+  "CMakeFiles/hattrick_engine.dir/shared_engine.cc.o.d"
+  "libhattrick_engine.a"
+  "libhattrick_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hattrick_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

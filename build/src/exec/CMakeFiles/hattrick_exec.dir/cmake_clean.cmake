@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hattrick_exec.dir/expression.cc.o"
+  "CMakeFiles/hattrick_exec.dir/expression.cc.o.d"
+  "CMakeFiles/hattrick_exec.dir/operator.cc.o"
+  "CMakeFiles/hattrick_exec.dir/operator.cc.o.d"
+  "CMakeFiles/hattrick_exec.dir/scan.cc.o"
+  "CMakeFiles/hattrick_exec.dir/scan.cc.o.d"
+  "libhattrick_exec.a"
+  "libhattrick_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hattrick_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hattrick_bench.dir/datagen.cc.o"
+  "CMakeFiles/hattrick_bench.dir/datagen.cc.o.d"
+  "CMakeFiles/hattrick_bench.dir/driver.cc.o"
+  "CMakeFiles/hattrick_bench.dir/driver.cc.o.d"
+  "CMakeFiles/hattrick_bench.dir/frontier.cc.o"
+  "CMakeFiles/hattrick_bench.dir/frontier.cc.o.d"
+  "CMakeFiles/hattrick_bench.dir/hattrick_schema.cc.o"
+  "CMakeFiles/hattrick_bench.dir/hattrick_schema.cc.o.d"
+  "CMakeFiles/hattrick_bench.dir/queries.cc.o"
+  "CMakeFiles/hattrick_bench.dir/queries.cc.o.d"
+  "CMakeFiles/hattrick_bench.dir/report.cc.o"
+  "CMakeFiles/hattrick_bench.dir/report.cc.o.d"
+  "CMakeFiles/hattrick_bench.dir/transactions.cc.o"
+  "CMakeFiles/hattrick_bench.dir/transactions.cc.o.d"
+  "libhattrick_bench.a"
+  "libhattrick_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hattrick_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replication/replica.cc" "src/replication/CMakeFiles/hattrick_replication.dir/replica.cc.o" "gcc" "src/replication/CMakeFiles/hattrick_replication.dir/replica.cc.o.d"
+  "/root/repo/src/replication/wal_stream.cc" "src/replication/CMakeFiles/hattrick_replication.dir/wal_stream.cc.o" "gcc" "src/replication/CMakeFiles/hattrick_replication.dir/wal_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/txn/CMakeFiles/hattrick_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hattrick_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hattrick_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hattrick_replication.dir/replica.cc.o"
+  "CMakeFiles/hattrick_replication.dir/replica.cc.o.d"
+  "CMakeFiles/hattrick_replication.dir/wal_stream.cc.o"
+  "CMakeFiles/hattrick_replication.dir/wal_stream.cc.o.d"
+  "libhattrick_replication.a"
+  "libhattrick_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hattrick_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhattrick_replication.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hattrick_sim.dir/core_pool.cc.o"
+  "CMakeFiles/hattrick_sim.dir/core_pool.cc.o.d"
+  "CMakeFiles/hattrick_sim.dir/simulation.cc.o"
+  "CMakeFiles/hattrick_sim.dir/simulation.cc.o.d"
+  "libhattrick_sim.a"
+  "libhattrick_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hattrick_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/btree.cc" "src/storage/CMakeFiles/hattrick_storage.dir/btree.cc.o" "gcc" "src/storage/CMakeFiles/hattrick_storage.dir/btree.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/storage/CMakeFiles/hattrick_storage.dir/catalog.cc.o" "gcc" "src/storage/CMakeFiles/hattrick_storage.dir/catalog.cc.o.d"
+  "/root/repo/src/storage/column_table.cc" "src/storage/CMakeFiles/hattrick_storage.dir/column_table.cc.o" "gcc" "src/storage/CMakeFiles/hattrick_storage.dir/column_table.cc.o.d"
+  "/root/repo/src/storage/row_table.cc" "src/storage/CMakeFiles/hattrick_storage.dir/row_table.cc.o" "gcc" "src/storage/CMakeFiles/hattrick_storage.dir/row_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hattrick_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hattrick_storage.dir/btree.cc.o"
+  "CMakeFiles/hattrick_storage.dir/btree.cc.o.d"
+  "CMakeFiles/hattrick_storage.dir/catalog.cc.o"
+  "CMakeFiles/hattrick_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/hattrick_storage.dir/column_table.cc.o"
+  "CMakeFiles/hattrick_storage.dir/column_table.cc.o.d"
+  "CMakeFiles/hattrick_storage.dir/row_table.cc.o"
+  "CMakeFiles/hattrick_storage.dir/row_table.cc.o.d"
+  "libhattrick_storage.a"
+  "libhattrick_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hattrick_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hattrick_txn.dir/txn_manager.cc.o"
+  "CMakeFiles/hattrick_txn.dir/txn_manager.cc.o.d"
+  "CMakeFiles/hattrick_txn.dir/wal.cc.o"
+  "CMakeFiles/hattrick_txn.dir/wal.cc.o.d"
+  "libhattrick_txn.a"
+  "libhattrick_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hattrick_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/flags_test.cc" "tests/CMakeFiles/flags_test.dir/flags_test.cc.o" "gcc" "tests/CMakeFiles/flags_test.dir/flags_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hattrick/CMakeFiles/hattrick_bench.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/hattrick_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/hattrick_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/hattrick_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hattrick_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/hattrick_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hattrick_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hattrick_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freshness_test.dir/freshness_test.cc.o"
+  "CMakeFiles/freshness_test.dir/freshness_test.cc.o.d"
+  "freshness_test"
+  "freshness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freshness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

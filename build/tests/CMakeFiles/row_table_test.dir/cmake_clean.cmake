@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/row_table_test.dir/row_table_test.cc.o"
+  "CMakeFiles/row_table_test.dir/row_table_test.cc.o.d"
+  "row_table_test"
+  "row_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/row_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

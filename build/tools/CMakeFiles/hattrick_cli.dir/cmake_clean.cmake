@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hattrick_cli.dir/hattrick_cli.cc.o"
+  "CMakeFiles/hattrick_cli.dir/hattrick_cli.cc.o.d"
+  "hattrick_cli"
+  "hattrick_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hattrick_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
