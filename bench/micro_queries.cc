@@ -1,7 +1,10 @@
 // Micro-benchmarks of the analytical path (google-benchmark): each SSB
 // query executed against the row store and against the column store at
 // SF10 — the ablation behind the hybrid designs' analytical advantage —
-// plus the HATtrick transactions against the shared engine.
+// plus the HATtrick transactions against the shared engine and the
+// morsel-parallel plans at dop 1/2/4 (BM_QueryColumnStoreDop /
+// BM_QueryRowStoreDop, on a 10x larger fact table where the scan
+// dominates thread startup).
 
 #include <benchmark/benchmark.h>
 
@@ -69,6 +72,64 @@ void BM_QueryColumnStore(benchmark::State& state) {
   state.SetLabel(QueryName(qid));
 }
 BENCHMARK(BM_QueryColumnStore)->DenseRange(0, kNumQueries - 1);
+
+/// Larger fact table (~200k lineorders) for the intra-query parallelism
+/// ablation: at the default micro size the whole scan fits in a couple of
+/// morsels and thread startup dominates.
+struct ParallelFixture {
+  ParallelFixture() {
+    DatagenConfig config;
+    config.scale_factor = 10.0;
+    config.lineorders_per_sf = 20000;
+    config.seed = 42;
+    config.num_freshness_tables = 4;
+    dataset = GenerateDataset(config);
+    shared = std::make_unique<SharedEngine>();
+    (void)LoadDataset(dataset, PhysicalSchema::kAllIndexes, shared.get());
+    hybrid = std::make_unique<HybridEngine>(SystemXConfig());
+    (void)LoadDataset(dataset, PhysicalSchema::kSemiIndexes, hybrid.get());
+  }
+
+  Dataset dataset;
+  std::unique_ptr<SharedEngine> shared;
+  std::unique_ptr<HybridEngine> hybrid;
+};
+
+ParallelFixture& GetParallelFixture() {
+  static ParallelFixture* fixture = new ParallelFixture();
+  return *fixture;
+}
+
+void RunQueryAtDop(benchmark::State& state, HtapEngine* engine) {
+  const int qid = static_cast<int>(state.range(0));
+  const int dop = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    WorkMeter meter;
+    AnalyticsSession session = engine->BeginAnalytics(&meter);
+    ExecContext ctx{&meter};
+    ctx.dop = dop;
+    ctx.dynamic_morsels = true;
+    ctx.session_pin = session.guard;
+    const QueryResult result = RunQuery(qid, *session.source, 4, &ctx);
+    benchmark::DoNotOptimize(result.checksum);
+  }
+  state.SetLabel(std::string(QueryName(qid)) + "/dop=" +
+                 std::to_string(dop));
+}
+
+void BM_QueryColumnStoreDop(benchmark::State& state) {
+  RunQueryAtDop(state, GetParallelFixture().hybrid.get());
+}
+BENCHMARK(BM_QueryColumnStoreDop)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, kNumQueries - 1, 1),
+                   {1, 2, 4}});
+
+void BM_QueryRowStoreDop(benchmark::State& state) {
+  RunQueryAtDop(state, GetParallelFixture().shared.get());
+}
+BENCHMARK(BM_QueryRowStoreDop)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, kNumQueries - 1, 1),
+                   {1, 2, 4}});
 
 void BM_Transaction(benchmark::State& state) {
   Fixture& f = GetFixture();

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Full local check: regular build + all tests, then a ThreadSanitizer
+# build running the thread-heavy test binaries (ctest label `tsan`:
+# morsel-parallel exec, engine merge/pin interplay, threaded driver,
+# the randomized concurrency stress).
+#
+# Usage: scripts/check.sh [--tsan-only | --no-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+RUN_PLAIN=1
+RUN_TSAN=1
+case "${1:-}" in
+  --tsan-only) RUN_PLAIN=0 ;;
+  --no-tsan) RUN_TSAN=0 ;;
+  "") ;;
+  *) echo "usage: $0 [--tsan-only | --no-tsan]" >&2; exit 2 ;;
+esac
+
+if [[ "$RUN_PLAIN" == 1 ]]; then
+  echo "== build (RelWithDebInfo) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS"
+  echo "== ctest (all) =="
+  (cd build && ctest --output-on-failure -j "$JOBS")
+fi
+
+if [[ "$RUN_TSAN" == 1 ]]; then
+  echo "== build (ThreadSanitizer) =="
+  cmake -B build-tsan -S . -DHATTRICK_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS"
+  echo "== ctest -L tsan =="
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+      ctest -L tsan --output-on-failure -j 2)
+fi
+
+echo "OK"

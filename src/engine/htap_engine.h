@@ -71,9 +71,18 @@ struct AnalyticsSession {
   std::unique_ptr<DataSource> source;
   Ts snapshot = 0;
   /// Optional RAII guard the engine uses to pin its analytical state for
-  /// the life of the session (e.g. the hybrid engine holds a shared lock
-  /// so a concurrent delta merge cannot move data under a running query
-  /// in wall-clock mode).
+  /// the life of the session (e.g. the hybrid engine holds a pin so a
+  /// concurrent delta merge cannot move data under a running query in
+  /// wall-clock mode).
+  ///
+  /// Lifetime contract: the pin lasts until the LAST copy of this
+  /// shared_ptr is destroyed, and engines must tolerate that release
+  /// happening on any thread — morsel workers copy the guard into their
+  /// ExecContext (ExecContext::session_pin) and may outlive both the
+  /// session object and the thread that called BeginAnalytics. Engines
+  /// must therefore back the guard with a primitive whose release is
+  /// thread-agnostic (see engine/session_pin.h); thread-affine locks like
+  /// std::shared_mutex are not safe here.
   std::shared_ptr<void> guard;
 };
 

@@ -98,28 +98,29 @@ void HybridEngine::MergeDelta(WorkMeter* meter) {
     batch.swap(delta_);
   }
   if (batch.empty()) return;
-  std::unique_lock merge_lock(merge_latch_);
-  for (const WalRecord& record : batch) {
-    for (const WalOp& op : record.ops) {
-      ColumnTable* column = columns_[op.table_id].get();
-      if (op.kind == WalOp::Kind::kInsert) {
-        assert(column->num_rows() == op.rid &&
-               "column copy out of sync with row store");
-        const Status s = column->Append(op.row, meter);
-        assert(s.ok());
-        (void)s;
-      } else {
-        const Status s = column->UpdateRow(op.rid, op.row, meter);
-        assert(s.ok());
-        (void)s;
+  merge_latch_.WithExclusive([&] {
+    for (const WalRecord& record : batch) {
+      for (const WalOp& op : record.ops) {
+        ColumnTable* column = columns_[op.table_id].get();
+        if (op.kind == WalOp::Kind::kInsert) {
+          assert(column->num_rows() == op.rid &&
+                 "column copy out of sync with row store");
+          const Status s = column->Append(op.row, meter);
+          assert(s.ok());
+          (void)s;
+        } else {
+          const Status s = column->UpdateRow(op.rid, op.row, meter);
+          assert(s.ok());
+          (void)s;
+        }
+        if (meter != nullptr) ++meter->merged_rows;
       }
-      if (meter != nullptr) ++meter->merged_rows;
+      if (meter != nullptr) {
+        ++meter->wal_records;
+        meter->wal_bytes += record.Encode().size();
+      }
     }
-    if (meter != nullptr) {
-      ++meter->wal_records;
-      meter->wal_bytes += record.Encode().size();
-    }
-  }
+  });
 }
 
 AnalyticsSession HybridEngine::BeginAnalytics(WorkMeter* meter) {
@@ -128,8 +129,7 @@ AnalyticsSession HybridEngine::BeginAnalytics(WorkMeter* meter) {
   MergeDelta(meter);
   AnalyticsSession session;
   session.snapshot = oracle_.last_committed();
-  auto guard = std::make_shared<std::shared_lock<std::shared_mutex>>(
-      merge_latch_);
+  std::shared_ptr<void> guard = merge_latch_.AcquirePin();
   auto source = std::make_unique<ColumnDataSource>();
   for (size_t id = 0; id < columns_.size(); ++id) {
     source->AddTable(primary_.table_name(static_cast<TableId>(id)),
@@ -146,17 +146,18 @@ size_t HybridEngine::Vacuum() {
 
 Status HybridEngine::Reset() {
   if (!loaded_) return Status::Internal("FinishLoad not called");
-  std::unique_lock merge_lock(merge_latch_);
-  primary_.CopyContentsFrom(snapshot_);
-  {
-    std::lock_guard lock(delta_mutex_);
-    delta_.clear();
-  }
-  for (size_t i = 0; i < columns_.size(); ++i) {
-    columns_[i]->CopyFrom(*column_snapshots_[i]);
-  }
-  oracle_.ResetTo(1);
-  txn_manager_->ResetLsn(1);
+  merge_latch_.WithExclusive([&] {
+    primary_.CopyContentsFrom(snapshot_);
+    {
+      std::lock_guard lock(delta_mutex_);
+      delta_.clear();
+    }
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      columns_[i]->CopyFrom(*column_snapshots_[i]);
+    }
+    oracle_.ResetTo(1);
+    txn_manager_->ResetLsn(1);
+  });
   return Status::OK();
 }
 

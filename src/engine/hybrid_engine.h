@@ -4,11 +4,11 @@
 #include <deque>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "engine/htap_engine.h"
+#include "engine/session_pin.h"
 #include "exec/scan.h"
 #include "storage/column_table.h"
 #include "txn/timestamp.h"
@@ -93,8 +93,11 @@ class HybridEngine final : public HtapEngine {
   /// calls could drain delta batches and then apply them out of commit
   /// order (inserts must land at their row-store rids).
   std::mutex merge_order_;
-  /// Serializes delta merges against running analytical sessions.
-  std::shared_mutex merge_latch_;
+  /// Pins running analytical sessions (and their morsel workers) against
+  /// delta merges and resets. A pin latch rather than a shared_mutex
+  /// because the session guard may be released from a worker thread (see
+  /// engine/session_pin.h and AnalyticsSession::guard).
+  SessionPinLatch merge_latch_;
   bool created_ = false;
   bool loaded_ = false;
 };

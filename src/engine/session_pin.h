@@ -1,0 +1,65 @@
+#ifndef HATTRICK_ENGINE_SESSION_PIN_H_
+#define HATTRICK_ENGINE_SESSION_PIN_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace hattrick {
+
+/// Counted pin that analytical sessions hold on an engine's scan state,
+/// with exclusive sections (delta merge, reset) that wait for all pins to
+/// drop and block new ones while running.
+///
+/// This replaces a std::shared_mutex for the AnalyticsSession::guard
+/// role. A shared_mutex guard is subtly wrong for parallel execution: the
+/// guard is a shared_ptr copied into morsel worker threads, so the last
+/// release — the implicit unlock — can happen on a different thread than
+/// the BeginAnalytics call that locked it, which is undefined behaviour
+/// for shared_mutex. SessionPinLatch's release is a plain counter
+/// decrement under a mutex: safe from any thread, any time.
+///
+/// Writers (WithExclusive) take priority over new pins so a stream of
+/// overlapping sessions cannot starve merges.
+class SessionPinLatch {
+ public:
+  /// Acquires one pin; blocks while an exclusive section runs or waits.
+  /// The returned handle releases the pin when destroyed — from whichever
+  /// thread drops the last reference.
+  std::shared_ptr<void> AcquirePin() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return writers_ == 0; });
+    ++pins_;
+    // The handle's payload is irrelevant; only the deleter matters.
+    return std::shared_ptr<void>(this, [](void* self) {
+      static_cast<SessionPinLatch*>(self)->ReleasePin();
+    });
+  }
+
+  /// Runs `f` exclusively: blocks new pins, waits for outstanding pins to
+  /// drain, then invokes f.
+  template <typename Fn>
+  void WithExclusive(Fn&& f) {
+    std::unique_lock lock(mutex_);
+    ++writers_;
+    cv_.wait(lock, [this] { return pins_ == 0; });
+    f();
+    --writers_;
+    cv_.notify_all();
+  }
+
+ private:
+  void ReleasePin() {
+    std::lock_guard lock(mutex_);
+    if (--pins_ == 0) cv_.notify_all();
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int pins_ = 0;
+  int writers_ = 0;
+};
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_ENGINE_SESSION_PIN_H_

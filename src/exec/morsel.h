@@ -1,0 +1,89 @@
+#ifndef HATTRICK_EXEC_MORSEL_H_
+#define HATTRICK_EXEC_MORSEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace hattrick {
+
+/// Fixed-size morsel partitioning of one base-table scan (Leis et al.,
+/// "Morsel-Driven Parallelism"): the scan's extent is cut into morsels of
+/// `morsel_rows` rows and the workers of a parallel plan consume them
+/// either dynamically (work stealing via an atomic cursor, used by the
+/// wall-clock driver for load balance) or statically (worker w owns
+/// morsels w, w+W, w+2W, ... — used by the simulator, where per-worker
+/// work must be a deterministic function of the data, never of thread
+/// scheduling).
+///
+/// One MorselSet is shared by all worker shards of one scan; each shard
+/// keeps its own ClaimState.
+struct MorselSet {
+  /// Morsel sizes are multiples of this so column-store morsels never
+  /// split a zone-map block (must equal ColumnTable::kBlockRows; asserted
+  /// by parallel_exec_test to avoid an exec -> storage include).
+  static constexpr size_t kMorselAlignRows = 1024;
+
+  /// Default morsel size: a multiple of kMorselAlignRows.
+  static constexpr size_t kDefaultMorselRows = 4096;
+
+  /// Picks a morsel size for `extent` rows split across `num_workers`:
+  /// aims for ~4 morsels per worker (so dynamic claiming can balance a
+  /// skewed scan) but never exceeds the default size and never splits a
+  /// column block. A pure function of its arguments, so simulated runs
+  /// stay deterministic.
+  static size_t PickMorselRows(size_t extent, uint32_t num_workers) {
+    if (num_workers == 0) num_workers = 1;
+    size_t per = extent / (static_cast<size_t>(num_workers) * 4);
+    per = std::min(per, kDefaultMorselRows);
+    per -= per % kMorselAlignRows;
+    return per == 0 ? kMorselAlignRows : per;
+  }
+
+  size_t extent = 0;       // rows/rids to cover: [0, extent)
+  size_t morsel_rows = kDefaultMorselRows;
+  uint32_t num_workers = 1;
+  bool dynamic = false;    // dynamic claiming vs static round-robin
+
+  std::atomic<size_t> next{0};  // dynamic-mode claim cursor
+
+  MorselSet(size_t extent, uint32_t num_workers, bool dynamic,
+            size_t morsel_rows = kDefaultMorselRows)
+      : extent(extent),
+        morsel_rows(morsel_rows),
+        num_workers(num_workers == 0 ? 1 : num_workers),
+        dynamic(dynamic) {}
+
+  size_t num_morsels() const {
+    return (extent + morsel_rows - 1) / morsel_rows;
+  }
+
+  /// Per-shard claim cursor (static mode's position; reset by Open).
+  struct ClaimState {
+    size_t next_static = 0;  // next morsel index owned by this worker
+  };
+
+  /// Claims the next morsel for `worker`, writing its row range into
+  /// [*begin, *end). Returns false when this worker's share is exhausted.
+  bool Claim(uint32_t worker, ClaimState* state, size_t* begin,
+             size_t* end) {
+    size_t morsel;
+    if (dynamic) {
+      morsel = next.fetch_add(1, std::memory_order_relaxed);
+      if (morsel >= num_morsels()) return false;
+    } else {
+      if (state->next_static == 0) state->next_static = worker;
+      morsel = state->next_static;
+      if (morsel >= num_morsels()) return false;
+      state->next_static = morsel + num_workers;
+    }
+    *begin = morsel * morsel_rows;
+    *end = std::min(extent, *begin + morsel_rows);
+    return true;
+  }
+};
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_EXEC_MORSEL_H_

@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 #include <unordered_map>
 
 #include "common/key_encoding.h"
 
 namespace hattrick {
+
+int64_t QuantizeSumValue(double v) {
+  return std::llround(v * kSumFixedPointScale);
+}
 
 namespace {
 
@@ -106,10 +111,11 @@ class HashJoinOp final : public Operator {
 class HashAggregateOp final : public Operator {
  public:
   HashAggregateOp(OperatorPtr child, std::vector<ExprPtr> group_by,
-                  std::vector<AggSpec> aggregates)
+                  std::vector<AggSpec> aggregates, bool partial)
       : child_(std::move(child)),
         group_by_(std::move(group_by)),
-        aggregates_(std::move(aggregates)) {}
+        aggregates_(std::move(aggregates)),
+        partial_(partial) {}
 
   void Open(ExecContext* ctx) override {
     child_->Open(ctx);
@@ -130,6 +136,7 @@ class HashAggregateOp final : public Operator {
       if (inserted) {
         state.key_values = std::move(key_values);
         state.accum.resize(aggregates_.size());
+        state.exact.resize(aggregates_.size(), 0);
         for (size_t i = 0; i < aggregates_.size(); ++i) {
           switch (aggregates_[i].kind) {
             case AggSpec::Kind::kMin:
@@ -147,10 +154,12 @@ class HashAggregateOp final : public Operator {
         const AggSpec& agg = aggregates_[i];
         switch (agg.kind) {
           case AggSpec::Kind::kSum:
-            state.accum[i] += agg.arg->Eval(row).AsDouble();
+            // Fixed-point: exactly associative, so partial aggregates
+            // merge bit-identically to a serial sum (see operator.h).
+            state.exact[i] += QuantizeSumValue(agg.arg->Eval(row).AsDouble());
             break;
           case AggSpec::Kind::kCount:
-            state.accum[i] += 1;
+            state.exact[i] += 1;
             break;
           case AggSpec::Kind::kMin:
             state.accum[i] =
@@ -163,10 +172,12 @@ class HashAggregateOp final : public Operator {
         }
       }
     }
-    // Global aggregate with no input rows still emits one (zero) row.
-    if (group_by_.empty() && groups.empty()) {
+    // Global aggregate with no input rows still emits one (zero) row —
+    // except in partial mode, where the merge operator owns that row.
+    if (group_by_.empty() && groups.empty() && !partial_) {
       State zero;
       zero.accum.assign(aggregates_.size(), 0.0);
+      zero.exact.assign(aggregates_.size(), 0);
       groups.emplace(std::string(), std::move(zero));
     }
     // Deterministic output order: sort by encoded key.
@@ -178,7 +189,19 @@ class HashAggregateOp final : public Operator {
               [](const auto& a, const auto& b) { return a.first < b.first; });
     for (auto& [key, state] : sorted) {
       Row out = std::move(state.key_values);
-      for (double a : state.accum) out.emplace_back(a);
+      for (size_t i = 0; i < aggregates_.size(); ++i) {
+        switch (aggregates_[i].kind) {
+          case AggSpec::Kind::kSum:
+            out.emplace_back(static_cast<double>(state.exact[i]) /
+                             kSumFixedPointScale);
+            break;
+          case AggSpec::Kind::kCount:
+            out.emplace_back(static_cast<double>(state.exact[i]));
+            break;
+          default:
+            out.emplace_back(state.accum[i]);
+        }
+      }
       output_.push_back(std::move(out));
     }
   }
@@ -193,12 +216,14 @@ class HashAggregateOp final : public Operator {
  private:
   struct State {
     Row key_values;
-    std::vector<double> accum;
+    std::vector<double> accum;    // min/max
+    std::vector<int64_t> exact;   // sum (fixed-point) and count
   };
 
   OperatorPtr child_;
   std::vector<ExprPtr> group_by_;
   std::vector<AggSpec> aggregates_;
+  bool partial_;
   std::vector<Row> output_;
   size_t pos_ = 0;
 };
@@ -271,8 +296,19 @@ OperatorPtr MakeHashJoin(OperatorPtr probe, size_t probe_key,
 
 OperatorPtr MakeHashAggregate(OperatorPtr child, std::vector<ExprPtr> group_by,
                               std::vector<AggSpec> aggregates) {
-  return std::make_unique<HashAggregateOp>(
-      std::move(child), std::move(group_by), std::move(aggregates));
+  return std::make_unique<HashAggregateOp>(std::move(child),
+                                           std::move(group_by),
+                                           std::move(aggregates),
+                                           /*partial=*/false);
+}
+
+OperatorPtr MakePartialHashAggregate(OperatorPtr child,
+                                     std::vector<ExprPtr> group_by,
+                                     std::vector<AggSpec> aggregates) {
+  return std::make_unique<HashAggregateOp>(std::move(child),
+                                           std::move(group_by),
+                                           std::move(aggregates),
+                                           /*partial=*/true);
 }
 
 OperatorPtr MakeOrderBy(OperatorPtr child, std::vector<SortKey> keys) {

@@ -8,13 +8,31 @@
 #include "common/value.h"
 #include "common/work_meter.h"
 #include "exec/expression.h"
+#include "exec/morsel.h"
 
 namespace hattrick {
 
 /// Per-query execution state: the work meter that accumulates the cost of
-/// the query (fed to the simulator's cost model).
+/// the query (fed to the simulator's cost model) plus the parallelism
+/// knobs consulted when the plan is built and executed.
 struct ExecContext {
   WorkMeter* meter = nullptr;
+
+  /// Degree of intra-query parallelism. 1 (the paper-faithful default)
+  /// executes the serial Volcano plan; >1 executes a morsel-parallel plan
+  /// whose worker shards run on real threads (see exec/parallel.h).
+  int dop = 1;
+
+  /// Morsel scheduling: dynamic claiming (wall-clock drivers, load
+  /// balance) vs static round-robin (simulated drivers, where metered
+  /// work must not depend on thread scheduling).
+  bool dynamic_morsels = false;
+
+  /// Engine session pin (AnalyticsSession::guard). Worker threads hold a
+  /// copy for their whole lifetime so the engine cannot move data (delta
+  /// merge, reset) under a shard even if the issuing client releases its
+  /// session early.
+  std::shared_ptr<void> session_pin;
 };
 
 /// Volcano-style physical operator. Scans stream; blocking operators
@@ -59,8 +77,14 @@ struct ScanSpec {
   /// matches one of `ranges`. Row-store backends use an index range scan
   /// when the index exists (the paper's Figure 6b "all indexes"
   /// configuration accelerating analytical plans); columnar backends and
-  /// reduced physical schemas ignore the hint.
+  /// reduced physical schemas ignore the hint. Ignored when `morsels` is
+  /// set (parallel shards always partition the heap/column extent).
   std::string index_hint;
+  /// Optional morsel restriction: when set, the scan covers only the
+  /// morsels this spec's `worker` claims from the shared set, instead of
+  /// the whole table. Used by the parallel plans' fact-table shards.
+  std::shared_ptr<MorselSet> morsels;
+  uint32_t worker = 0;
 };
 
 /// Engine-provided factory for base-table scans. The 13 SSB query plans
@@ -70,6 +94,15 @@ class DataSource {
  public:
   virtual ~DataSource() = default;
   virtual OperatorPtr Scan(const ScanSpec& spec) const = 0;
+
+  /// Number of rows/slots a full scan of `table` would cover right now
+  /// (the row bound for columnar sources, the slot count for row
+  /// sources). Parallel plans use it to build the MorselSet partitioning
+  /// the fact-table scan; 0 means the source cannot be morselized.
+  virtual size_t ScanExtent(const std::string& table) const {
+    (void)table;
+    return 0;
+  }
 };
 
 /// Relational operators used by the HATtrick query plans.
@@ -93,12 +126,36 @@ struct AggSpec {
   ExprPtr arg;  // unused for kCount
 };
 
+/// Fixed-point scale of SUM accumulation: 1e-4 units (DECIMAL(.,4)).
+/// Inputs must stay below ~9e11 in magnitude so the scaled value fits the
+/// exact integer range of double/int64; HATtrick's monetary domain tops
+/// out around 1e9.
+inline constexpr double kSumFixedPointScale = 1e4;
+
+/// Quantizes one SUM input to its exact fixed-point representation.
+int64_t QuantizeSumValue(double v);
+
 /// Hash aggregation; output = group-by values then aggregate values, with
 /// groups emitted in deterministic (encoded-key) order. With no group-by
 /// columns produces exactly one row (global aggregate).
+///
+/// SUM over kDouble inputs accumulates in fixed-point (1e-4 units, i.e.
+/// DECIMAL(.,4) semantics — SSB's monetary columns are DECIMAL in the
+/// spec). Integer accumulation is exactly associative, so a sum is a pure
+/// function of the input *set*: serial plans, per-worker partial
+/// aggregates, and any morsel schedule produce bit-identical results.
 OperatorPtr MakeHashAggregate(OperatorPtr child,
                               std::vector<ExprPtr> group_by,
                               std::vector<AggSpec> aggregates);
+
+/// Per-worker partial aggregation for morsel-parallel plans: identical to
+/// MakeHashAggregate except an empty input produces no output row (not
+/// even for a global aggregate), so merging partials never folds identity
+/// placeholders into MIN/MAX and the gather-merge operator alone decides
+/// the empty-global row.
+OperatorPtr MakePartialHashAggregate(OperatorPtr child,
+                                     std::vector<ExprPtr> group_by,
+                                     std::vector<AggSpec> aggregates);
 
 /// Sort specification: expression + direction.
 struct SortKey {

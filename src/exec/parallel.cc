@@ -1,0 +1,162 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "common/key_encoding.h"
+
+namespace hattrick {
+
+namespace {
+
+/// Executes every shard plan on its own thread, then merges the partial
+/// aggregate rows into final groups (see MakeGatherMerge in parallel.h).
+class GatherMergeOp final : public Operator {
+ public:
+  GatherMergeOp(std::vector<OperatorPtr> shards, size_t group_columns,
+                std::vector<AggSpec::Kind> kinds)
+      : shards_(std::move(shards)),
+        group_columns_(group_columns),
+        kinds_(std::move(kinds)) {}
+
+  void Open(ExecContext* ctx) override {
+    const size_t n = shards_.size();
+    std::vector<std::vector<Row>> shard_rows(n);
+    std::vector<WorkMeter> shard_meters(n);
+    {
+      // Each worker gets a private context: its own meter (merged below in
+      // shard order, so totals are schedule-independent) and a copy of the
+      // session pin so the engine's analytical state outlives the thread.
+      std::vector<std::thread> workers;
+      workers.reserve(n);
+      for (size_t w = 0; w < n; ++w) {
+        workers.emplace_back([this, ctx, w, &shard_rows, &shard_meters] {
+          ExecContext worker_ctx;
+          worker_ctx.meter = &shard_meters[w];
+          worker_ctx.dop = ctx->dop;
+          worker_ctx.dynamic_morsels = ctx->dynamic_morsels;
+          worker_ctx.session_pin = ctx->session_pin;
+          shard_rows[w] = Collect(shards_[w].get(), &worker_ctx);
+        });
+      }
+      for (std::thread& t : workers) t.join();
+    }
+    if (ctx->meter != nullptr) {
+      for (const WorkMeter& m : shard_meters) *ctx->meter += m;
+    }
+
+    // Merge partials: group key -> (key values, exact sums/counts, min/max
+    // doubles). std::map keeps encoded-key order, matching the serial
+    // HashAggregateOp's sorted output.
+    struct Merged {
+      Row key_values;
+      std::vector<int64_t> exact;
+      std::vector<double> accum;
+    };
+    std::map<std::string, Merged> groups;
+    for (std::vector<Row>& rows : shard_rows) {
+      for (Row& row : rows) {
+        std::string key;
+        for (size_t i = 0; i < group_columns_; ++i) {
+          key::EncodeValue(row[i], &key);
+        }
+        auto [it, inserted] = groups.try_emplace(std::move(key));
+        Merged& m = it->second;
+        if (inserted) {
+          m.key_values.assign(row.begin(), row.begin() + group_columns_);
+          m.exact.resize(kinds_.size(), 0);
+          m.accum.resize(kinds_.size());
+          for (size_t i = 0; i < kinds_.size(); ++i) {
+            switch (kinds_[i]) {
+              case AggSpec::Kind::kMin:
+                m.accum[i] = std::numeric_limits<double>::infinity();
+                break;
+              case AggSpec::Kind::kMax:
+                m.accum[i] = -std::numeric_limits<double>::infinity();
+                break;
+              default:
+                m.accum[i] = 0;
+            }
+          }
+        }
+        for (size_t i = 0; i < kinds_.size(); ++i) {
+          const double v = row[group_columns_ + i].AsDouble();
+          switch (kinds_[i]) {
+            case AggSpec::Kind::kSum:
+              // Partial sums are fixed-point values rendered as double;
+              // re-quantizing recovers the exact integer (sums stay well
+              // inside double's 2^53 exact range), so the merged total is
+              // bit-identical to a serial aggregation.
+              m.exact[i] += QuantizeSumValue(v);
+              break;
+            case AggSpec::Kind::kCount:
+              m.exact[i] += static_cast<int64_t>(v);
+              break;
+            case AggSpec::Kind::kMin:
+              m.accum[i] = std::min(m.accum[i], v);
+              break;
+            case AggSpec::Kind::kMax:
+              m.accum[i] = std::max(m.accum[i], v);
+              break;
+          }
+        }
+      }
+    }
+
+    // A global aggregate over empty input still yields the serial plan's
+    // single zero row (partial shards emit nothing for empty input).
+    if (group_columns_ == 0 && groups.empty()) {
+      Merged zero;
+      zero.exact.assign(kinds_.size(), 0);
+      zero.accum.assign(kinds_.size(), 0.0);
+      groups.emplace(std::string(), std::move(zero));
+    }
+
+    output_.reserve(groups.size());
+    for (auto& [key, m] : groups) {
+      Row out = std::move(m.key_values);
+      for (size_t i = 0; i < kinds_.size(); ++i) {
+        switch (kinds_[i]) {
+          case AggSpec::Kind::kSum:
+            out.emplace_back(static_cast<double>(m.exact[i]) /
+                             kSumFixedPointScale);
+            break;
+          case AggSpec::Kind::kCount:
+            out.emplace_back(static_cast<double>(m.exact[i]));
+            break;
+          default:
+            out.emplace_back(m.accum[i]);
+        }
+      }
+      output_.push_back(std::move(out));
+    }
+  }
+
+  bool Next(ExecContext* ctx, Row* out) override {
+    if (pos_ >= output_.size()) return false;
+    *out = std::move(output_[pos_++]);
+    if (ctx->meter != nullptr) ++ctx->meter->output_rows;
+    return true;
+  }
+
+ private:
+  std::vector<OperatorPtr> shards_;
+  size_t group_columns_;
+  std::vector<AggSpec::Kind> kinds_;
+  std::vector<Row> output_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+OperatorPtr MakeGatherMerge(std::vector<OperatorPtr> shards,
+                            size_t group_columns,
+                            std::vector<AggSpec::Kind> kinds) {
+  return std::make_unique<GatherMergeOp>(std::move(shards), group_columns,
+                                         std::move(kinds));
+}
+
+}  // namespace hattrick

@@ -1,0 +1,35 @@
+#ifndef HATTRICK_EXEC_PARALLEL_H_
+#define HATTRICK_EXEC_PARALLEL_H_
+
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace hattrick {
+
+/// The exchange half of the partial-aggregation/merge pair.
+///
+/// `shards` are complete per-worker plans — each one scans its share of
+/// the fact table's morsels (ScanSpec::morsels) and ends in a
+/// MakePartialHashAggregate. Open() executes every shard to completion on
+/// its own std::thread (the morsel worker pool of one query), each with a
+/// private WorkMeter that is folded into the calling context in shard
+/// order after the join, so metered totals are independent of thread
+/// scheduling. Worker threads copy ExecContext::session_pin, so the
+/// engine's analytical state stays pinned for the whole worker lifetime
+/// even if the issuing client drops its session guard early.
+///
+/// The merge re-aggregates the partial rows: the first `group_columns`
+/// cells are the group key, the remaining cells are combined per `kinds`
+/// (sum/count re-enter exact fixed-point space, so the merged result is
+/// bit-identical to a serial aggregation of the same input; min/min,
+/// max/max). Groups are emitted in encoded-key order — the same order
+/// MakeHashAggregate uses — and a global aggregate (group_columns == 0)
+/// with no input emits the serial plan's single zero row.
+OperatorPtr MakeGatherMerge(std::vector<OperatorPtr> shards,
+                            size_t group_columns,
+                            std::vector<AggSpec::Kind> kinds);
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_EXEC_PARALLEL_H_

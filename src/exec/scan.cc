@@ -39,17 +39,25 @@ class RowScanOp final : public Operator {
   void Open(ExecContext* ctx) override {
     rows_.clear();
     pos_ = 0;
-    table_->Scan(
-        snapshot_,
-        [&](Rid, const Row& row) {
-          if (!MatchesPushdowns(row, spec_)) return true;
-          Row out;
-          out.reserve(spec_.projection.size());
-          for (size_t col : spec_.projection) out.push_back(row[col]);
-          rows_.push_back(std::move(out));
-          return true;
-        },
-        ctx->meter);
+    const auto visit = [&](Rid, const Row& row) {
+      if (!MatchesPushdowns(row, spec_)) return true;
+      Row out;
+      out.reserve(spec_.projection.size());
+      for (size_t col : spec_.projection) out.push_back(row[col]);
+      rows_.push_back(std::move(out));
+      return true;
+    };
+    if (spec_.morsels != nullptr) {
+      // Parallel shard: scan only the rid ranges this worker claims.
+      MorselSet::ClaimState claim;
+      size_t begin;
+      size_t end;
+      while (spec_.morsels->Claim(spec_.worker, &claim, &begin, &end)) {
+        table_->ScanRange(snapshot_, begin, end, visit, ctx->meter);
+      }
+    } else {
+      table_->Scan(snapshot_, visit, ctx->meter);
+    }
     if (ctx->meter != nullptr) ctx->meter->output_rows += rows_.size();
   }
 
@@ -75,7 +83,13 @@ class ColumnScanOp final : public Operator {
       : table_(table), bound_(bound), spec_(std::move(spec)) {}
 
   void Open(ExecContext*) override {
+    // Serial scans cover [0, bound_); morsel shards start empty and claim
+    // ranges lazily in Next. Morsels are block-aligned (kDefaultMorselRows
+    // is a multiple of kBlockRows), so zone-map pruning behaves — and
+    // meters — identically at any dop.
     row_ = 0;
+    limit_ = spec_.morsels != nullptr ? 0 : bound_;
+    claim_ = MorselSet::ClaimState{};
     // Resolve string predicates to dictionary code sets once.
     code_preds_.clear();
     impossible_ = false;
@@ -96,38 +110,41 @@ class ColumnScanOp final : public Operator {
 
   bool Next(ExecContext* ctx, Row* out) override {
     if (impossible_) return false;
-    while (row_ < bound_) {
-      // Zone-map pruning at block boundaries.
-      if (row_ % ColumnTable::kBlockRows == 0) {
-        while (row_ < bound_ && BlockPruned(row_ / ColumnTable::kBlockRows)) {
-          row_ = std::min<size_t>(bound_, row_ + ColumnTable::kBlockRows);
+    while (true) {
+      while (row_ < limit_) {
+        // Zone-map pruning at block boundaries.
+        if (row_ % ColumnTable::kBlockRows == 0) {
+          while (row_ < limit_ &&
+                 BlockPruned(row_ / ColumnTable::kBlockRows)) {
+            row_ = std::min<size_t>(limit_, row_ + ColumnTable::kBlockRows);
+          }
+          if (row_ >= limit_) break;
         }
-        if (row_ >= bound_) return false;
-      }
-      const size_t r = row_++;
-      if (!Matches(r, ctx)) continue;
-      out->clear();
-      out->reserve(spec_.projection.size());
-      for (size_t col : spec_.projection) {
-        switch (table_->schema().column(col).type) {
-          case DataType::kInt64:
-            out->emplace_back(table_->GetInt(col, r));
-            break;
-          case DataType::kDouble:
-            out->emplace_back(table_->GetDouble(col, r));
-            break;
-          case DataType::kString:
-            out->emplace_back(table_->GetString(col, r));
-            break;
+        const size_t r = row_++;
+        if (!Matches(r, ctx)) continue;
+        out->clear();
+        out->reserve(spec_.projection.size());
+        for (size_t col : spec_.projection) {
+          switch (table_->schema().column(col).type) {
+            case DataType::kInt64:
+              out->emplace_back(table_->GetInt(col, r));
+              break;
+            case DataType::kDouble:
+              out->emplace_back(table_->GetDouble(col, r));
+              break;
+            case DataType::kString:
+              out->emplace_back(table_->GetString(col, r));
+              break;
+          }
         }
+        if (ctx->meter != nullptr) {
+          ctx->meter->column_values += spec_.projection.size();
+          ++ctx->meter->output_rows;
+        }
+        return true;
       }
-      if (ctx->meter != nullptr) {
-        ctx->meter->column_values += spec_.projection.size();
-        ++ctx->meter->output_rows;
-      }
-      return true;
+      if (!ClaimNextRange()) return false;
     }
-    return false;
   }
 
  private:
@@ -169,10 +186,29 @@ class ColumnScanOp final : public Operator {
     return true;
   }
 
+  /// Claims this worker's next morsel and clamps it to the snapshot
+  /// bound. Returns false (scan done) in serial mode or when the morsel
+  /// set is exhausted.
+  bool ClaimNextRange() {
+    if (spec_.morsels == nullptr) return false;
+    size_t begin;
+    size_t end;
+    while (spec_.morsels->Claim(spec_.worker, &claim_, &begin, &end)) {
+      end = std::min(end, bound_);
+      if (begin >= end) continue;
+      row_ = begin;
+      limit_ = end;
+      return true;
+    }
+    return false;
+  }
+
   const ColumnTable* table_;
   size_t bound_;
   ScanSpec spec_;
   size_t row_ = 0;
+  size_t limit_ = 0;
+  MorselSet::ClaimState claim_;
   std::vector<CodePred> code_preds_;
   bool impossible_ = false;
 };
@@ -237,7 +273,7 @@ class IndexRangeScanOp final : public Operator {
 OperatorPtr RowDataSource::Scan(const ScanSpec& spec) const {
   const RowTable* table = catalog_->GetTable(spec.table);
   assert(table != nullptr && "unknown table in scan spec");
-  if (!spec.index_hint.empty()) {
+  if (!spec.index_hint.empty() && spec.morsels == nullptr) {
     const IndexInfo* index = catalog_->GetIndex(spec.index_hint);
     if (index != nullptr && index->key_columns.size() == 1) {
       for (const NumRange& range : spec.ranges) {
@@ -251,11 +287,24 @@ OperatorPtr RowDataSource::Scan(const ScanSpec& spec) const {
   return std::make_unique<RowScanOp>(table, snapshot_, spec);
 }
 
+size_t RowDataSource::ScanExtent(const std::string& table) const {
+  const RowTable* t = catalog_->GetTable(table);
+  // NumSlots may keep growing after the plan is built, but rids appended
+  // past this point carry begin_ts > snapshot_ and are invisible anyway,
+  // so the morsel cover of [0, extent) misses nothing the snapshot sees.
+  return t == nullptr ? 0 : t->NumSlots();
+}
+
 OperatorPtr ColumnDataSource::Scan(const ScanSpec& spec) const {
   const auto it = tables_.find(spec.table);
   assert(it != tables_.end() && "unknown table in scan spec");
   return std::make_unique<ColumnScanOp>(it->second.table, it->second.bound,
                                         spec);
+}
+
+size_t ColumnDataSource::ScanExtent(const std::string& table) const {
+  const auto it = tables_.find(table);
+  return it == tables_.end() ? 0 : it->second.bound;
 }
 
 }  // namespace hattrick

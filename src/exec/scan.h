@@ -20,6 +20,7 @@ class RowDataSource final : public DataSource {
       : catalog_(catalog), snapshot_(snapshot) {}
 
   OperatorPtr Scan(const ScanSpec& spec) const override;
+  size_t ScanExtent(const std::string& table) const override;
 
  private:
   const Catalog* catalog_;
@@ -40,6 +41,7 @@ class ColumnDataSource final : public DataSource {
   };
 
   OperatorPtr Scan(const ScanSpec& spec) const override;
+  size_t ScanExtent(const std::string& table) const override;
 
   void AddTable(const std::string& name, const ColumnTable* table,
                 size_t bound) {

@@ -264,14 +264,22 @@ class SimAClient {
     WorkMeter meter;
     AnalyticsSession session = s_->engine->BeginAnalytics(&meter);
     ExecContext ctx{&meter};
+    // Static morsel assignment keeps the metered work (and thus the
+    // simulated duration) a pure function of the data — never of how the
+    // host scheduled the worker threads.
+    ctx.dop = s_->config.dop;
+    ctx.dynamic_morsels = false;
+    ctx.session_pin = session.guard;
     QueryResult result = RunQuery(qid, *session.source,
                                   s_->context->num_freshness_tables, &ctx);
+    ctx.session_pin.reset();
     session.source.reset();
     session.guard.reset();
 
     const double cpu = s_->setup.cost.QueryCpuSeconds(meter);
-    s_->a_pool->Submit(
-        cpu, [this, qid, issue_time, result = std::move(result)] {
+    s_->a_pool->SubmitParallel(
+        cpu, s_->config.dop,
+        [this, qid, issue_time, result = std::move(result)] {
           const TimePoint now = s_->sim.Now();
           if (s_->InWindow(now)) {
             ++s_->metrics.queries;
@@ -487,8 +495,12 @@ RunMetrics ThreadedDriver::Run(const WorkloadConfig& config) {
         WorkMeter meter;
         AnalyticsSession session = engine_->BeginAnalytics(&meter);
         ExecContext ctx{&meter};
+        ctx.dop = config.dop;
+        ctx.dynamic_morsels = true;  // real threads: balance via stealing
+        ctx.session_pin = session.guard;
         QueryResult result = RunQuery(
             qid, *session.source, context_->num_freshness_tables, &ctx);
+        ctx.session_pin.reset();
         session.guard.reset();
         const double now = clock.Now();
         if (now >= warmup_end && now <= end) {

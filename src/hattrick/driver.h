@@ -24,6 +24,13 @@ struct WorkloadConfig {
   double warmup_seconds = 0.3;
   double measure_seconds = 1.5;
   uint64_t seed = 7;
+  /// Intra-query parallelism of each A-client (morsel-driven; see
+  /// exec/morsel.h). The wall-clock driver runs each query on `dop`
+  /// worker threads; the simulated driver charges each query's work
+  /// across `dop` cores of the A pool (CorePool::SubmitParallel). 1 — the
+  /// paper-faithful default, matching its single-stream query clients —
+  /// leaves all existing figures unchanged.
+  int dop = 1;
 };
 
 /// Metrics extracted from one run. Throughput counts completions whose

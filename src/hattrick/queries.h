@@ -34,12 +34,24 @@ struct QueryResult {
 
 /// Executes SSB query `query_id` (0..12) against `source`, reading back
 /// `num_freshness_tables` FRESHNESS_j tables. All work meters into `ctx`.
+/// When ctx->dop > 1 the query runs as a morsel-parallel plan (see
+/// BuildParallelQueryPlan); results are bit-identical to dop=1 because
+/// SUM accumulates in fixed-point (exec/operator.h).
 QueryResult RunQuery(int query_id, const DataSource& source,
                      uint32_t num_freshness_tables, ExecContext* ctx);
 
-/// Builds the physical plan of query `query_id` without running it
+/// Builds the serial physical plan of query `query_id` without running it
 /// (exposed for tests and plan inspection).
 OperatorPtr BuildQueryPlan(int query_id, const DataSource& source);
+
+/// Builds the morsel-parallel plan: `dop` worker shards, each scanning
+/// its share of the LINEORDER morsels into a partial aggregate, merged by
+/// a gather-merge exchange. `dynamic_morsels` picks dynamic claiming
+/// (wall-clock) vs static round-robin (simulator; see exec/morsel.h).
+/// Falls back to the serial plan when dop <= 1 or the source cannot be
+/// morselized (ScanExtent == 0).
+OperatorPtr BuildParallelQueryPlan(int query_id, const DataSource& source,
+                                   int dop, bool dynamic_morsels);
 
 }  // namespace hattrick
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <memory>
 #include <vector>
 
 namespace hattrick {
@@ -44,6 +45,25 @@ void CorePool::Submit(double cpu_seconds, Callback done) {
   assert(cpu_seconds >= 0);
   Advance();
   jobs_.emplace(next_job_id_++, Job{cpu_seconds, std::move(done)});
+  ScheduleNextCompletion();
+}
+
+void CorePool::SubmitParallel(double cpu_seconds, int ways, Callback done) {
+  if (ways <= 1) {
+    Submit(cpu_seconds, std::move(done));
+    return;
+  }
+  assert(cpu_seconds >= 0);
+  Advance();
+  // Shared countdown: the last piece to finish fires the caller's done.
+  auto remaining = std::make_shared<int>(ways);
+  auto shared_done = std::make_shared<Callback>(std::move(done));
+  const double piece = cpu_seconds / static_cast<double>(ways);
+  for (int i = 0; i < ways; ++i) {
+    jobs_.emplace(next_job_id_++, Job{piece, [remaining, shared_done] {
+                    if (--*remaining == 0) (*shared_done)();
+                  }});
+  }
   ScheduleNextCompletion();
 }
 

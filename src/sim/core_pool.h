@@ -33,6 +33,16 @@ class CorePool {
   /// finishes. Zero-demand jobs complete via an immediate event.
   void Submit(double cpu_seconds, Callback done);
 
+  /// Submits `cpu_seconds` of demand split across `ways` concurrent jobs
+  /// of cpu_seconds/ways each — the simulator's model of one query
+  /// executing at dop=ways. `done` fires once, when the last piece
+  /// finishes. On an idle pool with >= ways free cores the work completes
+  /// in 1/ways the time of Submit; under load the pieces contend like any
+  /// other jobs, so dop>1 analytics push harder against T-clients
+  /// (exactly the frontier-shape change Figure 5 varies). ways <= 1
+  /// degenerates to Submit.
+  void SubmitParallel(double cpu_seconds, int ways, Callback done);
+
   /// Number of currently active jobs.
   size_t active_jobs() const { return jobs_.size(); }
 

@@ -157,8 +157,20 @@ Status ColumnTable::UpdateRow(size_t row, const Row& values,
 }
 
 void ColumnTable::CopyFrom(const ColumnTable& other) {
-  std::unique_lock lock(latch_);
-  std::shared_lock other_lock(other.latch_);
+  if (this == &other) return;
+  // Address-ordered acquisition: copies run in both directions between
+  // the same table pair (load snapshotting vs benchmark reset), so a
+  // fixed this-then-other order would be a lock-order inversion.
+  std::unique_lock<std::shared_mutex> lock(latch_, std::defer_lock);
+  std::shared_lock<std::shared_mutex> other_lock(other.latch_,
+                                                 std::defer_lock);
+  if (this < &other) {
+    lock.lock();
+    other_lock.lock();
+  } else {
+    other_lock.lock();
+    lock.lock();
+  }
   schema_ = other.schema_;
   columns_ = other.columns_;
   num_rows_ = other.num_rows_;

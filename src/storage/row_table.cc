@@ -1,5 +1,6 @@
 #include "storage/row_table.h"
 
+#include <algorithm>
 #include <cassert>
 #include <mutex>
 
@@ -99,6 +100,29 @@ void RowTable::Scan(Ts snapshot,
   }
 }
 
+void RowTable::ScanRange(Ts snapshot, Rid begin, Rid end,
+                         const std::function<bool(Rid, const Row&)>& visitor,
+                         WorkMeter* meter) const {
+  std::shared_lock lock(latch_);
+  end = std::min<Rid>(end, slots_.size());
+  for (Rid rid = begin; rid < end; ++rid) {
+    const Chain& chain = slots_[rid];
+    if (meter != nullptr) {
+      meter->version_hops += chain.versions.size();
+    }
+    for (auto it = chain.versions.rbegin(); it != chain.versions.rend();
+         ++it) {
+      if (it->begin_ts <= snapshot) {
+        if (it->end_ts > snapshot) {
+          if (meter != nullptr) ++meter->rows_read;
+          if (!visitor(rid, it->data)) return;
+        }
+        break;
+      }
+    }
+  }
+}
+
 size_t RowTable::NumSlots() const {
   std::shared_lock lock(latch_);
   return slots_.size();
@@ -131,8 +155,21 @@ size_t RowTable::Vacuum(Ts horizon) {
 }
 
 void RowTable::CopyFrom(const RowTable& other) {
-  std::unique_lock lock(latch_);
-  std::shared_lock other_lock(other.latch_);
+  if (this == &other) return;
+  // Acquire the two latches in address order: copies run in both
+  // directions between the same table pair (load snapshotting vs
+  // benchmark reset), so a fixed this-then-other order would be a
+  // lock-order inversion.
+  std::unique_lock<std::shared_mutex> lock(latch_, std::defer_lock);
+  std::shared_lock<std::shared_mutex> other_lock(other.latch_,
+                                                 std::defer_lock);
+  if (this < &other) {
+    lock.lock();
+    other_lock.lock();
+  } else {
+    other_lock.lock();
+    lock.lock();
+  }
   schema_ = other.schema_;
   slots_ = other.slots_;
 }

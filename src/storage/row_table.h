@@ -75,6 +75,15 @@ class RowTable {
             const std::function<bool(Rid, const Row&)>& visitor,
             WorkMeter* meter) const;
 
+  /// Like Scan but restricted to rids in [begin, end) — the row-store
+  /// morsel primitive for parallel heap scans. Metering per rid is
+  /// identical to Scan (whole-chain version_hops, rows_read per visible
+  /// row), so a full cover of disjoint ranges meters exactly like one
+  /// Scan. `end` past the slot count is clamped.
+  void ScanRange(Ts snapshot, Rid begin, Rid end,
+                 const std::function<bool(Rid, const Row&)>& visitor,
+                 WorkMeter* meter) const;
+
   /// Number of slots (including rows whose newest version is a delete).
   size_t NumSlots() const;
 

@@ -2,15 +2,26 @@
 // HATtrick workload, every engine's analytical view must agree with its
 // transactional row store — the hybrid's column copy, the isolated
 // engine's drained standby, and vacuumed stores must all answer queries
-// identically. Also covers engine-level Vacuum().
+// identically. Also covers engine-level Vacuum() and a randomized
+// concurrency stress: T-client threads mutate while dop=4 analytics run,
+// and every analytical snapshot must be transactionally consistent (no
+// torn FRESHNESS reads, exact S_YTD/HISTORY balance).
 
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "engine/hybrid_engine.h"
 #include "engine/isolated_engine.h"
 #include "engine/shared_engine.h"
+#include "exec/expression.h"
+#include "exec/operator.h"
 #include "hattrick/datagen.h"
 #include "hattrick/queries.h"
 #include "hattrick/transactions.h"
@@ -168,6 +179,170 @@ TEST_P(ConsistencyTest, VacuumPreservesQueryResults) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencyTest,
                          ::testing::Values(1001, 2002, 3003));
+
+// ---------------------------------------------------------------------------
+// Randomized concurrency stress: writers mutate while dop=4 analytics run.
+// ---------------------------------------------------------------------------
+
+/// SUM(column) over `table` through the analytical source, in exact
+/// fixed-point units (SUMs accumulate in DECIMAL(.,4) fixed point, so the
+/// quantized value is an exact function of the snapshot's row set).
+int64_t SumFixed(const DataSource& source, const std::string& table,
+                 size_t column) {
+  ScanSpec spec;
+  spec.table = table;
+  spec.projection = {column};
+  OperatorPtr plan =
+      MakeHashAggregate(source.Scan(spec), {},
+                        {AggSpec{AggSpec::Kind::kSum, Col(0)}});
+  WorkMeter meter;
+  ExecContext ctx{&meter};
+  const std::vector<Row> rows = Collect(plan.get(), &ctx);
+  EXPECT_EQ(rows.size(), 1u) << table;
+  return QuantizeSumValue(rows.at(0).at(0).AsDouble());
+}
+
+/// Reads FRESHNESS_client through the analytical source. A torn read
+/// would show up as a missing row or a value never written.
+int64_t FreshnessValue(const DataSource& source, uint32_t client) {
+  ScanSpec spec;
+  spec.table = FreshnessTableName(client);
+  spec.projection = {fresh::kTxnNum};
+  WorkMeter meter;
+  ExecContext ctx{&meter};
+  OperatorPtr plan = source.Scan(spec);
+  const std::vector<Row> rows = Collect(plan.get(), &ctx);
+  EXPECT_EQ(rows.size(), 1u) << spec.table;
+  return rows.empty() ? -1 : rows.at(0).at(0).AsInt();
+}
+
+/// The randomized stress harness (ISSUE satellite): `kClients` writer
+/// threads each run `kTxnsPerClient` random HATtrick transactions while
+/// the main thread repeatedly opens analytical sessions and, on every
+/// snapshot, asserts
+///   (a) SUM(S_YTD) - SUM(HISTORY.amount) stays at its initial value —
+///       Payment updates both atomically, so any imbalance is a torn
+///       snapshot (exact fixed-point arithmetic, no tolerance);
+///   (b) each FRESHNESS_j value is monotone across snapshots and never
+///       exceeds what client j has issued — a torn or time-travelling
+///       freshness read fails the bounds;
+///   (c) a dop=4 dynamic-morsel SSB query returns bit-identical rows to
+///       the serial plan on the same snapshot, with worker threads racing
+///       the writers.
+void StressParallelSnapshots(HtapEngine* engine, const Dataset& dataset,
+                             uint64_t seed) {
+  WorkloadContext context(dataset);
+  const EngineHandles handles =
+      EngineHandles::Resolve(*engine->primary_catalog(), 4);
+
+  WorkMeter meter;
+  int64_t base_balance;
+  {
+    AnalyticsSession s0 = engine->BeginAnalytics(&meter);
+    base_balance = SumFixed(*s0.source, kSupplier, supp::kYtd) -
+                   SumFixed(*s0.source, kHistory, hist::kAmount);
+  }
+
+  constexpr int kClients = 4;
+  constexpr uint64_t kTxnsPerClient = 150;
+  std::atomic<int> running{kClients};
+  std::atomic<int> failures{0};
+  std::array<std::atomic<uint64_t>, kClients> issued{};
+  std::vector<std::thread> writers;
+  writers.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    writers.emplace_back([&, c] {
+      Rng rng(seed * 101 + static_cast<uint64_t>(c));
+      for (uint64_t txn_num = 1; txn_num <= kTxnsPerClient; ++txn_num) {
+        const TxnParams params = GenerateTxnParams(&context, &rng);
+        issued[c].store(txn_num, std::memory_order_release);
+        WorkMeter m;
+        const TxnOutcome outcome = engine->ExecuteTransaction(
+            MakeTxnBody(params, handles, static_cast<uint32_t>(c) + 1,
+                        txn_num),
+            static_cast<uint32_t>(c) + 1, txn_num, &m);
+        if (!outcome.status.ok()) failures.fetch_add(1);
+      }
+      running.fetch_sub(1);
+    });
+  }
+
+  std::array<int64_t, kClients> last_fresh{};
+  int qid = 0;
+  int iterations = 0;
+  // Keep snapshotting while the writers run, plus a few quiescent rounds.
+  while (running.load() > 0 || iterations < 3) {
+    AnalyticsSession session = engine->BeginAnalytics(&meter);
+
+    const int64_t ytd = SumFixed(*session.source, kSupplier, supp::kYtd);
+    const int64_t hist = SumFixed(*session.source, kHistory, hist::kAmount);
+    EXPECT_EQ(ytd - hist, base_balance)
+        << "torn snapshot: supplier YTD and payment history disagree";
+
+    for (int c = 0; c < kClients; ++c) {
+      const int64_t seen =
+          FreshnessValue(*session.source, static_cast<uint32_t>(c) + 1);
+      // `issued` is loaded after the snapshot was taken, so it bounds
+      // every transaction the snapshot could possibly contain.
+      const int64_t hi = static_cast<int64_t>(
+          issued[c].load(std::memory_order_acquire));
+      EXPECT_GE(seen, last_fresh[c]) << "freshness went backwards";
+      EXPECT_LE(seen, hi) << "freshness read a value never committed";
+      last_fresh[c] = seen;
+    }
+
+    ExecContext serial_ctx{&meter};
+    OperatorPtr serial_plan = BuildQueryPlan(qid, *session.source);
+    const std::vector<Row> serial = Collect(serial_plan.get(), &serial_ctx);
+    ExecContext par_ctx{&meter};
+    par_ctx.dop = 4;
+    par_ctx.dynamic_morsels = true;
+    par_ctx.session_pin = session.guard;
+    OperatorPtr par_plan = BuildParallelQueryPlan(qid, *session.source,
+                                                 /*dop=*/4,
+                                                 /*dynamic_morsels=*/true);
+    const std::vector<Row> parallel = Collect(par_plan.get(), &par_ctx);
+    EXPECT_EQ(serial, parallel) << QueryName(qid) << " under writers";
+
+    qid = (qid + 1) % kNumQueries;
+    ++iterations;
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Quiesced: all committed work must be visible exactly once.
+  AnalyticsSession fin = engine->BeginAnalytics(&meter);
+  EXPECT_EQ(SumFixed(*fin.source, kSupplier, supp::kYtd) -
+                SumFixed(*fin.source, kHistory, hist::kAmount),
+            base_balance);
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(FreshnessValue(*fin.source, static_cast<uint32_t>(c) + 1),
+              static_cast<int64_t>(kTxnsPerClient));
+  }
+}
+
+/// ~15k lineorders: enough extent for several morsels per dop=4 worker.
+DatagenConfig StressConfig(uint64_t seed) {
+  DatagenConfig config = SmallConfig(seed);
+  config.scale_factor = 10.0;
+  return config;
+}
+
+TEST_P(ConsistencyTest, HybridSnapshotsConsistentUnderConcurrentWriters) {
+  const Dataset dataset = GenerateDataset(StressConfig(GetParam()));
+  HybridEngine engine;
+  ASSERT_TRUE(
+      LoadDataset(dataset, PhysicalSchema::kSemiIndexes, &engine).ok());
+  StressParallelSnapshots(&engine, dataset, GetParam() * 7);
+}
+
+TEST_P(ConsistencyTest, SharedSnapshotsConsistentUnderConcurrentWriters) {
+  const Dataset dataset = GenerateDataset(StressConfig(GetParam()));
+  SharedEngine engine;
+  ASSERT_TRUE(
+      LoadDataset(dataset, PhysicalSchema::kAllIndexes, &engine).ok());
+  StressParallelSnapshots(&engine, dataset, GetParam() * 11);
+}
 
 }  // namespace
 }  // namespace hattrick

@@ -49,6 +49,14 @@ class Flags {
     return it == values_.end() ? fallback : std::atoi(it->second.c_str());
   }
 
+  /// GetInt clamped to [lo, hi] — for knobs with a valid range (e.g.
+  /// --dop, where 0 or a negative value would be meaningless).
+  int GetBoundedInt(const std::string& key, int fallback, int lo,
+                    int hi) const {
+    const int v = GetInt(key, fallback);
+    return v < lo ? lo : (v > hi ? hi : v);
+  }
+
   double GetDouble(const std::string& key, double fallback) const {
     const auto it = values_.find(key);
     return it == values_.end() ? fallback : std::atof(it->second.c_str());

@@ -21,6 +21,7 @@
 //   --lines, --points, --max_clients   frontier options
 //   --rows_per_sf  lineorders per SF unit              (default 2000)
 //   --threaded  use wall-clock threads instead of the simulator (point)
+//   --dop       intra-query parallelism per A-client   (default 1)
 
 #include <cstdio>
 #include <string>
@@ -162,6 +163,7 @@ int Main(int argc, char** argv) {
   base.warmup_seconds = flags.GetDouble("warmup", 0.25);
   base.measure_seconds = flags.GetDouble("measure", 1.0);
   base.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  base.dop = flags.GetBoundedInt("dop", 1, 1, 64);
 
   if (mode == "point") {
     base.t_clients = flags.GetInt("t", 4);
