@@ -32,14 +32,18 @@ int main() {
     const RunMetrics metrics = env.driver->Run(run);
 
     std::printf("\n== %s ==\n", EngineKindName(system.kind));
-    std::printf("# txn_type,mean_ms,p99_ms,count\n");
+    std::printf("# txn_type,mean_ms,p99_ms,count,commits,aborts\n");
     for (int t = 0; t < 3; ++t) {
       const Sampler& sampler = metrics.txn_latency_by_type[t];
       if (sampler.empty()) continue;
-      std::printf("%s,%.4f,%.4f,%zu\n",
+      std::printf("%s,%.4f,%.4f,%zu,%llu,%llu\n",
                   TxnTypeName(static_cast<TxnType>(t)),
                   sampler.Mean() * 1e3, sampler.Percentile(0.99) * 1e3,
-                  sampler.count());
+                  sampler.count(),
+                  static_cast<unsigned long long>(
+                      metrics.committed_by_type[t]),
+                  static_cast<unsigned long long>(
+                      metrics.aborts_by_type[t]));
     }
     std::printf("# query,mean_ms,p99_ms,count\n");
     for (int q = 0; q < kNumQueries; ++q) {

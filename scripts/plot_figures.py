@@ -86,17 +86,23 @@ def main():
     parser.add_argument("--out", default="figure.png")
     args = parser.parse_args()
 
-    with open(args.input) as f:
-        systems = parse_blocks(f.readlines())
+    try:
+        with open(args.input) as f:
+            systems = parse_blocks(f.readlines())
+    except OSError as e:
+        sys.exit(f"error: cannot read {args.input}: {e.strerror}")
     if not systems:
-        sys.exit("no CSV blocks found in input")
+        sys.exit(f"error: {args.input} has no '# <label> ...' CSV blocks -- "
+                 "pipe a figure bench's stdout (e.g. ./build/bench/"
+                 "fig05_postgres_sf) into a file and pass that file")
 
     try:
         import matplotlib
         matplotlib.use("Agg")
         import matplotlib.pyplot as plt
     except ImportError:
-        sys.exit("matplotlib not installed; the raw CSV is already usable")
+        sys.exit("error: matplotlib is not installed; the raw CSV blocks in "
+                 f"{args.input} are already plottable with any tool")
 
     n = len(systems)
     fig, axes = plt.subplots(1, n + 1, figsize=(5 * (n + 1), 4))

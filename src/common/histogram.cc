@@ -14,6 +14,12 @@ void Sampler::EnsureSorted() const {
   }
 }
 
+void Sampler::Merge(const Sampler& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
 double Sampler::Sum() const {
   return std::accumulate(samples_.begin(), samples_.end(), 0.0);
 }

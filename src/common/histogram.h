@@ -17,6 +17,10 @@ class Sampler {
   void Add(double sample) { samples_.push_back(sample); sorted_ = false; }
   void Clear() { samples_.clear(); sorted_ = false; }
 
+  /// Adds every sample of `other` to this sampler (e.g. combining
+  /// per-thread samplers after a run).
+  void Merge(const Sampler& other);
+
   size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 

@@ -49,6 +49,13 @@ struct WorkMeter {
     return *this;
   }
 
+  /// Sum of every counter except `wal_bytes`. The other counters all
+  /// count *operations* of comparable magnitude, so their sum is a useful
+  /// "did any work happen / how much" scalar for tests and assertions;
+  /// `wal_bytes` counts *bytes* (hundreds per record) and would swamp the
+  /// operation counts. The cost model still charges bytes explicitly
+  /// (CostModel::us_wal_byte and the ship delay), so nothing is lost by
+  /// excluding them here.
   uint64_t Total() const {
     return rows_read + rows_written + index_nodes + index_writes +
            column_values + output_rows + hash_probes + wal_records +

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "common/work_meter.h"
 #include "exec/operator.h"
+#include "obs/observability.h"
 #include "storage/catalog.h"
 #include "txn/txn_manager.h"
 
@@ -153,6 +154,38 @@ class HtapEngine {
 
   /// The primary's transaction manager.
   virtual TxnManager* txn_manager() = 0;
+
+  /// Attaches (or, with a default-constructed bundle, detaches) run
+  /// observability. Wires the txn manager's metrics, the B+-tree split
+  /// counters, and the engine-specific hooks (replication gauges, merge
+  /// counters/spans, vacuum spans) via OnObservabilityChanged(). Call
+  /// after Create(); a driver attaches before a run and detaches after
+  /// its final registry snapshot.
+  void SetObservability(const obs::Observability& observability) {
+    obs_ = observability;
+    TxnManager* txns = txn_manager();
+    if (txns != nullptr) txns->SetMetrics(obs_.metrics);
+    Catalog* catalog = primary_catalog();
+    if (catalog != nullptr) {
+      obs::Counter* splits =
+          obs_.metrics == nullptr
+              ? nullptr
+              : obs_.metrics->GetCounter(obs::kStoreBtreeSplits);
+      for (IndexInfo* index : catalog->AllIndexes()) {
+        index->tree->set_split_counter(splits);
+      }
+    }
+    OnObservabilityChanged();
+  }
+
+  const obs::Observability& observability() const { return obs_; }
+
+ protected:
+  /// Engine-specific observability wiring (replication probes, merge
+  /// counters, ...). Called from SetObservability; obs_ is already set.
+  virtual void OnObservabilityChanged() {}
+
+  obs::Observability obs_;
 };
 
 }  // namespace hattrick

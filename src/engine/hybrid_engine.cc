@@ -98,6 +98,9 @@ void HybridEngine::MergeDelta(WorkMeter* meter) {
     batch.swap(delta_);
   }
   if (batch.empty()) return;
+  obs::ScopedSpan span(obs_.tracer, obs_.clock, "delta-merge", "merge",
+                       obs::kTrackEngine);
+  uint64_t rows_merged = 0;
   merge_latch_.WithExclusive([&] {
     for (const WalRecord& record : batch) {
       for (const WalOp& op : record.ops) {
@@ -113,6 +116,7 @@ void HybridEngine::MergeDelta(WorkMeter* meter) {
           assert(s.ok());
           (void)s;
         }
+        ++rows_merged;
         if (meter != nullptr) ++meter->merged_rows;
       }
       if (meter != nullptr) {
@@ -121,6 +125,13 @@ void HybridEngine::MergeDelta(WorkMeter* meter) {
       }
     }
   });
+  if (merge_passes_metric_ != nullptr) {
+    merge_passes_metric_->Inc();
+    merge_rows_metric_->Inc(rows_merged);
+    merge_records_metric_->Inc(batch.size());
+  }
+  span.AppendArgs("\"records\":" + std::to_string(batch.size()) +
+                  ",\"rows\":" + std::to_string(rows_merged));
 }
 
 AnalyticsSession HybridEngine::BeginAnalytics(WorkMeter* meter) {
@@ -141,7 +152,28 @@ AnalyticsSession HybridEngine::BeginAnalytics(WorkMeter* meter) {
 }
 
 size_t HybridEngine::Vacuum() {
-  return primary_.VacuumAll(oracle_.last_committed());
+  obs::ScopedSpan span(obs_.tracer, obs_.clock, "vacuum", "maint",
+                       obs::kTrackEngine);
+  const size_t dropped = primary_.VacuumAll(oracle_.last_committed());
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->GetCounter(obs::kStoreVacuumedVersions)->Inc(dropped);
+  }
+  span.AppendArgs("\"versions\":" + std::to_string(dropped));
+  return dropped;
+}
+
+void HybridEngine::OnObservabilityChanged() {
+  if (obs_.metrics == nullptr) {
+    merge_passes_metric_ = merge_rows_metric_ = merge_records_metric_ =
+        nullptr;
+    return;
+  }
+  merge_passes_metric_ = obs_.metrics->GetCounter(obs::kStoreMergePasses);
+  merge_rows_metric_ = obs_.metrics->GetCounter(obs::kStoreMergeRows);
+  merge_records_metric_ = obs_.metrics->GetCounter(obs::kStoreMergeRecords);
+  obs_.metrics->GetGauge(obs::kStoreDeltaPending)->SetProbe([this] {
+    return static_cast<double>(PendingDelta());
+  });
 }
 
 Status HybridEngine::Reset() {

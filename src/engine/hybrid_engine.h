@@ -63,6 +63,9 @@ class HybridEngine final : public HtapEngine {
   /// The columnar copy of `table` (tests/benchmarks).
   const ColumnTable* column_table(const std::string& table) const;
 
+ protected:
+  void OnObservabilityChanged() override;
+
  private:
   /// WalSink feeding the delta queue; separate object so the engine's
   /// public surface stays an HtapEngine.
@@ -98,6 +101,9 @@ class HybridEngine final : public HtapEngine {
   /// because the session guard may be released from a worker thread (see
   /// engine/session_pin.h and AnalyticsSession::guard).
   SessionPinLatch merge_latch_;
+  obs::Counter* merge_passes_metric_ = nullptr;
+  obs::Counter* merge_rows_metric_ = nullptr;
+  obs::Counter* merge_records_metric_ = nullptr;
   bool created_ = false;
   bool loaded_ = false;
 };

@@ -16,6 +16,11 @@ void IsolatedEngine::FanOutSink::OnCommit(const WalRecord& record) {
   for (Standby& standby : engine_->replicas_) {
     standby.stream->OnCommit(record);
   }
+  const obs::Observability& o = engine_->obs_;
+  if (o.tracer != nullptr && o.clock != nullptr) {
+    o.tracer->Instant("wal-ship", "repl", obs::kTrackEngine, o.clock->Now(),
+                      "\"lsn\":" + std::to_string(record.lsn));
+  }
 }
 
 Status IsolatedEngine::Create(const DatabaseSpec& spec) {
@@ -121,7 +126,11 @@ bool IsolatedEngine::MaintenanceStep(WorkMeter* meter) {
       laggard = &standby;
     }
   }
-  return laggard != nullptr && laggard->replica->ApplyNext(meter);
+  const bool applied = laggard != nullptr && laggard->replica->ApplyNext(meter);
+  if (applied && applied_records_metric_ != nullptr) {
+    applied_records_metric_->Inc();
+  }
+  return applied;
 }
 
 bool IsolatedEngine::IsApplied(uint64_t lsn) const {
@@ -146,11 +155,51 @@ size_t IsolatedEngine::ReplicationLag() const {
 }
 
 size_t IsolatedEngine::Vacuum() {
+  obs::ScopedSpan span(obs_.tracer, obs_.clock, "vacuum", "maint",
+                       obs::kTrackEngine);
   size_t dropped = primary_.VacuumAll(oracle_.last_committed());
   for (Standby& standby : replicas_) {
     dropped += standby.catalog->VacuumAll(standby.replica->Snapshot());
   }
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->GetCounter(obs::kStoreVacuumedVersions)->Inc(dropped);
+  }
+  span.AppendArgs("\"versions\":" + std::to_string(dropped));
   return dropped;
+}
+
+void IsolatedEngine::OnObservabilityChanged() {
+  if (obs_.metrics == nullptr) {
+    applied_records_metric_ = nullptr;
+    for (Standby& standby : replicas_) {
+      for (IndexInfo* index : standby.catalog->AllIndexes()) {
+        index->tree->set_split_counter(nullptr);
+      }
+    }
+    return;
+  }
+  applied_records_metric_ = obs_.metrics->GetCounter(obs::kReplAppliedRecords);
+  obs_.metrics->GetGauge(obs::kReplBacklogRecords)->SetProbe([this] {
+    return static_cast<double>(ReplicationLag());
+  });
+  obs_.metrics->GetGauge(obs::kReplAppliedLsn)->SetProbe([this] {
+    return static_cast<double>(applied_lsn());
+  });
+  obs_.metrics->GetGauge(obs::kReplShippedBytes)->SetProbe([this] {
+    double total = 0;
+    for (const Standby& standby : replicas_) {
+      total += static_cast<double>(standby.stream->shipped_bytes());
+    }
+    return total;
+  });
+  // Standby trees split during replay too; wire them onto the same
+  // counter the base class attached to the primary's indexes.
+  obs::Counter* splits = obs_.metrics->GetCounter(obs::kStoreBtreeSplits);
+  for (Standby& standby : replicas_) {
+    for (IndexInfo* index : standby.catalog->AllIndexes()) {
+      index->tree->set_split_counter(splits);
+    }
+  }
 }
 
 Status IsolatedEngine::Reset() {

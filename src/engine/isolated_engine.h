@@ -67,6 +67,9 @@ class IsolatedEngine final : public HtapEngine {
   /// Records shipped but not yet replayed on the furthest-behind standby.
   size_t ReplicationLag() const;
 
+ protected:
+  void OnObservabilityChanged() override;
+
  private:
   /// Fans committed records out to every standby's shipping stream.
   class FanOutSink final : public WalSink {
@@ -92,6 +95,7 @@ class IsolatedEngine final : public HtapEngine {
   std::unique_ptr<TxnManager> txn_manager_;
   std::vector<Standby> replicas_;
   std::atomic<uint64_t> next_session_{0};  // round-robin standby selector
+  obs::Counter* applied_records_metric_ = nullptr;
   bool created_ = false;
   bool loaded_ = false;
 };

@@ -93,7 +93,14 @@ AnalyticsSession SharedEngine::BeginAnalytics(WorkMeter* meter) {
 size_t SharedEngine::Vacuum() {
   // Every snapshot taken from now on sees last_committed; versions that
   // ended at or before it are unreachable.
-  return catalog_.VacuumAll(oracle_.last_committed());
+  obs::ScopedSpan span(obs_.tracer, obs_.clock, "vacuum", "maint",
+                       obs::kTrackEngine);
+  const size_t dropped = catalog_.VacuumAll(oracle_.last_committed());
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->GetCounter(obs::kStoreVacuumedVersions)->Inc(dropped);
+  }
+  span.AppendArgs("\"versions\":" + std::to_string(dropped));
+  return dropped;
 }
 
 Status SharedEngine::Reset() {

@@ -5,10 +5,12 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/value.h"
 #include "common/work_meter.h"
 #include "exec/expression.h"
 #include "exec/morsel.h"
+#include "obs/trace.h"
 
 namespace hattrick {
 
@@ -33,6 +35,13 @@ struct ExecContext {
   /// merge, reset) under a shard even if the issuing client releases its
   /// session early.
   std::shared_ptr<void> session_pin;
+
+  /// Optional tracing (both null by default — benches pay nothing).
+  /// When set, the gather-merge exchange records one span per worker
+  /// shard on tracks trace_tid, trace_tid+1, ... using trace_clock.
+  obs::Tracer* tracer = nullptr;
+  const Clock* trace_clock = nullptr;
+  uint32_t trace_tid = 0;
 };
 
 /// Volcano-style physical operator. Scans stream; blocking operators

@@ -34,6 +34,9 @@ class GatherMergeOp final : public Operator {
       workers.reserve(n);
       for (size_t w = 0; w < n; ++w) {
         workers.emplace_back([this, ctx, w, &shard_rows, &shard_meters] {
+          obs::ScopedSpan span(ctx->tracer, ctx->trace_clock, "morsel-shard",
+                               "morsel",
+                               ctx->trace_tid + static_cast<uint32_t>(w));
           ExecContext worker_ctx;
           worker_ctx.meter = &shard_meters[w];
           worker_ctx.dop = ctx->dop;

@@ -106,6 +106,7 @@ struct RunState {
   RowLockModel locks;
   LsnWaitQueue lsn_waits;
   FreshnessTracker tracker;
+  obs::Observability obs;  // clock == sim's virtual clock
 
   std::vector<FreshnessTracker::Observation> observations;
   RunMetrics metrics;
@@ -125,7 +126,13 @@ void RunState::ApplierPump() {
   }
   const uint64_t applied = engine->applied_lsn();
   const double cpu = setup.cost.ReplayCpuSeconds(meter);
-  a_pool->Submit(cpu, [this, applied] {
+  const TimePoint submit = sim.Now();
+  a_pool->Submit(cpu, [this, applied, submit] {
+    if (obs.tracer != nullptr) {
+      obs.tracer->RecordSpan("wal-replay", "repl", obs::kTrackApplier, submit,
+                             sim.Now(),
+                             "\"lsn\":" + std::to_string(applied));
+    }
     lsn_waits.Publish(applied);
     ApplierPump();
   });
@@ -159,7 +166,9 @@ class SimTClient {
     const TxnBody body = MakeTxnBody(params, s_->handles, id_, txn_num_);
     TxnOutcome outcome =
         s_->engine->ExecuteTransaction(body, id_, txn_num_, &meter);
-    s_->metrics.aborts += static_cast<uint64_t>(outcome.attempts - 1);
+    const uint64_t aborts = static_cast<uint64_t>(outcome.attempts - 1);
+    s_->metrics.aborts += aborts;
+    s_->metrics.aborts_by_type[static_cast<int>(params.type)] += aborts;
     if (!outcome.status.ok()) {
       ++s_->metrics.failed;
       s_->sim.Schedule(1e-3, [this] { IssueNext(); });  // back off, retry
@@ -176,6 +185,7 @@ class SimTClient {
     const double lock_wait =
         s_->locks.AcquireAll(outcome.write_keys, s_->sim.Now(),
                              cpu * inflation);
+    s_->metrics.lock_wait_seconds += lock_wait;
     auto submit = [this, cpu, outcome = std::move(outcome)]() mutable {
       s_->t_pool.Submit(cpu, [this, outcome = std::move(outcome)] {
         OnCpuDone(outcome);
@@ -192,13 +202,18 @@ class SimTClient {
     const double extra = s_->setup.cost.txn_extra_latency_us * 1e-6;
     switch (outcome.wait.kind) {
       case CommitWait::Kind::kNone:
+        wait_name_ = nullptr;
         Defer(extra, [this] { Finish(); });
         return;
       case CommitWait::Kind::kShipDelay:
+        wait_name_ = "commit-wait-ship";
+        wait_start_ = s_->sim.Now();
         Defer(extra + s_->setup.cost.ShipDelaySeconds(outcome.wait.bytes),
               [this] { Finish(); });
         return;
       case CommitWait::Kind::kReplicaApplied: {
+        wait_name_ = "commit-wait-apply";
+        wait_start_ = s_->sim.Now();
         const uint64_t lsn = outcome.wait.lsn;
         Defer(extra, [this, lsn] {
           s_->lsn_waits.WaitFor(lsn, [this] { Finish(); });
@@ -221,10 +236,24 @@ class SimTClient {
     s_->tracker.RecordCommit(id_, txn_num_, now);
     if (s_->InWindow(now)) {
       ++s_->metrics.committed;
+      ++s_->metrics.committed_by_type[static_cast<int>(type_)];
       const double latency = now - issue_time_;
       s_->metrics.txn_latency.Add(latency);
       s_->metrics.txn_latency_by_type[static_cast<int>(type_)].Add(latency);
     }
+    if (s_->obs.tracer != nullptr) {
+      const uint32_t track = obs::kTrackTClientBase + (id_ - 1);
+      // Record the outer span first so the commit-wait child it contains
+      // follows it in the export's recording-order tiebreak.
+      s_->obs.tracer->RecordSpan(
+          TxnTypeName(type_), "txn", track, issue_time_, now,
+          "\"txn_num\":" + std::to_string(txn_num_));
+      if (wait_name_ != nullptr) {
+        s_->obs.tracer->RecordSpan(wait_name_, "txn", track, wait_start_,
+                                   now);
+      }
+    }
+    wait_name_ = nullptr;
     IssueNext();
   }
 
@@ -233,6 +262,8 @@ class SimTClient {
   Rng rng_;
   uint64_t txn_num_ = 0;
   TimePoint issue_time_ = 0;
+  TimePoint wait_start_ = 0;
+  const char* wait_name_ = nullptr;
   TxnType type_ = TxnType::kNewOrder;
 };
 
@@ -241,7 +272,8 @@ class SimTClient {
 /// time and modeling its duration on the A pool.
 class SimAClient {
  public:
-  SimAClient(RunState* s, uint64_t seed) : s_(s), rng_(seed) {
+  SimAClient(RunState* s, uint32_t index, uint64_t seed)
+      : s_(s), index_(index), rng_(seed) {
     for (int i = 0; i < kNumQueries; ++i) batch_[i] = i;
     batch_pos_ = kNumQueries;  // force a shuffle on first issue
   }
@@ -281,6 +313,22 @@ class SimAClient {
         cpu, s_->config.dop,
         [this, qid, issue_time, result = std::move(result)] {
           const TimePoint now = s_->sim.Now();
+          if (s_->obs.tracer != nullptr) {
+            s_->obs.tracer->RecordSpan(
+                QueryName(qid), "query", obs::kTrackAClientBase + index_,
+                issue_time, now, "\"dop\":" + std::to_string(s_->config.dop));
+            // All pieces of a SubmitParallel batch progress at the same
+            // rate from the same demand, so each way's span is exactly
+            // [submission, completion] — see CorePool::SubmitParallel.
+            if (s_->config.dop > 1) {
+              for (int w = 0; w < s_->config.dop; ++w) {
+                s_->obs.tracer->RecordSpan(
+                    "morsel-way", "morsel",
+                    obs::MorselTrack(index_, static_cast<uint32_t>(w)),
+                    issue_time, now, "\"way\":" + std::to_string(w));
+              }
+            }
+          }
           if (s_->InWindow(now)) {
             ++s_->metrics.queries;
             const double latency = now - issue_time;
@@ -301,6 +349,7 @@ class SimAClient {
   }
 
   RunState* s_;
+  uint32_t index_;  // 0-based
   Rng rng_;
   int batch_[kNumQueries];
   int batch_pos_ = 0;
@@ -330,6 +379,38 @@ RunMetrics SimDriver::Run(const WorkloadConfig& config) {
   RunState state(engine_, context_, setup_, config);
   Rng seeder(config.seed);
 
+  // Per-run observability: a fresh registry every Run (so counters start
+  // at zero and same-seed runs snapshot byte-identical values), spans on
+  // the simulation's virtual clock.
+  obs::MetricsRegistry registry;
+  obs::PreRegisterDomainMetrics(&registry);
+  state.t_pool.RegisterMetrics(&registry);
+  if (state.a_pool_storage != nullptr) {
+    state.a_pool_storage->RegisterMetrics(&registry);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Clear();
+    tracer_->SetTrackName(obs::kTrackApplier, "wal-applier");
+    tracer_->SetTrackName(obs::kTrackEngine, "engine");
+    for (int i = 0; i < config.t_clients; ++i) {
+      tracer_->SetTrackName(obs::kTrackTClientBase + i,
+                            "t-client " + std::to_string(i + 1));
+    }
+    for (int i = 0; i < config.a_clients; ++i) {
+      tracer_->SetTrackName(obs::kTrackAClientBase + i,
+                            "a-client " + std::to_string(i + 1));
+      for (int w = 0; w < config.dop && config.dop > 1; ++w) {
+        tracer_->SetTrackName(
+            obs::MorselTrack(static_cast<uint32_t>(i),
+                             static_cast<uint32_t>(w)),
+            "a-client " + std::to_string(i + 1) + " way " +
+                std::to_string(w));
+      }
+    }
+  }
+  state.obs = obs::Observability{&registry, tracer_, state.sim.clock()};
+  engine_->SetObservability(state.obs);
+
   std::vector<std::unique_ptr<SimTClient>> t_clients;
   t_clients.reserve(config.t_clients);
   for (int i = 0; i < config.t_clients; ++i) {
@@ -339,7 +420,8 @@ RunMetrics SimDriver::Run(const WorkloadConfig& config) {
   std::vector<std::unique_ptr<SimAClient>> a_clients;
   a_clients.reserve(config.a_clients);
   for (int i = 0; i < config.a_clients; ++i) {
-    a_clients.push_back(std::make_unique<SimAClient>(&state, seeder.Next()));
+    a_clients.push_back(std::make_unique<SimAClient>(
+        &state, static_cast<uint32_t>(i), seeder.Next()));
   }
 
   // Stagger client starts slightly to avoid artificial lockstep.
@@ -358,6 +440,10 @@ RunMetrics SimDriver::Run(const WorkloadConfig& config) {
   state.sim.RunToCompletion();
 
   RunMetrics metrics = std::move(state.metrics);
+  // Snapshot while the pools (whose gauges probe into `state`) are still
+  // alive, then detach the engine from the run-local registry.
+  metrics.observed = registry.Snapshot();
+  engine_->SetObservability(obs::Observability{});
   metrics.measure_seconds = config.measure_seconds;
   metrics.t_throughput =
       static_cast<double>(metrics.committed) / config.measure_seconds;
@@ -399,6 +485,32 @@ RunMetrics ThreadedDriver::Run(const WorkloadConfig& config) {
   FreshnessTracker tracker;
   tracker.SetNumClients(static_cast<uint32_t>(std::max(config.t_clients, 1)));
 
+  // Per-run observability: same API as the simulated driver, but spans
+  // record wall time (the injected clock is the WallClock above).
+  obs::MetricsRegistry registry;
+  obs::PreRegisterDomainMetrics(&registry);
+  if (tracer_ != nullptr) {
+    tracer_->Clear();
+    tracer_->SetTrackName(obs::kTrackApplier, "wal-applier");
+    tracer_->SetTrackName(obs::kTrackEngine, "engine");
+    for (int i = 0; i < config.t_clients; ++i) {
+      tracer_->SetTrackName(obs::kTrackTClientBase + i,
+                            "t-client " + std::to_string(i + 1));
+    }
+    for (int i = 0; i < config.a_clients; ++i) {
+      tracer_->SetTrackName(obs::kTrackAClientBase + i,
+                            "a-client " + std::to_string(i + 1));
+      for (int w = 0; w < config.dop && config.dop > 1; ++w) {
+        tracer_->SetTrackName(
+            obs::MorselTrack(static_cast<uint32_t>(i),
+                             static_cast<uint32_t>(w)),
+            "a-client " + std::to_string(i + 1) + " way " +
+                std::to_string(w));
+      }
+    }
+  }
+  engine_->SetObservability(obs::Observability{&registry, tracer_, &clock});
+
   const double warmup_end = config.warmup_seconds;
   const double end = config.warmup_seconds + config.measure_seconds;
   std::atomic<bool> stop{false};
@@ -407,6 +519,8 @@ RunMetrics ThreadedDriver::Run(const WorkloadConfig& config) {
     uint64_t committed = 0;
     uint64_t failed = 0;
     uint64_t aborts = 0;
+    uint64_t committed_by_type[3] = {0, 0, 0};
+    uint64_t aborts_by_type[3] = {0, 0, 0};
     Sampler latency;
     Sampler latency_by_type[3];
   };
@@ -445,7 +559,9 @@ RunMetrics ThreadedDriver::Run(const WorkloadConfig& config) {
         const TxnBody body = MakeTxnBody(params, handles, id, txn_num);
         TxnOutcome outcome =
             engine_->ExecuteTransaction(body, id, txn_num, &meter);
-        local.aborts += static_cast<uint64_t>(outcome.attempts - 1);
+        const uint64_t aborts = static_cast<uint64_t>(outcome.attempts - 1);
+        local.aborts += aborts;
+        local.aborts_by_type[static_cast<int>(params.type)] += aborts;
         if (!outcome.status.ok()) {
           ++local.failed;
           continue;
@@ -467,8 +583,15 @@ RunMetrics ThreadedDriver::Run(const WorkloadConfig& config) {
         }
         const double now = clock.Now();
         tracker.RecordCommit(id, txn_num, now);
+        if (tracer_ != nullptr) {
+          tracer_->RecordSpan(TxnTypeName(params.type), "txn",
+                              obs::kTrackTClientBase + static_cast<uint32_t>(i),
+                              issue, now,
+                              "\"txn_num\":" + std::to_string(txn_num));
+        }
         if (now >= warmup_end && now <= end) {
           ++local.committed;
+          ++local.committed_by_type[static_cast<int>(params.type)];
           local.latency.Add(now - issue);
           local.latency_by_type[static_cast<int>(params.type)].Add(now -
                                                                    issue);
@@ -498,11 +621,22 @@ RunMetrics ThreadedDriver::Run(const WorkloadConfig& config) {
         ctx.dop = config.dop;
         ctx.dynamic_morsels = true;  // real threads: balance via stealing
         ctx.session_pin = session.guard;
+        // Morsel workers record real per-shard spans on this client's
+        // lanes (see GatherMergeOp).
+        ctx.tracer = tracer_;
+        ctx.trace_clock = &clock;
+        ctx.trace_tid = obs::MorselTrack(static_cast<uint32_t>(i), 0);
         QueryResult result = RunQuery(
             qid, *session.source, context_->num_freshness_tables, &ctx);
         ctx.session_pin.reset();
         session.guard.reset();
         const double now = clock.Now();
+        if (tracer_ != nullptr) {
+          tracer_->RecordSpan(QueryName(qid), "query",
+                              obs::kTrackAClientBase + static_cast<uint32_t>(i),
+                              issue, now,
+                              "\"dop\":" + std::to_string(config.dop));
+        }
         if (now >= warmup_end && now <= end) {
           ++local.queries;
           local.latency.Add(now - issue);
@@ -524,29 +658,25 @@ RunMetrics ThreadedDriver::Run(const WorkloadConfig& config) {
   applier.join();
 
   RunMetrics metrics;
+  metrics.observed = registry.Snapshot();
+  engine_->SetObservability(obs::Observability{});
   metrics.measure_seconds = config.measure_seconds;
   for (const TLocal& local : t_locals) {
     metrics.committed += local.committed;
     metrics.failed += local.failed;
     metrics.aborts += local.aborts;
-    for (double v : local.latency.sorted_samples()) {
-      metrics.txn_latency.Add(v);
-    }
+    metrics.txn_latency.Merge(local.latency);
     for (int t = 0; t < 3; ++t) {
-      for (double v : local.latency_by_type[t].sorted_samples()) {
-        metrics.txn_latency_by_type[t].Add(v);
-      }
+      metrics.committed_by_type[t] += local.committed_by_type[t];
+      metrics.aborts_by_type[t] += local.aborts_by_type[t];
+      metrics.txn_latency_by_type[t].Merge(local.latency_by_type[t]);
     }
   }
   for (const ALocal& local : a_locals) {
     metrics.queries += local.queries;
-    for (double v : local.latency.sorted_samples()) {
-      metrics.query_latency.Add(v);
-    }
+    metrics.query_latency.Merge(local.latency);
     for (int q = 0; q < kNumQueries; ++q) {
-      for (double v : local.latency_by_id[q].sorted_samples()) {
-        metrics.query_latency_by_id[q].Add(v);
-      }
+      metrics.query_latency_by_id[q].Merge(local.latency_by_id[q]);
     }
     for (const FreshnessTracker::Observation& obs : local.observations) {
       metrics.freshness.Add(tracker.Score(obs));

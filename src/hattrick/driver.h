@@ -10,6 +10,7 @@
 #include "hattrick/freshness.h"
 #include "hattrick/queries.h"
 #include "hattrick/transactions.h"
+#include "obs/observability.h"
 #include "sim/cost_model.h"
 
 namespace hattrick {
@@ -45,6 +46,15 @@ struct RunMetrics {
   uint64_t aborts = 0;   // retried validation aborts
   uint64_t queries = 0;
 
+  /// Per-transaction-type breakdown (indexed by TxnType): measured-window
+  /// commits and retried aborts charged to the type that conflicted.
+  uint64_t committed_by_type[3] = {0, 0, 0};
+  uint64_t aborts_by_type[3] = {0, 0, 0};
+
+  /// Virtual (sim) / wall (threaded) seconds T-clients spent queued on
+  /// the row-lock model before their transactions could run.
+  double lock_wait_seconds = 0;
+
   Sampler txn_latency;                     // seconds, all types
   Sampler txn_latency_by_type[3];          // indexed by TxnType
   Sampler query_latency;                   // seconds, all queries
@@ -52,6 +62,10 @@ struct RunMetrics {
   Sampler freshness;                       // seconds, per measured query
 
   double measure_seconds = 0;
+
+  /// End-of-run snapshot of the run's metrics registry (txn / repl /
+  /// merge / pool domain metrics). Always populated by both drivers.
+  obs::MetricsSnapshot observed;
 };
 
 /// Placement and cost parameters of a simulated deployment.
@@ -98,10 +112,16 @@ class SimDriver {
   /// Executes one operating point and returns its metrics.
   RunMetrics Run(const WorkloadConfig& config);
 
+  /// Attaches a span tracer for subsequent Runs (nullptr detaches).
+  /// Spans record *virtual* time; the tracer is Clear()ed at the start of
+  /// each Run, so two same-seed runs export byte-identical traces.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   HtapEngine* engine_;
   WorkloadContext* context_;
   SimSetup setup_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 /// Wall-clock driver: real client threads against the thread-safe
@@ -114,10 +134,16 @@ class ThreadedDriver {
 
   RunMetrics Run(const WorkloadConfig& config);
 
+  /// Attaches a span tracer for subsequent Runs (nullptr detaches).
+  /// Spans record wall time through the same tracer API the simulated
+  /// driver uses with virtual time.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   HtapEngine* engine_;
   WorkloadContext* context_;
   double ship_delay_seconds_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace hattrick

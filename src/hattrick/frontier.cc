@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace hattrick {
 
@@ -23,6 +24,11 @@ PointRunner MakeRunner(SimDriver* driver, const WorkloadConfig& base) {
       point.freshness_p99 = metrics.freshness.Percentile(0.99);
       point.freshness_mean = metrics.freshness.Mean();
     }
+    point.lock_wait_s = metrics.lock_wait_seconds;
+    point.merged_rows = metrics.observed.CountOf(obs::kStoreMergeRows);
+    point.replay_records =
+        metrics.observed.CountOf(obs::kReplAppliedRecords);
+    point.aborts = metrics.aborts;
     return point;
   };
 }

@@ -18,6 +18,14 @@ struct OperatingPoint {
   double qps = 0;
   double freshness_p99 = 0;   // 99th percentile freshness (seconds)
   double freshness_mean = 0;
+
+  /// Interference attribution, pulled from the run's metrics snapshot:
+  /// why this point sits where it does (lock queueing, merge and replay
+  /// work competing with queries, validation aborts).
+  double lock_wait_s = 0;       // total T-client lock-queue seconds
+  uint64_t merged_rows = 0;     // delta rows merged (hybrid designs)
+  uint64_t replay_records = 0;  // WAL records replayed (isolated designs)
+  uint64_t aborts = 0;          // retried validation aborts
 };
 
 /// A fixed-T or fixed-A line: one client count held fixed, the other

@@ -32,7 +32,8 @@ void PrintGridCsv(const std::string& label, const GridGraph& grid) {
   std::printf("\n");
 }
 
-void PrintFrontierSummary(const std::string& label, const GridGraph& grid) {
+void PrintFrontierSummary(const std::string& label, const GridGraph& grid,
+                          bool per_point_metrics) {
   std::printf("== %s ==\n", label.c_str());
   std::printf("  tau_max=%d clients, alpha_max=%d clients\n", grid.tau_max,
               grid.alpha_max);
@@ -43,6 +44,17 @@ void PrintFrontierSummary(const std::string& label, const GridGraph& grid) {
               ProportionalDeviation(grid));
   std::printf("  pattern: %s\n",
               FrontierPatternName(ClassifyFrontier(grid)));
+  if (per_point_metrics) {
+    std::printf("  frontier points (t,a,tps,qps | lock_wait_s,"
+                "merged_rows,replay_records,aborts):\n");
+    for (const OperatingPoint& p : grid.frontier) {
+      std::printf("    %d,%d,%.1f,%.2f | %.4f,%llu,%llu,%llu\n",
+                  p.t_clients, p.a_clients, p.tps, p.qps, p.lock_wait_s,
+                  static_cast<unsigned long long>(p.merged_rows),
+                  static_cast<unsigned long long>(p.replay_records),
+                  static_cast<unsigned long long>(p.aborts));
+    }
+  }
 }
 
 void PlotFrontiers(const std::vector<std::string>& labels,

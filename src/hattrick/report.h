@@ -18,8 +18,12 @@ void PrintGridCsv(const std::string& label, const GridGraph& grid);
 
 /// Prints the frontier summary: XT, XA, coverage, proportional deviation,
 /// classification, and the freshness scores at the 20:80 / 50:50 / 80:20
-/// client-ratio points (the paper's f2 / f5 / f8 annotations).
-void PrintFrontierSummary(const std::string& label, const GridGraph& grid);
+/// client-ratio points (the paper's f2 / f5 / f8 annotations). With
+/// `per_point_metrics` set, each frontier point is followed by its
+/// interference attribution (lock-wait seconds, merged rows, replayed
+/// WAL records, validation aborts) from the run's metrics snapshot.
+void PrintFrontierSummary(const std::string& label, const GridGraph& grid,
+                          bool per_point_metrics = false);
 
 /// ASCII scatter of one or more frontiers in an 72x24 grid; each series
 /// is drawn with its own glyph, with the proportional line of the first

@@ -1,0 +1,255 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+namespace hattrick {
+namespace obs {
+namespace {
+
+/// Deterministic fixed-format float: %.9g round-trips every value we
+/// emit (latencies, rates, lsns) and never depends on locale.
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+const char* KindName(MetricEntry::Kind kind) {
+  switch (kind) {
+    case MetricEntry::Kind::kCounter: return "counter";
+    case MetricEntry::Kind::kGauge: return "gauge";
+    case MetricEntry::Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+/// splitmix64: tiny, seedable, identical everywhere — reservoir
+/// eviction must not depend on the platform's std::mt19937 stream.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+size_t Counter::ShardIndex() {
+  // Hash of the thread id, computed once per thread. In the simulator
+  // everything runs on one thread, so the same shard is hit every time
+  // and Value() stays deterministic.
+  static thread_local const size_t index =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  return index;
+}
+
+Histogram::Histogram(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      rng_state_(0x8c17feed5ca1ab1eull) {
+  reservoir_.reserve(capacity_);
+}
+
+void Histogram::Add(double sample) {
+  std::lock_guard lock(mutex_);
+  if (count_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  sum_ += sample;
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(sample);
+  } else {
+    // Algorithm R: keep each of the `count_` samples with equal chance.
+    const uint64_t slot = NextRandom(&rng_state_) % count_;
+    if (slot < capacity_) reservoir_[slot] = sample;
+  }
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard lock(mutex_);
+  return sum_;
+}
+
+double Histogram::Mean() const {
+  std::lock_guard lock(mutex_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Min() const {
+  std::lock_guard lock(mutex_);
+  return min_;
+}
+
+double Histogram::Max() const {
+  std::lock_guard lock(mutex_);
+  return max_;
+}
+
+double Histogram::Percentile(double p) const {
+  std::lock_guard lock(mutex_);
+  if (reservoir_.empty()) return 0.0;
+  std::vector<double> sorted = reservoir_;
+  std::sort(sorted.begin(), sorted.end());
+  p = std::clamp(p, 0.0, 1.0);
+  // Nearest-rank, matching Sampler::Percentile: smallest index i with
+  // (i+1)/n >= p.
+  const size_t rank =
+      static_cast<size_t>(std::ceil(p * static_cast<double>(sorted.size())));
+  const size_t idx = rank == 0 ? 0 : rank - 1;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+const MetricEntry* MetricsSnapshot::Find(const std::string& name) const {
+  for (const MetricEntry& entry : entries) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+uint64_t MetricsSnapshot::CountOf(const std::string& name) const {
+  const MetricEntry* entry = Find(name);
+  return entry == nullptr ? 0 : entry->count;
+}
+
+double MetricsSnapshot::ValueOf(const std::string& name) const {
+  const MetricEntry* entry = Find(name);
+  return entry == nullptr ? 0.0 : entry->value;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const MetricEntry& e : entries) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + e.name + "\",\"kind\":\"" + KindName(e.kind) +
+           "\"";
+    switch (e.kind) {
+      case MetricEntry::Kind::kCounter:
+        out += ",\"count\":" + std::to_string(e.count);
+        break;
+      case MetricEntry::Kind::kGauge:
+        out += ",\"value\":" + FormatDouble(e.value);
+        break;
+      case MetricEntry::Kind::kHistogram:
+        out += ",\"count\":" + std::to_string(e.count) +
+               ",\"sum\":" + FormatDouble(e.value) +
+               ",\"min\":" + FormatDouble(e.min) +
+               ",\"max\":" + FormatDouble(e.max) +
+               ",\"mean\":" + FormatDouble(e.mean) +
+               ",\"p50\":" + FormatDouble(e.p50) +
+               ",\"p99\":" + FormatDouble(e.p99);
+        break;
+    }
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::ToCsv() const {
+  std::string out = "name,kind,count,value,min,max,mean,p50,p99\n";
+  for (const MetricEntry& e : entries) {
+    out += e.name;
+    out += ",";
+    out += KindName(e.kind);
+    out += "," + std::to_string(e.count);
+    out += "," + FormatDouble(e.value);
+    out += "," + FormatDouble(e.min);
+    out += "," + FormatDouble(e.max);
+    out += "," + FormatDouble(e.mean);
+    out += "," + FormatDouble(e.p50);
+    out += "," + FormatDouble(e.p99);
+    out += "\n";
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         size_t capacity) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(capacity);
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard lock(mutex_);
+  // The maps iterate in name order within each kind; merge the three
+  // sorted ranges so the flat list is globally name-sorted.
+  for (const auto& [name, counter] : counters_) {
+    MetricEntry e;
+    e.name = name;
+    e.kind = MetricEntry::Kind::kCounter;
+    e.count = counter->Value();
+    snapshot.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricEntry e;
+    e.name = name;
+    e.kind = MetricEntry::Kind::kGauge;
+    e.value = gauge->Value();
+    snapshot.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricEntry e;
+    e.name = name;
+    e.kind = MetricEntry::Kind::kHistogram;
+    e.count = histogram->count();
+    e.value = histogram->sum();
+    e.min = histogram->Min();
+    e.max = histogram->Max();
+    e.mean = histogram->Mean();
+    e.p50 = histogram->Percentile(0.50);
+    e.p99 = histogram->Percentile(0.99);
+    snapshot.entries.push_back(std::move(e));
+  }
+  std::sort(snapshot.entries.begin(), snapshot.entries.end(),
+            [](const MetricEntry& a, const MetricEntry& b) {
+              return a.name < b.name;
+            });
+  return snapshot;
+}
+
+void PreRegisterDomainMetrics(MetricsRegistry* registry) {
+  for (const char* name :
+       {kTxnCommits, kTxnAbortsWriteConflict, kTxnAbortsReadConflict,
+        kTxnWalRecords, kTxnWalBytes, kReplAppliedRecords, kStoreMergePasses,
+        kStoreMergeRows, kStoreMergeRecords, kStoreBtreeSplits,
+        kStoreVacuumedVersions}) {
+    registry->GetCounter(name);
+  }
+  for (const char* name : {kReplShippedBytes, kReplAppliedLsn,
+                           kReplBacklogRecords, kStoreDeltaPending}) {
+    registry->GetGauge(name);
+  }
+}
+
+}  // namespace obs
+}  // namespace hattrick

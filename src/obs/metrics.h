@@ -1,0 +1,202 @@
+#ifndef HATTRICK_OBS_METRICS_H_
+#define HATTRICK_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hattrick {
+namespace obs {
+
+/// Named counters, gauges and reservoir histograms for one benchmark run.
+///
+/// Design rules (see DESIGN.md §7):
+///  - Handles are resolved once at attach time (GetCounter et al. take a
+///    registry lock); the increment paths are lock-free and cheap enough
+///    to stay always-on at commit/merge/replay granularity. Nothing in
+///    this subsystem is touched per row or per operator call — per-row
+///    work accounting remains WorkMeter's job.
+///  - Snapshots are deterministic: entries are emitted sorted by name and
+///    all floating-point values are formatted with a fixed format, so two
+///    same-seed simulated runs export byte-identical JSON/CSV.
+///  - A registry lives for one driver run; probes and cached handles must
+///    not outlive it (drivers snapshot before tearing anything down).
+
+/// A monotonically increasing count, sharded across cache lines so
+/// concurrent writers (threaded-driver clients) do not contend.
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  void Inc(uint64_t delta = 1) {
+    Shard& shard = shards_[ShardIndex()];
+    shard.value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Sum of all shards. Addition is commutative, so the value is exact
+  /// (and deterministic) regardless of which threads incremented.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+
+  static size_t ShardIndex();
+
+  std::array<Shard, kShards> shards_{};
+};
+
+/// A point-in-time double. Either pushed with Set() or pulled through a
+/// probe callback evaluated at snapshot time (used for values that live
+/// in another subsystem, e.g. a core pool's utilization or a replica's
+/// backlog depth).
+class Gauge {
+ public:
+  void Set(double value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+  /// Installs a pull probe; it is evaluated at snapshot time and must
+  /// stay valid until the registry's last Snapshot().
+  void SetProbe(std::function<double()> probe) {
+    std::lock_guard lock(probe_mutex_);
+    probe_ = std::move(probe);
+  }
+
+  double Value() const {
+    {
+      std::lock_guard lock(probe_mutex_);
+      if (probe_) return probe_();
+    }
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+  mutable std::mutex probe_mutex_;
+  std::function<double()> probe_;
+};
+
+/// Reservoir-sampled distribution: keeps an exact count/sum/min/max plus
+/// a bounded uniform sample (algorithm R with a fixed-seed deterministic
+/// RNG, so simulated runs reproduce the same reservoir byte-for-byte).
+class Histogram {
+ public:
+  explicit Histogram(size_t capacity = 512);
+
+  void Add(double sample);
+
+  uint64_t count() const;
+  double sum() const;
+  double Mean() const;
+  double Min() const;  // 0 when empty
+  double Max() const;  // 0 when empty
+
+  /// p-quantile (p in [0,1]) of the reservoir, nearest-rank; approximate
+  /// once count() exceeds the capacity, exact below it. 0 when empty.
+  double Percentile(double p) const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  uint64_t rng_state_;
+  std::vector<double> reservoir_;
+};
+
+/// One flattened metric value as of a snapshot.
+struct MetricEntry {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  Kind kind = Kind::kCounter;
+  uint64_t count = 0;   // counter value / histogram count
+  double value = 0;     // gauge value / histogram sum
+  double min = 0, max = 0, mean = 0, p50 = 0, p99 = 0;  // histograms only
+};
+
+/// Point-in-time copy of a whole registry, sorted by name.
+struct MetricsSnapshot {
+  std::vector<MetricEntry> entries;
+
+  /// Entry by exact name; nullptr when absent.
+  const MetricEntry* Find(const std::string& name) const;
+
+  /// Counter value / histogram count by name; 0 when absent.
+  uint64_t CountOf(const std::string& name) const;
+  /// Gauge value / histogram sum by name; 0 when absent.
+  double ValueOf(const std::string& name) const;
+
+  /// {"metrics":[{"name":...,"kind":...,...},...]} with deterministic
+  /// ordering and number formatting.
+  std::string ToJson() const;
+
+  /// Flat CSV: name,kind,count,value,min,max,mean,p50,p99 (header first).
+  std::string ToCsv() const;
+};
+
+/// Owns the metric objects of one run. Lookup creates on first use, so
+/// every layer can resolve the same canonical name independently.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name, size_t capacity = 512);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Canonical domain metric names. Engines and drivers resolve these
+/// against the run's registry; the drivers pre-register all of them so
+/// every metrics export contains the txn / replication / merge / pool
+/// groups (zero-valued when the engine design lacks the subsystem).
+inline constexpr char kTxnCommits[] = "txn.commits";
+inline constexpr char kTxnAbortsWriteConflict[] = "txn.aborts.write_conflict";
+inline constexpr char kTxnAbortsReadConflict[] = "txn.aborts.read_conflict";
+inline constexpr char kTxnWalRecords[] = "txn.wal.records";
+inline constexpr char kTxnWalBytes[] = "txn.wal.bytes";
+inline constexpr char kReplShippedBytes[] = "repl.shipped_bytes";  // gauge
+inline constexpr char kReplAppliedRecords[] = "repl.applied_records";
+inline constexpr char kReplAppliedLsn[] = "repl.applied_lsn";
+inline constexpr char kReplBacklogRecords[] = "repl.backlog_records";
+inline constexpr char kStoreDeltaPending[] = "store.delta_pending";
+inline constexpr char kStoreMergePasses[] = "store.merge.passes";
+inline constexpr char kStoreMergeRows[] = "store.merge.rows";
+inline constexpr char kStoreMergeRecords[] = "store.merge.records";
+inline constexpr char kStoreBtreeSplits[] = "store.btree.splits";
+inline constexpr char kStoreVacuumedVersions[] = "store.vacuumed_versions";
+
+/// Creates the canonical domain metrics above (as zero-valued objects)
+/// so they appear in every snapshot even when nothing increments them.
+void PreRegisterDomainMetrics(MetricsRegistry* registry);
+
+}  // namespace obs
+}  // namespace hattrick
+
+#endif  // HATTRICK_OBS_METRICS_H_

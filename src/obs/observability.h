@@ -1,0 +1,45 @@
+#ifndef HATTRICK_OBS_OBSERVABILITY_H_
+#define HATTRICK_OBS_OBSERVABILITY_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hattrick {
+namespace obs {
+
+/// The bundle a driver hands to the engine / pools for one run. All
+/// members optional: a null metrics registry disables counting, a null
+/// tracer disables spans, and the default-constructed bundle is the
+/// "observability off" state benches run with. The clock decides whether
+/// spans record virtual time (simulator's VirtualClock) or wall time
+/// (threaded driver's WallClock) — the one API serves both.
+struct Observability {
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+  const Clock* clock = nullptr;
+
+  bool enabled() const { return metrics != nullptr || tracer != nullptr; }
+};
+
+/// Logical track (tid) layout for trace export. Tracks are per client /
+/// lane, not per OS thread, so simulated and threaded runs produce the
+/// same track structure.
+inline constexpr uint32_t kTrackTClientBase = 1;      // + t-client index
+inline constexpr uint32_t kTrackAClientBase = 1000;   // + a-client index
+inline constexpr uint32_t kTrackApplier = 2000;       // WAL replay / pump
+inline constexpr uint32_t kTrackEngine = 3000;        // merges, vacuum, ship
+inline constexpr uint32_t kTrackMorselBase = 10000;   // per-way query lanes
+inline constexpr uint32_t kMorselLanesPerClient = 64;
+
+/// Track for way `way` of a query running on a-client `a_index`.
+inline uint32_t MorselTrack(uint32_t a_index, uint32_t way) {
+  return kTrackMorselBase + a_index * kMorselLanesPerClient + way;
+}
+
+}  // namespace obs
+}  // namespace hattrick
+
+#endif  // HATTRICK_OBS_OBSERVABILITY_H_

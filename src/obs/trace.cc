@@ -1,0 +1,186 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace hattrick {
+namespace obs {
+namespace {
+
+/// Microsecond timestamp formatted with fixed precision. Perfetto wants
+/// ts/dur in µs; fractional µs are kept (the simulator's virtual clock
+/// is continuous) but pinned to 3 decimals for byte-stable output.
+std::string FormatMicros(double seconds) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+std::string EscapeJson(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer::Tracer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void Tracer::RecordSpan(const std::string& name, const std::string& cat,
+                        uint32_t tid, double begin_s, double end_s,
+                        std::string args) {
+  std::lock_guard lock(mutex_);
+  if (spans_.size() == capacity_) {
+    spans_.pop_front();
+    ++dropped_;
+  }
+  Span span;
+  span.id = next_id_++;
+  span.name = name;
+  span.cat = cat;
+  span.tid = tid;
+  span.begin = begin_s;
+  span.end = end_s;
+  span.args = std::move(args);
+  spans_.push_back(std::move(span));
+}
+
+void Tracer::Instant(const std::string& name, const std::string& cat,
+                     uint32_t tid, double at_s, std::string args) {
+  std::lock_guard lock(mutex_);
+  if (spans_.size() == capacity_) {
+    spans_.pop_front();
+    ++dropped_;
+  }
+  Span span;
+  span.id = next_id_++;
+  span.name = name;
+  span.cat = cat;
+  span.tid = tid;
+  span.begin = at_s;
+  span.end = at_s;
+  span.instant = true;
+  span.args = std::move(args);
+  spans_.push_back(std::move(span));
+}
+
+void Tracer::SetTrackName(uint32_t tid, const std::string& name) {
+  std::lock_guard lock(mutex_);
+  for (auto& [existing_tid, existing_name] : track_names_) {
+    if (existing_tid == tid) {
+      existing_name = name;
+      return;
+    }
+  }
+  track_names_.emplace_back(tid, name);
+}
+
+void Tracer::Clear() {
+  std::lock_guard lock(mutex_);
+  spans_.clear();
+  track_names_.clear();
+  next_id_ = 1;
+  dropped_ = 0;
+}
+
+std::vector<Span> Tracer::Spans() const {
+  std::lock_guard lock(mutex_);
+  return std::vector<Span>(spans_.begin(), spans_.end());
+}
+
+size_t Tracer::size() const {
+  std::lock_guard lock(mutex_);
+  return spans_.size();
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::lock_guard lock(mutex_);
+
+  // Stable event order: track name metadata first (sorted by tid), then
+  // spans by (tid, begin, id). The id tiebreak keeps nested spans that
+  // share a begin time in recording order.
+  std::vector<const Span*> ordered;
+  ordered.reserve(spans_.size());
+  for (const Span& span : spans_) ordered.push_back(&span);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Span* a, const Span* b) {
+              if (a->tid != b->tid) return a->tid < b->tid;
+              if (a->begin != b->begin) return a->begin < b->begin;
+              return a->id < b->id;
+            });
+  std::vector<std::pair<uint32_t, std::string>> tracks = track_names_;
+  std::sort(tracks.begin(), tracks.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [tid, name] : tracks) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+           EscapeJson(name) + "\"}}";
+  }
+  for (const Span* span : ordered) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"ph\":\"";
+    out += span->instant ? "i" : "X";
+    out += "\",\"pid\":1,\"tid\":" + std::to_string(span->tid) +
+           ",\"ts\":" + FormatMicros(span->begin);
+    if (!span->instant) {
+      out += ",\"dur\":" + FormatMicros(span->end - span->begin);
+    } else {
+      out += ",\"s\":\"t\"";
+    }
+    out += ",\"name\":\"" + EscapeJson(span->name) + "\",\"cat\":\"" +
+           EscapeJson(span->cat) + "\"";
+    if (!span->args.empty()) {
+      out += ",\"args\":{" + span->args + "}";
+    }
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string Tracer::ToCsv() const {
+  std::lock_guard lock(mutex_);
+  std::string out = "name,cat,tid,begin_us,end_us,dur_us\n";
+  for (const Span& span : spans_) {
+    out += EscapeJson(span.name);
+    out += ",";
+    out += EscapeJson(span.cat);
+    out += "," + std::to_string(span.tid);
+    out += "," + FormatMicros(span.begin);
+    out += "," + FormatMicros(span.end);
+    out += "," + FormatMicros(span.end - span.begin);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace hattrick

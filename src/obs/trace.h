@@ -1,0 +1,118 @@
+#ifndef HATTRICK_OBS_TRACE_H_
+#define HATTRICK_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace hattrick {
+namespace obs {
+
+/// One completed span (or instant event when begin == end and it was
+/// recorded via Instant()). Times are in clock seconds — virtual seconds
+/// under the simulator, wall seconds under the threaded driver; the
+/// tracer itself never reads a clock, callers inject one (ScopedSpan) or
+/// pass timestamps directly (RecordSpan).
+struct Span {
+  uint64_t id = 0;
+  std::string name;
+  std::string cat;      // trace-event category, e.g. "txn" / "query"
+  uint32_t tid = 0;     // logical track (client / lane), not an OS thread
+  double begin = 0;     // seconds
+  double end = 0;       // seconds
+  bool instant = false;
+  std::string args;     // optional JSON object body, e.g. "\"type\":\"np\""
+};
+
+/// Bounded span sink with Chrome trace-event export. Capacity acts as a
+/// ring: once full, recording a new span drops the oldest one (dropped()
+/// counts them) so long runs cannot grow without bound. Thread-safe;
+/// recording takes one mutex, which is acceptable because spans are
+/// emitted at transaction/query granularity, never per row.
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 1 << 16);
+
+  /// Records a completed span with explicit timestamps (seconds on the
+  /// injected clock). `args` is an optional JSON object body without the
+  /// surrounding braces, e.g. "\"type\":\"np\"".
+  void RecordSpan(const std::string& name, const std::string& cat,
+                  uint32_t tid, double begin_s, double end_s,
+                  std::string args = "");
+
+  /// Records a zero-duration instant event.
+  void Instant(const std::string& name, const std::string& cat, uint32_t tid,
+               double at_s, std::string args = "");
+
+  /// Labels a logical track; exported as thread_name metadata so
+  /// Perfetto shows "t-client 3" instead of a bare tid.
+  void SetTrackName(uint32_t tid, const std::string& name);
+
+  /// Drops all spans, track names and the dropped count, and resets the
+  /// span id counter — required so two same-seed runs through one
+  /// Tracer produce byte-identical exports.
+  void Clear();
+
+  std::vector<Span> Spans() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t dropped() const;
+
+  /// Chrome trace-event JSON: {"traceEvents":[...]} with thread_name
+  /// "M" metadata first, then "X"/"i" events sorted by (tid, ts,
+  /// record order); ts/dur in microseconds, single pid. Loads in
+  /// Perfetto and chrome://tracing.
+  std::string ToChromeJson() const;
+
+  /// Flat CSV: name,cat,tid,begin_us,end_us,dur_us (header first).
+  std::string ToCsv() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<Span> spans_;
+  std::vector<std::pair<uint32_t, std::string>> track_names_;
+  uint64_t next_id_ = 1;
+  uint64_t dropped_ = 0;
+};
+
+/// RAII span bound to an injected clock: reads Now() at construction and
+/// destruction. Null-safe — with tracer == nullptr the constructor and
+/// destructor do nothing, so call sites need no branching.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const Clock* clock, std::string name,
+             std::string cat, uint32_t tid)
+      : tracer_(tracer), clock_(clock), name_(std::move(name)),
+        cat_(std::move(cat)), tid_(tid),
+        begin_(tracer != nullptr && clock != nullptr ? clock->Now() : 0) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Extra ",\"k\":v"-style fields appended to the span's args.
+  void AppendArgs(const std::string& json_fields) { args_ += json_fields; }
+
+  ~ScopedSpan() {
+    if (tracer_ == nullptr || clock_ == nullptr) return;
+    tracer_->RecordSpan(name_, cat_, tid_, begin_, clock_->Now(),
+                        std::move(args_));
+  }
+
+ private:
+  Tracer* tracer_;
+  const Clock* clock_;
+  std::string name_, cat_;
+  uint32_t tid_;
+  double begin_;
+  std::string args_;
+};
+
+}  // namespace obs
+}  // namespace hattrick
+
+#endif  // HATTRICK_OBS_TRACE_H_

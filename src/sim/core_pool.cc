@@ -45,6 +45,8 @@ void CorePool::Submit(double cpu_seconds, Callback done) {
   assert(cpu_seconds >= 0);
   Advance();
   jobs_.emplace(next_job_id_++, Job{cpu_seconds, std::move(done)});
+  ++jobs_submitted_;
+  peak_jobs_ = std::max(peak_jobs_, jobs_.size());
   ScheduleNextCompletion();
 }
 
@@ -59,12 +61,32 @@ void CorePool::SubmitParallel(double cpu_seconds, int ways, Callback done) {
   auto remaining = std::make_shared<int>(ways);
   auto shared_done = std::make_shared<Callback>(std::move(done));
   const double piece = cpu_seconds / static_cast<double>(ways);
+  parallel_pieces_ += static_cast<size_t>(ways);
   for (int i = 0; i < ways; ++i) {
-    jobs_.emplace(next_job_id_++, Job{piece, [remaining, shared_done] {
+    jobs_.emplace(next_job_id_++, Job{piece, [this, remaining, shared_done] {
+                    --parallel_pieces_;
                     if (--*remaining == 0) (*shared_done)();
                   }});
   }
+  jobs_submitted_ += static_cast<uint64_t>(ways);
+  peak_jobs_ = std::max(peak_jobs_, jobs_.size());
   ScheduleNextCompletion();
+}
+
+void CorePool::RegisterMetrics(obs::MetricsRegistry* registry) {
+  const std::string prefix = "sim.pool." + name_ + ".";
+  registry->GetGauge(prefix + "utilization")
+      ->SetProbe([this] { return CurrentUtilization(); });
+  registry->GetGauge(prefix + "queue_depth")
+      ->SetProbe([this] { return static_cast<double>(jobs_.size()); });
+  registry->GetGauge(prefix + "queue_depth_peak")
+      ->SetProbe([this] { return static_cast<double>(peak_jobs_); });
+  registry->GetGauge(prefix + "parallel_pieces")
+      ->SetProbe([this] { return static_cast<double>(parallel_pieces_); });
+  registry->GetGauge(prefix + "jobs_submitted")
+      ->SetProbe([this] { return static_cast<double>(jobs_submitted_); });
+  registry->GetGauge(prefix + "busy_seconds")
+      ->SetProbe([this] { return busy_seconds_; });
 }
 
 void CorePool::ScheduleNextCompletion() {

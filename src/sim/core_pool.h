@@ -6,6 +6,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "sim/simulation.h"
 
 namespace hattrick {
@@ -55,6 +56,18 @@ class CorePool {
   const std::string& name() const { return name_; }
   double cores() const { return cores_; }
 
+  /// Highest number of simultaneously active jobs seen so far.
+  size_t peak_jobs() const { return peak_jobs_; }
+
+  /// Parallel pieces (from SubmitParallel at ways > 1) in flight now.
+  size_t parallel_pieces_in_flight() const { return parallel_pieces_; }
+
+  /// Registers this pool's gauges under "sim.pool.<name>.*": utilization,
+  /// queue_depth, queue_depth_peak, parallel_pieces, jobs_submitted,
+  /// busy_seconds. Probes read pool state at snapshot time, so the pool
+  /// must outlive the registry's last Snapshot().
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+
  private:
   struct Job {
     double remaining;  // cpu-seconds
@@ -75,6 +88,9 @@ class CorePool {
   TimePoint last_update_ = 0;
   uint64_t generation_ = 0;  // invalidates stale completion events
   double busy_seconds_ = 0;
+  size_t peak_jobs_ = 0;
+  size_t parallel_pieces_ = 0;
+  uint64_t jobs_submitted_ = 0;
 };
 
 }  // namespace hattrick

@@ -126,6 +126,7 @@ void BTree::InsertIntoLeaf(Node* leaf, const std::string& key, uint64_t value,
 }
 
 void BTree::SplitLeaf(Node* leaf) {
+  if (split_counter_ != nullptr) split_counter_->Inc();
   const size_t mid = leaf->keys.size() / 2;
   Node* right = new Node();
   right->leaf = true;
@@ -139,6 +140,7 @@ void BTree::SplitLeaf(Node* leaf) {
 }
 
 void BTree::SplitInternal(Node* node) {
+  if (split_counter_ != nullptr) split_counter_->Inc();
   const size_t mid = node->keys.size() / 2;
   std::string separator = node->keys[mid];
   Node* right = new Node();

@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "common/work_meter.h"
+#include "obs/metrics.h"
 
 namespace hattrick {
 
@@ -82,6 +83,11 @@ class BTree {
   /// Removes all entries.
   void Clear();
 
+  /// Optional split counter (obs registry). Incremented on every leaf or
+  /// internal node split; null (the default) disables counting, so the
+  /// insert path carries only a pointer test when observability is off.
+  void set_split_counter(obs::Counter* counter) { split_counter_ = counter; }
+
  private:
   struct Node;
 
@@ -99,6 +105,7 @@ class BTree {
   Node* root_;
   size_t size_ = 0;
   size_t height_ = 1;
+  obs::Counter* split_counter_ = nullptr;
   mutable std::shared_mutex latch_;
 };
 

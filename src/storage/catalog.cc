@@ -72,6 +72,13 @@ const std::vector<IndexInfo*>& Catalog::TableIndexes(TableId id) const {
   return indexes_by_table_[id];
 }
 
+std::vector<IndexInfo*> Catalog::AllIndexes() const {
+  std::vector<IndexInfo*> out;
+  out.reserve(indexes_.size());
+  for (const auto& index : indexes_) out.push_back(index.get());
+  return out;
+}
+
 void Catalog::DropAllIndexes() {
   indexes_.clear();
   indexes_by_name_.clear();

@@ -58,6 +58,10 @@ class Catalog {
   /// All indexes defined over table `id` (for write-path maintenance).
   const std::vector<IndexInfo*>& TableIndexes(TableId id) const;
 
+  /// Every index in the catalog, in creation order (used to wire
+  /// observability counters onto the trees).
+  std::vector<IndexInfo*> AllIndexes() const;
+
   size_t num_tables() const { return tables_.size(); }
   const std::string& table_name(TableId id) const { return names_[id]; }
 

@@ -121,6 +121,7 @@ StatusOr<CommitResult> TxnManager::Commit(Transaction* txn, WorkMeter* meter) {
       RowTable* table = catalog_->GetTable(w.table_id);
       if (table->LatestVersionTs(w.rid) > txn->snapshot_) {
         if (meter != nullptr) ++meter->conflict_waits;
+        if (write_conflicts_metric_ != nullptr) write_conflicts_metric_->Inc();
         return Status::Aborted("write-write conflict");
       }
     }
@@ -131,6 +132,7 @@ StatusOr<CommitResult> TxnManager::Commit(Transaction* txn, WorkMeter* meter) {
       RowTable* table = catalog_->GetTable(r.table_id);
       if (table->LatestVersionTs(r.rid) != r.observed_version_ts) {
         if (meter != nullptr) ++meter->conflict_waits;
+        if (read_conflicts_metric_ != nullptr) read_conflicts_metric_->Inc();
         return Status::Aborted("read validation failure");
       }
     }
@@ -141,6 +143,7 @@ StatusOr<CommitResult> TxnManager::Commit(Transaction* txn, WorkMeter* meter) {
     // Read-only: commits at its snapshot, no timestamp consumed.
     result.commit_ts = txn->snapshot_;
     result.lsn = 0;
+    if (commits_metric_ != nullptr) commits_metric_->Inc();
     return result;
   }
 
@@ -179,9 +182,17 @@ StatusOr<CommitResult> TxnManager::Commit(Transaction* txn, WorkMeter* meter) {
     result.write_keys.push_back(PackRowKey(w.table_id, w.rid));
   }
 
-  if (meter != nullptr) {
-    ++meter->wal_records;
-    meter->wal_bytes += record.Encode().size();
+  if (meter != nullptr || commits_metric_ != nullptr) {
+    const uint64_t encoded_bytes = record.Encode().size();
+    if (meter != nullptr) {
+      ++meter->wal_records;
+      meter->wal_bytes += encoded_bytes;
+    }
+    if (commits_metric_ != nullptr) {
+      commits_metric_->Inc();
+      wal_records_metric_->Inc();
+      wal_bytes_metric_->Inc(encoded_bytes);
+    }
   }
   if (sink_ != nullptr) sink_->OnCommit(record);
   oracle_->AdvanceCommitted(commit_ts);
@@ -189,6 +200,19 @@ StatusOr<CommitResult> TxnManager::Commit(Transaction* txn, WorkMeter* meter) {
   result.commit_ts = commit_ts;
   result.lsn = record.lsn;
   return result;
+}
+
+void TxnManager::SetMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    commits_metric_ = write_conflicts_metric_ = read_conflicts_metric_ =
+        wal_records_metric_ = wal_bytes_metric_ = nullptr;
+    return;
+  }
+  commits_metric_ = registry->GetCounter(obs::kTxnCommits);
+  write_conflicts_metric_ = registry->GetCounter(obs::kTxnAbortsWriteConflict);
+  read_conflicts_metric_ = registry->GetCounter(obs::kTxnAbortsReadConflict);
+  wal_records_metric_ = registry->GetCounter(obs::kTxnWalRecords);
+  wal_bytes_metric_ = registry->GetCounter(obs::kTxnWalBytes);
 }
 
 void TxnManager::Abort(Transaction* txn) const {

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "common/statusor.h"
 #include "common/work_meter.h"
+#include "obs/metrics.h"
 #include "storage/catalog.h"
 #include "txn/timestamp.h"
 #include "txn/wal.h"
@@ -158,12 +159,22 @@ class TxnManager {
   /// Resets the LSN counter (benchmark reset).
   void ResetLsn(uint64_t lsn) { next_lsn_ = lsn; }
 
+  /// Attaches run metrics (txn.commits, txn.aborts.*, txn.wal.*); handles
+  /// are resolved once here so Commit() only does counter increments.
+  /// Pass nullptr to detach.
+  void SetMetrics(obs::MetricsRegistry* registry);
+
  private:
   Catalog* catalog_;
   TimestampOracle* oracle_;
   WalSink* sink_;
   uint64_t next_lsn_ = 1;
   std::mutex commit_latch_;
+  obs::Counter* commits_metric_ = nullptr;
+  obs::Counter* write_conflicts_metric_ = nullptr;
+  obs::Counter* read_conflicts_metric_ = nullptr;
+  obs::Counter* wal_records_metric_ = nullptr;
+  obs::Counter* wal_bytes_metric_ = nullptr;
 };
 
 }  // namespace hattrick

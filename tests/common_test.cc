@@ -16,6 +16,7 @@
 #include "common/status.h"
 #include "common/statusor.h"
 #include "common/value.h"
+#include "common/work_meter.h"
 
 namespace hattrick {
 namespace {
@@ -391,6 +392,115 @@ TEST(SamplerTest, AddAfterSortKeepsCorrectness) {
   EXPECT_DOUBLE_EQ(s.Max(), 5);
   s.Add(9);
   EXPECT_DOUBLE_EQ(s.Max(), 9);  // re-sorts lazily
+}
+
+TEST(SamplerTest, EmptyPercentileIsZero) {
+  Sampler s;
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 0.0);
+}
+
+TEST(SamplerTest, SingleSampleAnswersEveryPercentile) {
+  Sampler s;
+  s.Add(42.0);
+  for (double p : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(s.Percentile(p), 42.0) << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(s.Mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 42.0);
+}
+
+TEST(SamplerTest, PercentileBoundsClampToMinMax) {
+  Sampler s;
+  Rng rng(41);
+  for (int i = 0; i < 100; ++i) s.Add(rng.NextDouble() * 50.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), s.Min());
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), s.Max());
+  // Out-of-range p is clamped, not undefined behaviour.
+  EXPECT_DOUBLE_EQ(s.Percentile(-0.5), s.Min());
+  EXPECT_DOUBLE_EQ(s.Percentile(1.5), s.Max());
+}
+
+TEST(SamplerTest, MergeDisjointRanges) {
+  Sampler low;
+  Sampler high;
+  for (int i = 1; i <= 50; ++i) low.Add(i);            // [1, 50]
+  for (int i = 51; i <= 100; ++i) high.Add(i);         // [51, 100]
+  EXPECT_DOUBLE_EQ(high.Max(), 100);                   // force a sort first
+  low.Merge(high);
+  EXPECT_EQ(low.count(), 100u);
+  EXPECT_DOUBLE_EQ(low.Min(), 1);
+  EXPECT_DOUBLE_EQ(low.Max(), 100);
+  EXPECT_DOUBLE_EQ(low.Percentile(0.5), 50);
+  EXPECT_DOUBLE_EQ(low.Mean(), 50.5);
+  // Merging an empty sampler changes nothing.
+  low.Merge(Sampler{});
+  EXPECT_EQ(low.count(), 100u);
+}
+
+// --------------------------------------------------------------------------
+// WorkMeter
+// --------------------------------------------------------------------------
+
+TEST(WorkMeterTest, PlusEqualsSumsEveryCounter) {
+  WorkMeter a;
+  a.rows_read = 1;
+  a.rows_written = 2;
+  a.index_nodes = 3;
+  a.index_writes = 4;
+  a.column_values = 5;
+  a.output_rows = 6;
+  a.hash_probes = 7;
+  a.wal_records = 8;
+  a.wal_bytes = 9;
+  a.merged_rows = 10;
+  a.version_hops = 11;
+  a.predicate_locks = 12;
+  a.conflict_waits = 13;
+  WorkMeter b = a;
+  b += a;
+  EXPECT_EQ(b.rows_read, 2u);
+  EXPECT_EQ(b.rows_written, 4u);
+  EXPECT_EQ(b.index_nodes, 6u);
+  EXPECT_EQ(b.index_writes, 8u);
+  EXPECT_EQ(b.column_values, 10u);
+  EXPECT_EQ(b.output_rows, 12u);
+  EXPECT_EQ(b.hash_probes, 14u);
+  EXPECT_EQ(b.wal_records, 16u);
+  EXPECT_EQ(b.wal_bytes, 18u);
+  EXPECT_EQ(b.merged_rows, 20u);
+  EXPECT_EQ(b.version_hops, 22u);
+  EXPECT_EQ(b.predicate_locks, 24u);
+  EXPECT_EQ(b.conflict_waits, 26u);
+}
+
+TEST(WorkMeterTest, TotalExcludesWalBytes) {
+  WorkMeter m;
+  m.rows_read = 3;
+  m.wal_records = 2;
+  m.wal_bytes = 1000000;  // bytes must not inflate the operation total
+  EXPECT_EQ(m.Total(), 5u);
+}
+
+TEST(WorkMeterTest, ToStringListsAllCounters) {
+  WorkMeter m;
+  m.rows_read = 7;
+  m.wal_bytes = 320;
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("rows_read=7"), std::string::npos);
+  EXPECT_NE(s.find("wal_bytes=320"), std::string::npos);
+  EXPECT_NE(s.find("conflict_waits=0"), std::string::npos);
+}
+
+TEST(WorkMeterTest, ResetZeroesEverything) {
+  WorkMeter m;
+  m.rows_read = 5;
+  m.wal_bytes = 6;
+  m.Reset();
+  EXPECT_EQ(m.Total(), 0u);
+  EXPECT_EQ(m.wal_bytes, 0u);
 }
 
 // --------------------------------------------------------------------------

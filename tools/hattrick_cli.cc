@@ -1,6 +1,6 @@
 // hattrick_cli — run the HATtrick benchmark from the command line.
 //
-// Modes:
+// Modes (as --mode=<m> or the first positional argument):
 //   point    run one (T, A) operating point and print its metrics
 //   frontier run the full saturation method and print grid + frontier
 //   sweep    sweep A-clients at a fixed T (one fixed-T line)
@@ -9,10 +9,14 @@
 //   hattrick_cli --mode=point --system=postgres --sf=10 --t=8 --a=4
 //   hattrick_cli --mode=frontier --system=postgres-sr --sf=100
 //   hattrick_cli --mode=sweep --system=tidb --sf=10 --t=4 --max_a=12
+//   hattrick_cli point --system shared --trace-out=/tmp/t.json
+//       --metrics-out=/tmp/m.json   (continuation of the previous line)
 //
 // Flags:
 //   --system    postgres | postgres-rc | postgres-sr | postgres-sr-ra |
 //               system-x | tidb | tidb-dist            (default postgres)
+//               design-class aliases: shared -> postgres,
+//               isolated -> postgres-sr, hybrid -> system-x
 //   --sf        scale factor                           (default 1)
 //   --schema    none | semi | all                      (default per system)
 //   --t, --a    client counts for --mode=point         (default 4 / 2)
@@ -22,11 +26,18 @@
 //   --rows_per_sf  lineorders per SF unit              (default 2000)
 //   --threaded  use wall-clock threads instead of the simulator (point)
 //   --dop       intra-query parallelism per A-client   (default 1)
+//   --trace-out    write the run's span trace (point mode). ".csv" writes
+//                  a flat CSV; anything else writes Chrome trace-event
+//                  JSON loadable in Perfetto / chrome://tracing.
+//   --metrics-out  write the run's metrics snapshot (point mode), JSON or
+//                  CSV by extension as above.
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "bench/support.h"
+#include "obs/trace.h"
 #include "tools/flags.h"
 
 namespace hattrick {
@@ -44,6 +55,10 @@ bool ParseSystem(const std::string& name, EngineKind* kind) {
       {"system-x", EngineKind::kSystemX},
       {"tidb", EngineKind::kTidb},
       {"tidb-dist", EngineKind::kTidbDist},
+      // Design-class aliases (Section 2.2 of the paper).
+      {"shared", EngineKind::kPostgres},
+      {"isolated", EngineKind::kPostgresSR},
+      {"hybrid", EngineKind::kSystemX},
   };
   for (const auto& [key, value] : kSystems) {
     if (name == key) {
@@ -127,6 +142,22 @@ void PrintPoint(const RunMetrics& metrics) {
   }
 }
 
+/// Writes `content` to `path`; returns false (with a message on stderr)
+/// on failure.
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return out.good();
+}
+
+bool WantsCsv(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: hattrick_cli --mode=point|frontier|sweep "
@@ -137,7 +168,9 @@ int Usage() {
 
 int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const std::string mode = flags.GetString("mode", "point");
+  const std::string mode = flags.positional().empty()
+                               ? flags.GetString("mode", "point")
+                               : flags.positional().front();
 
   EngineKind kind;
   if (!ParseSystem(flags.GetString("system", "postgres"), &kind)) {
@@ -168,14 +201,36 @@ int Main(int argc, char** argv) {
   if (mode == "point") {
     base.t_clients = flags.GetInt("t", 4);
     base.a_clients = flags.GetInt("a", 2);
+    const std::string trace_out = flags.GetString("trace-out", "");
+    const std::string metrics_out = flags.GetString("metrics-out", "");
+    obs::Tracer tracer;
     RunMetrics metrics;
     if (flags.GetBool("threaded", false)) {
       ThreadedDriver threaded(env.engine.get(), env.context.get());
+      if (!trace_out.empty()) threaded.SetTracer(&tracer);
       metrics = threaded.Run(base);
     } else {
+      if (!trace_out.empty()) env.driver->SetTracer(&tracer);
       metrics = env.driver->Run(base);
+      env.driver->SetTracer(nullptr);
     }
     PrintPoint(metrics);
+    if (!trace_out.empty()) {
+      const std::string body =
+          WantsCsv(trace_out) ? tracer.ToCsv() : tracer.ToChromeJson();
+      if (!WriteFile(trace_out, body)) return 1;
+      std::printf("# trace: %zu spans (%llu dropped) -> %s\n", tracer.size(),
+                  static_cast<unsigned long long>(tracer.dropped()),
+                  trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+      const std::string body = WantsCsv(metrics_out)
+                                   ? metrics.observed.ToCsv()
+                                   : metrics.observed.ToJson();
+      if (!WriteFile(metrics_out, body)) return 1;
+      std::printf("# metrics: %zu entries -> %s\n",
+                  metrics.observed.entries.size(), metrics_out.c_str());
+    }
     return 0;
   }
   if (mode == "frontier") {
