@@ -31,7 +31,7 @@ const char* EngineKindName(EngineKind kind) {
 }
 
 BenchEnv MakeEnv(EngineKind kind, double scale_factor,
-                 PhysicalSchema physical) {
+                 PhysicalSchema physical, const FaultConfig& fault) {
   BenchEnv env;
   DatagenConfig datagen;
   datagen.scale_factor = scale_factor;
@@ -62,6 +62,7 @@ BenchEnv MakeEnv(EngineKind kind, double scale_factor,
       IsolatedEngineConfig config;
       config.name = "PostgreSQL-SR";
       config.mode = ReplicationMode::kSyncShip;
+      config.fault = fault;
       env.engine = std::make_unique<IsolatedEngine>(config);
       setup = IsolatedSimSetup();
       break;
@@ -70,6 +71,7 @@ BenchEnv MakeEnv(EngineKind kind, double scale_factor,
       IsolatedEngineConfig config;
       config.name = "PostgreSQL-SR-RA";
       config.mode = ReplicationMode::kRemoteApply;
+      config.fault = fault;
       env.engine = std::make_unique<IsolatedEngine>(config);
       setup = IsolatedSimSetup();
       break;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "engine/htap_engine.h"
+#include "fault/fault_injector.h"
 #include "hattrick/datagen.h"
 #include "hattrick/driver.h"
 #include "hattrick/frontier.h"
@@ -49,9 +50,12 @@ inline constexpr size_t kLineordersPerSf = 2000;
 inline constexpr uint32_t kFreshnessTables = 48;
 inline constexpr uint64_t kDatagenSeed = 42;
 
-/// Builds, loads, and wires up a system at `scale_factor`.
+/// Builds, loads, and wires up a system at `scale_factor`. `fault`
+/// (default: disabled) attaches replication-layer fault injection to the
+/// isolated engines (kPostgresSR / kPostgresSRRA); other kinds have no
+/// replication channel and ignore it.
 BenchEnv MakeEnv(EngineKind kind, double scale_factor,
-                 PhysicalSchema physical);
+                 PhysicalSchema physical, const FaultConfig& fault = {});
 
 /// Default measurement procedure for the figure benches.
 WorkloadConfig DefaultRunConfig();

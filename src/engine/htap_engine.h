@@ -49,6 +49,12 @@ struct CommitWait {
   Kind kind = Kind::kNone;
   uint64_t lsn = 0;
   uint64_t bytes = 0;
+  /// Extra seconds the client is stalled on top of the wait itself:
+  /// backpressure when the standby's unacknowledged backlog exceeds its
+  /// bound, plus any injected ship-delay fault. Applies to every Kind
+  /// (even kNone — async commits are throttled too, or the backlog
+  /// would grow without bound exactly when replication is degraded).
+  double throttle_s = 0;
 };
 
 /// Outcome of one transaction execution (after retries).
@@ -130,6 +136,12 @@ class HtapEngine {
   /// Returns false if there is nothing to do. The driver schedules this
   /// on the analytical side's resources.
   virtual bool MaintenanceStep(WorkMeter* meter) { (void)meter; return false; }
+
+  /// Outstanding maintenance units (shipped-but-unreplayed records).
+  /// Nonzero while MaintenanceStep returns false means the engine is
+  /// backing off from a fault, not caught up — the driver should poll
+  /// again later instead of parking the applier until the next commit.
+  virtual size_t MaintenancePending() const { return 0; }
 
   /// True once the standby (if any) has replayed through `lsn`
   /// (resolves CommitWait::kReplicaApplied).

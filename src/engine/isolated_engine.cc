@@ -35,6 +35,16 @@ Status IsolatedEngine::Create(const DatabaseSpec& spec) {
     standby.stream = std::make_unique<WalStream>();
     standby.replica = std::make_unique<Replica>(standby.catalog.get(),
                                                 standby.stream.get());
+    if (config_.fault.enabled) {
+      // Mix the standby index into the seed so standbys fail
+      // independently, while each schedule stays seed-deterministic.
+      FaultConfig per_standby = config_.fault;
+      per_standby.seed = config_.fault.seed ^
+                         (0x9e3779b97f4a7c15ull * static_cast<uint64_t>(i + 1));
+      standby.injector = std::make_unique<FaultInjector>(per_standby);
+      standby.stream->SetFaultInjector(standby.injector.get());
+      standby.replica->SetFaultInjector(standby.injector.get());
+    }
     replicas_.push_back(std::move(standby));
   }
   txn_manager_ = std::make_unique<TxnManager>(&primary_, &oracle_, &sink_);
@@ -99,6 +109,24 @@ TxnOutcome IsolatedEngine::ExecuteTransaction(const TxnBody& body,
         outcome.wait.lsn = result->lsn;
         break;
     }
+    double throttle = 0;
+    const size_t backlog = MaxRetainedRecords();
+    if (backlog > config_.max_backlog_records) {
+      const double excess =
+          static_cast<double>(backlog - config_.max_backlog_records);
+      throttle = std::min(config_.backpressure_stall_cap_s,
+                          config_.backpressure_stall_s * excess);
+    }
+    for (const Standby& standby : replicas_) {
+      if (standby.injector != nullptr) {
+        throttle =
+            std::max(throttle, standby.injector->ShipDelaySeconds(result->lsn));
+      }
+    }
+    if (throttle > 0) {
+      outcome.wait.throttle_s = throttle;
+      throttle_seconds_total_.fetch_add(throttle, std::memory_order_relaxed);
+    }
   }
   return outcome;
 }
@@ -121,16 +149,47 @@ bool IsolatedEngine::MaintenanceStep(WorkMeter* meter) {
   // budget; with one standby this is exactly its single-threaded applier).
   Standby* laggard = nullptr;
   for (Standby& standby : replicas_) {
+    if (!standby.replica->last_error().ok()) continue;  // dead standby
     if (laggard == nullptr ||
         standby.replica->applied_lsn() < laggard->replica->applied_lsn()) {
       laggard = &standby;
     }
   }
-  const bool applied = laggard != nullptr && laggard->replica->ApplyNext(meter);
-  if (applied && applied_records_metric_ != nullptr) {
-    applied_records_metric_->Inc();
+  if (laggard == nullptr) return false;
+  const Replica::StepResult result = laggard->replica->Step(meter);
+  const uint64_t lsn = laggard->replica->applied_lsn();
+  switch (result) {
+    case Replica::StepResult::kApplied:
+      if (applied_records_metric_ != nullptr) applied_records_metric_->Inc();
+      return true;
+    case Replica::StepResult::kDuplicateSkipped:
+    case Replica::StepResult::kResendRequested:
+      // Recovery work happened; the queue moved, keep pumping.
+      return true;
+    case Replica::StepResult::kRecovered:
+      if (crash_recoveries_metric_ != nullptr) crash_recoveries_metric_->Inc();
+      if (obs_.tracer != nullptr && obs_.clock != nullptr) {
+        obs_.tracer->Instant("replica-recover", "repl", obs::kTrackApplier,
+                             obs_.clock->Now(),
+                             "\"resync_from_lsn\":" + std::to_string(lsn));
+      }
+      return true;
+    case Replica::StepResult::kError:
+      // Surface the failure in the trace; the applier parks rather than
+      // spinning on a broken stream.
+      if (obs_.tracer != nullptr && obs_.clock != nullptr) {
+        obs_.tracer->Instant(
+            "replica-error", "repl", obs::kTrackApplier, obs_.clock->Now(),
+            "\"error\":\"" + laggard->replica->last_error().message() + "\"");
+      }
+      return false;
+    case Replica::StepResult::kBackingOff:
+    case Replica::StepResult::kIdle:
+      // Nothing useful to do right now: idle the applier. The next
+      // committed record wakes it again (and drains the backoff).
+      return false;
   }
-  return applied;
+  return false;
 }
 
 bool IsolatedEngine::IsApplied(uint64_t lsn) const {
@@ -154,6 +213,25 @@ size_t IsolatedEngine::ReplicationLag() const {
   return lag;
 }
 
+size_t IsolatedEngine::MaintenancePending() const {
+  // Only healthy standbys count: an errored applier never makes
+  // progress, so reporting its lag would have the driver poll forever.
+  size_t lag = 0;
+  for (const Standby& standby : replicas_) {
+    if (!standby.replica->last_error().ok()) continue;
+    lag = std::max(lag, standby.replica->Lag());
+  }
+  return lag;
+}
+
+size_t IsolatedEngine::MaxRetainedRecords() const {
+  size_t depth = 0;
+  for (const Standby& standby : replicas_) {
+    depth = std::max(depth, standby.stream->RetainedRecords());
+  }
+  return depth;
+}
+
 size_t IsolatedEngine::Vacuum() {
   obs::ScopedSpan span(obs_.tracer, obs_.clock, "vacuum", "maint",
                        obs::kTrackEngine);
@@ -171,6 +249,7 @@ size_t IsolatedEngine::Vacuum() {
 void IsolatedEngine::OnObservabilityChanged() {
   if (obs_.metrics == nullptr) {
     applied_records_metric_ = nullptr;
+    crash_recoveries_metric_ = nullptr;
     for (Standby& standby : replicas_) {
       for (IndexInfo* index : standby.catalog->AllIndexes()) {
         index->tree->set_split_counter(nullptr);
@@ -179,6 +258,8 @@ void IsolatedEngine::OnObservabilityChanged() {
     return;
   }
   applied_records_metric_ = obs_.metrics->GetCounter(obs::kReplAppliedRecords);
+  crash_recoveries_metric_ =
+      obs_.metrics->GetCounter(obs::kReplCrashRecoveries);
   obs_.metrics->GetGauge(obs::kReplBacklogRecords)->SetProbe([this] {
     return static_cast<double>(ReplicationLag());
   });
@@ -189,6 +270,41 @@ void IsolatedEngine::OnObservabilityChanged() {
     double total = 0;
     for (const Standby& standby : replicas_) {
       total += static_cast<double>(standby.stream->shipped_bytes());
+    }
+    return total;
+  });
+  obs_.metrics->GetGauge(obs::kReplRetainedRecords)->SetProbe([this] {
+    return static_cast<double>(MaxRetainedRecords());
+  });
+  obs_.metrics->GetGauge(obs::kReplThrottleSeconds)->SetProbe([this] {
+    return throttle_seconds_total_.load(std::memory_order_relaxed);
+  });
+  // Recovery and fault accounting, summed across standbys.
+  const auto sum_probe = [this](uint64_t (WalStream::*getter)() const) {
+    return [this, getter] {
+      double total = 0;
+      for (const Standby& standby : replicas_) {
+        total += static_cast<double>((standby.stream.get()->*getter)());
+      }
+      return total;
+    };
+  };
+  obs_.metrics->GetGauge(obs::kReplResendRequests)
+      ->SetProbe(sum_probe(&WalStream::resends_requested));
+  obs_.metrics->GetGauge(obs::kReplResendsShipped)
+      ->SetProbe(sum_probe(&WalStream::resends_delivered));
+  obs_.metrics->GetGauge(obs::kReplResendsLost)
+      ->SetProbe(sum_probe(&WalStream::resends_lost));
+  obs_.metrics->GetGauge(obs::kFaultInjectedDrops)
+      ->SetProbe(sum_probe(&WalStream::injected_drops));
+  obs_.metrics->GetGauge(obs::kFaultInjectedDuplicates)
+      ->SetProbe(sum_probe(&WalStream::injected_duplicates));
+  obs_.metrics->GetGauge(obs::kFaultInjectedReorders)
+      ->SetProbe(sum_probe(&WalStream::injected_reorders));
+  obs_.metrics->GetGauge(obs::kReplDuplicateSkips)->SetProbe([this] {
+    double total = 0;
+    for (const Standby& standby : replicas_) {
+      total += static_cast<double>(standby.replica->duplicate_skips());
     }
     return total;
   });
@@ -213,6 +329,7 @@ Status IsolatedEngine::Reset() {
     standby.replica->ResetTo(/*lsn=*/0, /*ts=*/1);
   }
   next_session_.store(0);
+  throttle_seconds_total_.store(0, std::memory_order_relaxed);
   return Status::OK();
 }
 

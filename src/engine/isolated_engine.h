@@ -8,6 +8,7 @@
 
 #include "engine/htap_engine.h"
 #include "exec/scan.h"
+#include "fault/fault_injector.h"
 #include "replication/replica.h"
 #include "replication/wal_stream.h"
 #include "txn/timestamp.h"
@@ -26,6 +27,18 @@ struct IsolatedEngineConfig {
   /// mode a commit waits until *every* standby has replayed it.
   int num_replicas = 1;
   int max_retries = 50;
+  /// Replication-layer fault injection (disabled by default). Each
+  /// standby gets its own injector whose seed mixes the standby index,
+  /// so standbys see independent — but still deterministic — schedules.
+  FaultConfig fault;
+  /// Backpressure: once a standby's unacknowledged retention buffer
+  /// exceeds this many records, write commits are throttled (see
+  /// CommitWait::throttle_s) so a degraded standby bounds the backlog
+  /// instead of letting the primary run away from it.
+  size_t max_backlog_records = 4096;
+  /// Per-excess-record commit stall, and its cap per commit.
+  double backpressure_stall_s = 20e-6;
+  double backpressure_stall_cap_s = 5e-3;
 };
 
 /// Isolated design (Section 2.2): a primary node executes transactions;
@@ -53,6 +66,7 @@ class IsolatedEngine final : public HtapEngine {
                                 uint64_t txn_num, WorkMeter* meter) override;
   AnalyticsSession BeginAnalytics(WorkMeter* meter) override;
   bool MaintenanceStep(WorkMeter* meter) override;
+  size_t MaintenancePending() const override;
   bool IsApplied(uint64_t lsn) const override;
   uint64_t applied_lsn() const override;
   size_t Vacuum() override;
@@ -64,8 +78,12 @@ class IsolatedEngine final : public HtapEngine {
   int num_replicas() const { return config_.num_replicas; }
   /// Standby `i` (0-based; i < num_replicas()).
   Replica* replica(int i = 0) { return replicas_[i].replica.get(); }
+  /// Standby i's shipping stream (fault counters, retention depth).
+  WalStream* stream(int i = 0) { return replicas_[i].stream.get(); }
   /// Records shipped but not yet replayed on the furthest-behind standby.
   size_t ReplicationLag() const;
+  /// Deepest unacknowledged retention buffer — the backpressure signal.
+  size_t MaxRetainedRecords() const;
 
  protected:
   void OnObservabilityChanged() override;
@@ -83,6 +101,7 @@ class IsolatedEngine final : public HtapEngine {
 
   struct Standby {
     std::unique_ptr<Catalog> catalog;
+    std::unique_ptr<FaultInjector> injector;  // null when faults disabled
     std::unique_ptr<WalStream> stream;
     std::unique_ptr<Replica> replica;
   };
@@ -95,7 +114,9 @@ class IsolatedEngine final : public HtapEngine {
   std::unique_ptr<TxnManager> txn_manager_;
   std::vector<Standby> replicas_;
   std::atomic<uint64_t> next_session_{0};  // round-robin standby selector
+  std::atomic<double> throttle_seconds_total_{0};
   obs::Counter* applied_records_metric_ = nullptr;
+  obs::Counter* crash_recoveries_metric_ = nullptr;
   bool created_ = false;
   bool loaded_ = false;
 };

@@ -1,0 +1,111 @@
+#include "fault/fault_injector.h"
+
+namespace hattrick {
+
+namespace {
+
+/// Event-kind salts keep the per-kind decision streams independent: the
+/// draw for "drop lsn 7" shares nothing with the draw for "duplicate
+/// lsn 7".
+enum Salt : uint64_t {
+  kSaltDrop = 0x1d,
+  kSaltDuplicate = 0x2d,
+  kSaltReorder = 0x3d,
+  kSaltResendDrop = 0x4d,
+  kSaltCrash = 0x5d,
+  kSaltShipDelay = 0x6d,
+  kSaltSlowApply = 0x7d,
+};
+
+/// splitmix64 finalizer: a strong 64-bit mixer, the same construction the
+/// repo's Rng uses for seed expansion.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+StatusOr<FaultConfig> MakeFaultProfile(const std::string& name,
+                                       uint64_t seed) {
+  FaultConfig config;
+  config.seed = seed;
+  config.profile = name;
+  if (name == "none") {
+    return config;
+  }
+  config.enabled = true;
+  if (name == "drop") {
+    config.drop_rate = 0.2;
+    config.resend_drop_rate = 0.15;
+  } else if (name == "duplicate") {
+    config.duplicate_rate = 0.25;
+  } else if (name == "reorder") {
+    config.reorder_rate = 0.2;
+  } else if (name == "crash") {
+    config.crash_rate = 0.05;
+  } else if (name == "delay") {
+    config.ship_delay_rate = 0.3;
+    config.ship_delay_seconds = 2e-3;
+    config.slow_apply_rate = 0.3;
+    config.slow_apply_multiplier = 4.0;
+  } else if (name == "chaos") {
+    config.drop_rate = 0.1;
+    config.duplicate_rate = 0.1;
+    config.reorder_rate = 0.1;
+    config.resend_drop_rate = 0.1;
+    config.crash_rate = 0.02;
+    config.slow_apply_rate = 0.1;
+    config.slow_apply_multiplier = 2.0;
+  } else {
+    return Status::InvalidArgument("unknown fault profile: " + name);
+  }
+  return config;
+}
+
+double FaultInjector::Draw(uint64_t salt, uint64_t a, uint64_t b) const {
+  const uint64_t h = Mix(Mix(config_.seed ^ (salt * 0xff51afd7ed558ccdULL)) ^
+                         Mix(a * 0xc4ceb9fe1a85ec53ULL + b));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::DropShip(uint64_t lsn) const {
+  return enabled() && Draw(kSaltDrop, lsn, 0) < config_.drop_rate;
+}
+
+bool FaultInjector::DuplicateShip(uint64_t lsn) const {
+  return enabled() && Draw(kSaltDuplicate, lsn, 0) < config_.duplicate_rate;
+}
+
+bool FaultInjector::ReorderShip(uint64_t lsn) const {
+  return enabled() && Draw(kSaltReorder, lsn, 0) < config_.reorder_rate;
+}
+
+bool FaultInjector::DropResend(uint64_t lsn, uint64_t attempt) const {
+  return enabled() &&
+         Draw(kSaltResendDrop, lsn, attempt) < config_.resend_drop_rate;
+}
+
+bool FaultInjector::CrashBeforeApply(uint64_t step) const {
+  return enabled() && Draw(kSaltCrash, step, 0) < config_.crash_rate;
+}
+
+double FaultInjector::SlowApplyMultiplier(uint64_t lsn) const {
+  if (!enabled() ||
+      Draw(kSaltSlowApply, lsn, 0) >= config_.slow_apply_rate) {
+    return 1.0;
+  }
+  return config_.slow_apply_multiplier;
+}
+
+double FaultInjector::ShipDelaySeconds(uint64_t lsn) const {
+  if (!enabled() ||
+      Draw(kSaltShipDelay, lsn, 0) >= config_.ship_delay_rate) {
+    return 0.0;
+  }
+  return config_.ship_delay_seconds;
+}
+
+}  // namespace hattrick

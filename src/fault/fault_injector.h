@@ -1,0 +1,95 @@
+#ifndef HATTRICK_FAULT_FAULT_INJECTOR_H_
+#define HATTRICK_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/statusor.h"
+
+namespace hattrick {
+
+/// Configuration of the replication-layer fault injector.
+///
+/// All rates are probabilities in [0, 1] evaluated *deterministically*:
+/// every decision is a pure hash of (seed, event kind, event key), never
+/// of call order or wall time. Two runs with the same seed therefore see
+/// the byte-identical fault schedule — the same records dropped, the same
+/// deliveries duplicated, the same apply steps crashed — which is what
+/// makes faulted simulation runs reproducible and lets the chaos harness
+/// compare them against a fault-free baseline.
+struct FaultConfig {
+  /// Master switch; a default-constructed config injects nothing.
+  bool enabled = false;
+  uint64_t seed = 0;
+  /// The profile name this config was built from ("none", "drop", ...).
+  std::string profile = "none";
+
+  /// P(the initial ship of a record is lost in the network).
+  double drop_rate = 0;
+  /// P(a record is delivered twice).
+  double duplicate_rate = 0;
+  /// P(a record is held back and delivered after its successor).
+  double reorder_rate = 0;
+  /// P(a requested retransmission is lost too).
+  double resend_drop_rate = 0;
+  /// P(the replica crashes immediately before an apply step).
+  double crash_rate = 0;
+  /// P(a commit's ship is delayed) and the extra delay applied.
+  double ship_delay_rate = 0;
+  double ship_delay_seconds = 0;
+  /// P(an apply step runs slow) and the work multiplier when it does.
+  double slow_apply_rate = 0;
+  double slow_apply_multiplier = 1.0;
+};
+
+/// Builds the canned fault profiles used by the chaos harness and the
+/// CLI's --fault-profile flag:
+///   none      no faults (enabled = false)
+///   drop      initial ships and some resends are lost
+///   duplicate records are delivered twice
+///   reorder   records are delivered out of order
+///   crash     the replica crashes and recovers mid-replay
+///   delay     ships are delayed and applies run slow
+///   chaos     all of the above at once (lower individual rates)
+/// Returns InvalidArgument for an unknown name.
+StatusOr<FaultConfig> MakeFaultProfile(const std::string& name,
+                                       uint64_t seed);
+
+/// Deterministic, stateless fault oracle over a FaultConfig. Each query
+/// hashes (seed, salt, key, attempt) to a uniform [0, 1) draw and
+/// compares it to the configured rate; the injector holds no mutable
+/// state, so it is trivially thread-safe and its schedule is independent
+/// of the order in which the stream and the replica consult it.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config) : config_(std::move(config)) {}
+
+  bool enabled() const { return config_.enabled; }
+  const FaultConfig& config() const { return config_; }
+
+  /// Network faults on the shipping channel, keyed by LSN.
+  bool DropShip(uint64_t lsn) const;
+  bool DuplicateShip(uint64_t lsn) const;
+  bool ReorderShip(uint64_t lsn) const;
+  /// `attempt` is the replica's 1-based resend attempt for `lsn`, so a
+  /// retransmission that was dropped once is an independent draw on the
+  /// next attempt (a 100% first-try drop still converges via retries).
+  bool DropResend(uint64_t lsn, uint64_t attempt) const;
+
+  /// Replica faults, keyed by the replica's apply-step sequence number.
+  bool CrashBeforeApply(uint64_t step) const;
+  double SlowApplyMultiplier(uint64_t lsn) const;
+
+  /// Extra commit-visible ship latency for `lsn` (seconds; 0 = none).
+  double ShipDelaySeconds(uint64_t lsn) const;
+
+ private:
+  /// Uniform [0, 1) draw, a pure function of (seed, salt, a, b).
+  double Draw(uint64_t salt, uint64_t a, uint64_t b) const;
+
+  FaultConfig config_;
+};
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_FAULT_FAULT_INJECTOR_H_

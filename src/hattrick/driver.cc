@@ -121,6 +121,14 @@ struct RunState {
 void RunState::ApplierPump() {
   WorkMeter meter;
   if (!engine->MaintenanceStep(&meter)) {
+    if (engine->MaintenancePending() > 0) {
+      // Backing off from a replication fault with records still
+      // outstanding: poll again shortly rather than parking (a parked
+      // applier would deadlock REMOTE_APPLY clients waiting on a
+      // dropped record, since they commit nothing to wake it).
+      sim.Schedule(50e-6, [this] { ApplierPump(); });
+      return;
+    }
     applier_idle = true;
     return;
   }
@@ -199,7 +207,10 @@ class SimTClient {
   }
 
   void OnCpuDone(const TxnOutcome& outcome) {
-    const double extra = s_->setup.cost.txn_extra_latency_us * 1e-6;
+    // Backpressure throttles and injected ship delays stall the client
+    // in addition to the commit wait itself.
+    const double extra =
+        s_->setup.cost.txn_extra_latency_us * 1e-6 + outcome.wait.throttle_s;
     switch (outcome.wait.kind) {
       case CommitWait::Kind::kNone:
         wait_name_ = nullptr;
@@ -565,6 +576,10 @@ RunMetrics ThreadedDriver::Run(const WorkloadConfig& config) {
         if (!outcome.status.ok()) {
           ++local.failed;
           continue;
+        }
+        if (outcome.wait.throttle_s > 0) {  // backpressure / injected delay
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(outcome.wait.throttle_s));
         }
         switch (outcome.wait.kind) {
           case CommitWait::Kind::kNone:

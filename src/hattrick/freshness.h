@@ -56,9 +56,13 @@ class FreshnessTracker {
     const size_t n = std::min(obs.seen.size(), commit_times_.size());
     for (size_t j = 0; j < n; ++j) {
       const auto& times = commit_times_[j];
-      // First committed transaction with number > seen[j].
-      for (size_t i = static_cast<size_t>(obs.seen[j]); i < times.size();
-           ++i) {
+      // First committed transaction with number > seen[j]. A negative
+      // observation (a malformed read-back) would wrap hugely if cast
+      // straight to size_t; treat it as "saw nothing".
+      const size_t first = obs.seen[j] < 0
+                               ? 0
+                               : static_cast<size_t>(obs.seen[j]);
+      for (size_t i = first; i < times.size(); ++i) {
         if (times[i] == kNever) continue;  // failed txn: no commit
         score = std::max(score, obs.query_start - times[i]);
         break;

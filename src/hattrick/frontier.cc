@@ -56,6 +56,12 @@ namespace {
 std::vector<int> SpreadClients(int max, int count) {
   // `count` client counts spread over [0, max], always including 0 and
   // max, deduplicated (small max values collapse).
+  if (count <= 1 || max == 0) {
+    // Too few points to spread: just the endpoints (one point when they
+    // coincide). Guards the i / (count - 1) division below.
+    if (max == 0) return {0};
+    return {0, max};
+  }
   std::vector<int> out;
   for (int i = 0; i < count; ++i) {
     const int value = static_cast<int>(std::lround(
@@ -178,6 +184,15 @@ std::vector<OperatingPoint> ParetoFrontier(
               if (a.tps != b.tps) return a.tps < b.tps;
               return a.qps > b.qps;
             });
+  // Collapse equal-tps groups to their best point first. The reverse
+  // walk below meets an equal-tps group lowest-qps first, so without
+  // this a dominated duplicate (same tps, lower qps) would be kept.
+  points.erase(std::unique(points.begin(), points.end(),
+                           [](const OperatingPoint& a,
+                              const OperatingPoint& b) {
+                             return a.tps == b.tps;
+                           }),
+               points.end());
   // Walk from the highest tps down, keeping points whose qps exceeds the
   // best seen so far.
   std::vector<OperatingPoint> frontier;

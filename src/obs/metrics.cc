@@ -240,13 +240,17 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 void PreRegisterDomainMetrics(MetricsRegistry* registry) {
   for (const char* name :
        {kTxnCommits, kTxnAbortsWriteConflict, kTxnAbortsReadConflict,
-        kTxnWalRecords, kTxnWalBytes, kReplAppliedRecords, kStoreMergePasses,
-        kStoreMergeRows, kStoreMergeRecords, kStoreBtreeSplits,
-        kStoreVacuumedVersions}) {
+        kTxnWalRecords, kTxnWalBytes, kReplAppliedRecords,
+        kReplCrashRecoveries, kStoreMergePasses, kStoreMergeRows,
+        kStoreMergeRecords, kStoreBtreeSplits, kStoreVacuumedVersions}) {
     registry->GetCounter(name);
   }
-  for (const char* name : {kReplShippedBytes, kReplAppliedLsn,
-                           kReplBacklogRecords, kStoreDeltaPending}) {
+  for (const char* name :
+       {kReplShippedBytes, kReplAppliedLsn, kReplBacklogRecords,
+        kReplRetainedRecords, kReplResendRequests, kReplResendsShipped,
+        kReplResendsLost, kReplDuplicateSkips, kReplThrottleSeconds,
+        kFaultInjectedDrops, kFaultInjectedDuplicates, kFaultInjectedReorders,
+        kStoreDeltaPending}) {
     registry->GetGauge(name);
   }
 }

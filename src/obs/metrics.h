@@ -185,6 +185,16 @@ inline constexpr char kReplShippedBytes[] = "repl.shipped_bytes";  // gauge
 inline constexpr char kReplAppliedRecords[] = "repl.applied_records";
 inline constexpr char kReplAppliedLsn[] = "repl.applied_lsn";
 inline constexpr char kReplBacklogRecords[] = "repl.backlog_records";
+inline constexpr char kReplRetainedRecords[] = "repl.retained_records";
+inline constexpr char kReplResendRequests[] = "repl.resend_requests";
+inline constexpr char kReplResendsShipped[] = "repl.resends_shipped";
+inline constexpr char kReplResendsLost[] = "repl.resends_lost";
+inline constexpr char kReplDuplicateSkips[] = "repl.duplicate_skips";
+inline constexpr char kReplCrashRecoveries[] = "repl.crash_recoveries";
+inline constexpr char kReplThrottleSeconds[] = "repl.throttle_seconds";
+inline constexpr char kFaultInjectedDrops[] = "fault.injected.drops";
+inline constexpr char kFaultInjectedDuplicates[] = "fault.injected.duplicates";
+inline constexpr char kFaultInjectedReorders[] = "fault.injected.reorders";
 inline constexpr char kStoreDeltaPending[] = "store.delta_pending";
 inline constexpr char kStoreMergePasses[] = "store.merge.passes";
 inline constexpr char kStoreMergeRows[] = "store.merge.rows";

@@ -1,6 +1,6 @@
 #include "replication/wal_stream.h"
 
-#include <cassert>
+#include <algorithm>
 
 namespace hattrick {
 
@@ -16,33 +16,129 @@ const char* ReplicationModeName(ReplicationMode mode) {
   return "UNKNOWN";
 }
 
+void WalStream::SetFaultInjector(const FaultInjector* injector) {
+  std::lock_guard lock(mutex_);
+  injector_ = injector;
+}
+
 void WalStream::OnCommit(const WalRecord& record) {
   std::lock_guard lock(mutex_);
-  assert(record.lsn > head_lsn_ && "records must arrive in commit order");
-  if (encoded_.empty()) front_lsn_ = record.lsn;
-  std::string bytes = record.Encode();
-  shipped_bytes_ += bytes.size();
-  encoded_.push_back(std::move(bytes));
+  if (record.lsn <= head_lsn_) return;  // re-delivered commit: ignore
+  Entry entry{record.lsn, record.Encode()};
   head_lsn_ = record.lsn;
+  shipped_bytes_ += entry.bytes.size();
+  retained_.push_back(entry);
+
+  // Network delivery, subject to injected faults.
+  if (injector_ != nullptr && injector_->DropShip(entry.lsn)) {
+    ++injected_drops_;
+    return;  // lost in flight; recoverable via RequestResend
+  }
+  if (injector_ != nullptr && injector_->ReorderShip(entry.lsn) &&
+      !hold_pending_) {
+    // Held back one slot: this record arrives after its successor.
+    held_ = std::move(entry);
+    hold_pending_ = true;
+    ++injected_reorders_;
+    return;
+  }
+  const bool duplicate =
+      injector_ != nullptr && injector_->DuplicateShip(entry.lsn);
+  delivery_.push_back(entry);
+  if (duplicate) {
+    delivery_.push_back(entry);
+    ++injected_duplicates_;
+  }
+  if (hold_pending_) {  // the held predecessor arrives late, out of order
+    delivery_.push_back(std::move(held_));
+    hold_pending_ = false;
+  }
 }
 
-std::optional<WalRecord> WalStream::Peek(uint64_t applied_lsn) const {
+StatusOr<ShippedRecord> WalStream::Peek(uint64_t applied_lsn) const {
   std::lock_guard lock(mutex_);
-  if (encoded_.empty()) return std::nullopt;
-  assert(front_lsn_ > applied_lsn && "applier fell out of sync");
-  (void)applied_lsn;
-  StatusOr<WalRecord> rec = WalRecord::Decode(encoded_.front());
-  assert(rec.ok());
-  return std::move(rec).value();
+  if (delivery_.empty()) {
+    if (head_lsn_ > applied_lsn) {
+      // Shipped records exist beyond the applied point but none were
+      // delivered: the tail was dropped (or is held back by a reorder).
+      return Status::OutOfRange(
+          "gap: lsn " + std::to_string(applied_lsn + 1) + " not delivered");
+    }
+    return Status::NotFound("stream drained");
+  }
+  const Entry& front = delivery_.front();
+  if (front.lsn > applied_lsn + 1) {
+    return Status::OutOfRange(
+        "gap: lsn " + std::to_string(applied_lsn + 1) +
+        " missing (front is " + std::to_string(front.lsn) + ")");
+  }
+  StatusOr<WalRecord> record = WalRecord::Decode(front.bytes);
+  if (!record.ok()) {
+    return Status::Internal("corrupt record at lsn " +
+                            std::to_string(front.lsn) + ": " +
+                            record.status().message());
+  }
+  return ShippedRecord{std::move(record).value(), front.bytes.size()};
 }
 
-void WalStream::Consume(uint64_t lsn) {
+Status WalStream::Consume(uint64_t lsn) {
   std::lock_guard lock(mutex_);
-  assert(!encoded_.empty());
-  assert(front_lsn_ == lsn);
-  (void)lsn;
-  encoded_.pop_front();
-  front_lsn_ += 1;
+  if (delivery_.empty()) {
+    return Status::InvalidArgument("Consume on empty delivery queue");
+  }
+  if (delivery_.front().lsn != lsn) {
+    return Status::InvalidArgument(
+        "Consume lsn " + std::to_string(lsn) + " but front is " +
+        std::to_string(delivery_.front().lsn));
+  }
+  delivery_.pop_front();
+  return Status::OK();
+}
+
+void WalStream::Acknowledge(uint64_t lsn) {
+  std::lock_guard lock(mutex_);
+  while (!retained_.empty() && retained_.front().lsn <= lsn) {
+    retained_.pop_front();
+  }
+  acked_lsn_ = std::max(acked_lsn_, lsn);
+}
+
+Status WalStream::RequestResend(uint64_t lsn, uint64_t attempt) {
+  std::lock_guard lock(mutex_);
+  ++resends_requested_;
+  if (lsn <= acked_lsn_ || lsn > head_lsn_) {
+    return Status::NotFound("lsn " + std::to_string(lsn) +
+                            " not retained (acked through " +
+                            std::to_string(acked_lsn_) + ")");
+  }
+  // retained_ holds contiguous LSNs acked_lsn_ + 1 .. head_lsn_.
+  const size_t index = static_cast<size_t>(lsn - acked_lsn_ - 1);
+  if (index >= retained_.size() || retained_[index].lsn != lsn) {
+    return Status::Internal("retention buffer out of sync at lsn " +
+                            std::to_string(lsn));
+  }
+  const Entry& entry = retained_[index];
+  if (injector_ != nullptr && injector_->DropResend(lsn, attempt)) {
+    ++resends_lost_;  // the sender cannot tell; the applier retries
+    return Status::OK();
+  }
+  delivery_.push_front(entry);
+  ++resends_delivered_;
+  return Status::OK();
+}
+
+size_t WalStream::ResyncFrom(uint64_t applied_lsn) {
+  std::lock_guard lock(mutex_);
+  delivery_.clear();
+  hold_pending_ = false;
+  held_ = Entry{};
+  size_t delivered = 0;
+  for (const Entry& entry : retained_) {
+    if (entry.lsn <= applied_lsn) continue;
+    delivery_.push_back(entry);
+    ++delivered;
+  }
+  return delivered;
 }
 
 uint64_t WalStream::head_lsn() const {
@@ -56,17 +152,61 @@ size_t WalStream::PendingAfter(uint64_t applied_lsn) const {
   return head_lsn_ - applied_lsn;
 }
 
+size_t WalStream::RetainedRecords() const {
+  std::lock_guard lock(mutex_);
+  return retained_.size();
+}
+
 uint64_t WalStream::shipped_bytes() const {
   std::lock_guard lock(mutex_);
   return shipped_bytes_;
 }
 
+uint64_t WalStream::injected_drops() const {
+  std::lock_guard lock(mutex_);
+  return injected_drops_;
+}
+
+uint64_t WalStream::injected_duplicates() const {
+  std::lock_guard lock(mutex_);
+  return injected_duplicates_;
+}
+
+uint64_t WalStream::injected_reorders() const {
+  std::lock_guard lock(mutex_);
+  return injected_reorders_;
+}
+
+uint64_t WalStream::resends_requested() const {
+  std::lock_guard lock(mutex_);
+  return resends_requested_;
+}
+
+uint64_t WalStream::resends_delivered() const {
+  std::lock_guard lock(mutex_);
+  return resends_delivered_;
+}
+
+uint64_t WalStream::resends_lost() const {
+  std::lock_guard lock(mutex_);
+  return resends_lost_;
+}
+
 void WalStream::Reset() {
   std::lock_guard lock(mutex_);
-  encoded_.clear();
+  retained_.clear();
+  delivery_.clear();
+  held_ = Entry{};
+  hold_pending_ = false;
   head_lsn_ = 0;
-  front_lsn_ = 0;
+  acked_lsn_ = 0;
   shipped_bytes_ = 0;
+  injected_drops_ = 0;
+  injected_duplicates_ = 0;
+  injected_reorders_ = 0;
+  resends_requested_ = 0;
+  resends_delivered_ = 0;
+  resends_lost_ = 0;
 }
 
 }  // namespace hattrick

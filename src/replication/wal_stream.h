@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
-#include <optional>
+#include <string>
 
+#include "common/statusor.h"
+#include "fault/fault_injector.h"
 #include "txn/wal.h"
 
 namespace hattrick {
@@ -24,25 +26,79 @@ enum class ReplicationMode { kAsync, kSyncShip, kRemoteApply };
 /// Returns "ASYNC", "ON" or "REMOTE_APPLY".
 const char* ReplicationModeName(ReplicationMode mode);
 
-/// An in-order, in-memory WAL shipping channel from a primary to one
-/// standby. The primary's TxnManager appends committed records (WalSink);
-/// the standby's applier consumes them. Records are round-tripped through
-/// their binary encoding so shipped bytes are what the cost model charges
-/// for network/disk work.
+/// One decoded record handed to the applier, with the size of its wire
+/// encoding so apply-path metering never has to re-encode it.
+struct ShippedRecord {
+  WalRecord record;
+  size_t encoded_size = 0;
+};
+
+/// A WAL shipping channel from a primary to one standby that survives an
+/// unreliable network. The primary's TxnManager appends committed records
+/// (WalSink); the standby's applier consumes them.
+///
+/// Two queues model the channel:
+///  - a *retention buffer* of every record the standby has not yet
+///    acknowledged (the authoritative log tail, always contiguous), and
+///  - a *delivery queue* of what the network actually handed over, which
+///    an attached FaultInjector can corrupt with drops, duplicates and
+///    reordering.
+/// The applier detects gaps in the delivery queue (Peek returns
+/// kOutOfRange) and requests retransmission from the retention buffer;
+/// Acknowledge() trims the buffer once records are durably applied. The
+/// buffer is bounded operationally by backpressure: its depth is the
+/// backlog signal the isolated engine uses to throttle commits, so a
+/// healthy system keeps it near the ship/apply lag instead of letting it
+/// grow without bound.
+///
+/// No method asserts on out-of-order, duplicate or missing records; every
+/// anomaly is reported as a Status and is recoverable.
 class WalStream final : public WalSink {
  public:
   WalStream() = default;
 
-  /// WalSink: appends the record in commit order.
+  /// Attaches the network fault model (nullptr = reliable delivery).
+  /// Not owned; must outlive the stream or be detached first.
+  void SetFaultInjector(const FaultInjector* injector);
+
+  /// WalSink: appends the record in commit order. Records at or below
+  /// head_lsn() are re-delivered commits and are ignored (idempotent).
   void OnCommit(const WalRecord& record) override;
 
-  /// Returns the next unconsumed record after `applied_lsn`, or nullopt
-  /// if the stream is drained. Does not consume; call Consume after a
-  /// successful apply.
-  std::optional<WalRecord> Peek(uint64_t applied_lsn) const;
+  /// Returns the next delivered record given that the applier has
+  /// durably applied through `applied_lsn`:
+  ///  - OK: the front record. Its LSN is either applied_lsn + 1 (apply
+  ///    it) or <= applied_lsn (a duplicate delivery; skip and Consume).
+  ///  - kNotFound: fully caught up (nothing shipped beyond applied_lsn).
+  ///  - kOutOfRange: a gap — the record applied_lsn + 1 was lost in
+  ///    flight (or the delivery queue front is beyond it). The applier
+  ///    should RequestResend(applied_lsn + 1).
+  StatusOr<ShippedRecord> Peek(uint64_t applied_lsn) const;
 
-  /// Drops the front record; `lsn` must equal its LSN (sanity check).
-  void Consume(uint64_t lsn);
+  /// Pops the front of the delivery queue; `lsn` must match its LSN
+  /// (returns InvalidArgument otherwise, without popping).
+  Status Consume(uint64_t lsn);
+
+  /// Marks everything through `lsn` durably applied: the retention
+  /// buffer drops those records (they can no longer be re-requested).
+  void Acknowledge(uint64_t lsn);
+
+  /// Requests retransmission of `lsn` (attempt is the applier's 1-based
+  /// retry count, forwarded to the fault model so repeated attempts are
+  /// independent draws). On success the record is pushed to the *front*
+  /// of the delivery queue. The retransmission itself may be lost to an
+  /// injected fault — that still returns OK, exactly as a real sender
+  /// cannot tell; the applier discovers the loss on its next Peek and
+  /// retries with backoff. Returns kNotFound if `lsn` was already
+  /// acknowledged (nothing to resend) or never shipped.
+  Status RequestResend(uint64_t lsn, uint64_t attempt);
+
+  /// Crash recovery: drops the delivery queue and re-delivers every
+  /// retained record above `applied_lsn` in order, bypassing the fault
+  /// model (a fresh connection with reliable framing — this is the
+  /// escalation path that guarantees convergence under any schedule).
+  /// Returns the number of records re-delivered.
+  size_t ResyncFrom(uint64_t applied_lsn);
 
   /// LSN of the newest appended record (0 if none ever appended).
   uint64_t head_lsn() const;
@@ -50,18 +106,45 @@ class WalStream final : public WalSink {
   /// Number of shipped-but-unapplied records after `applied_lsn`.
   size_t PendingAfter(uint64_t applied_lsn) const;
 
+  /// Depth of the retention (retransmit) buffer: records shipped but not
+  /// yet acknowledged. This is the backpressure signal.
+  size_t RetainedRecords() const;
+
   /// Total encoded bytes appended since construction/reset.
   uint64_t shipped_bytes() const;
 
-  /// Clears the stream (benchmark reset).
+  /// Fault/recovery accounting (cumulative since Reset).
+  uint64_t injected_drops() const;
+  uint64_t injected_duplicates() const;
+  uint64_t injected_reorders() const;
+  uint64_t resends_requested() const;
+  uint64_t resends_delivered() const;
+  uint64_t resends_lost() const;
+
+  /// Clears the stream, including fault counters (benchmark reset).
   void Reset();
 
  private:
+  struct Entry {
+    uint64_t lsn = 0;
+    std::string bytes;
+  };
+
   mutable std::mutex mutex_;
-  std::deque<std::string> encoded_;  // FIFO of encoded records
+  const FaultInjector* injector_ = nullptr;
+  std::deque<Entry> retained_;  // unacked log tail, contiguous LSNs
+  std::deque<Entry> delivery_;  // network view: gaps/dups/reorders possible
+  Entry held_;                  // reorder fault: record held back one slot
+  bool hold_pending_ = false;
   uint64_t head_lsn_ = 0;
-  uint64_t front_lsn_ = 0;  // LSN of encoded_.front() when non-empty
+  uint64_t acked_lsn_ = 0;
   uint64_t shipped_bytes_ = 0;
+  uint64_t injected_drops_ = 0;
+  uint64_t injected_duplicates_ = 0;
+  uint64_t injected_reorders_ = 0;
+  uint64_t resends_requested_ = 0;
+  uint64_t resends_delivered_ = 0;
+  uint64_t resends_lost_ = 0;
 };
 
 }  // namespace hattrick

@@ -47,6 +47,20 @@ TEST(FreshnessTest, FutureCommitsClampToZero) {
   EXPECT_DOUBLE_EQ(tracker.Score(obs), 0.0);
 }
 
+TEST(FreshnessTest, NegativeSeenScoresAsSawNothing) {
+  // A malformed read-back (-1 sentinel) must not wrap to a huge size_t
+  // (which silently scored 0); it means the query saw no transactions,
+  // so the first unseen is the very first commit.
+  FreshnessTracker tracker;
+  tracker.SetNumClients(1);
+  tracker.RecordCommit(1, 1, /*tc1=*/1.0);
+  tracker.RecordCommit(1, 2, /*tc2=*/2.0);
+  FreshnessTracker::Observation obs;
+  obs.query_start = 3.0;
+  obs.seen = {-1};
+  EXPECT_DOUBLE_EQ(tracker.Score(obs), 3.0 - 1.0);
+}
+
 TEST(FreshnessTest, EarliestUnseenAcrossClientsWins) {
   // Client 1's first unseen committed at 4.0; client 2's at 1.0. The
   // first-not-seen transaction overall is client 2's -> f = ts - 1.0.

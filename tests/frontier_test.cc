@@ -96,6 +96,37 @@ TEST(ParetoFrontierTest, DropsDominatedPoints) {
   EXPECT_GT(frontier[0].qps, frontier[1].qps);
 }
 
+// Regression: equal-tps points used to both survive the frontier walk
+// (the reverse scan met the lower-qps duplicate first and kept it); only
+// the max-qps point per tps value belongs on the frontier.
+TEST(ParetoFrontierTest, EqualTpsKeepsOnlyMaxQps) {
+  std::vector<OperatingPoint> points(2);
+  points[0].tps = 5;
+  points[0].qps = 1;  // dominated: same tps, lower qps
+  points[1].tps = 5;
+  points[1].qps = 3;
+  const auto frontier = ParetoFrontier(points);
+  ASSERT_EQ(frontier.size(), 1u);
+  EXPECT_DOUBLE_EQ(frontier[0].tps, 5);
+  EXPECT_DOUBLE_EQ(frontier[0].qps, 3);
+}
+
+TEST(ParetoFrontierTest, EqualTpsTiesAmongDominantPoints) {
+  std::vector<OperatingPoint> points(4);
+  points[0].tps = 1;
+  points[0].qps = 10;
+  points[1].tps = 5;
+  points[1].qps = 4;
+  points[2].tps = 5;
+  points[2].qps = 8;  // best of the tps=5 tie
+  points[3].tps = 9;
+  points[3].qps = 2;
+  const auto frontier = ParetoFrontier(points);
+  ASSERT_EQ(frontier.size(), 3u);
+  EXPECT_DOUBLE_EQ(frontier[1].tps, 5);
+  EXPECT_DOUBLE_EQ(frontier[1].qps, 8);
+}
+
 TEST(ParetoFrontierTest, SingletonAndEmpty) {
   EXPECT_TRUE(ParetoFrontier({}).empty());
   std::vector<OperatingPoint> one(1);
@@ -141,6 +172,50 @@ TEST(GridGraphTest, GridHasRequestedLines) {
   // Fixed-T line client counts span [0, tau_max].
   EXPECT_EQ(grid.fixed_t_lines.front().fixed_clients, 0);
   EXPECT_EQ(grid.fixed_t_lines.back().fixed_clients, grid.tau_max);
+}
+
+// Regression: points_per_line == 1 used to divide by zero inside the
+// client-count spread (lround of max * 0 / 0) and emit garbage counts.
+TEST(GridGraphTest, SinglePointPerLineSweepsBothEndpoints) {
+  // points_per_line == 1 used to hit a 0/0 in SpreadClients (i / (count-1))
+  // and silently lose the saturation endpoint; the guard must degrade to
+  // sweeping {0, max}.
+  FrontierOptions options = FastOptions();
+  options.lines = 2;
+  options.points_per_line = 1;
+  const GridGraph grid = BuildGridGraph(IdealIsolated, options);
+  ASSERT_GT(grid.alpha_max, 0);
+  ASSERT_GT(grid.tau_max, 0);
+  EXPECT_EQ(grid.fixed_t_lines.size(), 2u);
+  for (const GridLine& line : grid.fixed_t_lines) {
+    bool has_zero = false;
+    bool has_alpha_max = false;
+    for (const OperatingPoint& p : line.points) {
+      EXPECT_GE(p.t_clients, 0);
+      EXPECT_LE(p.t_clients, grid.tau_max);
+      EXPECT_GE(p.a_clients, 0);
+      EXPECT_LE(p.a_clients, grid.alpha_max);
+      if (p.a_clients == 0) has_zero = true;
+      if (p.a_clients == grid.alpha_max) has_alpha_max = true;
+    }
+    // The all-idle (0, 0) grid point is skipped by design.
+    EXPECT_EQ(has_zero, line.fixed_clients != 0);
+    EXPECT_TRUE(has_alpha_max);
+  }
+  for (const GridLine& line : grid.fixed_a_lines) {
+    bool has_zero = false;
+    bool has_tau_max = false;
+    for (const OperatingPoint& p : line.points) {
+      EXPECT_GE(p.t_clients, 0);
+      EXPECT_LE(p.t_clients, grid.tau_max);
+      EXPECT_GE(p.a_clients, 0);
+      EXPECT_LE(p.a_clients, grid.alpha_max);
+      if (p.t_clients == 0) has_zero = true;
+      if (p.t_clients == grid.tau_max) has_tau_max = true;
+    }
+    EXPECT_EQ(has_zero, line.fixed_clients != 0);
+    EXPECT_TRUE(has_tau_max);
+  }
 }
 
 TEST(GridGraphTest, FrontierWithinBoundingBox) {

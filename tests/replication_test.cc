@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "fault/fault_injector.h"
 #include "replication/replica.h"
 #include "replication/wal_stream.h"
 #include "storage/catalog.h"
@@ -62,13 +63,127 @@ TEST_F(ReplicationTest, StreamShipsRecordsInOrder) {
   EXPECT_EQ(stream_.PendingAfter(0), 2u);
   EXPECT_GT(stream_.shipped_bytes(), 0u);
 
-  auto first = stream_.Peek(0);
-  ASSERT_TRUE(first.has_value());
-  EXPECT_EQ(first->lsn, 1u);
-  stream_.Consume(1);
-  auto second = stream_.Peek(1);
-  ASSERT_TRUE(second.has_value());
-  EXPECT_EQ(second->lsn, 2u);
+  StatusOr<ShippedRecord> first = stream_.Peek(0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->record.lsn, 1u);
+  EXPECT_GT(first->encoded_size, 0u);
+  ASSERT_TRUE(stream_.Consume(1).ok());
+  StatusOr<ShippedRecord> second = stream_.Peek(1);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->record.lsn, 2u);
+}
+
+TEST_F(ReplicationTest, PeekReportsDrainedVsGap) {
+  // Nothing ever shipped: drained, not a gap.
+  EXPECT_EQ(stream_.Peek(0).status().code(), StatusCode::kNotFound);
+  CommitInsert(1, "a");
+  // Shipped but already consumed without a matching applied_lsn bump:
+  // Peek(0) with an empty delivery queue but head_lsn=1 is a gap.
+  ASSERT_TRUE(stream_.Consume(1).ok());
+  EXPECT_EQ(stream_.Peek(0).status().code(), StatusCode::kOutOfRange);
+  // From the applied point of view of lsn 1, the stream is drained.
+  EXPECT_EQ(stream_.Peek(1).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ReplicationTest, ConsumeValidatesFrontLsn) {
+  EXPECT_EQ(stream_.Consume(1).code(), StatusCode::kInvalidArgument);
+  CommitInsert(1, "a");
+  EXPECT_EQ(stream_.Consume(2).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(stream_.Consume(1).ok());
+}
+
+TEST_F(ReplicationTest, AcknowledgeTrimsRetentionBuffer) {
+  CommitInsert(1, "a");
+  CommitInsert(2, "b");
+  CommitInsert(3, "c");
+  EXPECT_EQ(stream_.RetainedRecords(), 3u);
+  stream_.Acknowledge(2);
+  EXPECT_EQ(stream_.RetainedRecords(), 1u);
+  // Acked records can no longer be re-requested.
+  EXPECT_EQ(stream_.RequestResend(1, 1).code(), StatusCode::kNotFound);
+  // Retained ones can: the record lands at the delivery-queue front.
+  ASSERT_TRUE(stream_.RequestResend(3, 1).ok());
+  StatusOr<ShippedRecord> front = stream_.Peek(2);
+  ASSERT_TRUE(front.ok());
+  EXPECT_EQ(front->record.lsn, 3u);
+}
+
+TEST_F(ReplicationTest, DroppedShipIsRecoveredViaResend) {
+  FaultConfig config;
+  config.enabled = true;
+  config.seed = 7;
+  config.drop_rate = 1.0;  // every initial ship is lost
+  FaultInjector injector(config);
+  stream_.SetFaultInjector(&injector);
+
+  CommitInsert(1, "a");
+  EXPECT_EQ(stream_.injected_drops(), 1u);
+  EXPECT_EQ(stream_.Peek(0).status().code(), StatusCode::kOutOfRange);
+  ASSERT_TRUE(stream_.RequestResend(1, 1).ok());
+  StatusOr<ShippedRecord> recovered = stream_.Peek(0);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->record.lsn, 1u);
+  stream_.SetFaultInjector(nullptr);
+}
+
+TEST_F(ReplicationTest, DuplicateDeliveryIsSkippedIdempotently) {
+  FaultConfig config;
+  config.enabled = true;
+  config.seed = 7;
+  config.duplicate_rate = 1.0;  // every record is delivered twice
+  FaultInjector injector(config);
+  stream_.SetFaultInjector(&injector);
+
+  CommitInsert(1, "a");
+  CommitInsert(2, "b");
+  EXPECT_EQ(stream_.injected_duplicates(), 2u);
+  WorkMeter meter;
+  EXPECT_EQ(replica_->CatchUp(&meter), 2u);  // applied once each
+  EXPECT_EQ(replica_->duplicate_skips(), 2u);
+  EXPECT_EQ(replica_->applied_lsn(), 2u);
+  // Exactly one copy of each row on the standby.
+  EXPECT_EQ(standby_.catalog.GetTable("kv")->NumSlots(),
+            primary_.catalog.GetTable("kv")->NumSlots());
+  stream_.SetFaultInjector(nullptr);
+}
+
+TEST_F(ReplicationTest, ResyncRedeliversUnappliedTail) {
+  FaultConfig config;
+  config.enabled = true;
+  config.seed = 7;
+  config.drop_rate = 1.0;
+  config.resend_drop_rate = 1.0;  // resends are lost too
+  FaultInjector injector(config);
+  stream_.SetFaultInjector(&injector);
+
+  CommitInsert(1, "a");
+  CommitInsert(2, "b");
+  // Even with every ship and resend dropped, the replica escalates to a
+  // resync (which bypasses the fault model) and converges.
+  EXPECT_EQ(replica_->CatchUp(nullptr), 2u);
+  EXPECT_GE(replica_->crash_recoveries(), 1u);
+  EXPECT_EQ(replica_->Lag(), 0u);
+  EXPECT_TRUE(replica_->last_error().ok());
+  stream_.SetFaultInjector(nullptr);
+}
+
+// Regression: a key-changing update must remove the old index entry on
+// the replica. Before the fix the old key stayed behind, so a standby
+// index scan saw a phantom entry for a key that no row carries anymore.
+TEST_F(ReplicationTest, KeyChangingUpdateRemovesOldIndexEntry) {
+  CommitInsert(1, "a");
+  CommitUpdate(/*rid=*/0, /*k=*/2, "a2");  // key 1 -> 2
+  replica_->CatchUp(nullptr);
+
+  IndexInfo* index = standby_.catalog.GetIndex("kv_pk");
+  EXPECT_EQ(index->tree->size(), 1u)
+      << "stale entry for the old key left in the standby index";
+  uint64_t rid = 0;
+  EXPECT_FALSE(index->tree->Lookup(index->KeyFor(Row{int64_t{1}, ""}, 0),
+                                   &rid, nullptr))
+      << "old key still resolves on the standby";
+  EXPECT_TRUE(index->tree->Lookup(index->KeyFor(Row{int64_t{2}, ""}, 0),
+                                  &rid, nullptr));
 }
 
 TEST_F(ReplicationTest, ApplyNextReplaysOneRecord) {
@@ -133,7 +248,7 @@ TEST_F(ReplicationTest, StreamReset) {
   stream_.Reset();
   EXPECT_EQ(stream_.head_lsn(), 0u);
   EXPECT_EQ(stream_.PendingAfter(0), 0u);
-  EXPECT_FALSE(stream_.Peek(0).has_value());
+  EXPECT_EQ(stream_.Peek(0).status().code(), StatusCode::kNotFound);
 }
 
 TEST_F(ReplicationTest, ModeNames) {

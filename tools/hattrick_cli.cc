@@ -26,6 +26,10 @@
 //   --rows_per_sf  lineorders per SF unit              (default 2000)
 //   --threaded  use wall-clock threads instead of the simulator (point)
 //   --dop       intra-query parallelism per A-client   (default 1)
+//   --fault-profile  none | drop | duplicate | reorder | crash | delay |
+//               chaos — replication fault injection (isolated systems
+//               only; default none)
+//   --fault-seed     fault schedule seed               (default 1)
 //   --trace-out    write the run's span trace (point mode). ".csv" writes
 //                  a flat CSV; anything else writes Chrome trace-event
 //                  JSON loadable in Perfetto / chrome://tracing.
@@ -185,11 +189,28 @@ int Main(int argc, char** argv) {
   }
   const double sf = flags.GetDouble("sf", 1.0);
 
+  FaultConfig fault;
+  if (flags.Has("fault-profile")) {
+    StatusOr<FaultConfig> parsed = MakeFaultProfile(
+        flags.GetString("fault-profile", "none"),
+        static_cast<uint64_t>(flags.GetInt("fault-seed", 1)));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad --fault-profile: %s\n",
+                   parsed.status().message().c_str());
+      return Usage();
+    }
+    fault = std::move(parsed).value();
+  }
+
   std::printf("# system=%s sf=%.1f schema=%s\n",
               bench::EngineKindName(kind), sf, PhysicalSchemaName(schema));
+  if (fault.enabled) {
+    std::printf("# fault profile=%s seed=%llu\n", fault.profile.c_str(),
+                static_cast<unsigned long long>(fault.seed));
+  }
   std::printf("# loading...\n");
   std::fflush(stdout);
-  bench::BenchEnv env = bench::MakeEnv(kind, sf, schema);
+  bench::BenchEnv env = bench::MakeEnv(kind, sf, schema, fault);
   std::printf("# loaded %zu lineorders\n", env.dataset.lineorder.size());
 
   WorkloadConfig base;
