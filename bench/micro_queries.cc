@@ -5,6 +5,13 @@
 // morsel-parallel plans at dop 1/2/4 (BM_QueryColumnStoreDop /
 // BM_QueryRowStoreDop, on a 10x larger fact table where the scan
 // dominates thread startup).
+//
+// BM_QueryRowStore / BM_QueryColumnStore run the row-at-a-time oracle;
+// the *Batch variants run the vectorized executor at the default vector
+// width, and the *BatchSweep variants sweep the width over
+// 64/256/1024/4096 on the scan-dominated Q1.1 where batching matters
+// most. Both modes return bit-identical checksums, so the pairs isolate
+// pure interpretation overhead.
 
 #include <benchmark/benchmark.h>
 
@@ -45,33 +52,70 @@ Fixture& GetFixture() {
   return *fixture;
 }
 
-void BM_QueryRowStore(benchmark::State& state) {
-  Fixture& f = GetFixture();
+void RunQuerySerial(benchmark::State& state, HtapEngine* engine,
+                    bool vectorized, size_t batch_rows) {
   const int qid = static_cast<int>(state.range(0));
   for (auto _ : state) {
     WorkMeter meter;
-    AnalyticsSession session = f.shared->BeginAnalytics(&meter);
+    AnalyticsSession session = engine->BeginAnalytics(&meter);
     ExecContext ctx{&meter};
+    ctx.vectorized = vectorized;
+    if (batch_rows > 0) ctx.batch_rows = batch_rows;
     const QueryResult result = RunQuery(qid, *session.source, 4, &ctx);
     benchmark::DoNotOptimize(result.checksum);
   }
   state.SetLabel(QueryName(qid));
+}
+
+void BM_QueryRowStore(benchmark::State& state) {
+  RunQuerySerial(state, GetFixture().shared.get(), /*vectorized=*/false, 0);
 }
 BENCHMARK(BM_QueryRowStore)->DenseRange(0, kNumQueries - 1);
 
 void BM_QueryColumnStore(benchmark::State& state) {
-  Fixture& f = GetFixture();
-  const int qid = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    WorkMeter meter;
-    AnalyticsSession session = f.hybrid->BeginAnalytics(&meter);
-    ExecContext ctx{&meter};
-    const QueryResult result = RunQuery(qid, *session.source, 4, &ctx);
-    benchmark::DoNotOptimize(result.checksum);
-  }
-  state.SetLabel(QueryName(qid));
+  RunQuerySerial(state, GetFixture().hybrid.get(), /*vectorized=*/false, 0);
 }
 BENCHMARK(BM_QueryColumnStore)->DenseRange(0, kNumQueries - 1);
+
+void BM_QueryRowStoreBatch(benchmark::State& state) {
+  RunQuerySerial(state, GetFixture().shared.get(), /*vectorized=*/true, 0);
+}
+BENCHMARK(BM_QueryRowStoreBatch)->DenseRange(0, kNumQueries - 1);
+
+void BM_QueryColumnStoreBatch(benchmark::State& state) {
+  RunQuerySerial(state, GetFixture().hybrid.get(), /*vectorized=*/true, 0);
+}
+BENCHMARK(BM_QueryColumnStoreBatch)->DenseRange(0, kNumQueries - 1);
+
+/// Vector-width sweep on Q1.1 (scan + filter + global aggregate): the
+/// range argument is the batch size, so one run charts interpretation
+/// overhead against batch granularity on both stores.
+void RunBatchSweep(benchmark::State& state, HtapEngine* engine) {
+  const size_t batch_rows = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    WorkMeter meter;
+    AnalyticsSession session = engine->BeginAnalytics(&meter);
+    ExecContext ctx{&meter};
+    ctx.batch_rows = batch_rows;
+    const QueryResult result = RunQuery(0, *session.source, 4, &ctx);
+    benchmark::DoNotOptimize(result.checksum);
+  }
+  state.SetLabel("Q1.1/batch=" + std::to_string(batch_rows));
+}
+
+void BM_QueryRowStoreBatchSweep(benchmark::State& state) {
+  RunBatchSweep(state, GetFixture().shared.get());
+}
+BENCHMARK(BM_QueryRowStoreBatchSweep)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_QueryColumnStoreBatchSweep(benchmark::State& state) {
+  RunBatchSweep(state, GetFixture().hybrid.get());
+}
+BENCHMARK(BM_QueryColumnStoreBatchSweep)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096);
 
 /// Larger fact table (~200k lineorders) for the intra-query parallelism
 /// ablation: at the default micro size the whole scan fits in a couple of

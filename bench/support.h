@@ -57,7 +57,10 @@ inline constexpr uint64_t kDatagenSeed = 42;
 BenchEnv MakeEnv(EngineKind kind, double scale_factor,
                  PhysicalSchema physical, const FaultConfig& fault = {});
 
-/// Default measurement procedure for the figure benches.
+/// Default measurement procedure for the figure benches. Execution mode
+/// follows the WorkloadConfig defaults: vectorized, with the batch width
+/// taken from HATTRICK_BATCH_ROWS when set (else 1024) — metered work is
+/// mode-independent, so figures are identical either way.
 WorkloadConfig DefaultRunConfig();
 
 /// Default saturation-method options.

@@ -1,0 +1,17 @@
+#include "exec/batch.h"
+
+#include <cstdlib>
+
+namespace hattrick {
+
+size_t DefaultBatchRows() {
+  static const size_t rows = [] {
+    const char* env = std::getenv("HATTRICK_BATCH_ROWS");
+    if (env == nullptr) return kDefaultBatchRows;
+    const long v = std::atol(env);
+    return v < 1 ? size_t{1} : static_cast<size_t>(v);
+  }();
+  return rows;
+}
+
+}  // namespace hattrick

@@ -5,6 +5,20 @@
 
 namespace hattrick {
 
+/// Fallback kernel: materialize each physical row and defer to the
+/// row-at-a-time interpreter. Correct for any node; the built-in nodes
+/// override with typed loops below.
+void Expr::EvalBatch(const Batch& batch, ColumnVector* out) const {
+  out->Reset(DataType::kInt64);
+  Row row;
+  for (size_t i = 0; i < batch.rows; ++i) {
+    batch.MaterializeRow(i, &row);
+    const Value v = Eval(row);
+    if (i == 0) out->Reset(v.type());
+    out->PushValue(v);
+  }
+}
+
 namespace {
 
 class ColExpr final : public Expr {
@@ -13,6 +27,10 @@ class ColExpr final : public Expr {
   Value Eval(const Row& row) const override {
     assert(index_ < row.size());
     return row[index_];
+  }
+  void EvalBatch(const Batch& batch, ColumnVector* out) const override {
+    assert(index_ < batch.cols.size());
+    *out = batch.cols[index_];
   }
   std::string ToString() const override {
     return "$" + std::to_string(index_);
@@ -26,6 +44,10 @@ class LitExpr final : public Expr {
  public:
   explicit LitExpr(Value v) : v_(std::move(v)) {}
   Value Eval(const Row&) const override { return v_; }
+  void EvalBatch(const Batch& batch, ColumnVector* out) const override {
+    out->Reset(v_.type());
+    for (size_t i = 0; i < batch.rows; ++i) out->PushValue(v_);
+  }
   std::string ToString() const override { return v_.ToString(); }
 
  private:
@@ -106,12 +128,132 @@ class BinExpr final : public Expr {
     }
   }
 
+  /// Typed loop kernels. Column types are uniform within a vector, so
+  /// the per-row type dispatch of Eval resolves once per batch; the
+  /// arithmetic performed per cell is identical to Eval's, so results
+  /// are bit-identical. AND/OR evaluate both sides fully (expressions
+  /// are pure, so the short-circuit of Eval is unobservable).
+  void EvalBatch(const Batch& batch, ColumnVector* out) const override {
+    ColumnVector l;
+    ColumnVector r;
+    l_->EvalBatch(batch, &l);
+    r_->EvalBatch(batch, &r);
+    const size_t n = batch.rows;
+    const bool ints = l.type() == DataType::kInt64 &&
+                      r.type() == DataType::kInt64;
+    switch (op_) {
+      case BinOp::kAnd:
+      case BinOp::kOr: {
+        if (!ints) break;  // fall through to the row fallback below
+        out->Reset(DataType::kInt64);
+        out->ints.resize(n);
+        if (op_ == BinOp::kAnd) {
+          for (size_t i = 0; i < n; ++i) {
+            out->ints[i] = (l.ints[i] != 0 && r.ints[i] != 0) ? 1 : 0;
+          }
+        } else {
+          for (size_t i = 0; i < n; ++i) {
+            out->ints[i] = (l.ints[i] != 0 || r.ints[i] != 0) ? 1 : 0;
+          }
+        }
+        return;
+      }
+      case BinOp::kAdd:
+      case BinOp::kSub:
+      case BinOp::kMul: {
+        if (ints) {
+          out->Reset(DataType::kInt64);
+          out->ints.resize(n);
+          switch (op_) {
+            case BinOp::kAdd:
+              for (size_t i = 0; i < n; ++i)
+                out->ints[i] = l.ints[i] + r.ints[i];
+              break;
+            case BinOp::kSub:
+              for (size_t i = 0; i < n; ++i)
+                out->ints[i] = l.ints[i] - r.ints[i];
+              break;
+            default:
+              for (size_t i = 0; i < n; ++i)
+                out->ints[i] = l.ints[i] * r.ints[i];
+              break;
+          }
+          return;
+        }
+        if (!l.is_numeric() || !r.is_numeric()) break;
+        out->Reset(DataType::kDouble);
+        out->doubles.resize(n);
+        switch (op_) {
+          case BinOp::kAdd:
+            for (size_t i = 0; i < n; ++i)
+              out->doubles[i] = l.NumericAt(i) + r.NumericAt(i);
+            break;
+          case BinOp::kSub:
+            for (size_t i = 0; i < n; ++i)
+              out->doubles[i] = l.NumericAt(i) - r.NumericAt(i);
+            break;
+          default:
+            for (size_t i = 0; i < n; ++i)
+              out->doubles[i] = l.NumericAt(i) * r.NumericAt(i);
+            break;
+        }
+        return;
+      }
+      default: {  // comparisons
+        if (l.is_numeric() && r.is_numeric()) {
+          out->Reset(DataType::kInt64);
+          out->ints.resize(n);
+          if (ints) {
+            for (size_t i = 0; i < n; ++i) {
+              out->ints[i] = CompareResult(
+                  l.ints[i] < r.ints[i] ? -1
+                                        : (l.ints[i] > r.ints[i] ? 1 : 0));
+            }
+          } else {
+            for (size_t i = 0; i < n; ++i) {
+              const double a = l.NumericAt(i);
+              const double b = r.NumericAt(i);
+              out->ints[i] = CompareResult(a < b ? -1 : (a > b ? 1 : 0));
+            }
+          }
+          return;
+        }
+        if (l.type() == DataType::kString &&
+            r.type() == DataType::kString) {
+          out->Reset(DataType::kInt64);
+          out->ints.resize(n);
+          for (size_t i = 0; i < n; ++i) {
+            const int c = l.strings[i].compare(r.strings[i]);
+            out->ints[i] = CompareResult(c < 0 ? -1 : (c > 0 ? 1 : 0));
+          }
+          return;
+        }
+        break;  // mixed string/number: fall through to the row fallback
+      }
+    }
+    Expr::EvalBatch(batch, out);
+  }
+
   std::string ToString() const override {
     return "(" + l_->ToString() + " " + BinOpName(op_) + " " +
            r_->ToString() + ")";
   }
 
  private:
+  /// Maps a three-way comparison to this node's 1/0 predicate result,
+  /// mirroring Eval's switch over Value::Compare.
+  int64_t CompareResult(int c) const {
+    switch (op_) {
+      case BinOp::kEq: return c == 0;
+      case BinOp::kNe: return c != 0;
+      case BinOp::kLt: return c < 0;
+      case BinOp::kLe: return c <= 0;
+      case BinOp::kGt: return c > 0;
+      case BinOp::kGe: return c >= 0;
+      default: return 0;
+    }
+  }
+
   BinOp op_;
   ExprPtr l_;
   ExprPtr r_;
@@ -122,6 +264,19 @@ class NotExpr final : public Expr {
   explicit NotExpr(ExprPtr e) : e_(std::move(e)) {}
   Value Eval(const Row& row) const override {
     return Value(int64_t{e_->Eval(row).AsInt() == 0});
+  }
+  void EvalBatch(const Batch& batch, ColumnVector* out) const override {
+    ColumnVector in;
+    e_->EvalBatch(batch, &in);
+    if (in.type() != DataType::kInt64) {
+      Expr::EvalBatch(batch, out);
+      return;
+    }
+    out->Reset(DataType::kInt64);
+    out->ints.resize(batch.rows);
+    for (size_t i = 0; i < batch.rows; ++i) {
+      out->ints[i] = in.ints[i] == 0 ? 1 : 0;
+    }
   }
   std::string ToString() const override {
     return "NOT " + e_->ToString();
@@ -141,6 +296,22 @@ class InListExpr final : public Expr {
         std::any_of(candidates_.begin(), candidates_.end(),
                     [&](const Value& c) { return c == v; });
     return Value(int64_t{found});
+  }
+  void EvalBatch(const Batch& batch, ColumnVector* out) const override {
+    ColumnVector in;
+    e_->EvalBatch(batch, &in);
+    out->Reset(DataType::kInt64);
+    out->ints.resize(batch.rows);
+    // The candidate list is tiny (SSB IN-lists top out at 8 brands), so a
+    // linear membership probe per row matches Eval's std::any_of exactly.
+    for (size_t i = 0; i < batch.rows; ++i) {
+      const Value v = in.GetValue(i);
+      out->ints[i] =
+          std::any_of(candidates_.begin(), candidates_.end(),
+                      [&](const Value& c) { return c == v; })
+              ? 1
+              : 0;
+    }
   }
   std::string ToString() const override {
     std::string out = e_->ToString() + " IN (";

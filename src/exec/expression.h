@@ -6,16 +6,34 @@
 #include <vector>
 
 #include "common/value.h"
+#include "exec/batch.h"
 
 namespace hattrick {
 
 /// A scalar expression evaluated against a row. Expression trees are
 /// built by the hand-written HATtrick query plans (queries are defined
 /// programmatically; there is no SQL parser in this reproduction).
+///
+/// Two evaluation forms:
+///  - Eval: one row at a time. The original interpreter; retained as the
+///    fallback for nodes without a kernel and as the oracle the
+///    differential tests check the vectorized path against.
+///  - EvalBatch: all physical rows of a Batch at once into a typed
+///    ColumnVector. The built-in nodes override it with loop kernels
+///    over the typed payloads (no per-cell variant dispatch, no virtual
+///    call per row); the base implementation materializes each row and
+///    defers to Eval, so any Expr is batch-callable.
+///
+/// EvalBatch evaluates every *physical* row, ignoring the batch's
+/// selection: expressions are pure, so values computed at unselected
+/// rows are simply never read. Column types are uniform within a vector,
+/// which is what lets one typed kernel stand in for the per-row dynamic
+/// dispatch bit-for-bit.
 class Expr {
  public:
   virtual ~Expr() = default;
   virtual Value Eval(const Row& row) const = 0;
+  virtual void EvalBatch(const Batch& batch, ColumnVector* out) const;
   virtual std::string ToString() const = 0;
 };
 

@@ -14,7 +14,40 @@ int64_t QuantizeSumValue(double v) {
   return std::llround(v * kSumFixedPointScale);
 }
 
+bool Operator::NextBatch(ExecContext* ctx, Batch* out) {
+  out->Clear();
+  if (has_pending_row_) {
+    out->AppendRow(pending_row_);
+    has_pending_row_ = false;
+  }
+  Row row;
+  while (out->rows < ctx->batch_rows && Next(ctx, &row)) {
+    if (!out->TypesMatch(row)) {
+      // Type skew: close this batch and start the next one with the row.
+      pending_row_ = std::move(row);
+      has_pending_row_ = true;
+      break;
+    }
+    out->AppendRow(row);
+  }
+  return out->rows > 0;
+}
+
 namespace {
+
+/// Boolean truth of the i-th cell of an evaluated predicate vector,
+/// matching EvalBool's Value::AsInt semantics for non-int results.
+bool BoolAt(const ColumnVector& v, size_t i) {
+  if (v.type() == DataType::kInt64) return v.ints[i] != 0;
+  return v.GetValue(i).AsInt() != 0;
+}
+
+/// Numeric value of the i-th cell, matching Value::AsDouble (int
+/// promotion) for the aggregate-input path.
+double DoubleAt(const ColumnVector& v, size_t i) {
+  if (v.is_numeric()) return v.NumericAt(i);
+  return v.GetValue(i).AsDouble();
+}
 
 class FilterOp final : public Operator {
  public:
@@ -30,9 +63,30 @@ class FilterOp final : public Operator {
     return false;
   }
 
+  bool NextBatch(ExecContext* ctx, Batch* out) override {
+    while (child_->NextBatch(ctx, out)) {
+      predicate_->EvalBatch(*out, &pred_);
+      // Refine the selection in place: keep the active rows where the
+      // predicate holds. Payloads are untouched (no compaction).
+      keep_.clear();
+      const size_t n = out->ActiveRows();
+      for (size_t k = 0; k < n; ++k) {
+        const size_t i = out->ActiveIndex(k);
+        if (BoolAt(pred_, i)) keep_.push_back(static_cast<uint32_t>(i));
+      }
+      if (keep_.empty()) continue;  // fully filtered batch: pull the next
+      out->sel.idx = keep_;
+      out->filtered = true;
+      return true;
+    }
+    return false;
+  }
+
  private:
   OperatorPtr child_;
   ExprPtr predicate_;
+  ColumnVector pred_;
+  std::vector<uint32_t> keep_;
 };
 
 class ProjectOp final : public Operator {
@@ -51,9 +105,25 @@ class ProjectOp final : public Operator {
     return true;
   }
 
+  bool NextBatch(ExecContext* ctx, Batch* out) override {
+    if (!child_->NextBatch(ctx, &in_)) return false;
+    // One kernel sweep per output expression over the whole batch; the
+    // input selection carries over (expressions are pure, so values
+    // computed at unselected rows are never read).
+    out->cols.resize(exprs_.size());
+    for (size_t i = 0; i < exprs_.size(); ++i) {
+      exprs_[i]->EvalBatch(in_, &out->cols[i]);
+    }
+    out->rows = in_.rows;
+    out->sel = in_.sel;
+    out->filtered = in_.filtered;
+    return true;
+  }
+
  private:
   OperatorPtr child_;
   std::vector<ExprPtr> exprs_;
+  Batch in_;
 };
 
 class HashJoinOp final : public Operator {
@@ -68,6 +138,24 @@ class HashJoinOp final : public Operator {
   void Open(ExecContext* ctx) override {
     probe_->Open(ctx);
     build_->Open(ctx);
+    if (ctx->vectorized) {
+      // Batch drain of the build side. Insertion order matches the row
+      // path (active rows in batch order), so the multimap — and with it
+      // the equal_range emission order on the probe side — is identical.
+      Batch b;
+      Row row;
+      while (build_->NextBatch(ctx, &b)) {
+        const size_t n = b.ActiveRows();
+        for (size_t k = 0; k < n; ++k) {
+          b.MaterializeRow(b.ActiveIndex(k), &row);
+          std::string key;
+          key::EncodeValue(row[build_key_], &key);
+          table_.emplace(std::move(key), row);
+        }
+        if (ctx->meter != nullptr) ctx->meter->hash_probes += n;
+      }
+      return;
+    }
     Row row;
     while (build_->Next(ctx, &row)) {
       std::string key;
@@ -95,6 +183,36 @@ class HashJoinOp final : public Operator {
     }
   }
 
+  bool NextBatch(ExecContext* ctx, Batch* out) override {
+    out->Clear();
+    Row joined;
+    while (out->rows < ctx->batch_rows) {
+      if (match_it_ != match_end_) {
+        joined = probe_row_;
+        const Row& build_row = match_it_->second;
+        joined.insert(joined.end(), build_row.begin(), build_row.end());
+        if (!out->TypesMatch(joined)) break;  // type skew: close the batch
+        out->AppendRow(joined);
+        ++match_it_;
+        if (ctx->meter != nullptr) ++ctx->meter->output_rows;
+        continue;
+      }
+      // Advance to the next active probe row, pulling a new probe batch
+      // when the current one is spent.
+      if (probe_pos_ >= probe_batch_.ActiveRows()) {
+        if (!probe_->NextBatch(ctx, &probe_batch_)) break;
+        probe_pos_ = 0;
+      }
+      probe_batch_.MaterializeRow(probe_batch_.ActiveIndex(probe_pos_++),
+                                  &probe_row_);
+      std::string key;
+      key::EncodeValue(probe_row_[probe_key_], &key);
+      if (ctx->meter != nullptr) ++ctx->meter->hash_probes;
+      std::tie(match_it_, match_end_) = table_.equal_range(key);
+    }
+    return out->rows > 0;
+  }
+
  private:
   using Table = std::unordered_multimap<std::string, Row>;
 
@@ -106,6 +224,8 @@ class HashJoinOp final : public Operator {
   Row probe_row_;
   Table::iterator match_it_{};
   Table::iterator match_end_{};
+  Batch probe_batch_;
+  size_t probe_pos_ = 0;
 };
 
 class HashAggregateOp final : public Operator {
@@ -120,57 +240,10 @@ class HashAggregateOp final : public Operator {
   void Open(ExecContext* ctx) override {
     child_->Open(ctx);
     std::unordered_map<std::string, State> groups;
-    Row row;
-    while (child_->Next(ctx, &row)) {
-      std::string key;
-      Row key_values;
-      key_values.reserve(group_by_.size());
-      for (const ExprPtr& e : group_by_) {
-        Value v = e->Eval(row);
-        key::EncodeValue(v, &key);
-        key_values.push_back(std::move(v));
-      }
-      auto [it, inserted] = groups.emplace(std::move(key), State{});
-      if (ctx->meter != nullptr) ++ctx->meter->hash_probes;
-      State& state = it->second;
-      if (inserted) {
-        state.key_values = std::move(key_values);
-        state.accum.resize(aggregates_.size());
-        state.exact.resize(aggregates_.size(), 0);
-        for (size_t i = 0; i < aggregates_.size(); ++i) {
-          switch (aggregates_[i].kind) {
-            case AggSpec::Kind::kMin:
-              state.accum[i] = std::numeric_limits<double>::infinity();
-              break;
-            case AggSpec::Kind::kMax:
-              state.accum[i] = -std::numeric_limits<double>::infinity();
-              break;
-            default:
-              state.accum[i] = 0;
-          }
-        }
-      }
-      for (size_t i = 0; i < aggregates_.size(); ++i) {
-        const AggSpec& agg = aggregates_[i];
-        switch (agg.kind) {
-          case AggSpec::Kind::kSum:
-            // Fixed-point: exactly associative, so partial aggregates
-            // merge bit-identically to a serial sum (see operator.h).
-            state.exact[i] += QuantizeSumValue(agg.arg->Eval(row).AsDouble());
-            break;
-          case AggSpec::Kind::kCount:
-            state.exact[i] += 1;
-            break;
-          case AggSpec::Kind::kMin:
-            state.accum[i] =
-                std::min(state.accum[i], agg.arg->Eval(row).AsDouble());
-            break;
-          case AggSpec::Kind::kMax:
-            state.accum[i] =
-                std::max(state.accum[i], agg.arg->Eval(row).AsDouble());
-            break;
-        }
-      }
+    if (ctx->vectorized) {
+      DrainBatches(ctx, &groups);
+    } else {
+      DrainRows(ctx, &groups);
     }
     // Global aggregate with no input rows still emits one (zero) row —
     // except in partial mode, where the merge operator owns that row.
@@ -213,12 +286,137 @@ class HashAggregateOp final : public Operator {
     return true;
   }
 
+  bool NextBatch(ExecContext* ctx, Batch* out) override {
+    out->Clear();
+    while (pos_ < output_.size() && out->rows < ctx->batch_rows) {
+      if (!out->TypesMatch(output_[pos_])) break;
+      out->AppendRow(output_[pos_++]);
+    }
+    if (ctx->meter != nullptr) ctx->meter->output_rows += out->rows;
+    return out->rows > 0;
+  }
+
  private:
   struct State {
     Row key_values;
     std::vector<double> accum;    // min/max
     std::vector<int64_t> exact;   // sum (fixed-point) and count
   };
+
+  void DrainRows(ExecContext* ctx,
+                 std::unordered_map<std::string, State>* groups) {
+    Row row;
+    while (child_->Next(ctx, &row)) {
+      std::string key;
+      Row key_values;
+      key_values.reserve(group_by_.size());
+      for (const ExprPtr& e : group_by_) {
+        Value v = e->Eval(row);
+        key::EncodeValue(v, &key);
+        key_values.push_back(std::move(v));
+      }
+      State& state = Accumulate(ctx, groups, std::move(key),
+                                std::move(key_values));
+      for (size_t i = 0; i < aggregates_.size(); ++i) {
+        const AggSpec& agg = aggregates_[i];
+        switch (agg.kind) {
+          case AggSpec::Kind::kSum:
+            // Fixed-point: exactly associative, so partial aggregates
+            // merge bit-identically to a serial sum (see operator.h).
+            state.exact[i] += QuantizeSumValue(agg.arg->Eval(row).AsDouble());
+            break;
+          case AggSpec::Kind::kCount:
+            state.exact[i] += 1;
+            break;
+          case AggSpec::Kind::kMin:
+            state.accum[i] =
+                std::min(state.accum[i], agg.arg->Eval(row).AsDouble());
+            break;
+          case AggSpec::Kind::kMax:
+            state.accum[i] =
+                std::max(state.accum[i], agg.arg->Eval(row).AsDouble());
+            break;
+        }
+      }
+    }
+  }
+
+  void DrainBatches(ExecContext* ctx,
+                    std::unordered_map<std::string, State>* groups) {
+    Batch b;
+    std::vector<ColumnVector> keys(group_by_.size());
+    std::vector<ColumnVector> args(aggregates_.size());
+    while (child_->NextBatch(ctx, &b)) {
+      // One kernel sweep per group-by / aggregate-input expression, then
+      // a per-active-row accumulation pass over the evaluated vectors.
+      for (size_t j = 0; j < group_by_.size(); ++j) {
+        group_by_[j]->EvalBatch(b, &keys[j]);
+      }
+      for (size_t i = 0; i < aggregates_.size(); ++i) {
+        if (aggregates_[i].kind != AggSpec::Kind::kCount) {
+          aggregates_[i].arg->EvalBatch(b, &args[i]);
+        }
+      }
+      const size_t n = b.ActiveRows();
+      for (size_t k = 0; k < n; ++k) {
+        const size_t r = b.ActiveIndex(k);
+        std::string key;
+        Row key_values;
+        key_values.reserve(group_by_.size());
+        for (size_t j = 0; j < group_by_.size(); ++j) {
+          Value v = keys[j].GetValue(r);
+          key::EncodeValue(v, &key);
+          key_values.push_back(std::move(v));
+        }
+        State& state = Accumulate(ctx, groups, std::move(key),
+                                  std::move(key_values));
+        for (size_t i = 0; i < aggregates_.size(); ++i) {
+          switch (aggregates_[i].kind) {
+            case AggSpec::Kind::kSum:
+              state.exact[i] += QuantizeSumValue(DoubleAt(args[i], r));
+              break;
+            case AggSpec::Kind::kCount:
+              state.exact[i] += 1;
+              break;
+            case AggSpec::Kind::kMin:
+              state.accum[i] = std::min(state.accum[i], DoubleAt(args[i], r));
+              break;
+            case AggSpec::Kind::kMax:
+              state.accum[i] = std::max(state.accum[i], DoubleAt(args[i], r));
+              break;
+          }
+        }
+      }
+    }
+  }
+
+  /// Looks up (inserting if needed) the group for `key`, charging the
+  /// hash probe exactly as the row path does.
+  State& Accumulate(ExecContext* ctx,
+                    std::unordered_map<std::string, State>* groups,
+                    std::string key, Row key_values) {
+    auto [it, inserted] = groups->emplace(std::move(key), State{});
+    if (ctx->meter != nullptr) ++ctx->meter->hash_probes;
+    State& state = it->second;
+    if (inserted) {
+      state.key_values = std::move(key_values);
+      state.accum.resize(aggregates_.size());
+      state.exact.resize(aggregates_.size(), 0);
+      for (size_t i = 0; i < aggregates_.size(); ++i) {
+        switch (aggregates_[i].kind) {
+          case AggSpec::Kind::kMin:
+            state.accum[i] = std::numeric_limits<double>::infinity();
+            break;
+          case AggSpec::Kind::kMax:
+            state.accum[i] = -std::numeric_limits<double>::infinity();
+            break;
+          default:
+            state.accum[i] = 0;
+        }
+      }
+    }
+    return state;
+  }
 
   OperatorPtr child_;
   std::vector<ExprPtr> group_by_;
@@ -235,8 +433,13 @@ class OrderByOp final : public Operator {
 
   void Open(ExecContext* ctx) override {
     child_->Open(ctx);
-    Row row;
-    while (child_->Next(ctx, &row)) rows_.push_back(std::move(row));
+    if (ctx->vectorized) {
+      Batch b;
+      while (child_->NextBatch(ctx, &b)) b.AppendActiveRows(&rows_);
+    } else {
+      Row row;
+      while (child_->Next(ctx, &row)) rows_.push_back(std::move(row));
+    }
     std::sort(rows_.begin(), rows_.end(), [&](const Row& a, const Row& b) {
       for (const SortKey& k : keys_) {
         const int c = k.expr->Eval(a).Compare(k.expr->Eval(b));
@@ -251,6 +454,15 @@ class OrderByOp final : public Operator {
     if (pos_ >= rows_.size()) return false;
     *out = std::move(rows_[pos_++]);
     return true;
+  }
+
+  bool NextBatch(ExecContext* ctx, Batch* out) override {
+    out->Clear();
+    while (pos_ < rows_.size() && out->rows < ctx->batch_rows) {
+      if (!out->TypesMatch(rows_[pos_])) break;
+      out->AppendRow(rows_[pos_++]);
+    }
+    return out->rows > 0;
   }
 
  private:
@@ -271,6 +483,15 @@ class ValuesScanOp final : public Operator {
     if (pos_ >= rows_.size()) return false;
     *out = rows_[pos_++];
     return true;
+  }
+
+  bool NextBatch(ExecContext* ctx, Batch* out) override {
+    out->Clear();
+    while (pos_ < rows_.size() && out->rows < ctx->batch_rows) {
+      if (!out->TypesMatch(rows_[pos_])) break;
+      out->AppendRow(rows_[pos_++]);
+    }
+    return out->rows > 0;
   }
 
  private:
@@ -322,8 +543,24 @@ OperatorPtr MakeValuesScan(std::vector<Row> rows) {
 std::vector<Row> Collect(Operator* op, ExecContext* ctx) {
   std::vector<Row> out;
   op->Open(ctx);
-  Row row;
-  while (op->Next(ctx, &row)) out.push_back(row);
+  if (ctx->vectorized) {
+    Batch b;
+    while (op->NextBatch(ctx, &b)) b.AppendActiveRows(&out);
+  } else {
+    Row row;
+    while (op->Next(ctx, &row)) out.push_back(row);
+  }
+  return out;
+}
+
+std::vector<Batch> CollectBatches(Operator* op, ExecContext* ctx) {
+  std::vector<Batch> out;
+  op->Open(ctx);
+  Batch b;
+  while (op->NextBatch(ctx, &b)) {
+    out.push_back(std::move(b));
+    b = Batch();
+  }
   return out;
 }
 

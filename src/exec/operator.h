@@ -8,6 +8,7 @@
 #include "common/clock.h"
 #include "common/value.h"
 #include "common/work_meter.h"
+#include "exec/batch.h"
 #include "exec/expression.h"
 #include "exec/morsel.h"
 #include "obs/trace.h"
@@ -30,6 +31,20 @@ struct ExecContext {
   /// work must not depend on thread scheduling).
   bool dynamic_morsels = false;
 
+  /// Vectorized (batch-at-a-time) vs row-at-a-time execution. The mode is
+  /// uniform across one plan: a vectorized consumer drives the root with
+  /// NextBatch and every operator pulls its children with NextBatch;
+  /// blocking operators consult this flag in Open when draining their
+  /// inputs. false selects the original Volcano path, retained as the
+  /// differential-testing oracle — results and WorkMeter totals are
+  /// bit-identical between the modes (tests/exec_test.cc enforces it).
+  bool vectorized = true;
+
+  /// Target rows per column-vector batch (>= 1). Defaults to
+  /// kDefaultBatchRows unless the HATTRICK_BATCH_ROWS env override is set
+  /// (the CI degenerate-batch leg). Ignored when !vectorized.
+  size_t batch_rows = DefaultBatchRows();
+
   /// Engine session pin (AnalyticsSession::guard). Worker threads hold a
   /// copy for their whole lifetime so the engine cannot move data (delta
   /// merge, reset) under a shard even if the issuing client releases its
@@ -44,17 +59,35 @@ struct ExecContext {
   uint32_t trace_tid = 0;
 };
 
-/// Volcano-style physical operator. Scans stream; blocking operators
-/// (hash join build, aggregation, sort) materialize internally.
+/// Physical operator. The primary interface is batch-at-a-time
+/// (NextBatch, column-vector batches with selection vectors); the
+/// row-at-a-time Volcano interface (Next) is retained as the
+/// differential-testing oracle and for row-native operators (index range
+/// scans), which get NextBatch from the base-class adapter. Scans
+/// stream; blocking operators (hash join build, aggregation, sort)
+/// materialize internally, draining their children in the mode
+/// ExecContext::vectorized selects.
 class Operator {
  public:
   virtual ~Operator() = default;
 
-  /// Prepares the operator; called once before Next.
+  /// Prepares the operator; called once before Next/NextBatch.
   virtual void Open(ExecContext* ctx) = 0;
 
   /// Produces the next row into *out; returns false when exhausted.
   virtual bool Next(ExecContext* ctx, Row* out) = 0;
+
+  /// Produces the next batch (>= 1 active row) into *out; returns false
+  /// when exhausted. The base implementation adapts a row-native
+  /// operator by pulling up to ctx->batch_rows rows through Next.
+  virtual bool NextBatch(ExecContext* ctx, Batch* out);
+
+ private:
+  // Row the base NextBatch adapter read but could not append because its
+  // cell types differ from the open batch's columns; it opens the next
+  // batch instead.
+  Row pending_row_;
+  bool has_pending_row_ = false;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
@@ -178,8 +211,15 @@ OperatorPtr MakeOrderBy(OperatorPtr child, std::vector<SortKey> keys);
 /// Fixed in-memory input (used by tests).
 OperatorPtr MakeValuesScan(std::vector<Row> rows);
 
-/// Drains `op` into a vector (helper for tests and result collection).
+/// Drains `op` into a vector of materialized rows (helper for tests and
+/// result collection). Honors ctx->vectorized: drives the root with
+/// NextBatch (default) or with the row-oracle Next — active rows arrive
+/// in the same order either way.
 std::vector<Row> Collect(Operator* op, ExecContext* ctx);
+
+/// Drains `op` batch-at-a-time without materializing rows (the exchange
+/// and benches use this; requires ctx->vectorized).
+std::vector<Batch> CollectBatches(Operator* op, ExecContext* ctx);
 
 }  // namespace hattrick
 

@@ -24,6 +24,10 @@ class GatherMergeOp final : public Operator {
 
   void Open(ExecContext* ctx) override {
     const size_t n = shards_.size();
+    // In batch mode each worker ships its partial-aggregate output as
+    // column-vector batches (no per-row materialization on the worker
+    // side); in row (oracle) mode it ships materialized rows.
+    std::vector<std::vector<Batch>> shard_batches(n);
     std::vector<std::vector<Row>> shard_rows(n);
     std::vector<WorkMeter> shard_meters(n);
     {
@@ -33,7 +37,8 @@ class GatherMergeOp final : public Operator {
       std::vector<std::thread> workers;
       workers.reserve(n);
       for (size_t w = 0; w < n; ++w) {
-        workers.emplace_back([this, ctx, w, &shard_rows, &shard_meters] {
+        workers.emplace_back(
+            [this, ctx, w, &shard_batches, &shard_rows, &shard_meters] {
           obs::ScopedSpan span(ctx->tracer, ctx->trace_clock, "morsel-shard",
                                "morsel",
                                ctx->trace_tid + static_cast<uint32_t>(w));
@@ -41,8 +46,14 @@ class GatherMergeOp final : public Operator {
           worker_ctx.meter = &shard_meters[w];
           worker_ctx.dop = ctx->dop;
           worker_ctx.dynamic_morsels = ctx->dynamic_morsels;
+          worker_ctx.vectorized = ctx->vectorized;
+          worker_ctx.batch_rows = ctx->batch_rows;
           worker_ctx.session_pin = ctx->session_pin;
-          shard_rows[w] = Collect(shards_[w].get(), &worker_ctx);
+          if (worker_ctx.vectorized) {
+            shard_batches[w] = CollectBatches(shards_[w].get(), &worker_ctx);
+          } else {
+            shard_rows[w] = Collect(shards_[w].get(), &worker_ctx);
+          }
         });
       }
       for (std::thread& t : workers) t.join();
@@ -60,8 +71,7 @@ class GatherMergeOp final : public Operator {
       std::vector<double> accum;
     };
     std::map<std::string, Merged> groups;
-    for (std::vector<Row>& rows : shard_rows) {
-      for (Row& row : rows) {
+    const auto merge_row = [&](const Row& row) {
         std::string key;
         for (size_t i = 0; i < group_columns_; ++i) {
           key::EncodeValue(row[i], &key);
@@ -106,7 +116,19 @@ class GatherMergeOp final : public Operator {
               break;
           }
         }
+    };
+    // Shards merge in worker order in both modes, so the merged groups —
+    // and the fixed-point partial sums — fold identically.
+    Row scratch;
+    for (size_t w = 0; w < n; ++w) {
+      for (const Batch& b : shard_batches[w]) {
+        const size_t active = b.ActiveRows();
+        for (size_t k = 0; k < active; ++k) {
+          b.MaterializeRow(b.ActiveIndex(k), &scratch);
+          merge_row(scratch);
+        }
       }
+      for (const Row& row : shard_rows[w]) merge_row(row);
     }
 
     // A global aggregate over empty input still yields the serial plan's
@@ -143,6 +165,16 @@ class GatherMergeOp final : public Operator {
     *out = std::move(output_[pos_++]);
     if (ctx->meter != nullptr) ++ctx->meter->output_rows;
     return true;
+  }
+
+  bool NextBatch(ExecContext* ctx, Batch* out) override {
+    out->Clear();
+    while (pos_ < output_.size() && out->rows < ctx->batch_rows) {
+      if (!out->TypesMatch(output_[pos_])) break;
+      out->AppendRow(output_[pos_++]);
+    }
+    if (ctx->meter != nullptr) ctx->meter->output_rows += out->rows;
+    return out->rows > 0;
   }
 
  private:

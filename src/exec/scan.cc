@@ -1,5 +1,6 @@
 #include "exec/scan.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/key_encoding.h"
@@ -28,59 +29,149 @@ bool MatchesPushdowns(const Row& row, const ScanSpec& spec) {
   return true;
 }
 
-/// Scan over an MVCC row table. Open() materializes the projected columns
-/// of the visible, predicate-passing rows in one pass over the table, so
-/// no full-row copies are made for filtered-out or projected-away cells.
+/// Scan over an MVCC row table.
+///
+/// Row mode: the first Next() materializes the projected columns of the
+/// visible, predicate-passing rows in one pass over the table, so no
+/// full-row copies are made for filtered-out or projected-away cells.
+///
+/// Batch mode: Open() only positions a slot cursor; NextBatch fills
+/// column vectors by covering the slot space with batch-sized ScanRange
+/// chunks. RowTable::ScanRange guarantees a disjoint cover meters exactly
+/// like one Scan, and output_rows is charged per emitted row either way,
+/// so both modes charge identical WorkMeter totals.
 class RowScanOp final : public Operator {
  public:
   RowScanOp(const RowTable* table, Ts snapshot, ScanSpec spec)
-      : table_(table), snapshot_(snapshot), spec_(std::move(spec)) {}
+      : table_(table), snapshot_(snapshot), spec_(std::move(spec)) {
+    types_.reserve(spec_.projection.size());
+    for (size_t col : spec_.projection) {
+      types_.push_back(table_->schema().column(col).type);
+    }
+  }
 
   void Open(ExecContext* ctx) override {
+    (void)ctx;
     rows_.clear();
     pos_ = 0;
-    const auto visit = [&](Rid, const Row& row) {
-      if (!MatchesPushdowns(row, spec_)) return true;
-      Row out;
-      out.reserve(spec_.projection.size());
-      for (size_t col : spec_.projection) out.push_back(row[col]);
-      rows_.push_back(std::move(out));
-      return true;
-    };
-    if (spec_.morsels != nullptr) {
-      // Parallel shard: scan only the rid ranges this worker claims.
-      MorselSet::ClaimState claim;
-      size_t begin;
-      size_t end;
-      while (spec_.morsels->Claim(spec_.worker, &claim, &begin, &end)) {
-        table_->ScanRange(snapshot_, begin, end, visit, ctx->meter);
-      }
-    } else {
-      table_->Scan(snapshot_, visit, ctx->meter);
-    }
-    if (ctx->meter != nullptr) ctx->meter->output_rows += rows_.size();
+    materialized_ = false;
+    cursor_ = 0;
+    limit_ = 0;
+    serial_pending_ = spec_.morsels == nullptr;
+    claim_ = MorselSet::ClaimState{};
   }
 
   bool Next(ExecContext* ctx, Row* out) override {
-    (void)ctx;
+    // Row path: materialize on first pull (same scan, same meter totals
+    // as materializing in Open — just charged at the first Next).
+    if (!materialized_) {
+      materialized_ = true;
+      const auto visit = [&](Rid, const Row& row) {
+        if (!MatchesPushdowns(row, spec_)) return true;
+        Row projected;
+        projected.reserve(spec_.projection.size());
+        for (size_t col : spec_.projection) projected.push_back(row[col]);
+        rows_.push_back(std::move(projected));
+        return true;
+      };
+      if (spec_.morsels != nullptr) {
+        // Parallel shard: scan only the rid ranges this worker claims.
+        MorselSet::ClaimState claim;
+        size_t begin;
+        size_t end;
+        while (spec_.morsels->Claim(spec_.worker, &claim, &begin, &end)) {
+          table_->ScanRange(snapshot_, begin, end, visit, ctx->meter);
+        }
+      } else {
+        table_->Scan(snapshot_, visit, ctx->meter);
+      }
+      if (ctx->meter != nullptr) ctx->meter->output_rows += rows_.size();
+    }
     if (pos_ >= rows_.size()) return false;
     *out = std::move(rows_[pos_++]);
     return true;
   }
 
+  bool NextBatch(ExecContext* ctx, Batch* out) override {
+    out->ResetTypes(types_);
+    size_t emitted = 0;
+    const auto visit = [&](Rid, const Row& row) {
+      if (!MatchesPushdowns(row, spec_)) return true;
+      for (size_t j = 0; j < spec_.projection.size(); ++j) {
+        out->cols[j].PushValue(row[spec_.projection[j]]);
+      }
+      ++out->rows;
+      ++emitted;
+      return true;
+    };
+    while (out->rows < ctx->batch_rows) {
+      if (cursor_ >= limit_) {
+        if (!NextSlotRange()) break;
+        continue;
+      }
+      // Never scan more slots than the batch has room for: every slot
+      // can yield at most one visible row.
+      const size_t end =
+          std::min(limit_, cursor_ + (ctx->batch_rows - out->rows));
+      table_->ScanRange(snapshot_, cursor_, end, visit, ctx->meter);
+      cursor_ = end;
+    }
+    if (ctx->meter != nullptr) ctx->meter->output_rows += emitted;
+    return out->rows > 0;
+  }
+
  private:
+  /// Advances the cursor to the next slot range: the whole table in
+  /// serial mode (once), or this worker's next claimed morsel.
+  bool NextSlotRange() {
+    if (spec_.morsels != nullptr) {
+      size_t begin;
+      size_t end;
+      if (!spec_.morsels->Claim(spec_.worker, &claim_, &begin, &end)) {
+        return false;
+      }
+      cursor_ = begin;
+      limit_ = end;
+      return true;
+    }
+    if (!serial_pending_) return false;
+    serial_pending_ = false;
+    cursor_ = 0;
+    limit_ = table_->NumSlots();
+    return cursor_ < limit_;
+  }
+
   const RowTable* table_;
   Ts snapshot_;
   ScanSpec spec_;
+  std::vector<DataType> types_;
   std::vector<Row> rows_;
   size_t pos_ = 0;
+  bool materialized_ = false;
+  // Batch-mode cursor state.
+  size_t cursor_ = 0;
+  size_t limit_ = 0;
+  bool serial_pending_ = false;
+  MorselSet::ClaimState claim_;
 };
 
 /// Streaming scan over a column table with zone-map block pruning.
+///
+/// Batch mode processes block-bounded runs of rows: one tight loop per
+/// pushdown predicate over the raw column payloads (string predicates on
+/// dictionary codes), then a gather of the survivors' projected columns
+/// straight into the output vectors. Runs never cross a zone-map block
+/// boundary, so pruning decisions — and metered column_values — are
+/// identical to the row-at-a-time path at any batch size.
 class ColumnScanOp final : public Operator {
  public:
   ColumnScanOp(const ColumnTable* table, size_t bound, ScanSpec spec)
-      : table_(table), bound_(bound), spec_(std::move(spec)) {}
+      : table_(table), bound_(bound), spec_(std::move(spec)) {
+    types_.reserve(spec_.projection.size());
+    for (size_t col : spec_.projection) {
+      types_.push_back(table_->schema().column(col).type);
+    }
+  }
 
   void Open(ExecContext*) override {
     // Serial scans cover [0, bound_); morsel shards start empty and claim
@@ -147,11 +238,111 @@ class ColumnScanOp final : public Operator {
     }
   }
 
+  bool NextBatch(ExecContext* ctx, Batch* out) override {
+    out->ResetTypes(types_);
+    if (impossible_) return false;
+    while (true) {
+      while (row_ < limit_) {
+        // Zone-map pruning at block boundaries (same condition as the
+        // row path: mid-block resume positions skip the check).
+        if (row_ % ColumnTable::kBlockRows == 0) {
+          while (row_ < limit_ &&
+                 BlockPruned(row_ / ColumnTable::kBlockRows)) {
+            row_ = std::min<size_t>(limit_, row_ + ColumnTable::kBlockRows);
+          }
+          if (row_ >= limit_) break;
+        }
+        // Run end: block boundary, range limit, or remaining batch room.
+        const size_t block_end =
+            (row_ / ColumnTable::kBlockRows + 1) * ColumnTable::kBlockRows;
+        const size_t end = std::min(
+            {limit_, block_end, row_ + (ctx->batch_rows - out->rows)});
+        ScanRun(row_, end, ctx, out);
+        row_ = end;
+        if (out->rows >= ctx->batch_rows) return true;
+      }
+      if (!ClaimNextRange()) return out->rows > 0;
+    }
+  }
+
  private:
   struct CodePred {
     size_t column;
     std::vector<uint32_t> codes;
   };
+
+  /// Evaluates the pushdown predicates over rows [begin, end) and gathers
+  /// the survivors' projected columns into *out. Metering matches the row
+  /// path: every evaluated row charges one column_values per predicate,
+  /// every emitted row charges the projection width plus one output row.
+  void ScanRun(size_t begin, size_t end, ExecContext* ctx, Batch* out) {
+    match_.clear();
+    for (size_t r = begin; r < end; ++r) {
+      match_.push_back(static_cast<uint32_t>(r));
+    }
+    for (const NumRange& pred : spec_.ranges) {
+      size_t kept = 0;
+      if (table_->schema().column(pred.column).type == DataType::kInt64) {
+        const int64_t* data = table_->IntData(pred.column);
+        for (const uint32_t r : match_) {
+          const double v = static_cast<double>(data[r]);
+          if (v >= pred.lo && v <= pred.hi) match_[kept++] = r;
+        }
+      } else {
+        const double* data = table_->DoubleData(pred.column);
+        for (const uint32_t r : match_) {
+          if (data[r] >= pred.lo && data[r] <= pred.hi) match_[kept++] = r;
+        }
+      }
+      match_.resize(kept);
+    }
+    for (const CodePred& pred : code_preds_) {
+      const uint32_t* codes = table_->CodeData(pred.column);
+      size_t kept = 0;
+      for (const uint32_t r : match_) {
+        const uint32_t code = codes[r];
+        bool found = false;
+        for (const uint32_t c : pred.codes) {
+          if (c == code) {
+            found = true;
+            break;
+          }
+        }
+        if (found) match_[kept++] = r;
+      }
+      match_.resize(kept);
+    }
+    for (size_t j = 0; j < spec_.projection.size(); ++j) {
+      const size_t col = spec_.projection[j];
+      ColumnVector& dst = out->cols[j];
+      switch (types_[j]) {
+        case DataType::kInt64: {
+          const int64_t* data = table_->IntData(col);
+          for (const uint32_t r : match_) dst.ints.push_back(data[r]);
+          break;
+        }
+        case DataType::kDouble: {
+          const double* data = table_->DoubleData(col);
+          for (const uint32_t r : match_) dst.doubles.push_back(data[r]);
+          break;
+        }
+        case DataType::kString: {
+          const uint32_t* codes = table_->CodeData(col);
+          for (const uint32_t r : match_) {
+            dst.strings.push_back(table_->DictEntry(col, codes[r]));
+          }
+          break;
+        }
+      }
+    }
+    out->rows += match_.size();
+    if (ctx->meter != nullptr) {
+      ctx->meter->column_values +=
+          (end - begin) * (spec_.ranges.size() + code_preds_.size()) +
+          match_.size() * spec_.projection.size();
+      ctx->meter->output_rows += match_.size();
+    }
+  }
 
   bool BlockPruned(size_t block) const {
     for (const NumRange& pred : spec_.ranges) {
@@ -206,10 +397,12 @@ class ColumnScanOp final : public Operator {
   const ColumnTable* table_;
   size_t bound_;
   ScanSpec spec_;
+  std::vector<DataType> types_;
   size_t row_ = 0;
   size_t limit_ = 0;
   MorselSet::ClaimState claim_;
   std::vector<CodePred> code_preds_;
+  std::vector<uint32_t> match_;  // surviving row ids of the current run
   bool impossible_ = false;
 };
 

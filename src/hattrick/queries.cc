@@ -372,9 +372,9 @@ QueryResult RunQuery(int query_id, const DataSource& source,
   plan->Open(ctx);
   Row row;
   const std::hash<std::string> hasher;
-  while (plan->Next(ctx, &row)) {
+  const auto fold = [&](const Row& r) {
     ++result.rows;
-    for (const Value& v : row) {
+    for (const Value& v : r) {
       switch (v.type()) {
         case DataType::kInt64:
           result.checksum += static_cast<double>(v.AsInt());
@@ -388,9 +388,25 @@ QueryResult RunQuery(int query_id, const DataSource& source,
           break;
       }
     }
+  };
+  if (ctx->vectorized) {
+    // Batch drive: active rows arrive in row-path order, so the checksum
+    // fold visits identical cells in identical order in both modes.
+    Batch b;
+    while (plan->NextBatch(ctx, &b)) {
+      const size_t n = b.ActiveRows();
+      for (size_t k = 0; k < n; ++k) {
+        b.MaterializeRow(b.ActiveIndex(k), &row);
+        fold(row);
+      }
+    }
+  } else {
+    while (plan->Next(ctx, &row)) fold(row);
   }
 
-  // FRESHNESS_j read-back (Section 4.2).
+  // FRESHNESS_j read-back (Section 4.2). The tables hold exactly one row,
+  // so pulling one row (or one batch) drains — and meters — the whole
+  // scan in either mode.
   result.freshness.reserve(num_freshness_tables);
   for (uint32_t j = 1; j <= num_freshness_tables; ++j) {
     ScanSpec spec;
@@ -399,7 +415,14 @@ QueryResult RunQuery(int query_id, const DataSource& source,
     OperatorPtr scan = source.Scan(spec);
     scan->Open(ctx);
     int64_t txn_num = 0;
-    if (scan->Next(ctx, &row)) txn_num = row[0].AsInt();
+    if (ctx->vectorized) {
+      Batch b;
+      if (scan->NextBatch(ctx, &b) && b.ActiveRows() > 0) {
+        txn_num = b.cols[0].GetValue(b.ActiveIndex(0)).AsInt();
+      }
+    } else if (scan->Next(ctx, &row)) {
+      txn_num = row[0].AsInt();
+    }
     result.freshness.push_back(txn_num);
   }
   return result;

@@ -16,7 +16,7 @@ namespace obs {
 
 /// Named counters, gauges and reservoir histograms for one benchmark run.
 ///
-/// Design rules (see DESIGN.md §7):
+/// Design rules (see DESIGN.md §8):
 ///  - Handles are resolved once at attach time (GetCounter et al. take a
 ///    registry lock); the increment paths are lock-free and cheap enough
 ///    to stay always-on at commit/merge/replay granularity. Nothing in

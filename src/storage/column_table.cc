@@ -90,6 +90,22 @@ size_t ColumnTable::DictionarySize(size_t col) const {
   return columns_[col].dict.size();
 }
 
+const int64_t* ColumnTable::IntData(size_t col) const {
+  return columns_[col].ints.data();
+}
+
+const double* ColumnTable::DoubleData(size_t col) const {
+  return columns_[col].doubles.data();
+}
+
+const uint32_t* ColumnTable::CodeData(size_t col) const {
+  return columns_[col].codes.data();
+}
+
+const std::string& ColumnTable::DictEntry(size_t col, uint32_t code) const {
+  return columns_[col].dict[code];
+}
+
 Row ColumnTable::GetRow(size_t row) const {
   Row out;
   out.reserve(columns_.size());

@@ -58,6 +58,19 @@ class ColumnTable {
   /// Dictionary size for a string column.
   size_t DictionarySize(size_t col) const;
 
+  /// Raw payload pointers for bulk (vectorized) reads of rows below a
+  /// query's row bound. Same safety contract as the per-cell accessors
+  /// above: the analytics session pin blocks structural changes (merge,
+  /// reset), so the payload vectors cannot reallocate under a reader.
+  /// IntData requires a kInt64 column, DoubleData a kDouble column (no
+  /// int promotion — callers branch on the schema type), CodeData a
+  /// kString column.
+  const int64_t* IntData(size_t col) const;
+  const double* DoubleData(size_t col) const;
+  const uint32_t* CodeData(size_t col) const;
+  /// Dictionary string for `code` of string column `col` (stable ref).
+  const std::string& DictEntry(size_t col, uint32_t code) const;
+
   /// Materializes row `row` (mostly for tests and debugging).
   Row GetRow(size_t row) const;
 

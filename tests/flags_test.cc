@@ -69,6 +69,32 @@ TEST(FlagsTest, BareFlagBeforeAnotherFlag) {
   EXPECT_EQ(flags.GetInt("sf", 0), 2);
 }
 
+TEST(FlagsTest, GetPositiveIntAcceptsPositiveValues) {
+  EXPECT_EQ(Parse({"--batch-size=1"}).GetPositiveInt("batch-size", 1024), 1);
+  EXPECT_EQ(Parse({"--batch-size=4096"}).GetPositiveInt("batch-size", 1024),
+            4096);
+}
+
+TEST(FlagsTest, GetPositiveIntRejectsZeroAndNegatives) {
+  // A batch of zero rows can make no progress and a negative width is
+  // meaningless, so both fall back to the default instead of being
+  // clamped to some other surprising value.
+  EXPECT_EQ(Parse({"--batch-size=0"}).GetPositiveInt("batch-size", 1024),
+            1024);
+  EXPECT_EQ(Parse({"--batch-size=-5"}).GetPositiveInt("batch-size", 1024),
+            1024);
+}
+
+TEST(FlagsTest, GetPositiveIntRejectsGarbage) {
+  // atoi parses "banana" as 0, which the positivity check then rejects.
+  EXPECT_EQ(Parse({"--batch-size=banana"}).GetPositiveInt("batch-size", 1024),
+            1024);
+}
+
+TEST(FlagsTest, GetPositiveIntUsesFallbackWhenAbsent) {
+  EXPECT_EQ(Parse({}).GetPositiveInt("batch-size", 1024), 1024);
+}
+
 }  // namespace
 }  // namespace tools
 }  // namespace hattrick

@@ -99,6 +99,54 @@ void ExpectDopEquivalence(const DataSource& source) {
   EXPECT_GE(non_empty, 9);
 }
 
+/// Runs query `qid` in an explicit execution mode: `vectorized` selects
+/// batch vs row-at-a-time (oracle) execution, `batch_rows` the vector
+/// width. Work charges land in `meter`.
+std::vector<Row> RunMode(const DataSource& source, int qid, int dop,
+                         bool vectorized, size_t batch_rows,
+                         WorkMeter* meter) {
+  OperatorPtr plan =
+      dop > 1
+          ? BuildParallelQueryPlan(qid, source, dop, /*dynamic_morsels=*/false)
+          : BuildQueryPlan(qid, source);
+  ExecContext ctx{meter};
+  ctx.dop = dop;
+  ctx.vectorized = vectorized;
+  ctx.batch_rows = batch_rows;
+  return Collect(plan.get(), &ctx);
+}
+
+/// The vectorization invariant at engine level: on one snapshot, every
+/// query returns bit-identical rows AND charges a bit-identical WorkMeter
+/// in batch mode — at any batch size, degenerate 1 included — as the
+/// row-at-a-time oracle, both serial and at dop=4 (worker meters merge in
+/// shard order, so parallel totals are schedule-independent too).
+void ExpectBatchMatchesRowOracle(const DataSource& source) {
+  for (const int dop : {1, 4}) {
+    for (int qid = 0; qid < kNumQueries; ++qid) {
+      WorkMeter oracle_meter;
+      const std::vector<Row> oracle = RunMode(
+          source, qid, dop, /*vectorized=*/false, 1, &oracle_meter);
+      for (const size_t batch_rows : {size_t{1}, size_t{7}, size_t{1024}}) {
+        SCOPED_TRACE(std::string(QueryName(qid)) + " dop=" +
+                     std::to_string(dop) + " batch_rows=" +
+                     std::to_string(batch_rows));
+        WorkMeter meter;
+        const std::vector<Row> got =
+            RunMode(source, qid, dop, /*vectorized=*/true, batch_rows, &meter);
+        EXPECT_EQ(oracle, got);
+        EXPECT_EQ(oracle_meter.rows_read, meter.rows_read);
+        EXPECT_EQ(oracle_meter.column_values, meter.column_values);
+        EXPECT_EQ(oracle_meter.output_rows, meter.output_rows);
+        EXPECT_EQ(oracle_meter.hash_probes, meter.hash_probes);
+        EXPECT_EQ(oracle_meter.index_nodes, meter.index_nodes);
+        EXPECT_EQ(oracle_meter.version_hops, meter.version_hops);
+        EXPECT_EQ(oracle_meter.Total(), meter.Total());
+      }
+    }
+  }
+}
+
 class ParallelExecTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ParallelExecTest, SharedEngineDopEquivalence) {
@@ -172,6 +220,55 @@ TEST_P(ParallelExecTest, RunQueryMatchesAcrossDop) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelExecTest,
                          ::testing::Values(501, 502, 503));
+
+// ---------------------------------------------------------------------------
+// Vectorized batch execution vs the row oracle (one seed per engine: the
+// sweep is 13 queries x 2 dops x 3 batch sizes, so a single mutated
+// snapshot per engine keeps the suite's runtime bounded).
+// ---------------------------------------------------------------------------
+
+TEST(BatchExecEquivalenceTest, SharedEngineBatchMatchesRowOracle) {
+  const Dataset dataset = GenerateDataset(SmallConfig());
+  SharedEngine engine;
+  ASSERT_TRUE(
+      LoadDataset(dataset, PhysicalSchema::kAllIndexes, &engine).ok());
+  WorkloadContext context(dataset);
+  RunRandomWorkload(&engine, &context, 501 * 31, 200);
+
+  WorkMeter meter;
+  AnalyticsSession session = engine.BeginAnalytics(&meter);
+  ExpectBatchMatchesRowOracle(*session.source);
+}
+
+TEST(BatchExecEquivalenceTest, IsolatedEngineBatchMatchesRowOracle) {
+  const Dataset dataset = GenerateDataset(SmallConfig());
+  IsolatedEngineConfig config;
+  config.mode = ReplicationMode::kSyncShip;
+  IsolatedEngine engine(config);
+  ASSERT_TRUE(
+      LoadDataset(dataset, PhysicalSchema::kAllIndexes, &engine).ok());
+  WorkloadContext context(dataset);
+  RunRandomWorkload(&engine, &context, 502 * 37, 200);
+
+  WorkMeter meter;
+  while (engine.MaintenanceStep(&meter)) {
+  }
+  AnalyticsSession session = engine.BeginAnalytics(&meter);
+  ExpectBatchMatchesRowOracle(*session.source);
+}
+
+TEST(BatchExecEquivalenceTest, HybridEngineBatchMatchesRowOracle) {
+  const Dataset dataset = GenerateDataset(SmallConfig());
+  HybridEngine engine;
+  ASSERT_TRUE(
+      LoadDataset(dataset, PhysicalSchema::kSemiIndexes, &engine).ok());
+  WorkloadContext context(dataset);
+  RunRandomWorkload(&engine, &context, 503 * 41, 200);
+
+  WorkMeter meter;
+  AnalyticsSession session = engine.BeginAnalytics(&meter);
+  ExpectBatchMatchesRowOracle(*session.source);
+}
 
 // ---------------------------------------------------------------------------
 // MorselSet partitioning.

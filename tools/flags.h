@@ -57,6 +57,13 @@ class Flags {
     return v < lo ? lo : (v > hi ? hi : v);
   }
 
+  /// GetInt for strictly positive knobs (e.g. --batch-size): 0, negative,
+  /// and unparsable values are rejected in favor of `fallback`.
+  int GetPositiveInt(const std::string& key, int fallback) const {
+    const int v = GetInt(key, fallback);
+    return v < 1 ? fallback : v;
+  }
+
   double GetDouble(const std::string& key, double fallback) const {
     const auto it = values_.find(key);
     return it == values_.end() ? fallback : std::atof(it->second.c_str());

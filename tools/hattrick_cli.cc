@@ -26,6 +26,11 @@
 //   --rows_per_sf  lineorders per SF unit              (default 2000)
 //   --threaded  use wall-clock threads instead of the simulator (point)
 //   --dop       intra-query parallelism per A-client   (default 1)
+//   --batch-size  rows per column-vector batch in the vectorized
+//               executor (default 1024; values < 1 are rejected and
+//               fall back to the default)
+//   --row-exec  row-at-a-time oracle executor instead of vectorized
+//               batches (same results and metered work; for A/B runs)
 //   --fault-profile  none | drop | duplicate | reorder | crash | delay |
 //               chaos — replication fault injection (isolated systems
 //               only; default none)
@@ -41,6 +46,7 @@
 #include <string>
 
 #include "bench/support.h"
+#include "exec/batch.h"
 #include "obs/trace.h"
 #include "tools/flags.h"
 
@@ -218,6 +224,11 @@ int Main(int argc, char** argv) {
   base.measure_seconds = flags.GetDouble("measure", 1.0);
   base.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
   base.dop = flags.GetBoundedInt("dop", 1, 1, 64);
+  base.vectorized = !flags.GetBool("row-exec", false);
+  if (flags.Has("batch-size")) {
+    base.batch_rows =
+        flags.GetPositiveInt("batch-size", static_cast<int>(kDefaultBatchRows));
+  }
 
   if (mode == "point") {
     base.t_clients = flags.GetInt("t", 4);
