@@ -1,29 +1,78 @@
 #!/usr/bin/env bash
-# Full local check: regular build + all tests, then a ThreadSanitizer
-# build running the thread-heavy test binaries (ctest label `tsan`:
-# morsel-parallel exec, engine merge/pin interplay, threaded driver,
-# the randomized concurrency stress).
+# Single local entry point for every check CI runs.
 #
-# Usage: scripts/check.sh [--tsan-only | --no-tsan]
+# Legs (default: build, lint, tsan — the pre-push basics):
+#   build    regular RelWithDebInfo build + full ctest suite
+#   lint     hattrick-lint determinism/locking-hygiene checks (tools/lint)
+#   tsan     ThreadSanitizer build, thread-heavy tests (ctest -L tsan)
+#   asan     AddressSanitizer (+LSan) build, full ctest suite
+#   ubsan    UndefinedBehaviorSanitizer build, full ctest suite
+#   analyze  Clang -Wthread-safety -Werror build (HATTRICK_ANALYZE=ON);
+#            skipped with a notice when clang++ is not installed
+#   tidy     clang-tidy over src/ using the compile database; skipped
+#            with a notice when clang-tidy is not installed
+#
+# Usage:
+#   scripts/check.sh                  # build + lint + tsan
+#   scripts/check.sh --all            # every leg (CI parity)
+#   scripts/check.sh --asan --ubsan   # just the named legs
+#   scripts/check.sh --tidy           # just clang-tidy
+#   scripts/check.sh --tsan-only      # compat: tsan leg only
+#   scripts/check.sh --no-tsan        # compat: build + lint, no tsan
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
-RUN_PLAIN=1
-RUN_TSAN=1
-case "${1:-}" in
-  --tsan-only) RUN_PLAIN=0 ;;
-  --no-tsan) RUN_TSAN=0 ;;
-  "") ;;
-  *) echo "usage: $0 [--tsan-only | --no-tsan]" >&2; exit 2 ;;
-esac
+SUPP_DIR="$PWD/scripts/sanitizers"
 
-if [[ "$RUN_PLAIN" == 1 ]]; then
+RUN_BUILD=0 RUN_LINT=0 RUN_TSAN=0 RUN_ASAN=0 RUN_UBSAN=0
+RUN_ANALYZE=0 RUN_TIDY=0
+if [[ $# -eq 0 ]]; then
+  RUN_BUILD=1 RUN_LINT=1 RUN_TSAN=1
+fi
+for arg in "$@"; do
+  case "$arg" in
+    --all) RUN_BUILD=1 RUN_LINT=1 RUN_TSAN=1 RUN_ASAN=1 RUN_UBSAN=1
+           RUN_ANALYZE=1 RUN_TIDY=1 ;;
+    --build) RUN_BUILD=1 ;;
+    --lint) RUN_LINT=1 ;;
+    --tsan) RUN_TSAN=1 ;;
+    --asan) RUN_ASAN=1 ;;
+    --ubsan) RUN_UBSAN=1 ;;
+    --analyze) RUN_ANALYZE=1 ;;
+    --tidy) RUN_TIDY=1 ;;
+    # Back-compat spellings used by older CI jobs and muscle memory.
+    --tsan-only) RUN_TSAN=1 ;;
+    --no-tsan) RUN_BUILD=1 RUN_LINT=1 ;;
+    *) echo "usage: $0 [--all] [--build] [--lint] [--tsan] [--asan]" \
+            "[--ubsan] [--analyze] [--tidy] [--tsan-only] [--no-tsan]" >&2
+       exit 2 ;;
+  esac
+done
+
+# sanitizer_leg <name> <HATTRICK_SANITIZE value> <env assignments...>
+# Configures build-<name>, builds, and runs ctest (full suite) with the
+# given sanitizer runtime options exported.
+sanitizer_leg() {
+  local name="$1" value="$2"; shift 2
+  echo "== build (${name}) =="
+  cmake -B "build-${name}" -S . -DHATTRICK_SANITIZE="${value}" >/dev/null
+  cmake --build "build-${name}" -j "$JOBS"
+  echo "== ctest (${name}) =="
+  (cd "build-${name}" && env "$@" ctest --output-on-failure -j "$JOBS")
+}
+
+if [[ "$RUN_BUILD" == 1 ]]; then
   echo "== build (RelWithDebInfo) =="
   cmake -B build -S . >/dev/null
   cmake --build build -j "$JOBS"
   echo "== ctest (all) =="
   (cd build && ctest --output-on-failure -j "$JOBS")
+fi
+
+if [[ "$RUN_LINT" == 1 ]]; then
+  echo "== hattrick-lint =="
+  python3 tools/lint/hattrick_lint.py
 fi
 
 if [[ "$RUN_TSAN" == 1 ]]; then
@@ -33,6 +82,43 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== ctest -L tsan =="
   (cd build-tsan && TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
       ctest -L tsan --output-on-failure -j 2)
+fi
+
+if [[ "$RUN_ASAN" == 1 ]]; then
+  sanitizer_leg asan address \
+    ASAN_OPTIONS="detect_leaks=1 halt_on_error=1" \
+    LSAN_OPTIONS="suppressions=${SUPP_DIR}/lsan.supp"
+fi
+
+if [[ "$RUN_UBSAN" == 1 ]]; then
+  sanitizer_leg ubsan undefined \
+    UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 suppressions=${SUPP_DIR}/ubsan.supp"
+fi
+
+if [[ "$RUN_ANALYZE" == 1 ]]; then
+  if command -v clang++ >/dev/null; then
+    echo "== build (clang -Wthread-safety -Werror) =="
+    cmake -B build-analyze -S . -DCMAKE_CXX_COMPILER=clang++ \
+        -DHATTRICK_ANALYZE=ON >/dev/null
+    cmake --build build-analyze -j "$JOBS"
+  else
+    echo "== analyze: clang++ not found, skipping (CI runs this leg) =="
+  fi
+fi
+
+if [[ "$RUN_TIDY" == 1 ]]; then
+  if command -v clang-tidy >/dev/null; then
+    echo "== clang-tidy =="
+    cmake -B build -S . >/dev/null  # refresh compile_commands.json
+    mapfile -t TIDY_SOURCES < <(find src -name '*.cc' | sort)
+    if command -v run-clang-tidy >/dev/null; then
+      run-clang-tidy -p build -quiet -j "$JOBS" "${TIDY_SOURCES[@]}"
+    else
+      clang-tidy -p build --quiet "${TIDY_SOURCES[@]}"
+    fi
+  else
+    echo "== tidy: clang-tidy not found, skipping (CI runs this leg) =="
+  fi
 fi
 
 echo "OK"

@@ -1,0 +1,104 @@
+#ifndef HATTRICK_COMMON_THREAD_ANNOTATIONS_H_
+#define HATTRICK_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread-Safety-Analysis annotation macros (the Abseil/LLVM macro
+/// set, trimmed to what this codebase uses). Under Clang with
+/// -Wthread-safety (the HATTRICK_ANALYZE=ON build, see the top-level
+/// CMakeLists.txt and scripts/check.sh analyze) these attach capability
+/// attributes that let the compiler prove, per translation unit, that
+///  - data annotated GUARDED_BY(mu) is only touched with `mu` held,
+///  - functions annotated REQUIRES(mu) are only called with `mu` held,
+///  - locks are released on every path that acquired them.
+/// On every other compiler (the container toolchain is GCC) they expand
+/// to nothing, so the annotations are pure documentation there.
+///
+/// Conventions (see DESIGN.md "Static analysis & sanitizers"):
+///  - Every mutex in src/ is a hattrick::Mutex or hattrick::SharedMutex
+///    (common/mutex.h), never a raw std type — enforced by the
+///    `raw-lock` rule of tools/lint/hattrick_lint.py.
+///  - Every member field a mutex protects carries GUARDED_BY(that_mutex).
+///  - Private helpers called with a lock already held carry
+///    REQUIRES(mu) / REQUIRES_SHARED(mu) instead of re-locking.
+///  - Public entry points that take a lock internally carry EXCLUDES(mu)
+///    so accidental re-entry under the lock is a compile error.
+
+#if defined(__clang__) && !defined(SWIG)
+#define HATTRICK_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define HATTRICK_THREAD_ANNOTATION__(x)  // no-op off Clang
+#endif
+
+/// Declares a class to be a capability (lockable) type. The string names
+/// the capability kind in diagnostics ("mutex", "shared mutex", "role").
+#define CAPABILITY(x) HATTRICK_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define SCOPED_CAPABILITY HATTRICK_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Declares that a data member may only be accessed while holding the
+/// given capability.
+#define GUARDED_BY(x) HATTRICK_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Declares that the *pointee* of a pointer member may only be accessed
+/// while holding the given capability (the pointer itself is free).
+#define PT_GUARDED_BY(x) HATTRICK_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Declares that callers must hold the capability exclusively before
+/// calling, and still hold it after the call returns.
+#define REQUIRES(...) \
+  HATTRICK_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Like REQUIRES but a shared (reader) hold suffices.
+#define REQUIRES_SHARED(...) \
+  HATTRICK_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Declares that the function acquires the capability exclusively and
+/// does not release it before returning.
+#define ACQUIRE(...) \
+  HATTRICK_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Shared-mode ACQUIRE.
+#define ACQUIRE_SHARED(...) \
+  HATTRICK_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Declares that the function releases the (exclusively held) capability.
+#define RELEASE(...) \
+  HATTRICK_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Shared-mode RELEASE.
+#define RELEASE_SHARED(...) \
+  HATTRICK_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// Releases a capability regardless of the mode it was acquired in
+/// (destructors of scoped locks that may hold either mode).
+#define RELEASE_GENERIC(...) \
+  HATTRICK_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+/// Declares a try-lock: acquires the capability iff the function returns
+/// the given value.
+#define TRY_ACQUIRE(...) \
+  HATTRICK_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Declares that callers must NOT hold the capability (the function
+/// acquires it itself; calling with it held would deadlock or violate
+/// the guard-lifetime contract).
+#define EXCLUDES(...) HATTRICK_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime (by contract, not by code) that the calling thread
+/// holds the capability; teaches the analysis about externally
+/// synchronized call sites.
+#define ASSERT_CAPABILITY(x) \
+  HATTRICK_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Declares that the function returns a reference to the given capability
+/// (accessor functions exposing a member mutex).
+#define RETURN_CAPABILITY(x) HATTRICK_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: turns the analysis off for one function. Used only where
+/// the locking pattern is beyond the analysis (none needed in src/engine;
+/// see the acceptance criteria of the static-analysis PR).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  HATTRICK_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // HATTRICK_COMMON_THREAD_ANNOTATIONS_H_

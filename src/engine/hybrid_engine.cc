@@ -24,7 +24,7 @@ HybridEngine::HybridEngine(HybridEngineConfig config)
     : config_(std::move(config)) {}
 
 void HybridEngine::DeltaFeed::OnCommit(const WalRecord& record) {
-  std::lock_guard lock(engine_->delta_mutex_);
+  MutexLock lock(&engine_->delta_mutex_);
   engine_->delta_.push_back(record);
 }
 
@@ -91,10 +91,10 @@ void HybridEngine::MergeDelta(WorkMeter* meter) {
   // Serialize whole merge passes so batches apply in commit order, then
   // drain the queue under the delta mutex and apply under the merge
   // latch (which excludes running analytical sessions, not commits).
-  std::lock_guard order(merge_order_);
+  MutexLock order(&merge_order_);
   std::deque<WalRecord> batch;
   {
-    std::lock_guard lock(delta_mutex_);
+    MutexLock lock(&delta_mutex_);
     batch.swap(delta_);
   }
   if (batch.empty()) return;
@@ -181,7 +181,7 @@ Status HybridEngine::Reset() {
   merge_latch_.WithExclusive([&] {
     primary_.CopyContentsFrom(snapshot_);
     {
-      std::lock_guard lock(delta_mutex_);
+      MutexLock lock(&delta_mutex_);
       delta_.clear();
     }
     for (size_t i = 0; i < columns_.size(); ++i) {
@@ -194,7 +194,7 @@ Status HybridEngine::Reset() {
 }
 
 size_t HybridEngine::PendingDelta() const {
-  std::lock_guard lock(delta_mutex_);
+  MutexLock lock(&delta_mutex_);
   return delta_.size();
 }
 

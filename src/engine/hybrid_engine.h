@@ -3,10 +3,11 @@
 
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "engine/htap_engine.h"
 #include "engine/session_pin.h"
 #include "exec/scan.h"
@@ -58,7 +59,7 @@ class HybridEngine final : public HtapEngine {
 
   /// Committed-but-unmerged delta records (diagnostics; after
   /// BeginAnalytics this is zero).
-  size_t PendingDelta() const;
+  size_t PendingDelta() const EXCLUDES(delta_mutex_);
 
   /// The columnar copy of `table` (tests/benchmarks).
   const ColumnTable* column_table(const std::string& table) const;
@@ -78,7 +79,7 @@ class HybridEngine final : public HtapEngine {
     HybridEngine* engine_;
   };
 
-  void MergeDelta(WorkMeter* meter);
+  void MergeDelta(WorkMeter* meter) EXCLUDES(merge_order_, delta_mutex_);
 
   HybridEngineConfig config_;
   Catalog primary_;
@@ -90,12 +91,13 @@ class HybridEngine final : public HtapEngine {
   TimestampOracle oracle_;
   DeltaFeed feed_{this};
   std::unique_ptr<TxnManager> txn_manager_;
-  mutable std::mutex delta_mutex_;
-  std::deque<WalRecord> delta_;
+  mutable Mutex delta_mutex_;
+  std::deque<WalRecord> delta_ GUARDED_BY(delta_mutex_);
   /// Orders whole merge passes: without it two concurrent BeginAnalytics
   /// calls could drain delta batches and then apply them out of commit
-  /// order (inserts must land at their row-store rids).
-  std::mutex merge_order_;
+  /// order (inserts must land at their row-store rids). Acquired before
+  /// delta_mutex_ and before the merge latch's internal mutex.
+  Mutex merge_order_;
   /// Pins running analytical sessions (and their morsel workers) against
   /// delta merges and resets. A pin latch rather than a shared_mutex
   /// because the session guard may be released from a worker thread (see

@@ -1,9 +1,10 @@
 #ifndef HATTRICK_ENGINE_SESSION_PIN_H_
 #define HATTRICK_ENGINE_SESSION_PIN_H_
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace hattrick {
 
@@ -19,16 +20,27 @@ namespace hattrick {
 /// for shared_mutex. SessionPinLatch's release is a plain counter
 /// decrement under a mutex: safe from any thread, any time.
 ///
+/// The guard-lifetime contract is encoded in the annotations:
+///  - AcquirePin/ReleasePin/WithExclusive are EXCLUDES(mutex_): no caller
+///    may already hold the latch mutex, so a pin can be released from any
+///    thread at any point — including from inside a morsel worker after
+///    the thread that called BeginAnalytics has moved on — without
+///    self-deadlock.
+///  - The counters are GUARDED_BY(mutex_) and only reachable through
+///    REQUIRES(mutex_) helpers, so no code path can observe or mutate pin
+///    state unsynchronized.
+///
 /// Writers (WithExclusive) take priority over new pins so a stream of
 /// overlapping sessions cannot starve merges.
 class SessionPinLatch {
  public:
   /// Acquires one pin; blocks while an exclusive section runs or waits.
   /// The returned handle releases the pin when destroyed — from whichever
-  /// thread drops the last reference.
-  std::shared_ptr<void> AcquirePin() {
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [this] { return writers_ == 0; });
+  /// thread drops the last reference (see the lifetime contract above and
+  /// AnalyticsSession::guard in engine/htap_engine.h).
+  std::shared_ptr<void> AcquirePin() EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    while (writers_ != 0) cv_.Wait(&mutex_);
     ++pins_;
     // The handle's payload is irrelevant; only the deleter matters.
     return std::shared_ptr<void>(this, [](void* self) {
@@ -37,27 +49,30 @@ class SessionPinLatch {
   }
 
   /// Runs `f` exclusively: blocks new pins, waits for outstanding pins to
-  /// drain, then invokes f.
+  /// drain, then invokes f. `f` runs with mutex_ held, so it must not
+  /// acquire or release pins on this latch (it may take other locks).
   template <typename Fn>
-  void WithExclusive(Fn&& f) {
-    std::unique_lock lock(mutex_);
+  void WithExclusive(Fn&& f) EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     ++writers_;
-    cv_.wait(lock, [this] { return pins_ == 0; });
+    while (pins_ != 0) cv_.Wait(&mutex_);
     f();
     --writers_;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
  private:
-  void ReleasePin() {
-    std::lock_guard lock(mutex_);
-    if (--pins_ == 0) cv_.notify_all();
+  /// Deleter path of the AcquirePin handle; runs on whatever thread drops
+  /// the last shared_ptr reference, hence EXCLUDES(mutex_).
+  void ReleasePin() EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    if (--pins_ == 0) cv_.NotifyAll();
   }
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  int pins_ = 0;
-  int writers_ = 0;
+  Mutex mutex_;
+  CondVar cv_;
+  int pins_ GUARDED_BY(mutex_) = 0;
+  int writers_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace hattrick

@@ -53,7 +53,7 @@ Histogram::Histogram(size_t capacity)
 }
 
 void Histogram::Add(double sample) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   if (count_ == 0) {
     min_ = max_ = sample;
   } else {
@@ -72,32 +72,32 @@ void Histogram::Add(double sample) {
 }
 
 uint64_t Histogram::count() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   return count_;
 }
 
 double Histogram::sum() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   return sum_;
 }
 
 double Histogram::Mean() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
 double Histogram::Min() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   return min_;
 }
 
 double Histogram::Max() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   return max_;
 }
 
 double Histogram::Percentile(double p) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   if (reservoir_.empty()) return 0.0;
   std::vector<double> sorted = reservoir_;
   std::sort(sorted.begin(), sorted.end());
@@ -177,14 +177,14 @@ std::string MetricsSnapshot::ToCsv() const {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -192,7 +192,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          size_t capacity) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(capacity);
   return slot.get();
@@ -200,7 +200,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   // The maps iterate in name order within each kind; merge the three
   // sorted ranges so the flat list is globally name-sorted.
   for (const auto& [name, counter] : counters_) {

@@ -7,9 +7,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace hattrick {
 namespace obs {
@@ -71,14 +73,14 @@ class Gauge {
 
   /// Installs a pull probe; it is evaluated at snapshot time and must
   /// stay valid until the registry's last Snapshot().
-  void SetProbe(std::function<double()> probe) {
-    std::lock_guard lock(probe_mutex_);
+  void SetProbe(std::function<double()> probe) EXCLUDES(probe_mutex_) {
+    MutexLock lock(&probe_mutex_);
     probe_ = std::move(probe);
   }
 
-  double Value() const {
+  double Value() const EXCLUDES(probe_mutex_) {
     {
-      std::lock_guard lock(probe_mutex_);
+      MutexLock lock(&probe_mutex_);
       if (probe_) return probe_();
     }
     return value_.load(std::memory_order_relaxed);
@@ -86,8 +88,8 @@ class Gauge {
 
  private:
   std::atomic<double> value_{0.0};
-  mutable std::mutex probe_mutex_;
-  std::function<double()> probe_;
+  mutable Mutex probe_mutex_;
+  std::function<double()> probe_ GUARDED_BY(probe_mutex_);
 };
 
 /// Reservoir-sampled distribution: keeps an exact count/sum/min/max plus
@@ -111,13 +113,13 @@ class Histogram {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  uint64_t count_ = 0;
-  double sum_ = 0;
-  double min_ = 0;
-  double max_ = 0;
-  uint64_t rng_state_;
-  std::vector<double> reservoir_;
+  mutable Mutex mutex_;
+  uint64_t count_ GUARDED_BY(mutex_) = 0;
+  double sum_ GUARDED_BY(mutex_) = 0;
+  double min_ GUARDED_BY(mutex_) = 0;
+  double max_ GUARDED_BY(mutex_) = 0;
+  uint64_t rng_state_ GUARDED_BY(mutex_);
+  std::vector<double> reservoir_ GUARDED_BY(mutex_);
 };
 
 /// One flattened metric value as of a snapshot.
@@ -166,10 +168,12 @@ class MetricsRegistry {
   MetricsSnapshot Snapshot() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mutex_);
 };
 
 /// Canonical domain metric names. Engines and drivers resolve these

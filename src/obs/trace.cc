@@ -46,7 +46,7 @@ Tracer::Tracer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
 void Tracer::RecordSpan(const std::string& name, const std::string& cat,
                         uint32_t tid, double begin_s, double end_s,
                         std::string args) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   if (spans_.size() == capacity_) {
     spans_.pop_front();
     ++dropped_;
@@ -64,7 +64,7 @@ void Tracer::RecordSpan(const std::string& name, const std::string& cat,
 
 void Tracer::Instant(const std::string& name, const std::string& cat,
                      uint32_t tid, double at_s, std::string args) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   if (spans_.size() == capacity_) {
     spans_.pop_front();
     ++dropped_;
@@ -82,7 +82,7 @@ void Tracer::Instant(const std::string& name, const std::string& cat,
 }
 
 void Tracer::SetTrackName(uint32_t tid, const std::string& name) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   for (auto& [existing_tid, existing_name] : track_names_) {
     if (existing_tid == tid) {
       existing_name = name;
@@ -93,7 +93,7 @@ void Tracer::SetTrackName(uint32_t tid, const std::string& name) {
 }
 
 void Tracer::Clear() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   spans_.clear();
   track_names_.clear();
   next_id_ = 1;
@@ -101,22 +101,22 @@ void Tracer::Clear() {
 }
 
 std::vector<Span> Tracer::Spans() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   return std::vector<Span>(spans_.begin(), spans_.end());
 }
 
 size_t Tracer::size() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   return spans_.size();
 }
 
 uint64_t Tracer::dropped() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   return dropped_;
 }
 
 std::string Tracer::ToChromeJson() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
 
   // Stable event order: track name metadata first (sorted by tid), then
   // spans by (tid, begin, id). The id tiebreak keeps nested spans that
@@ -167,7 +167,7 @@ std::string Tracer::ToChromeJson() const {
 }
 
 std::string Tracer::ToCsv() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   std::string out = "name,cat,tid,begin_us,end_us,dur_us\n";
   for (const Span& span : spans_) {
     out += EscapeJson(span.name);

@@ -3,11 +3,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace hattrick {
 namespace obs {
@@ -73,11 +74,12 @@ class Tracer {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::deque<Span> spans_;
-  std::vector<std::pair<uint32_t, std::string>> track_names_;
-  uint64_t next_id_ = 1;
-  uint64_t dropped_ = 0;
+  mutable Mutex mutex_;
+  std::deque<Span> spans_ GUARDED_BY(mutex_);
+  std::vector<std::pair<uint32_t, std::string>> track_names_
+      GUARDED_BY(mutex_);
+  uint64_t next_id_ GUARDED_BY(mutex_) = 1;
+  uint64_t dropped_ GUARDED_BY(mutex_) = 0;
 };
 
 /// RAII span bound to an injected clock: reads Now() at construction and

@@ -17,12 +17,12 @@ const char* ReplicationModeName(ReplicationMode mode) {
 }
 
 void WalStream::SetFaultInjector(const FaultInjector* injector) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   injector_ = injector;
 }
 
 void WalStream::OnCommit(const WalRecord& record) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   if (record.lsn <= head_lsn_) return;  // re-delivered commit: ignore
   Entry entry{record.lsn, record.Encode()};
   head_lsn_ = record.lsn;
@@ -56,7 +56,7 @@ void WalStream::OnCommit(const WalRecord& record) {
 }
 
 StatusOr<ShippedRecord> WalStream::Peek(uint64_t applied_lsn) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   if (delivery_.empty()) {
     if (head_lsn_ > applied_lsn) {
       // Shipped records exist beyond the applied point but none were
@@ -82,7 +82,7 @@ StatusOr<ShippedRecord> WalStream::Peek(uint64_t applied_lsn) const {
 }
 
 Status WalStream::Consume(uint64_t lsn) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   if (delivery_.empty()) {
     return Status::InvalidArgument("Consume on empty delivery queue");
   }
@@ -96,7 +96,7 @@ Status WalStream::Consume(uint64_t lsn) {
 }
 
 void WalStream::Acknowledge(uint64_t lsn) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   while (!retained_.empty() && retained_.front().lsn <= lsn) {
     retained_.pop_front();
   }
@@ -104,7 +104,7 @@ void WalStream::Acknowledge(uint64_t lsn) {
 }
 
 Status WalStream::RequestResend(uint64_t lsn, uint64_t attempt) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   ++resends_requested_;
   if (lsn <= acked_lsn_ || lsn > head_lsn_) {
     return Status::NotFound("lsn " + std::to_string(lsn) +
@@ -128,7 +128,7 @@ Status WalStream::RequestResend(uint64_t lsn, uint64_t attempt) {
 }
 
 size_t WalStream::ResyncFrom(uint64_t applied_lsn) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   delivery_.clear();
   hold_pending_ = false;
   held_ = Entry{};
@@ -142,58 +142,58 @@ size_t WalStream::ResyncFrom(uint64_t applied_lsn) {
 }
 
 uint64_t WalStream::head_lsn() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   return head_lsn_;
 }
 
 size_t WalStream::PendingAfter(uint64_t applied_lsn) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   if (head_lsn_ <= applied_lsn) return 0;
   return head_lsn_ - applied_lsn;
 }
 
 size_t WalStream::RetainedRecords() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   return retained_.size();
 }
 
 uint64_t WalStream::shipped_bytes() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   return shipped_bytes_;
 }
 
 uint64_t WalStream::injected_drops() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   return injected_drops_;
 }
 
 uint64_t WalStream::injected_duplicates() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   return injected_duplicates_;
 }
 
 uint64_t WalStream::injected_reorders() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   return injected_reorders_;
 }
 
 uint64_t WalStream::resends_requested() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   return resends_requested_;
 }
 
 uint64_t WalStream::resends_delivered() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   return resends_delivered_;
 }
 
 uint64_t WalStream::resends_lost() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   return resends_lost_;
 }
 
 void WalStream::Reset() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   retained_.clear();
   delivery_.clear();
   held_ = Entry{};

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 #include "common/statusor.h"
 #include "fault/fault_injector.h"
@@ -130,21 +132,24 @@ class WalStream final : public WalSink {
     std::string bytes;
   };
 
-  mutable std::mutex mutex_;
-  const FaultInjector* injector_ = nullptr;
-  std::deque<Entry> retained_;  // unacked log tail, contiguous LSNs
-  std::deque<Entry> delivery_;  // network view: gaps/dups/reorders possible
-  Entry held_;                  // reorder fault: record held back one slot
-  bool hold_pending_ = false;
-  uint64_t head_lsn_ = 0;
-  uint64_t acked_lsn_ = 0;
-  uint64_t shipped_bytes_ = 0;
-  uint64_t injected_drops_ = 0;
-  uint64_t injected_duplicates_ = 0;
-  uint64_t injected_reorders_ = 0;
-  uint64_t resends_requested_ = 0;
-  uint64_t resends_delivered_ = 0;
-  uint64_t resends_lost_ = 0;
+  mutable Mutex mutex_;
+  const FaultInjector* injector_ GUARDED_BY(mutex_) = nullptr;
+  /// Unacked log tail, contiguous LSNs.
+  std::deque<Entry> retained_ GUARDED_BY(mutex_);
+  /// Network view: gaps/dups/reorders possible.
+  std::deque<Entry> delivery_ GUARDED_BY(mutex_);
+  /// Reorder fault: record held back one slot.
+  Entry held_ GUARDED_BY(mutex_);
+  bool hold_pending_ GUARDED_BY(mutex_) = false;
+  uint64_t head_lsn_ GUARDED_BY(mutex_) = 0;
+  uint64_t acked_lsn_ GUARDED_BY(mutex_) = 0;
+  uint64_t shipped_bytes_ GUARDED_BY(mutex_) = 0;
+  uint64_t injected_drops_ GUARDED_BY(mutex_) = 0;
+  uint64_t injected_duplicates_ GUARDED_BY(mutex_) = 0;
+  uint64_t injected_reorders_ GUARDED_BY(mutex_) = 0;
+  uint64_t resends_requested_ GUARDED_BY(mutex_) = 0;
+  uint64_t resends_delivered_ GUARDED_BY(mutex_) = 0;
+  uint64_t resends_lost_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace hattrick

@@ -13,6 +13,12 @@ namespace hattrick {
 
 /// A processor-sharing multi-core server in virtual time.
 ///
+/// Thread confinement: like everything under src/sim/, this class is
+/// single-threaded by construction — all state is mutated from the
+/// simulation's event loop, which runs on one thread in virtual time.
+/// It therefore carries no mutexes and no thread-safety annotations;
+/// do not share instances across OS threads.
+///
 /// Jobs carry a CPU demand in seconds. With n active jobs on m cores each
 /// job progresses at rate min(1, m/n) — the standard egalitarian
 /// processor-sharing model of a multi-core box running n runnable

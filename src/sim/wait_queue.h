@@ -12,6 +12,10 @@ namespace hattrick {
 /// sequence number (LSN). Clients in REMOTE_APPLY mode block until the
 /// standby has replayed their commit; the applier publishes progress and
 /// wakes them.
+///
+/// Thread confinement: single-threaded by construction (driven entirely
+/// from the simulation event loop), hence no mutex and no thread-safety
+/// annotations; do not share across OS threads.
 class LsnWaitQueue {
  public:
   using Callback = std::function<void()>;

@@ -1,7 +1,6 @@
 #include "storage/btree.h"
 
 #include <algorithm>
-#include <mutex>
 #include <cassert>
 
 #include "common/key_encoding.h"
@@ -92,14 +91,14 @@ NodeT* FindLeafForScan(NodeT* root, const std::string& key, uint64_t weight,
 }  // namespace
 
 void BTree::Insert(const std::string& key, uint64_t value, WorkMeter* meter) {
-  std::unique_lock lock(latch_);
+  SharedMutexLock lock(&latch_);
   Node* leaf = FindLeaf(key, meter);
   InsertIntoLeaf(leaf, key, value, meter);
 }
 
 Status BTree::InsertUnique(const std::string& key, uint64_t value,
                            WorkMeter* meter) {
-  std::unique_lock lock(latch_);
+  SharedMutexLock lock(&latch_);
   Node* leaf = FindLeafForScan(root_, key, CacheWeight(size_), meter);
   // Check the leaf (and, for boundary cases, the next leaf) for the key.
   for (Node* n = leaf; n != nullptr; n = n->next) {
@@ -179,7 +178,7 @@ void BTree::InsertIntoParent(Node* node, std::string separator,
 }
 
 bool BTree::Remove(const std::string& key, WorkMeter* meter) {
-  std::unique_lock lock(latch_);
+  SharedMutexLock lock(&latch_);
   for (Node* n = FindLeafForScan(root_, key, CacheWeight(size_), meter); n != nullptr;
        n = n->next) {
     const auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
@@ -199,7 +198,7 @@ bool BTree::Remove(const std::string& key, WorkMeter* meter) {
 
 bool BTree::Lookup(const std::string& key, uint64_t* value,
                    WorkMeter* meter) const {
-  std::shared_lock lock(latch_);
+  SharedReaderLock lock(&latch_);
   for (const Node* n = FindLeafForScan(root_, key, CacheWeight(size_), meter); n != nullptr;
        n = n->next) {
     const auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
@@ -215,7 +214,7 @@ bool BTree::Lookup(const std::string& key, uint64_t* value,
 
 void BTree::ScanRange(const std::string& lo, const std::string& hi,
                       const Visitor& visitor, WorkMeter* meter) const {
-  std::shared_lock lock(latch_);
+  SharedReaderLock lock(&latch_);
   const Node* n = FindLeafForScan(root_, lo, CacheWeight(size_), meter);
   size_t pos = 0;
   {
@@ -239,12 +238,12 @@ void BTree::ScanPrefix(const std::string& prefix, const Visitor& visitor,
 }
 
 size_t BTree::size() const {
-  std::shared_lock lock(latch_);
+  SharedReaderLock lock(&latch_);
   return size_;
 }
 
 size_t BTree::height() const {
-  std::shared_lock lock(latch_);
+  SharedReaderLock lock(&latch_);
   return height_;
 }
 
@@ -268,17 +267,32 @@ BTree::Node* BTree::CloneSubtree(const Node* node, Node** prev_leaf) {
 }
 
 void BTree::CopyFrom(const BTree& other) {
-  std::unique_lock lock(latch_);
-  std::shared_lock other_lock(other.latch_);
+  if (this == &other) return;
+  // Address-ordered acquisition, mirroring {Row,Column}Table::CopyFrom:
+  // catalog resets copy trees in both directions between the same pair
+  // (load snapshotting vs benchmark reset), so the previous fixed
+  // this-then-other order was a latent lock-order inversion — two
+  // threads copying opposite directions could deadlock. Explicit
+  // Lock/Unlock because a scoped lock cannot express the conditional
+  // order; the analysis still checks the hold set on every path.
+  if (this < &other) {
+    latch_.Lock();
+    other.latch_.LockShared();
+  } else {
+    other.latch_.LockShared();
+    latch_.Lock();
+  }
   DeleteSubtree(root_);
   Node* prev_leaf = nullptr;
   root_ = CloneSubtree(other.root_, &prev_leaf);
   size_ = other.size_;
   height_ = other.height_;
+  other.latch_.UnlockShared();
+  latch_.Unlock();
 }
 
 void BTree::Clear() {
-  std::unique_lock lock(latch_);
+  SharedMutexLock lock(&latch_);
   DeleteSubtree(root_);
   root_ = new Node();
   size_ = 0;

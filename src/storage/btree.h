@@ -4,10 +4,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "common/work_meter.h"
 #include "obs/metrics.h"
@@ -91,22 +92,24 @@ class BTree {
  private:
   struct Node;
 
-  Node* FindLeaf(const std::string& key, WorkMeter* meter) const;
+  Node* FindLeaf(const std::string& key, WorkMeter* meter) const
+      REQUIRES_SHARED(latch_);
   void InsertIntoLeaf(Node* leaf, const std::string& key, uint64_t value,
-                      WorkMeter* meter);
-  void SplitLeaf(Node* leaf);
-  void SplitInternal(Node* node);
-  void InsertIntoParent(Node* node, std::string separator, Node* sibling);
+                      WorkMeter* meter) REQUIRES(latch_);
+  void SplitLeaf(Node* leaf) REQUIRES(latch_);
+  void SplitInternal(Node* node) REQUIRES(latch_);
+  void InsertIntoParent(Node* node, std::string separator, Node* sibling)
+      REQUIRES(latch_);
   static void DeleteSubtree(Node* node);
   static Node* CloneSubtree(const Node* node, Node** prev_leaf);
 
   const size_t leaf_capacity_;
   const size_t internal_capacity_;
-  Node* root_;
-  size_t size_ = 0;
-  size_t height_ = 1;
-  obs::Counter* split_counter_ = nullptr;
-  mutable std::shared_mutex latch_;
+  mutable SharedMutex latch_;
+  Node* root_ GUARDED_BY(latch_);
+  size_t size_ GUARDED_BY(latch_) = 0;
+  size_t height_ GUARDED_BY(latch_) = 1;
+  obs::Counter* split_counter_ = nullptr;  // attach-time wiring, quiesced
 };
 
 }  // namespace hattrick

@@ -1,7 +1,6 @@
 #include "storage/column_table.h"
 
 #include <algorithm>
-#include <mutex>
 #include <cassert>
 
 namespace hattrick {
@@ -14,7 +13,7 @@ ColumnTable::ColumnTable(Schema schema) : schema_(std::move(schema)) {
 }
 
 Status ColumnTable::Append(const Row& row, WorkMeter* meter) {
-  std::unique_lock lock(latch_);
+  SharedMutexLock lock(&latch_);
   HATTRICK_RETURN_IF_ERROR(schema_.ValidateRow(row));
   const size_t block = num_rows_ / kBlockRows;
   for (size_t i = 0; i < columns_.size(); ++i) {
@@ -57,7 +56,7 @@ Status ColumnTable::Append(const Row& row, WorkMeter* meter) {
 }
 
 size_t ColumnTable::num_rows() const {
-  std::shared_lock lock(latch_);
+  SharedReaderLock lock(&latch_);
   return num_rows_;
 }
 
@@ -137,7 +136,7 @@ bool ColumnTable::BlockMinMax(size_t col, size_t block, double* min,
 
 Status ColumnTable::UpdateRow(size_t row, const Row& values,
                               WorkMeter* meter) {
-  std::unique_lock lock(latch_);
+  SharedMutexLock lock(&latch_);
   if (row >= num_rows_) return Status::OutOfRange("row beyond table");
   HATTRICK_RETURN_IF_ERROR(schema_.ValidateRow(values));
   const size_t block = row / kBlockRows;
@@ -177,23 +176,24 @@ void ColumnTable::CopyFrom(const ColumnTable& other) {
   // Address-ordered acquisition: copies run in both directions between
   // the same table pair (load snapshotting vs benchmark reset), so a
   // fixed this-then-other order would be a lock-order inversion.
-  std::unique_lock<std::shared_mutex> lock(latch_, std::defer_lock);
-  std::shared_lock<std::shared_mutex> other_lock(other.latch_,
-                                                 std::defer_lock);
+  // Explicit Lock/Unlock because a scoped lock cannot express the
+  // conditional order; the analysis still checks the hold set on every
+  // path. Schemas are identical by contract, so schema_ stays untouched.
   if (this < &other) {
-    lock.lock();
-    other_lock.lock();
+    latch_.Lock();
+    other.latch_.LockShared();
   } else {
-    other_lock.lock();
-    lock.lock();
+    other.latch_.LockShared();
+    latch_.Lock();
   }
-  schema_ = other.schema_;
   columns_ = other.columns_;
   num_rows_ = other.num_rows_;
+  other.latch_.UnlockShared();
+  latch_.Unlock();
 }
 
 void ColumnTable::TruncateTo(size_t n) {
-  std::unique_lock lock(latch_);
+  SharedMutexLock lock(&latch_);
   if (n >= num_rows_) return;
   for (Column& col : columns_) {
     switch (col.type) {

@@ -2,11 +2,12 @@
 #define HATTRICK_STORAGE_COLUMN_TABLE_H_
 
 #include <cstdint>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/schema.h"
 #include "common/status.h"
 #include "common/work_meter.h"
@@ -106,10 +107,19 @@ class ColumnTable {
     std::vector<double> block_max;
   };
 
-  Schema schema_;
+  const Schema schema_;  // immutable after construction; never latched
+  mutable SharedMutex latch_;
+  /// Structural state: the latch guards all *mutation* (Append, UpdateRow,
+  /// CopyFrom, TruncateTo run under the exclusive latch). The per-cell and
+  /// raw-pointer read accessors intentionally take no latch: readers are
+  /// synchronized externally by the engine's analytics session pin, which
+  /// excludes every structural change for the life of the session (see
+  /// AnalyticsSession::guard in engine/htap_engine.h) — a contract the
+  /// thread-safety analysis cannot express without falsely requiring the
+  /// latch at every call site, so `columns_` itself stays unannotated and
+  /// only the row-count watermark is latch-checked.
   std::vector<Column> columns_;
-  size_t num_rows_ = 0;
-  mutable std::shared_mutex latch_;
+  size_t num_rows_ GUARDED_BY(latch_) = 0;
 };
 
 }  // namespace hattrick

@@ -2,14 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
-#include <mutex>
 
 namespace hattrick {
 
 RowTable::RowTable(Schema schema) : schema_(std::move(schema)) {}
 
 Rid RowTable::Insert(const Row& row, Ts begin_ts, WorkMeter* meter) {
-  std::unique_lock lock(latch_);
+  SharedMutexLock lock(&latch_);
   const Rid rid = slots_.size();
   Chain chain;
   chain.versions.push_back(Version{begin_ts, kMaxTs, row});
@@ -20,7 +19,7 @@ Rid RowTable::Insert(const Row& row, Ts begin_ts, WorkMeter* meter) {
 
 Status RowTable::AddVersion(Rid rid, const Row& row, Ts commit_ts,
                             WorkMeter* meter) {
-  std::unique_lock lock(latch_);
+  SharedMutexLock lock(&latch_);
   if (rid >= slots_.size()) return Status::NotFound("rid out of range");
   Chain& chain = slots_[rid];
   assert(!chain.versions.empty());
@@ -32,7 +31,7 @@ Status RowTable::AddVersion(Rid rid, const Row& row, Ts commit_ts,
 }
 
 Status RowTable::MarkDeleted(Rid rid, Ts commit_ts, WorkMeter* meter) {
-  std::unique_lock lock(latch_);
+  SharedMutexLock lock(&latch_);
   if (rid >= slots_.size()) return Status::NotFound("rid out of range");
   Chain& chain = slots_[rid];
   assert(!chain.versions.empty());
@@ -42,7 +41,7 @@ Status RowTable::MarkDeleted(Rid rid, Ts commit_ts, WorkMeter* meter) {
 }
 
 bool RowTable::Read(Rid rid, Ts snapshot, Row* out, WorkMeter* meter) const {
-  std::shared_lock lock(latch_);
+  SharedReaderLock lock(&latch_);
   if (rid >= slots_.size()) return false;
   const Chain& chain = slots_[rid];
   // Walk newest-to-oldest: an OLTP access usually wants a recent version.
@@ -59,7 +58,7 @@ bool RowTable::Read(Rid rid, Ts snapshot, Row* out, WorkMeter* meter) const {
 }
 
 bool RowTable::ReadLatest(Rid rid, Row* out, WorkMeter* meter) const {
-  std::shared_lock lock(latch_);
+  SharedReaderLock lock(&latch_);
   if (rid >= slots_.size()) return false;
   const Version& newest = slots_[rid].versions.back();
   if (meter != nullptr) ++meter->version_hops;
@@ -70,7 +69,7 @@ bool RowTable::ReadLatest(Rid rid, Row* out, WorkMeter* meter) const {
 }
 
 Ts RowTable::LatestVersionTs(Rid rid) const {
-  std::shared_lock lock(latch_);
+  SharedReaderLock lock(&latch_);
   if (rid >= slots_.size()) return 0;
   return slots_[rid].versions.back().begin_ts;
 }
@@ -78,7 +77,7 @@ Ts RowTable::LatestVersionTs(Rid rid) const {
 void RowTable::Scan(Ts snapshot,
                     const std::function<bool(Rid, const Row&)>& visitor,
                     WorkMeter* meter) const {
-  std::shared_lock lock(latch_);
+  SharedReaderLock lock(&latch_);
   for (Rid rid = 0; rid < slots_.size(); ++rid) {
     const Chain& chain = slots_[rid];
     // A heap scan reads every version physically present in the slot
@@ -103,7 +102,7 @@ void RowTable::Scan(Ts snapshot,
 void RowTable::ScanRange(Ts snapshot, Rid begin, Rid end,
                          const std::function<bool(Rid, const Row&)>& visitor,
                          WorkMeter* meter) const {
-  std::shared_lock lock(latch_);
+  SharedReaderLock lock(&latch_);
   end = std::min<Rid>(end, slots_.size());
   for (Rid rid = begin; rid < end; ++rid) {
     const Chain& chain = slots_[rid];
@@ -124,19 +123,19 @@ void RowTable::ScanRange(Ts snapshot, Rid begin, Rid end,
 }
 
 size_t RowTable::NumSlots() const {
-  std::shared_lock lock(latch_);
+  SharedReaderLock lock(&latch_);
   return slots_.size();
 }
 
 size_t RowTable::NumVersions() const {
-  std::shared_lock lock(latch_);
+  SharedReaderLock lock(&latch_);
   size_t n = 0;
   for (const Chain& chain : slots_) n += chain.versions.size();
   return n;
 }
 
 size_t RowTable::Vacuum(Ts horizon) {
-  std::unique_lock lock(latch_);
+  SharedMutexLock lock(&latch_);
   size_t dropped = 0;
   for (Chain& chain : slots_) {
     auto& v = chain.versions;
@@ -159,19 +158,22 @@ void RowTable::CopyFrom(const RowTable& other) {
   // Acquire the two latches in address order: copies run in both
   // directions between the same table pair (load snapshotting vs
   // benchmark reset), so a fixed this-then-other order would be a
-  // lock-order inversion.
-  std::unique_lock<std::shared_mutex> lock(latch_, std::defer_lock);
-  std::shared_lock<std::shared_mutex> other_lock(other.latch_,
-                                                 std::defer_lock);
+  // lock-order inversion. Explicit Lock/Unlock because a scoped lock
+  // cannot express the conditional order; the thread-safety analysis
+  // still verifies both branches end holding (and both exits release)
+  // exactly {latch_, other.latch_}. The schemas are identical by
+  // contract (Catalog resets copy between same-layout tables), so
+  // schema_ stays untouched and needs no latch.
   if (this < &other) {
-    lock.lock();
-    other_lock.lock();
+    latch_.Lock();
+    other.latch_.LockShared();
   } else {
-    other_lock.lock();
-    lock.lock();
+    other.latch_.LockShared();
+    latch_.Lock();
   }
-  schema_ = other.schema_;
   slots_ = other.slots_;
+  other.latch_.UnlockShared();
+  latch_.Unlock();
 }
 
 }  // namespace hattrick

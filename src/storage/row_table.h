@@ -5,9 +5,10 @@
 #include <deque>
 #include <functional>
 #include <limits>
-#include <shared_mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/schema.h"
 #include "common/status.h"
 #include "common/work_meter.h"
@@ -107,9 +108,9 @@ class RowTable {
     std::vector<Version> versions;  // oldest first
   };
 
-  Schema schema_;
-  std::deque<Chain> slots_;
-  mutable std::shared_mutex latch_;
+  mutable SharedMutex latch_;
+  const Schema schema_;  // immutable after construction; never latched
+  std::deque<Chain> slots_ GUARDED_BY(latch_);
 };
 
 }  // namespace hattrick

@@ -112,7 +112,7 @@ void TxnManager::BufferUpdate(Transaction* txn, TableId table_id, Rid rid,
 }
 
 StatusOr<CommitResult> TxnManager::Commit(Transaction* txn, WorkMeter* meter) {
-  std::lock_guard lock(commit_latch_);
+  MutexLock lock(&commit_latch_);
 
   if (txn->isolation_ != IsolationLevel::kReadCommitted) {
     // First-updater-wins write-write validation.
@@ -149,7 +149,7 @@ StatusOr<CommitResult> TxnManager::Commit(Transaction* txn, WorkMeter* meter) {
 
   const Ts commit_ts = oracle_->Allocate();
   WalRecord record;
-  record.lsn = next_lsn_++;
+  record.lsn = next_lsn_.fetch_add(1, std::memory_order_relaxed);
   record.commit_ts = commit_ts;
   record.client_id = txn->client_id_;
   record.txn_num = txn->txn_num_;

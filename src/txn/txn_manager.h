@@ -1,12 +1,14 @@
 #ifndef HATTRICK_TXN_TXN_MANAGER_H_
 #define HATTRICK_TXN_TXN_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "common/statusor.h"
 #include "common/work_meter.h"
@@ -138,7 +140,8 @@ class TxnManager {
 
   /// Validates and applies the transaction. On conflict returns
   /// kAborted and applies nothing.
-  StatusOr<CommitResult> Commit(Transaction* txn, WorkMeter* meter);
+  StatusOr<CommitResult> Commit(Transaction* txn, WorkMeter* meter)
+      EXCLUDES(commit_latch_);
 
   /// Discards the transaction (no-op on storage).
   void Abort(Transaction* txn) const;
@@ -153,11 +156,17 @@ class TxnManager {
       const std::function<Status(Transaction*)>& body, WorkMeter* meter,
       int max_retries, int* attempts);
 
-  /// LSN that the next committed WAL record will receive.
-  uint64_t next_lsn() const { return next_lsn_; }
+  /// LSN that the next committed WAL record will receive. Safe to read
+  /// concurrently with commits (atomic; commits advance it under the
+  /// commit latch, but freshness probes read it from other threads).
+  uint64_t next_lsn() const {
+    return next_lsn_.load(std::memory_order_relaxed);
+  }
 
   /// Resets the LSN counter (benchmark reset).
-  void ResetLsn(uint64_t lsn) { next_lsn_ = lsn; }
+  void ResetLsn(uint64_t lsn) {
+    next_lsn_.store(lsn, std::memory_order_relaxed);
+  }
 
   /// Attaches run metrics (txn.commits, txn.aborts.*, txn.wal.*); handles
   /// are resolved once here so Commit() only does counter increments.
@@ -168,8 +177,13 @@ class TxnManager {
   Catalog* catalog_;
   TimestampOracle* oracle_;
   WalSink* sink_;
-  uint64_t next_lsn_ = 1;
-  std::mutex commit_latch_;
+  /// Atomic rather than GUARDED_BY(commit_latch_): advanced only inside
+  /// Commit (under the latch), but read lock-free by next_lsn() from
+  /// driver/freshness threads while commits are in flight — previously a
+  /// plain uint64_t, i.e. a data race the annotations pass surfaced.
+  std::atomic<uint64_t> next_lsn_{1};
+  /// Serializes validation + apply + WAL emit (see class comment).
+  Mutex commit_latch_;
   obs::Counter* commits_metric_ = nullptr;
   obs::Counter* write_conflicts_metric_ = nullptr;
   obs::Counter* read_conflicts_metric_ = nullptr;

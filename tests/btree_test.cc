@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -189,6 +190,47 @@ TEST(BTreeTest, CopyFromReplicatesContents) {
                  nullptr);
   EXPECT_EQ(keys.size(), 123u);
   EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+// Regression: CopyFrom used to lock this->latch_ then other.latch_ in
+// that fixed order, so two threads copying opposite directions could
+// each hold one latch and wait forever on the other (lock-order
+// inversion, surfaced by the thread-safety annotation pass). The fix
+// acquires by address order; on regression this test deadlocks and the
+// ctest timeout flags it.
+TEST(BTreeTest, ConcurrentBidirectionalCopyFromDoesNotDeadlock) {
+  BTree a(4, 4);
+  BTree b(4, 4);
+  for (int i = 0; i < 200; ++i) {
+    a.Insert(IntKey(i), static_cast<uint64_t>(i), nullptr);
+    b.Insert(IntKey(1000 + i), static_cast<uint64_t>(i), nullptr);
+  }
+  constexpr int kIters = 300;
+  std::thread forward([&] {
+    for (int i = 0; i < kIters; ++i) a.CopyFrom(b);
+  });
+  std::thread backward([&] {
+    for (int i = 0; i < kIters; ++i) b.CopyFrom(a);
+  });
+  forward.join();
+  backward.join();
+  // Whatever interleaving won, both trees hold exactly one snapshot.
+  EXPECT_EQ(a.size(), 200u);
+  EXPECT_EQ(b.size(), 200u);
+}
+
+// Self-copy must be a no-op, not a self-deadlock (the address-ordered
+// path would otherwise try to re-lock the same latch).
+TEST(BTreeTest, SelfCopyFromIsNoOp) {
+  BTree tree(4, 4);
+  for (int i = 0; i < 50; ++i) {
+    tree.Insert(IntKey(i), static_cast<uint64_t>(i), nullptr);
+  }
+  tree.CopyFrom(tree);
+  EXPECT_EQ(tree.size(), 50u);
+  uint64_t value = 0;
+  ASSERT_TRUE(tree.Lookup(IntKey(7), &value, nullptr));
+  EXPECT_EQ(value, 7u);
 }
 
 TEST(BTreeTest, ClearResets) {

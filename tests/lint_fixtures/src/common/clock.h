@@ -1,0 +1,14 @@
+// Fixture: this path is allowlisted for nondeterministic-time, so the
+// wall-clock read below must be silent.
+#ifndef FIXTURE_COMMON_CLOCK_H_
+#define FIXTURE_COMMON_CLOCK_H_
+
+#include <chrono>
+
+inline double FixtureNow() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+#endif  // FIXTURE_COMMON_CLOCK_H_

@@ -1,0 +1,9 @@
+// Fixture: violations carrying lint:allow(...) must be silent, while the
+// last line (no allow) must still fire.
+#include <cstdlib>
+
+int Mixed() {
+  int a = std::rand();  // lint:allow(nondeterministic-random) test fixture
+  srand(7);  // lint:allow(nondeterministic-random,raw-lock) multi-rule form
+  return a + std::rand();  // finding: no allow on this line
+}

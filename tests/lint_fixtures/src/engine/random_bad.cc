@@ -1,0 +1,10 @@
+// Fixture: every marked line must trip nondeterministic-random.
+#include <cstdlib>
+#include <random>
+
+int AmbientRandom() {
+  srand(42);                   // finding
+  std::random_device entropy;  // finding
+  (void)entropy;
+  return std::rand();          // finding
+}

@@ -1,0 +1,12 @@
+// Fixture: every marked line must trip raw-lock.
+#include <mutex>         // finding (include)
+#include <shared_mutex>  // finding (include)
+
+std::mutex g_mu;         // finding
+std::shared_mutex g_sh;  // finding
+
+void Critical() {
+  std::lock_guard<std::mutex> guard(g_mu);  // finding
+  g_sh.lock();    // finding
+  g_sh.unlock();  // finding
+}

@@ -1,0 +1,13 @@
+// Fixture: every line below must trip nondeterministic-time.
+#include <chrono>
+#include <ctime>
+
+double WallSeconds() {
+  auto now = std::chrono::system_clock::now();          // finding
+  (void)now;
+  auto t0 = std::chrono::steady_clock::now();           // finding
+  (void)t0;
+  auto hr = std::chrono::high_resolution_clock::now();  // finding
+  (void)hr;
+  return static_cast<double>(time(nullptr));            // finding
+}

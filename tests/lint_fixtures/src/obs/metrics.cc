@@ -1,0 +1,13 @@
+// Fixture: this path is an export path, so the unordered container below
+// must trip unordered-export.
+#include <string>
+#include <unordered_map>
+
+std::string ExportAll() {
+  std::unordered_map<std::string, double> values;  // finding
+  std::string out;
+  for (const auto& [name, value] : values) {
+    out += name + "=" + std::to_string(value) + "\n";
+  }
+  return out;
+}

@@ -1,0 +1,7 @@
+// Fixture: assert() in replication code must trip assert-in-replication.
+#include <cassert>
+#include <cstdint>
+
+void Apply(uint64_t lsn, uint64_t expected) {
+  assert(lsn == expected);  // finding
+}

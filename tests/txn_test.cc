@@ -2,6 +2,9 @@
 // isolation-level semantics (including classic anomalies: lost update,
 // write skew), index maintenance, WAL emission and encoding.
 
+#include <atomic>
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "storage/catalog.h"
@@ -53,6 +56,34 @@ TEST_F(TxnTest, ReadOnlyCommitConsumesNoTimestamp) {
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->lsn, 0u);
   EXPECT_EQ(oracle_.last_committed(), before);
+}
+
+// Regression: next_lsn_ used to be a plain uint64_t that Commit advanced
+// under the commit latch while freshness probes read it from other
+// threads with no synchronization at all — a data race surfaced by the
+// thread-safety annotation pass. It is atomic now; this test drives a
+// committer and a concurrent probe and checks the probe only ever sees
+// monotonically non-decreasing values (TSan flags the race on
+// regression).
+TEST_F(TxnTest, NextLsnReadableWhileCommitting) {
+  constexpr int kCommits = 200;
+  std::atomic<bool> done{false};
+  std::thread prober([&] {
+    uint64_t last = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const uint64_t lsn = tm_->next_lsn();
+      EXPECT_GE(lsn, last);
+      last = lsn;
+    }
+  });
+  for (int i = 0; i < kCommits; ++i) {
+    Transaction txn = tm_->Begin(IsolationLevel::kSnapshot);
+    tm_->BufferInsert(&txn, 0, Row{int64_t{100 + i}, int64_t{1}});
+    ASSERT_TRUE(tm_->Commit(&txn, nullptr).ok());
+  }
+  done.store(true, std::memory_order_release);
+  prober.join();
+  EXPECT_EQ(tm_->next_lsn(), 1u + kCommits);
 }
 
 TEST_F(TxnTest, InsertVisibleAfterCommitOnly) {
