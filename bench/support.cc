@@ -31,7 +31,8 @@ const char* EngineKindName(EngineKind kind) {
 }
 
 BenchEnv MakeEnv(EngineKind kind, double scale_factor,
-                 PhysicalSchema physical, const FaultConfig& fault) {
+                 PhysicalSchema physical, const FaultConfig& fault,
+                 MergeMode merge_mode) {
   BenchEnv env;
   DatagenConfig datagen;
   datagen.scale_factor = scale_factor;
@@ -76,17 +77,24 @@ BenchEnv MakeEnv(EngineKind kind, double scale_factor,
       setup = IsolatedSimSetup();
       break;
     }
-    case EngineKind::kSystemX:
-      env.engine = std::make_unique<HybridEngine>(SystemXConfig());
+    case EngineKind::kSystemX: {
+      HybridEngineConfig config = SystemXConfig();
+      config.merge_mode = merge_mode;
+      env.engine = std::make_unique<HybridEngine>(config);
       setup = HybridSimSetup();
       break;
-    case EngineKind::kTidb:
-      env.engine = std::make_unique<HybridEngine>(TidbConfig());
+    }
+    case EngineKind::kTidb: {
+      HybridEngineConfig config = TidbConfig();
+      config.merge_mode = merge_mode;
+      env.engine = std::make_unique<HybridEngine>(config);
       setup = HybridSimSetup();
       break;
+    }
     case EngineKind::kTidbDist: {
       HybridEngineConfig config = TidbConfig();
       config.name = "TiDB-Dist";
+      config.merge_mode = merge_mode;
       env.engine = std::make_unique<HybridEngine>(config);
       setup = TidbDistSimSetup();
       break;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "engine/htap_engine.h"
+#include "engine/hybrid_engine.h"
 #include "fault/fault_injector.h"
 #include "hattrick/datagen.h"
 #include "hattrick/driver.h"
@@ -53,9 +54,13 @@ inline constexpr uint64_t kDatagenSeed = 42;
 /// Builds, loads, and wires up a system at `scale_factor`. `fault`
 /// (default: disabled) attaches replication-layer fault injection to the
 /// isolated engines (kPostgresSR / kPostgresSRRA); other kinds have no
-/// replication channel and ignore it.
+/// replication channel and ignore it. `merge_mode` (default: the
+/// HATTRICK_MERGE_MODE environment override, else eager) selects the
+/// hybrid engines' delta-visibility protocol; the shared and isolated
+/// kinds have no column copy and ignore it.
 BenchEnv MakeEnv(EngineKind kind, double scale_factor,
-                 PhysicalSchema physical, const FaultConfig& fault = {});
+                 PhysicalSchema physical, const FaultConfig& fault = {},
+                 MergeMode merge_mode = DefaultMergeMode());
 
 /// Default measurement procedure for the figure benches. Execution mode
 /// follows the WorkloadConfig defaults: vectorized, with the batch width

@@ -5,6 +5,9 @@
 #   build    regular RelWithDebInfo build + full ctest suite
 #   lint     hattrick-lint determinism/locking-hygiene checks (tools/lint)
 #   tsan     ThreadSanitizer build, thread-heavy tests (ctest -L tsan)
+#   merge-bitmap  full ctest suite + tsan-labeled tests with
+#            HATTRICK_MERGE_MODE=bitmap (the versioned-column-store
+#            protocol; reuses the build/build-tsan trees)
 #   asan     AddressSanitizer (+LSan) build, full ctest suite
 #   ubsan    UndefinedBehaviorSanitizer build, full ctest suite
 #   analyze  Clang -Wthread-safety -Werror build (HATTRICK_ANALYZE=ON);
@@ -16,6 +19,7 @@
 #   scripts/check.sh                  # build + lint + tsan
 #   scripts/check.sh --all            # every leg (CI parity)
 #   scripts/check.sh --asan --ubsan   # just the named legs
+#   scripts/check.sh --merge-bitmap   # bitmap merge-mode leg only
 #   scripts/check.sh --tidy           # just clang-tidy
 #   scripts/check.sh --tsan-only      # compat: tsan leg only
 #   scripts/check.sh --no-tsan        # compat: build + lint, no tsan
@@ -26,26 +30,28 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 SUPP_DIR="$PWD/scripts/sanitizers"
 
 RUN_BUILD=0 RUN_LINT=0 RUN_TSAN=0 RUN_ASAN=0 RUN_UBSAN=0
-RUN_ANALYZE=0 RUN_TIDY=0
+RUN_ANALYZE=0 RUN_TIDY=0 RUN_MERGE_BITMAP=0
 if [[ $# -eq 0 ]]; then
   RUN_BUILD=1 RUN_LINT=1 RUN_TSAN=1
 fi
 for arg in "$@"; do
   case "$arg" in
     --all) RUN_BUILD=1 RUN_LINT=1 RUN_TSAN=1 RUN_ASAN=1 RUN_UBSAN=1
-           RUN_ANALYZE=1 RUN_TIDY=1 ;;
+           RUN_ANALYZE=1 RUN_TIDY=1 RUN_MERGE_BITMAP=1 ;;
     --build) RUN_BUILD=1 ;;
     --lint) RUN_LINT=1 ;;
     --tsan) RUN_TSAN=1 ;;
     --asan) RUN_ASAN=1 ;;
     --ubsan) RUN_UBSAN=1 ;;
+    --merge-bitmap) RUN_MERGE_BITMAP=1 ;;
     --analyze) RUN_ANALYZE=1 ;;
     --tidy) RUN_TIDY=1 ;;
     # Back-compat spellings used by older CI jobs and muscle memory.
     --tsan-only) RUN_TSAN=1 ;;
     --no-tsan) RUN_BUILD=1 RUN_LINT=1 ;;
     *) echo "usage: $0 [--all] [--build] [--lint] [--tsan] [--asan]" \
-            "[--ubsan] [--analyze] [--tidy] [--tsan-only] [--no-tsan]" >&2
+            "[--ubsan] [--merge-bitmap] [--analyze] [--tidy]" \
+            "[--tsan-only] [--no-tsan]" >&2
        exit 2 ;;
   esac
 done
@@ -81,6 +87,21 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   cmake --build build-tsan -j "$JOBS"
   echo "== ctest -L tsan =="
   (cd build-tsan && TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+      ctest -L tsan --output-on-failure -j 2)
+fi
+
+if [[ "$RUN_MERGE_BITMAP" == 1 ]]; then
+  echo "== build (merge-mode=bitmap leg) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS"
+  echo "== ctest (all, HATTRICK_MERGE_MODE=bitmap) =="
+  (cd build && HATTRICK_MERGE_MODE=bitmap ctest --output-on-failure -j "$JOBS")
+  echo "== build (ThreadSanitizer, merge-mode=bitmap) =="
+  cmake -B build-tsan -S . -DHATTRICK_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS"
+  echo "== ctest -L tsan (HATTRICK_MERGE_MODE=bitmap) =="
+  (cd build-tsan && HATTRICK_MERGE_MODE=bitmap \
+      TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
       ctest -L tsan --output-on-failure -j 2)
 fi
 

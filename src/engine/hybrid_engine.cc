@@ -1,10 +1,23 @@
 #include "engine/hybrid_engine.h"
 
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 
 #include "engine/shared_engine.h"
 
 namespace hattrick {
+
+MergeMode DefaultMergeMode() {
+  static const MergeMode mode = [] {
+    const char* env = std::getenv("HATTRICK_MERGE_MODE");
+    if (env != nullptr && std::strcmp(env, "bitmap") == 0) {
+      return MergeMode::kBitmap;
+    }
+    return MergeMode::kEager;
+  }();
+  return mode;
+}
 
 HybridEngineConfig SystemXConfig() {
   HybridEngineConfig config;
@@ -24,6 +37,21 @@ HybridEngine::HybridEngine(HybridEngineConfig config)
     : config_(std::move(config)) {}
 
 void HybridEngine::DeltaFeed::OnCommit(const WalRecord& record) {
+  if (engine_->config_.merge_mode == MergeMode::kBitmap) {
+    // Runs inside the commit critical section, before the oracle
+    // advances to this commit's timestamp: versions append in commit
+    // order (the per-table logs stay CSN-ascending), and a session
+    // snapshotting at last_committed() always sees a complete prefix.
+    for (const WalOp& op : record.ops) {
+      ColumnTable* column = engine_->columns_[op.table_id].get();
+      if (op.kind == WalOp::Kind::kInsert) {
+        column->AppendVersion(record.commit_ts, op.rid, op.row);
+      } else {
+        column->UpdateVersion(record.commit_ts, op.rid, op.row);
+      }
+    }
+    return;
+  }
   MutexLock lock(&engine_->delta_mutex_);
   engine_->delta_.push_back(record);
 }
@@ -135,6 +163,29 @@ void HybridEngine::MergeDelta(WorkMeter* meter) {
 }
 
 AnalyticsSession HybridEngine::BeginAnalytics(WorkMeter* meter) {
+  if (config_.merge_mode == MergeMode::kBitmap) {
+    AnalyticsSession session;
+    // Pin FIRST, then read the snapshot CSN. The pin excludes folds for
+    // the life of the session, and every version already folded had
+    // csn <= some earlier last_committed() <= this snapshot — so the
+    // base plus the snapshotted log prefix is exactly the committed
+    // state at the CSN, never half-folded. (Snapshotting before
+    // pinning would race a fold whose horizon passed the CSN.)
+    session.guard = merge_latch_.AcquirePin();
+    session.snapshot = oracle_.last_committed();
+    auto source = std::make_unique<ColumnDataSource>();
+    for (size_t id = 0; id < columns_.size(); ++id) {
+      auto delta = std::make_shared<ColumnDeltaSnapshot>();
+      columns_[id]->SnapshotVersions(session.snapshot, delta.get(), meter);
+      const size_t bound = delta->bound;
+      // An empty snapshot degrades to the plain merged-base scan.
+      source->AddTable(primary_.table_name(static_cast<TableId>(id)),
+                       columns_[id].get(), bound,
+                       delta->Empty() ? nullptr : std::move(delta));
+    }
+    session.source = std::move(source);
+    return session;
+  }
   // Merge the tail of the log so the query sees all committed updates —
   // the zero-freshness design of System-X and TiDB (Sections 6.4, 6.5).
   MergeDelta(meter);
@@ -149,6 +200,60 @@ AnalyticsSession HybridEngine::BeginAnalytics(WorkMeter* meter) {
   session.source = std::move(source);
   session.guard = std::move(guard);
   return session;
+}
+
+size_t HybridEngine::FoldPass(WorkMeter* meter) {
+  // Serialized with eager merges and other folds; the horizon is read
+  // after taking the order lock so two passes never fold out of order.
+  MutexLock order(&merge_order_);
+  const Ts horizon = oracle_.last_committed();
+  if (TotalPendingVersions() == 0) return 0;
+  obs::ScopedSpan span(obs_.tracer, obs_.clock, "delta-fold", "merge",
+                       obs::kTrackEngine);
+  size_t folded = 0;
+  // The exclusive latch waits out running sessions (their snapshots
+  // reference base payloads that the fold reallocates) and blocks new
+  // pins until the pass completes — the GC side of visibility.
+  merge_latch_.WithExclusive([&] {
+    for (auto& column : columns_) {
+      folded += column->FoldVersions(horizon, meter);
+    }
+  });
+  if (fold_passes_metric_ != nullptr && folded > 0) {
+    fold_passes_metric_->Inc();
+    fold_rows_metric_->Inc(folded);
+  }
+  span.AppendArgs("\"ops\":" + std::to_string(folded));
+  return folded;
+}
+
+size_t HybridEngine::TotalPendingVersions() const {
+  size_t total = 0;
+  for (const auto& column : columns_) total += column->PendingVersions();
+  return total;
+}
+
+bool HybridEngine::MaintenanceStep(WorkMeter* meter) {
+  if (config_.merge_mode != MergeMode::kBitmap) return false;
+  if (TotalPendingVersions() < config_.fold_watermark) return false;
+  return FoldPass(meter) > 0;
+}
+
+size_t HybridEngine::MaintenancePending() const {
+  // Below the watermark this must report 0: the maintenance pump
+  // re-polls while it is nonzero, and shallow deltas are served by
+  // session snapshots, not folds.
+  if (config_.merge_mode != MergeMode::kBitmap) return 0;
+  const size_t pending = TotalPendingVersions();
+  return pending >= config_.fold_watermark ? pending : 0;
+}
+
+void HybridEngine::FoldAll(WorkMeter* meter) {
+  if (config_.merge_mode == MergeMode::kBitmap) {
+    FoldPass(meter);
+  } else {
+    MergeDelta(meter);
+  }
 }
 
 size_t HybridEngine::Vacuum() {
@@ -166,13 +271,19 @@ void HybridEngine::OnObservabilityChanged() {
   if (obs_.metrics == nullptr) {
     merge_passes_metric_ = merge_rows_metric_ = merge_records_metric_ =
         nullptr;
+    fold_passes_metric_ = fold_rows_metric_ = nullptr;
     return;
   }
   merge_passes_metric_ = obs_.metrics->GetCounter(obs::kStoreMergePasses);
   merge_rows_metric_ = obs_.metrics->GetCounter(obs::kStoreMergeRows);
   merge_records_metric_ = obs_.metrics->GetCounter(obs::kStoreMergeRecords);
+  fold_passes_metric_ = obs_.metrics->GetCounter(obs::kStoreFoldPasses);
+  fold_rows_metric_ = obs_.metrics->GetCounter(obs::kStoreFoldRows);
   obs_.metrics->GetGauge(obs::kStoreDeltaPending)->SetProbe([this] {
     return static_cast<double>(PendingDelta());
+  });
+  obs_.metrics->GetGauge(obs::kStoreVersionDepth)->SetProbe([this] {
+    return static_cast<double>(TotalPendingVersions());
   });
 }
 
@@ -194,6 +305,9 @@ Status HybridEngine::Reset() {
 }
 
 size_t HybridEngine::PendingDelta() const {
+  if (config_.merge_mode == MergeMode::kBitmap) {
+    return TotalPendingVersions();
+  }
   MutexLock lock(&delta_mutex_);
   return delta_.size();
 }

@@ -16,6 +16,25 @@
 
 namespace hattrick {
 
+/// How the hybrid engine makes committed writes visible to analytics.
+///  - kEager: the paper's protocol — BeginAnalytics merges the whole
+///    outstanding delta into the column store under the merge latch
+///    before the query starts (freshness 0, but every query stalls on
+///    the merge and on running sessions).
+///  - kBitmap: committed delta records become CSN-stamped versions on
+///    the column tables; BeginAnalytics captures a snapshot CSN and an
+///    immutable visibility snapshot (dirty bitmap + override/insert
+///    rows) without taking the merge latch. A background fold — driven
+///    by the maintenance pump, charged to the A side — merges cold
+///    versions down once the delta depth crosses a watermark (freshness
+///    still 0: the snapshot CSN is the newest committed timestamp).
+enum class MergeMode { kEager, kBitmap };
+
+/// Process-wide default merge mode: the HATTRICK_MERGE_MODE environment
+/// variable ("eager" | "bitmap", default eager), read once and cached so
+/// a full test binary runs uniformly under either mode.
+MergeMode DefaultMergeMode();
+
 /// Configuration of the hybrid-design engine.
 struct HybridEngineConfig {
   std::string name = "hybrid";
@@ -23,6 +42,12 @@ struct HybridEngineConfig {
   /// default is snapshot-isolated repeatable read (Section 6.5).
   IsolationLevel isolation = IsolationLevel::kSerializable;
   int max_retries = 50;
+  MergeMode merge_mode = DefaultMergeMode();
+  /// Bitmap mode: background fold triggers once the committed-but-
+  /// unfolded version count (across all tables) reaches this depth.
+  /// Below it, versions stay in the log and sessions pay only the
+  /// (cheap) snapshot cost.
+  size_t fold_watermark = 4096;
 };
 
 /// Returns a config matching the paper's System-X (memory-optimized OCC
@@ -35,11 +60,15 @@ HybridEngineConfig TidbConfig();
 
 /// Hybrid design (Section 2.2): one engine and shared compute, but two
 /// copies of the data — a row store executing transactions and a columnar
-/// copy serving analytics. Committed writes queue as a delta; opening an
-/// analytical session first merges the outstanding delta into the column
-/// store ("every analytical query ... has to fetch the changes from the
-/// transactional log or the tail of the T copy"), so the freshness score
-/// is identically zero and merge cost lands on the analytical side.
+/// copy serving analytics. Committed writes queue as a delta; in eager
+/// mode, opening an analytical session first merges the outstanding
+/// delta into the column store ("every analytical query ... has to fetch
+/// the changes from the transactional log or the tail of the T copy"),
+/// so the freshness score is identically zero and merge cost lands on
+/// the analytical side. In bitmap mode (see MergeMode) commits append
+/// CSN-stamped versions instead and sessions scan through per-session
+/// visibility snapshots, killing the merge-before-read stall while
+/// keeping freshness 0 and bit-identical query results.
 class HybridEngine final : public HtapEngine {
  public:
   explicit HybridEngine(HybridEngineConfig config = {});
@@ -52,13 +81,31 @@ class HybridEngine final : public HtapEngine {
   TxnOutcome ExecuteTransaction(const TxnBody& body, uint32_t client_id,
                                 uint64_t txn_num, WorkMeter* meter) override;
   AnalyticsSession BeginAnalytics(WorkMeter* meter) override;
+  /// Bitmap mode: folds versions down once the delta depth crosses the
+  /// watermark (the driver schedules this on A-side resources). Eager
+  /// mode has no background maintenance and always returns false.
+  bool MaintenanceStep(WorkMeter* meter) override;
+  /// Bitmap mode: the unfolded version count once it reaches the
+  /// watermark, else 0 (below the watermark there is nothing the pump
+  /// should wake for — sessions read through their snapshots).
+  size_t MaintenancePending() const override;
   size_t Vacuum() override;
   Status Reset() override;
   Catalog* primary_catalog() override { return &primary_; }
   TxnManager* txn_manager() override { return txn_manager_.get(); }
 
-  /// Committed-but-unmerged delta records (diagnostics; after
-  /// BeginAnalytics this is zero).
+  /// Forces full visibility of the committed state into the columnar
+  /// base: merges the delta queue (eager) or folds every version
+  /// (bitmap). For tests and benchmark quiesce points; not on the query
+  /// path. Must not be called while this thread holds an open session
+  /// guard (the fold excludes running sessions).
+  void FoldAll(WorkMeter* meter);
+
+  MergeMode merge_mode() const { return config_.merge_mode; }
+
+  /// Committed-but-unmerged delta work: queued records (eager) or
+  /// unfolded versions (bitmap). After BeginAnalytics (eager) or
+  /// FoldAll (both modes) this is zero.
   size_t PendingDelta() const EXCLUDES(delta_mutex_);
 
   /// The columnar copy of `table` (tests/benchmarks).
@@ -80,6 +127,15 @@ class HybridEngine final : public HtapEngine {
   };
 
   void MergeDelta(WorkMeter* meter) EXCLUDES(merge_order_, delta_mutex_);
+
+  /// Bitmap mode: one whole fold pass — folds every version with
+  /// csn <= the newest committed timestamp into the columnar base,
+  /// under the session pin latch (base payloads reallocate). Returns
+  /// ops folded.
+  size_t FoldPass(WorkMeter* meter) EXCLUDES(merge_order_);
+
+  /// Unfolded versions across all column tables (bitmap mode).
+  size_t TotalPendingVersions() const;
 
   HybridEngineConfig config_;
   Catalog primary_;
@@ -106,6 +162,8 @@ class HybridEngine final : public HtapEngine {
   obs::Counter* merge_passes_metric_ = nullptr;
   obs::Counter* merge_rows_metric_ = nullptr;
   obs::Counter* merge_records_metric_ = nullptr;
+  obs::Counter* fold_passes_metric_ = nullptr;
+  obs::Counter* fold_rows_metric_ = nullptr;
   bool created_ = false;
   bool loaded_ = false;
 };

@@ -163,10 +163,28 @@ class RowScanOp final : public Operator {
 /// straight into the output vectors. Runs never cross a zone-map block
 /// boundary, so pruning decisions — and metered column_values — are
 /// identical to the row-at-a-time path at any batch size.
+///
+/// With a visibility snapshot (bitmap merge mode) the scan has three row
+/// classes, all charged like their eager-merge equivalents so metered
+/// totals stay invariant across batch size, dop and execution mode:
+///  - clean base rows: the vectorized lanes above, with the run's
+///    selection pre-intersected against the snapshot's dirty bitmap;
+///  - overridden base rows: evaluated per row on the snapshot's version
+///    row by value (their strings may be absent from the dictionary);
+///  - insert-segment rows ([base_rows, bound)): evaluated per row on the
+///    snapshot's insert rows; no zone maps exist there, so no pruning.
+/// A zone-map-pruned block with dirty bits still evaluates its dirty
+/// rows (the override values may match where the stale base could not);
+/// an impossible dictionary predicate prunes only the clean base lanes.
 class ColumnScanOp final : public Operator {
  public:
-  ColumnScanOp(const ColumnTable* table, size_t bound, ScanSpec spec)
-      : table_(table), bound_(bound), spec_(std::move(spec)) {
+  ColumnScanOp(const ColumnTable* table, size_t bound,
+               const ColumnDeltaSnapshot* delta, ScanSpec spec)
+      : table_(table),
+        bound_(bound),
+        delta_(delta),
+        base_rows_(delta != nullptr ? delta->base_rows : bound),
+        spec_(std::move(spec)) {
     types_.reserve(spec_.projection.size());
     for (size_t col : spec_.projection) {
       types_.push_back(table_->schema().column(col).type);
@@ -181,7 +199,10 @@ class ColumnScanOp final : public Operator {
     row_ = 0;
     limit_ = spec_.morsels != nullptr ? 0 : bound_;
     claim_ = MorselSet::ClaimState{};
-    // Resolve string predicates to dictionary code sets once.
+    pruned_ = false;
+    // Resolve string predicates to dictionary code sets once. The
+    // dictionary cannot grow during the session: folds are excluded by
+    // the session pin, and unfolded versions never touch it.
     code_preds_.clear();
     impossible_ = false;
     for (const StrIn& p : spec_.str_in) {
@@ -200,18 +221,25 @@ class ColumnScanOp final : public Operator {
   }
 
   bool Next(ExecContext* ctx, Row* out) override {
-    if (impossible_) return false;
+    if (impossible_ && delta_ == nullptr) return false;
     while (true) {
       while (row_ < limit_) {
-        // Zone-map pruning at block boundaries.
-        if (row_ % ColumnTable::kBlockRows == 0) {
-          while (row_ < limit_ &&
-                 BlockPruned(row_ / ColumnTable::kBlockRows)) {
-            row_ = std::min<size_t>(limit_, row_ + ColumnTable::kBlockRows);
-          }
+        // Zone-map pruning at block boundaries (mid-block resume
+        // positions keep the block's pruned_ state).
+        if (row_ < base_rows_ && row_ % ColumnTable::kBlockRows == 0) {
+          SkipPrunedCleanBlocks();
           if (row_ >= limit_) break;
         }
         const size_t r = row_++;
+        if (r >= base_rows_) {
+          if (EvalDeltaRow(delta_->InsertRow(r), ctx, out)) return true;
+          continue;
+        }
+        if (delta_ != nullptr && delta_->DirtyBit(r)) {
+          if (EvalDeltaRow(delta_->OverrideRow(r), ctx, out)) return true;
+          continue;
+        }
+        if (pruned_) continue;  // clean row in a pruned-dirty block
         if (!Matches(r, ctx)) continue;
         out->clear();
         out->reserve(spec_.projection.size());
@@ -240,24 +268,31 @@ class ColumnScanOp final : public Operator {
 
   bool NextBatch(ExecContext* ctx, Batch* out) override {
     out->ResetTypes(types_);
-    if (impossible_) return false;
+    if (impossible_ && delta_ == nullptr) return false;
     while (true) {
       while (row_ < limit_) {
-        // Zone-map pruning at block boundaries (same condition as the
-        // row path: mid-block resume positions skip the check).
-        if (row_ % ColumnTable::kBlockRows == 0) {
-          while (row_ < limit_ &&
-                 BlockPruned(row_ / ColumnTable::kBlockRows)) {
-            row_ = std::min<size_t>(limit_, row_ + ColumnTable::kBlockRows);
-          }
+        // Same pruning condition as the row path.
+        if (row_ < base_rows_ && row_ % ColumnTable::kBlockRows == 0) {
+          SkipPrunedCleanBlocks();
           if (row_ >= limit_) break;
         }
-        // Run end: block boundary, range limit, or remaining batch room.
+        // Run end: block boundary, range limit, remaining batch room, or
+        // the base/insert segment boundary (the segments scan
+        // differently, so runs never straddle it).
         const size_t block_end =
             (row_ / ColumnTable::kBlockRows + 1) * ColumnTable::kBlockRows;
-        const size_t end = std::min(
+        size_t end = std::min(
             {limit_, block_end, row_ + (ctx->batch_rows - out->rows)});
-        ScanRun(row_, end, ctx, out);
+        if (row_ < base_rows_) {
+          end = std::min(end, base_rows_);
+          if (pruned_) {
+            ScanDirtyOnlyRun(row_, end, ctx, out);
+          } else {
+            ScanRun(row_, end, ctx, out);
+          }
+        } else {
+          ScanInsertRun(row_, end, ctx, out);
+        }
         row_ = end;
         if (out->rows >= ctx->batch_rows) return true;
       }
@@ -271,11 +306,57 @@ class ColumnScanOp final : public Operator {
     std::vector<uint32_t> codes;
   };
 
+  /// A survivor of a dirty run's predicates, in ascending rid order:
+  /// `row` is null for clean base rids (gather from the raw payloads)
+  /// and points at the snapshot's version row otherwise.
+  struct EmitRef {
+    uint32_t rid;
+    const Row* row;
+  };
+
+  /// Predicate count charged for rows evaluated by value (version rows).
+  /// Equals ranges + code_preds when the dictionary resolution succeeded,
+  /// and stays well defined when it did not (impossible_): version rows
+  /// compare strings directly, so an absent dictionary entry prunes only
+  /// the base lanes.
+  size_t NumPredsByValue() const {
+    return spec_.ranges.size() + spec_.str_in.size();
+  }
+
+  /// Advances row_ past consecutive base blocks that are zone-map-pruned
+  /// (or dictionary-impossible) AND have no dirty bits; stops at the
+  /// first block that must be visited and records whether it is pruned
+  /// (pruned_ == true means only its dirty rows are evaluated). Never
+  /// advances past base_rows_: the insert segment has no zone maps and
+  /// is always scanned.
+  void SkipPrunedCleanBlocks() {
+    while (row_ < limit_ && row_ < base_rows_) {
+      const size_t block = row_ / ColumnTable::kBlockRows;
+      const size_t block_end = (block + 1) * ColumnTable::kBlockRows;
+      const size_t base_end = std::min({limit_, block_end, base_rows_});
+      const bool block_pruned = impossible_ || BlockPruned(block);
+      if (block_pruned &&
+          (delta_ == nullptr || !delta_->AnyDirtyInRange(row_, base_end))) {
+        row_ = base_end;
+        continue;
+      }
+      pruned_ = block_pruned;
+      return;
+    }
+  }
+
   /// Evaluates the pushdown predicates over rows [begin, end) and gathers
   /// the survivors' projected columns into *out. Metering matches the row
   /// path: every evaluated row charges one column_values per predicate,
   /// every emitted row charges the projection width plus one output row.
+  /// Rows with a set dirty bit are excluded from the vectorized lanes and
+  /// evaluated on their override rows instead, then merged back in rid
+  /// order; the per-run charge is identical either way.
   void ScanRun(size_t begin, size_t end, ExecContext* ctx, Batch* out) {
+    if (delta_ != nullptr && delta_->AnyDirtyInRange(begin, end)) {
+      ScanMixedRun(begin, end, ctx, out);
+      return;
+    }
     match_.clear();
     for (size_t r = begin; r < end; ++r) {
       match_.push_back(static_cast<uint32_t>(r));
@@ -344,6 +425,182 @@ class ColumnScanOp final : public Operator {
     }
   }
 
+  /// ScanRun for a base run containing dirty rids: clean rids go through
+  /// the vectorized lanes, dirty rids evaluate on their override rows,
+  /// and the survivors merge back in ascending rid order so emission
+  /// order matches the fully-folded scan exactly.
+  void ScanMixedRun(size_t begin, size_t end, ExecContext* ctx,
+                    Batch* out) {
+    match_.clear();
+    dirty_rows_.clear();
+    for (size_t r = begin; r < end; ++r) {
+      if (delta_->DirtyBit(r)) {
+        dirty_rows_.push_back(static_cast<uint32_t>(r));
+      } else {
+        match_.push_back(static_cast<uint32_t>(r));
+      }
+    }
+    for (const NumRange& pred : spec_.ranges) {
+      size_t kept = 0;
+      if (table_->schema().column(pred.column).type == DataType::kInt64) {
+        const int64_t* data = table_->IntData(pred.column);
+        for (const uint32_t r : match_) {
+          const double v = static_cast<double>(data[r]);
+          if (v >= pred.lo && v <= pred.hi) match_[kept++] = r;
+        }
+      } else {
+        const double* data = table_->DoubleData(pred.column);
+        for (const uint32_t r : match_) {
+          if (data[r] >= pred.lo && data[r] <= pred.hi) match_[kept++] = r;
+        }
+      }
+      match_.resize(kept);
+    }
+    for (const CodePred& pred : code_preds_) {
+      const uint32_t* codes = table_->CodeData(pred.column);
+      size_t kept = 0;
+      for (const uint32_t r : match_) {
+        const uint32_t code = codes[r];
+        bool found = false;
+        for (const uint32_t c : pred.codes) {
+          if (c == code) {
+            found = true;
+            break;
+          }
+        }
+        if (found) match_[kept++] = r;
+      }
+      match_.resize(kept);
+    }
+    emits_.clear();
+    size_t ci = 0;  // clean survivors cursor
+    for (const uint32_t r : dirty_rows_) {
+      while (ci < match_.size() && match_[ci] < r) {
+        emits_.push_back(EmitRef{match_[ci++], nullptr});
+      }
+      const Row& row = delta_->OverrideRow(r);
+      if (MatchesPushdowns(row, spec_)) emits_.push_back(EmitRef{r, &row});
+    }
+    while (ci < match_.size()) {
+      emits_.push_back(EmitRef{match_[ci++], nullptr});
+    }
+    for (size_t j = 0; j < spec_.projection.size(); ++j) {
+      const size_t col = spec_.projection[j];
+      ColumnVector& dst = out->cols[j];
+      switch (types_[j]) {
+        case DataType::kInt64: {
+          const int64_t* data = table_->IntData(col);
+          for (const EmitRef& e : emits_) {
+            dst.ints.push_back(e.row == nullptr ? data[e.rid]
+                                                : (*e.row)[col].AsInt());
+          }
+          break;
+        }
+        case DataType::kDouble: {
+          const double* data = table_->DoubleData(col);
+          for (const EmitRef& e : emits_) {
+            dst.doubles.push_back(e.row == nullptr
+                                      ? data[e.rid]
+                                      : (*e.row)[col].AsDouble());
+          }
+          break;
+        }
+        case DataType::kString: {
+          const uint32_t* codes = table_->CodeData(col);
+          for (const EmitRef& e : emits_) {
+            if (e.row == nullptr) {
+              dst.strings.push_back(table_->DictEntry(col, codes[e.rid]));
+            } else {
+              dst.strings.push_back((*e.row)[col].AsString());
+            }
+          }
+          break;
+        }
+      }
+    }
+    out->rows += emits_.size();
+    if (ctx->meter != nullptr) {
+      // Every row in the run — clean or dirty — charges one predicate
+      // pass; NumPredsByValue() == ranges + code_preds here (the mixed
+      // path is never reached when impossible_ holds).
+      ctx->meter->column_values +=
+          (end - begin) * NumPredsByValue() +
+          emits_.size() * spec_.projection.size();
+      ctx->meter->output_rows += emits_.size();
+    }
+  }
+
+  /// Run over a zone-map-pruned (or dictionary-impossible) base block:
+  /// only the dirty rids can match, so only they are evaluated — and
+  /// only they charge predicate work, exactly like the row path.
+  void ScanDirtyOnlyRun(size_t begin, size_t end, ExecContext* ctx,
+                        Batch* out) {
+    if (delta_ == nullptr) return;
+    for (size_t r = begin; r < end; ++r) {
+      if (!delta_->DirtyBit(r)) continue;
+      if (ctx->meter != nullptr) {
+        ctx->meter->column_values += NumPredsByValue();
+      }
+      const Row& row = delta_->OverrideRow(r);
+      if (MatchesPushdowns(row, spec_)) EmitRowToBatch(row, ctx, out);
+    }
+  }
+
+  /// Run over the insert segment [base_rows_, bound_): per-row value
+  /// evaluation of the snapshot's insert rows (no zone maps there).
+  void ScanInsertRun(size_t begin, size_t end, ExecContext* ctx,
+                     Batch* out) {
+    for (size_t r = begin; r < end; ++r) {
+      if (ctx->meter != nullptr) {
+        ctx->meter->column_values += NumPredsByValue();
+      }
+      const Row& row = delta_->InsertRow(r);
+      if (MatchesPushdowns(row, spec_)) EmitRowToBatch(row, ctx, out);
+    }
+  }
+
+  /// Projects a matching version row into the batch vectors.
+  void EmitRowToBatch(const Row& row, ExecContext* ctx, Batch* out) {
+    for (size_t j = 0; j < spec_.projection.size(); ++j) {
+      const size_t col = spec_.projection[j];
+      ColumnVector& dst = out->cols[j];
+      switch (types_[j]) {
+        case DataType::kInt64:
+          dst.ints.push_back(row[col].AsInt());
+          break;
+        case DataType::kDouble:
+          dst.doubles.push_back(row[col].AsDouble());
+          break;
+        case DataType::kString:
+          dst.strings.push_back(row[col].AsString());
+          break;
+      }
+    }
+    ++out->rows;
+    if (ctx->meter != nullptr) {
+      ctx->meter->column_values += spec_.projection.size();
+      ++ctx->meter->output_rows;
+    }
+  }
+
+  /// Row-path evaluation of a version row (override or insert): charges
+  /// one predicate pass, and on a match projects into *out and charges
+  /// like the base emit path. Returns true when a row was produced.
+  bool EvalDeltaRow(const Row& row, ExecContext* ctx, Row* out) {
+    if (ctx->meter != nullptr) {
+      ctx->meter->column_values += NumPredsByValue();
+    }
+    if (!MatchesPushdowns(row, spec_)) return false;
+    out->clear();
+    out->reserve(spec_.projection.size());
+    for (size_t col : spec_.projection) out->push_back(row[col]);
+    if (ctx->meter != nullptr) {
+      ctx->meter->column_values += spec_.projection.size();
+      ++ctx->meter->output_rows;
+    }
+    return true;
+  }
+
   bool BlockPruned(size_t block) const {
     for (const NumRange& pred : spec_.ranges) {
       double mn;
@@ -396,6 +653,12 @@ class ColumnScanOp final : public Operator {
 
   const ColumnTable* table_;
   size_t bound_;
+  /// Visibility snapshot for bitmap merge mode; null in eager mode (and
+  /// when the snapshot is empty), which degrades every path to the plain
+  /// merged-base scan.
+  const ColumnDeltaSnapshot* delta_;
+  /// First insert-segment rid: delta_->base_rows, or bound_ without one.
+  size_t base_rows_;
   ScanSpec spec_;
   std::vector<DataType> types_;
   size_t row_ = 0;
@@ -403,7 +666,12 @@ class ColumnScanOp final : public Operator {
   MorselSet::ClaimState claim_;
   std::vector<CodePred> code_preds_;
   std::vector<uint32_t> match_;  // surviving row ids of the current run
+  std::vector<uint32_t> dirty_rows_;  // dirty rids of the current run
+  std::vector<EmitRef> emits_;        // rid-ordered survivors (mixed run)
   bool impossible_ = false;
+  /// True while scanning a zone-map-pruned block that has dirty bits:
+  /// clean rows are skipped, dirty rows still evaluate.
+  bool pruned_ = false;
 };
 
 /// Index range scan: walks a B+-tree index over [lo, hi] of the hinted
@@ -492,7 +760,7 @@ OperatorPtr ColumnDataSource::Scan(const ScanSpec& spec) const {
   const auto it = tables_.find(spec.table);
   assert(it != tables_.end() && "unknown table in scan spec");
   return std::make_unique<ColumnScanOp>(it->second.table, it->second.bound,
-                                        spec);
+                                        it->second.delta.get(), spec);
 }
 
 size_t ColumnDataSource::ScanExtent(const std::string& table) const {

@@ -1,8 +1,10 @@
 #ifndef HATTRICK_EXEC_SCAN_H_
 #define HATTRICK_EXEC_SCAN_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "exec/operator.h"
 #include "storage/catalog.h"
@@ -28,24 +30,34 @@ class RowDataSource final : public DataSource {
 };
 
 /// Scans column tables up to fixed per-table row bounds. Used by the
-/// hybrid engines: the bound is the number of rows merged at query start,
-/// giving the query a consistent columnar snapshot. Numeric pushdown
-/// predicates prune zone-map blocks; string predicates evaluate on
-/// dictionary codes.
+/// hybrid engines: the bound is the number of rows visible at query
+/// start, giving the query a consistent columnar snapshot. Numeric
+/// pushdown predicates prune zone-map blocks; string predicates evaluate
+/// on dictionary codes.
+///
+/// In bitmap merge mode each table additionally carries a
+/// ColumnDeltaSnapshot: the scan then covers the columnar base rows
+/// whose visibility bit is clean through the vectorized lanes, evaluates
+/// overridden and inserted rows from the snapshot's version rows, and
+/// the bound extends over the insert segment ([base_rows, bound)). A
+/// null snapshot degrades to exactly the merged-base scan.
 class ColumnDataSource final : public DataSource {
  public:
-  /// One scannable columnar table and the row bound visible to queries.
+  /// One scannable columnar table, the row bound visible to queries, and
+  /// the (optional) visibility snapshot of its unfolded versions.
   struct BoundTable {
     const ColumnTable* table;
     size_t bound;
+    std::shared_ptr<const ColumnDeltaSnapshot> delta;
   };
 
   OperatorPtr Scan(const ScanSpec& spec) const override;
   size_t ScanExtent(const std::string& table) const override;
 
   void AddTable(const std::string& name, const ColumnTable* table,
-                size_t bound) {
-    tables_.emplace(name, BoundTable{table, bound});
+                size_t bound,
+                std::shared_ptr<const ColumnDeltaSnapshot> delta = nullptr) {
+    tables_.emplace(name, BoundTable{table, bound, std::move(delta)});
   }
 
  private:

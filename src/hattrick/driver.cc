@@ -49,6 +49,10 @@ SimSetup HybridSimSetup() {
   // Dual-copy commit bookkeeping makes the transaction path somewhat
   // heavier than a single-copy row store.
   setup.cost.txn_fixed_us = 640.0;
+  // Bitmap merge mode: background version folds run through the
+  // maintenance pump on the A side. In eager mode MaintenanceStep is a
+  // no-op, so the pump wakes once per commit and parks immediately.
+  setup.has_maintenance = true;
   return setup;
 }
 
@@ -63,6 +67,7 @@ SimSetup TidbDistSimSetup() {
   // trips (Section 6.5.2).
   setup.cost.t_work_multiplier = 4.0;
   setup.cost.txn_extra_latency_us = 800.0;
+  setup.has_maintenance = true;  // background folds (bitmap merge mode)
   return setup;
 }
 

@@ -25,7 +25,10 @@ PointRunner MakeRunner(SimDriver* driver, const WorkloadConfig& base) {
       point.freshness_mean = metrics.freshness.Mean();
     }
     point.lock_wait_s = metrics.lock_wait_seconds;
-    point.merged_rows = metrics.observed.CountOf(obs::kStoreMergeRows);
+    // Either delta protocol: eager merges charge kStoreMergeRows,
+    // background folds (merge-mode=bitmap) charge kStoreFoldRows.
+    point.merged_rows = metrics.observed.CountOf(obs::kStoreMergeRows) +
+                        metrics.observed.CountOf(obs::kStoreFoldRows);
     point.replay_records =
         metrics.observed.CountOf(obs::kReplAppliedRecords);
     point.aborts = metrics.aborts;

@@ -23,7 +23,7 @@ struct OperatingPoint {
   /// why this point sits where it does (lock queueing, merge and replay
   /// work competing with queries, validation aborts).
   double lock_wait_s = 0;       // total T-client lock-queue seconds
-  uint64_t merged_rows = 0;     // delta rows merged (hybrid designs)
+  uint64_t merged_rows = 0;     // delta rows merged/folded (hybrid designs)
   uint64_t replay_records = 0;  // WAL records replayed (isolated designs)
   uint64_t aborts = 0;          // retried validation aborts
 };

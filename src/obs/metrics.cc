@@ -242,7 +242,8 @@ void PreRegisterDomainMetrics(MetricsRegistry* registry) {
        {kTxnCommits, kTxnAbortsWriteConflict, kTxnAbortsReadConflict,
         kTxnWalRecords, kTxnWalBytes, kReplAppliedRecords,
         kReplCrashRecoveries, kStoreMergePasses, kStoreMergeRows,
-        kStoreMergeRecords, kStoreBtreeSplits, kStoreVacuumedVersions}) {
+        kStoreMergeRecords, kStoreFoldPasses, kStoreFoldRows,
+        kStoreBtreeSplits, kStoreVacuumedVersions}) {
     registry->GetCounter(name);
   }
   for (const char* name :
@@ -250,7 +251,7 @@ void PreRegisterDomainMetrics(MetricsRegistry* registry) {
         kReplRetainedRecords, kReplResendRequests, kReplResendsShipped,
         kReplResendsLost, kReplDuplicateSkips, kReplThrottleSeconds,
         kFaultInjectedDrops, kFaultInjectedDuplicates, kFaultInjectedReorders,
-        kStoreDeltaPending}) {
+        kStoreDeltaPending, kStoreVersionDepth}) {
     registry->GetGauge(name);
   }
 }

@@ -203,6 +203,9 @@ inline constexpr char kStoreDeltaPending[] = "store.delta_pending";
 inline constexpr char kStoreMergePasses[] = "store.merge.passes";
 inline constexpr char kStoreMergeRows[] = "store.merge.rows";
 inline constexpr char kStoreMergeRecords[] = "store.merge.records";
+inline constexpr char kStoreFoldPasses[] = "store.fold.passes";
+inline constexpr char kStoreFoldRows[] = "store.fold.rows";
+inline constexpr char kStoreVersionDepth[] = "store.version_depth";
 inline constexpr char kStoreBtreeSplits[] = "store.btree.splits";
 inline constexpr char kStoreVacuumedVersions[] = "store.vacuumed_versions";
 

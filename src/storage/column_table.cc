@@ -171,8 +171,112 @@ Status ColumnTable::UpdateRow(size_t row, const Row& values,
   return Status::OK();
 }
 
+void ColumnTable::AppendVersion(uint64_t csn, size_t rid, const Row& row) {
+  SharedMutexLock lock(&delta_mu_);
+  assert((delta_log_.empty() || delta_log_.back().csn <= csn) &&
+         "version log must stay CSN-ascending (append from commit order)");
+  assert(rid == num_rows() + pending_inserts_ &&
+         "insert version out of sync with the row store's rid space");
+  delta_log_.push_back(VersionOp{VersionOp::Kind::kInsert, csn, rid, row});
+  ++pending_inserts_;
+}
+
+void ColumnTable::UpdateVersion(uint64_t csn, size_t rid, const Row& row) {
+  SharedMutexLock lock(&delta_mu_);
+  assert((delta_log_.empty() || delta_log_.back().csn <= csn) &&
+         "version log must stay CSN-ascending (append from commit order)");
+  delta_log_.push_back(VersionOp{VersionOp::Kind::kUpdate, csn, rid, row});
+}
+
+size_t ColumnTable::PendingVersions() const {
+  SharedReaderLock lock(&delta_mu_);
+  return delta_log_.size();
+}
+
+void ColumnTable::SnapshotVersions(uint64_t snapshot,
+                                   ColumnDeltaSnapshot* out,
+                                   WorkMeter* meter) const {
+  SharedReaderLock lock(&delta_mu_);
+  // Holding delta_mu_ (shared) makes (base_rows, log prefix) one
+  // consistent pair: FoldVersions holds it exclusively across both the
+  // log drain and the base apply.
+  out->base_rows = num_rows();
+  out->dirty.clear();
+  out->overrides.clear();
+  out->inserts.clear();
+  uint64_t hops = 0;
+  for (const VersionOp& op : delta_log_) {
+    if (op.csn > snapshot) break;  // CSN-ascending: prefix is complete
+    ++hops;
+    if (op.kind == VersionOp::Kind::kInsert) {
+      assert(op.rid == out->base_rows + out->inserts.size() &&
+             "insert versions must be rid-contiguous from the base");
+      out->inserts.push_back(op.row);
+    } else if (op.rid >= out->base_rows) {
+      // Update of a row inserted after the last fold: newest visible
+      // version wins in place (the insert is earlier in the prefix).
+      out->inserts[op.rid - out->base_rows] = op.row;
+    } else {
+      out->overrides[op.rid] = op.row;  // newest visible version wins
+    }
+  }
+  out->bound = out->base_rows + out->inserts.size();
+  if (!out->overrides.empty()) {
+    out->dirty.assign((out->base_rows + 63) / 64, 0);
+    for (const auto& [rid, row] : out->overrides) {
+      out->dirty[rid >> 6] |= uint64_t{1} << (rid & 63);
+    }
+  }
+  if (meter != nullptr) {
+    meter->version_hops += hops;
+    meter->column_values +=
+        (out->overrides.size() + out->inserts.size()) * columns_.size();
+  }
+}
+
+size_t ColumnTable::FoldVersions(uint64_t horizon, WorkMeter* meter) {
+  SharedMutexLock lock(&delta_mu_);
+  size_t folded = 0;
+  while (!delta_log_.empty() && delta_log_.front().csn <= horizon) {
+    const VersionOp& op = delta_log_.front();
+    // Replaying the prefix in log (= commit) order is always
+    // self-consistent: an update can only target a rid whose insert
+    // committed earlier, hence appears earlier in the prefix.
+    if (op.kind == VersionOp::Kind::kInsert) {
+      assert(op.rid == num_rows() && "fold would break rid contiguity");
+      const Status s = Append(op.row, meter);
+      assert(s.ok());
+      (void)s;
+      --pending_inserts_;
+    } else {
+      const Status s = UpdateRow(op.rid, op.row, meter);
+      assert(s.ok());
+      (void)s;
+    }
+    if (meter != nullptr) ++meter->merged_rows;
+    delta_log_.pop_front();
+    ++folded;
+  }
+  return folded;
+}
+
 void ColumnTable::CopyFrom(const ColumnTable& other) {
   if (this == &other) return;
+  // Version state first, sequentially (never nested with the base
+  // latches below, so the address-order discipline is untouched): the
+  // destination's unfolded log dies with its base contents, and the
+  // source must not have one — copies only run against quiesced or
+  // snapshot tables, which are always fully folded.
+  {
+    SharedReaderLock src(&other.delta_mu_);
+    assert(other.delta_log_.empty() &&
+           "CopyFrom source has unfolded versions");
+  }
+  {
+    SharedMutexLock dst(&delta_mu_);
+    delta_log_.clear();
+    pending_inserts_ = 0;
+  }
   // Address-ordered acquisition: copies run in both directions between
   // the same table pair (load snapshotting vs benchmark reset), so a
   // fixed this-then-other order would be a lock-order inversion.
@@ -193,6 +297,11 @@ void ColumnTable::CopyFrom(const ColumnTable& other) {
 }
 
 void ColumnTable::TruncateTo(size_t n) {
+  {
+    SharedMutexLock delta_lock(&delta_mu_);
+    delta_log_.clear();
+    pending_inserts_ = 0;
+  }
   SharedMutexLock lock(&latch_);
   if (n >= num_rows_) return;
   for (Column& col : columns_) {

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -82,8 +83,9 @@ TEST_P(ConsistencyTest, HybridColumnCopyMatchesRowStore) {
   RunRandomWorkload(&engine, &context, GetParam() * 13, 300);
 
   WorkMeter meter;
-  AnalyticsSession session = engine.BeginAnalytics(&meter);  // merge
-  session.guard.reset();
+  // Force full visibility into the columnar base: merges the delta
+  // queue in eager mode, folds every version in bitmap mode.
+  engine.FoldAll(&meter);
 
   // Every table: the column copy equals the newest row-store contents.
   Catalog* catalog = engine.primary_catalog();
@@ -334,6 +336,53 @@ TEST_P(ConsistencyTest, HybridSnapshotsConsistentUnderConcurrentWriters) {
   ASSERT_TRUE(
       LoadDataset(dataset, PhysicalSchema::kSemiIndexes, &engine).ok());
   StressParallelSnapshots(&engine, dataset, GetParam() * 7);
+}
+
+TEST_P(ConsistencyTest, HybridBitmapSnapshotsConsistentUnderBackgroundFold) {
+  // Bitmap merge mode under maximum contention: writer threads append
+  // versions, analytics snapshot and scan through visibility bitmaps,
+  // and a background thread (the threaded driver's applier, replicated
+  // here) keeps folding versions into the base — the GC whose
+  // reallocations the session pins must fence off.
+  const Dataset dataset = GenerateDataset(StressConfig(GetParam()));
+  HybridEngineConfig config;
+  config.merge_mode = MergeMode::kBitmap;
+  config.fold_watermark = 256;  // low enough for many folds per run
+  HybridEngine engine{config};
+  ASSERT_TRUE(
+      LoadDataset(dataset, PhysicalSchema::kSemiIndexes, &engine).ok());
+
+  std::atomic<bool> stop{false};
+  std::thread folder([&] {
+    WorkMeter m;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!engine.MaintenanceStep(&m)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  });
+  StressParallelSnapshots(&engine, dataset, GetParam() * 7);
+  stop.store(true);
+  folder.join();
+
+  // Fully folded, the columnar base must equal the row store exactly.
+  WorkMeter meter;
+  engine.FoldAll(&meter);
+  EXPECT_EQ(engine.PendingDelta(), 0u);
+  Catalog* catalog = engine.primary_catalog();
+  for (TableId id = 0; id < catalog->num_tables(); ++id) {
+    RowTable* rows = catalog->GetTable(id);
+    const ColumnTable* columns =
+        engine.column_table(catalog->table_name(id));
+    ASSERT_EQ(rows->NumSlots(), columns->num_rows())
+        << catalog->table_name(id);
+    for (Rid rid = 0; rid < rows->NumSlots(); rid += 11) {
+      Row row_version;
+      ASSERT_TRUE(rows->ReadLatest(rid, &row_version, nullptr));
+      EXPECT_EQ(row_version, columns->GetRow(rid))
+          << catalog->table_name(id) << " rid " << rid;
+    }
+  }
 }
 
 TEST_P(ConsistencyTest, SharedSnapshotsConsistentUnderConcurrentWriters) {

@@ -189,6 +189,17 @@ INSTANTIATE_TEST_SUITE_P(
                    [] {
                      return std::unique_ptr<HtapEngine>(
                          std::make_unique<HybridEngine>());
+                   }},
+        EngineCase{"hybrid_bitmap",
+                   [] {
+                     // Versioned column store with a tiny watermark so
+                     // the conformance suite also exercises background
+                     // folds (the default case inherits the env mode).
+                     HybridEngineConfig config;
+                     config.merge_mode = MergeMode::kBitmap;
+                     config.fold_watermark = 4;
+                     return std::unique_ptr<HtapEngine>(
+                         std::make_unique<HybridEngine>(config));
                    }}),
     [](const ::testing::TestParamInfo<EngineCase>& info) {
       return info.param.name;
@@ -373,8 +384,12 @@ TEST_F(IsolatedEngineTest, MultiReplicaReset) {
 
 class HybridEngineTest : public ::testing::Test {
  protected:
+  // These tests assert the eager merge-before-read protocol itself, so
+  // the mode is pinned rather than inherited from HATTRICK_MERGE_MODE.
   void SetUp() override {
-    engine_ = std::make_unique<HybridEngine>();
+    HybridEngineConfig config;
+    config.merge_mode = MergeMode::kEager;
+    engine_ = std::make_unique<HybridEngine>(config);
     ASSERT_TRUE(engine_->Create(SmallSpec()).ok());
     ASSERT_TRUE(engine_->BulkLoad("items", SeedRows()).ok());
     ASSERT_TRUE(engine_->FinishLoad().ok());
@@ -453,6 +468,156 @@ TEST_F(HybridEngineTest, ResetClearsDeltaAndColumnGrowth) {
   ASSERT_TRUE(engine_->Reset().ok());
   EXPECT_EQ(engine_->PendingDelta(), 0u);
   EXPECT_EQ(engine_->column_table("items")->num_rows(), 50u);
+}
+
+// --------------------------------------------------------------------------
+// Bitmap merge mode: CSN-stamped versions instead of merge-before-read.
+// --------------------------------------------------------------------------
+
+class HybridBitmapEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    HybridEngineConfig config;
+    config.merge_mode = MergeMode::kBitmap;
+    config.fold_watermark = 4;
+    engine_ = std::make_unique<HybridEngine>(config);
+    ASSERT_TRUE(engine_->Create(SmallSpec()).ok());
+    ASSERT_TRUE(engine_->BulkLoad("items", SeedRows()).ok());
+    ASSERT_TRUE(engine_->FinishLoad().ok());
+  }
+
+  TxnOutcome InsertItem(int64_t id) {
+    WorkMeter meter;
+    return engine_->ExecuteTransaction(
+        [id](TxnManager* tm, Transaction* txn, WorkMeter*) {
+          tm->BufferInsert(txn, 0,
+                           Row{id, std::string("new"), int64_t{1}});
+          return Status::OK();
+        },
+        1, 1, &meter);
+  }
+
+  TxnOutcome SetQty(Rid rid, int64_t qty) {
+    WorkMeter meter;
+    return engine_->ExecuteTransaction(
+        [rid, qty](TxnManager* tm, Transaction* txn,
+                   WorkMeter* m) -> Status {
+          Row row;
+          HATTRICK_RETURN_IF_ERROR(tm->Read(txn, 0, rid, &row, m));
+          Row updated = row;
+          updated[2] = Value(qty);
+          tm->BufferUpdate(txn, 0, rid, row, std::move(updated));
+          return Status::OK();
+        },
+        1, 1, &meter);
+  }
+
+  /// Scans qty over an open session; rows seen and the qty sum.
+  std::pair<size_t, int64_t> ScanQty(const AnalyticsSession& session,
+                                     WorkMeter* meter) {
+    ScanSpec spec;
+    spec.table = "items";
+    spec.projection = {2};
+    OperatorPtr scan = session.source->Scan(spec);
+    ExecContext ctx{meter};
+    scan->Open(&ctx);
+    Row row;
+    size_t rows = 0;
+    int64_t sum = 0;
+    while (scan->Next(&ctx, &row)) {
+      ++rows;
+      sum += row[0].AsInt();
+    }
+    return {rows, sum};
+  }
+
+  std::unique_ptr<HybridEngine> engine_;
+};
+
+TEST_F(HybridBitmapEngineTest, CommitVisibleWithoutFold) {
+  ASSERT_TRUE(InsertItem(99).status.ok());
+  EXPECT_EQ(engine_->PendingDelta(), 1u);
+  WorkMeter meter;
+  AnalyticsSession session = engine_->BeginAnalytics(&meter);
+  // No merge happened — the base is untouched and the version pending —
+  // yet the scan reads the committed insert through the snapshot.
+  EXPECT_EQ(engine_->PendingDelta(), 1u);
+  EXPECT_EQ(engine_->column_table("items")->num_rows(), 50u);
+  const auto [rows, sum] = ScanQty(session, &meter);
+  EXPECT_EQ(rows, 51u);
+  EXPECT_EQ(sum, 501);
+  EXPECT_GT(meter.version_hops, 0u);
+  EXPECT_EQ(meter.merged_rows, 0u);
+}
+
+TEST_F(HybridBitmapEngineTest, UpdateVisibleThroughOverride) {
+  ASSERT_TRUE(SetQty(7, 777).status.ok());
+  WorkMeter meter;
+  AnalyticsSession session = engine_->BeginAnalytics(&meter);
+  // The base cell still holds the stale value; the session reads the
+  // override.
+  EXPECT_EQ(engine_->column_table("items")->GetInt(2, 7), 10);
+  const auto [rows, sum] = ScanQty(session, &meter);
+  EXPECT_EQ(rows, 50u);
+  EXPECT_EQ(sum, 500 - 10 + 777);
+}
+
+TEST_F(HybridBitmapEngineTest, WatermarkTriggersBackgroundFold) {
+  WorkMeter meter;
+  ASSERT_TRUE(InsertItem(100).status.ok());
+  // Below the watermark: nothing for the maintenance pump to do.
+  EXPECT_EQ(engine_->MaintenancePending(), 0u);
+  EXPECT_FALSE(engine_->MaintenanceStep(&meter));
+  for (int i = 1; i < 4; ++i) {
+    ASSERT_TRUE(InsertItem(100 + i).status.ok());
+  }
+  EXPECT_GE(engine_->MaintenancePending(), 4u);
+  EXPECT_TRUE(engine_->MaintenanceStep(&meter));
+  EXPECT_GT(meter.merged_rows, 0u);
+  EXPECT_EQ(engine_->PendingDelta(), 0u);
+  EXPECT_EQ(engine_->column_table("items")->num_rows(), 54u);
+}
+
+TEST_F(HybridBitmapEngineTest, FoldAllAppliesVersionsToBase) {
+  ASSERT_TRUE(SetQty(3, 42).status.ok());
+  ASSERT_TRUE(InsertItem(200).status.ok());
+  WorkMeter meter;
+  engine_->FoldAll(&meter);
+  EXPECT_EQ(engine_->PendingDelta(), 0u);
+  EXPECT_EQ(engine_->column_table("items")->num_rows(), 51u);
+  EXPECT_EQ(engine_->column_table("items")->GetInt(2, 3), 42);
+}
+
+TEST_F(HybridBitmapEngineTest, SessionSnapshotIgnoresLaterCommits) {
+  ASSERT_TRUE(InsertItem(300).status.ok());
+  WorkMeter meter;
+  AnalyticsSession session = engine_->BeginAnalytics(&meter);
+  // Commits after the snapshot CSN — including updates to a row the
+  // snapshot already overrides — must not change what the session sees,
+  // even on repeated scans.
+  ASSERT_TRUE(InsertItem(301).status.ok());
+  ASSERT_TRUE(SetQty(5, 999).status.ok());
+  const auto first = ScanQty(session, &meter);
+  EXPECT_EQ(first.first, 51u);
+  EXPECT_EQ(first.second, 501);
+  const auto again = ScanQty(session, &meter);
+  EXPECT_EQ(again.first, first.first);
+  EXPECT_EQ(again.second, first.second);
+}
+
+TEST_F(HybridBitmapEngineTest, ResetClearsVersions) {
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(InsertItem(400 + i).status.ok());
+  }
+  EXPECT_EQ(engine_->PendingDelta(), 3u);
+  ASSERT_TRUE(engine_->Reset().ok());
+  EXPECT_EQ(engine_->PendingDelta(), 0u);
+  EXPECT_EQ(engine_->column_table("items")->num_rows(), 50u);
+  WorkMeter meter;
+  AnalyticsSession session = engine_->BeginAnalytics(&meter);
+  const auto [rows, sum] = ScanQty(session, &meter);
+  EXPECT_EQ(rows, 50u);
+  EXPECT_EQ(sum, 500);
 }
 
 }  // namespace

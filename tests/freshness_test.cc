@@ -1,9 +1,15 @@
 // Tests for the freshness score (Section 4): the paper's Figure 3
-// example, clamping, multi-client aggregation, and failed-transaction
-// gaps.
+// example, clamping, multi-client aggregation, failed-transaction gaps,
+// and randomized property tests (full-visibility snapshots score ~0;
+// the score is monotone in the query start and antitone in visibility).
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "hattrick/freshness.h"
 
 namespace hattrick {
@@ -143,6 +149,99 @@ TEST(FreshnessTest, MonotoneInQueryStart) {
   late.query_start = 4.0;
   late.seen = {0};
   EXPECT_LT(tracker.Score(early), tracker.Score(late));
+}
+
+// --------------------------------------------------------------------------
+// Randomized property tests (ISSUE satellite): the invariants a
+// zero-freshness snapshot protocol (eager merge or bitmap snapshots at
+// the newest committed CSN) must uphold, checked over random histories.
+// --------------------------------------------------------------------------
+
+/// A random multi-client commit history; returns per-client commit
+/// counts and feeds the tracker with increasing commit times.
+std::vector<int64_t> RandomHistory(FreshnessTracker* tracker, Rng* rng,
+                                   uint32_t clients, double* end_time) {
+  tracker->SetNumClients(clients);
+  std::vector<int64_t> issued(clients, 0);
+  double t = 0;
+  const int commits = static_cast<int>(rng->Uniform(5, 60));
+  for (int i = 0; i < commits; ++i) {
+    t += rng->NextDouble();
+    const uint32_t client =
+        static_cast<uint32_t>(rng->Uniform(1, clients));
+    // Occasionally skip a txn_num: failed transactions leave gaps.
+    issued[client - 1] += rng->Bernoulli(0.15) ? 2 : 1;
+    tracker->RecordCommit(client, static_cast<uint64_t>(issued[client - 1]),
+                          t);
+  }
+  *end_time = t;
+  return issued;
+}
+
+TEST(FreshnessPropertyTest, FullVisibilitySnapshotsScoreZero) {
+  // A session that sees every transaction committed before it starts —
+  // what BeginAnalytics guarantees in both merge modes, since the
+  // snapshot CSN is the newest committed timestamp — must score exactly
+  // 0 no matter the history.
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed * 7919);
+    FreshnessTracker tracker;
+    double end_time = 0;
+    const std::vector<int64_t> issued =
+        RandomHistory(&tracker, &rng, 4, &end_time);
+    FreshnessTracker::Observation obs;
+    obs.query_start = end_time + rng.NextDouble();
+    obs.seen.assign(issued.begin(), issued.end());
+    EXPECT_DOUBLE_EQ(tracker.Score(obs), 0.0) << "seed " << seed;
+  }
+}
+
+TEST(FreshnessPropertyTest, ScoreMonotoneInQueryStart) {
+  // Fixing what a session saw, a later query start can only be staler:
+  // f(ts) is non-decreasing in ts. (This is the monotonicity a frozen
+  // bitmap snapshot exhibits as wall time advances past its CSN.)
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed * 104729);
+    FreshnessTracker tracker;
+    double end_time = 0;
+    const std::vector<int64_t> issued =
+        RandomHistory(&tracker, &rng, 3, &end_time);
+    FreshnessTracker::Observation obs;
+    obs.seen.resize(issued.size());
+    for (size_t c = 0; c < issued.size(); ++c) {
+      obs.seen[c] = rng.Uniform(0, issued[c]);
+    }
+    double prev = -1.0;
+    for (double ts = 0.0; ts <= end_time + 1.0; ts += 0.25) {
+      obs.query_start = ts;
+      const double score = tracker.Score(obs);
+      EXPECT_GE(score, prev) << "seed " << seed << " ts " << ts;
+      EXPECT_GE(score, 0.0);
+      prev = score;
+    }
+  }
+}
+
+TEST(FreshnessPropertyTest, SeeingMoreNeverIncreasesScore) {
+  // Componentwise-larger visibility vectors can only lower (or keep)
+  // the score: folding versions into the base or advancing the snapshot
+  // CSN never makes a session appear staler.
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed * 1299709);
+    FreshnessTracker tracker;
+    double end_time = 0;
+    const std::vector<int64_t> issued =
+        RandomHistory(&tracker, &rng, 3, &end_time);
+    FreshnessTracker::Observation less;
+    less.query_start = end_time + 0.5;
+    less.seen.resize(issued.size());
+    FreshnessTracker::Observation more = less;
+    for (size_t c = 0; c < issued.size(); ++c) {
+      less.seen[c] = rng.Uniform(0, issued[c]);
+      more.seen[c] = rng.Uniform(less.seen[c], issued[c]);
+    }
+    EXPECT_LE(tracker.Score(more), tracker.Score(less)) << "seed " << seed;
+  }
 }
 
 }  // namespace

@@ -396,7 +396,9 @@ TEST_F(ObsDriverTest, MetricsCoverDomainGroupsAndCountCommits) {
 }
 
 TEST_F(ObsDriverTest, HybridRunCountsMergesInMetrics) {
-  HybridEngine engine{SystemXConfig()};
+  HybridEngineConfig config = SystemXConfig();
+  config.merge_mode = MergeMode::kEager;  // merge counters under test
+  HybridEngine engine{config};
   ASSERT_TRUE(
       LoadDataset(*dataset_, PhysicalSchema::kSemiIndexes, &engine).ok());
   WorkloadContext context(*dataset_);
@@ -404,6 +406,22 @@ TEST_F(ObsDriverTest, HybridRunCountsMergesInMetrics) {
   const RunMetrics metrics = driver.Run(QuickRun(6, 2));
   EXPECT_GT(metrics.observed.CountOf(obs::kStoreMergeRows), 0u);
   EXPECT_GT(metrics.observed.CountOf(obs::kStoreMergePasses), 0u);
+}
+
+TEST_F(ObsDriverTest, HybridBitmapRunCountsFoldsNotMerges) {
+  HybridEngineConfig config = SystemXConfig();
+  config.merge_mode = MergeMode::kBitmap;
+  config.fold_watermark = 16;  // cross the watermark within a quick run
+  HybridEngine engine{config};
+  ASSERT_TRUE(
+      LoadDataset(*dataset_, PhysicalSchema::kSemiIndexes, &engine).ok());
+  WorkloadContext context(*dataset_);
+  SimDriver driver(&engine, &context, HybridSimSetup());
+  const RunMetrics metrics = driver.Run(QuickRun(6, 2));
+  EXPECT_GT(metrics.observed.CountOf(obs::kStoreFoldRows), 0u);
+  EXPECT_GT(metrics.observed.CountOf(obs::kStoreFoldPasses), 0u);
+  // No eager merges happen in bitmap mode.
+  EXPECT_EQ(metrics.observed.CountOf(obs::kStoreMergePasses), 0u);
 }
 
 TEST_F(ObsDriverTest, ParallelQueriesEmitPerWayMorselSpans) {

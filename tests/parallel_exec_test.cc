@@ -382,7 +382,11 @@ TEST(GuardLifetimeTest, HybridMergeBlocksUntilWorkerDropsGuard) {
   // column store pinned — a delta merge (triggered by the next
   // BeginAnalytics) may only proceed once the worker releases its copy.
   const Dataset dataset = GenerateDataset(SmallConfig(99));
-  HybridEngine engine;
+  // Pinned to eager mode: the scenario under test is the merge inside
+  // BeginAnalytics waiting on the worker's pin.
+  HybridEngineConfig config;
+  config.merge_mode = MergeMode::kEager;
+  HybridEngine engine{config};
   ASSERT_TRUE(
       LoadDataset(dataset, PhysicalSchema::kSemiIndexes, &engine).ok());
   WorkloadContext context(dataset);

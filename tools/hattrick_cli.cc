@@ -31,6 +31,12 @@
 //               fall back to the default)
 //   --row-exec  row-at-a-time oracle executor instead of vectorized
 //               batches (same results and metered work; for A/B runs)
+//   --merge-mode  eager | bitmap — hybrid engines' delta visibility:
+//               eager merges the delta before every analytical query
+//               (the paper's protocol), bitmap serves analytics from
+//               CSN-stamped version snapshots with background folds
+//               (default: HATTRICK_MERGE_MODE env, else eager; ignored
+//               by non-hybrid systems)
 //   --fault-profile  none | drop | duplicate | reorder | crash | delay |
 //               chaos — replication fault injection (isolated systems
 //               only; default none)
@@ -208,15 +214,31 @@ int Main(int argc, char** argv) {
     fault = std::move(parsed).value();
   }
 
+  MergeMode merge_mode = DefaultMergeMode();
+  if (flags.Has("merge-mode")) {
+    const std::string mode_name = flags.GetString("merge-mode", "eager");
+    if (mode_name == "eager") {
+      merge_mode = MergeMode::kEager;
+    } else if (mode_name == "bitmap") {
+      merge_mode = MergeMode::kBitmap;
+    } else {
+      std::fprintf(stderr, "unknown --merge-mode\n");
+      return Usage();
+    }
+  }
+
   std::printf("# system=%s sf=%.1f schema=%s\n",
               bench::EngineKindName(kind), sf, PhysicalSchemaName(schema));
+  if (merge_mode == MergeMode::kBitmap) {
+    std::printf("# merge-mode=bitmap\n");
+  }
   if (fault.enabled) {
     std::printf("# fault profile=%s seed=%llu\n", fault.profile.c_str(),
                 static_cast<unsigned long long>(fault.seed));
   }
   std::printf("# loading...\n");
   std::fflush(stdout);
-  bench::BenchEnv env = bench::MakeEnv(kind, sf, schema, fault);
+  bench::BenchEnv env = bench::MakeEnv(kind, sf, schema, fault, merge_mode);
   std::printf("# loaded %zu lineorders\n", env.dataset.lineorder.size());
 
   WorkloadConfig base;
