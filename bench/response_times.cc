@@ -32,25 +32,29 @@ int main() {
     const RunMetrics metrics = env.driver->Run(run);
 
     std::printf("\n== %s ==\n", EngineKindName(system.kind));
-    std::printf("# txn_type,mean_ms,p99_ms,count,commits,aborts\n");
+    std::printf("# txn_type,mean_ms,p50_ms,p95_ms,p99_ms,count,commits,"
+                "aborts\n");
     for (int t = 0; t < 3; ++t) {
       const Sampler& sampler = metrics.txn_latency_by_type[t];
       if (sampler.empty()) continue;
-      std::printf("%s,%.4f,%.4f,%zu,%llu,%llu\n",
+      const LatencySummary tail = Summarize(sampler);
+      std::printf("%s,%.4f,%.4f,%.4f,%.4f,%zu,%llu,%llu\n",
                   TxnTypeName(static_cast<TxnType>(t)),
-                  sampler.Mean() * 1e3, sampler.Percentile(0.99) * 1e3,
-                  sampler.count(),
+                  sampler.Mean() * 1e3, tail.p50 * 1e3, tail.p95 * 1e3,
+                  tail.p99 * 1e3, sampler.count(),
                   static_cast<unsigned long long>(
                       metrics.committed_by_type[t]),
                   static_cast<unsigned long long>(
                       metrics.aborts_by_type[t]));
     }
-    std::printf("# query,mean_ms,p99_ms,count\n");
+    std::printf("# query,mean_ms,p50_ms,p95_ms,p99_ms,count\n");
     for (int q = 0; q < kNumQueries; ++q) {
       const Sampler& sampler = metrics.query_latency_by_id[q];
       if (sampler.empty()) continue;
-      std::printf("%s,%.3f,%.3f,%zu\n", QueryName(q), sampler.Mean() * 1e3,
-                  sampler.Percentile(0.99) * 1e3, sampler.count());
+      const LatencySummary tail = Summarize(sampler);
+      std::printf("%s,%.3f,%.3f,%.3f,%.3f,%zu\n", QueryName(q),
+                  sampler.Mean() * 1e3, tail.p50 * 1e3, tail.p95 * 1e3,
+                  tail.p99 * 1e3, sampler.count());
     }
     std::fflush(stdout);
   }

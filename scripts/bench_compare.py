@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Diff two bench_runner snapshots (BENCH_<name>.json) with tolerance bands.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [options]
+
+Checks, per system matched by its "system" key:
+  - throughput (tps, qps): current may not fall more than --throughput-tol
+    below the baseline;
+  - tail latencies (txn/query p99, freshness p99): current may not exceed
+    the baseline by more than --latency-tol, with --latency-floor-ms of
+    absolute slack so microsecond-scale jitter never trips the gate;
+  - query profiles: rows_per_exec must match exactly (a row-count change
+    is a correctness bug, not a perf regression); work_per_exec may not
+    grow more than --work-tol; a digest change alone is reported as a
+    warning (plan shape changed — expected when operators are added).
+
+Exit codes: 0 ok, 1 regression detected, 2 usage/format error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"bench_compare: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("bench_format") != 1:
+        print(f"bench_compare: {path}: unsupported bench_format "
+              f"{doc.get('bench_format')!r}", file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff two BENCH_<name>.json snapshots")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--throughput-tol", type=float, default=0.15,
+                        help="allowed fractional tps/qps drop (default 0.15)")
+    parser.add_argument("--latency-tol", type=float, default=0.30,
+                        help="allowed fractional p99 growth (default 0.30)")
+    parser.add_argument("--latency-floor-ms", type=float, default=0.05,
+                        help="absolute p99 slack in ms (default 0.05)")
+    parser.add_argument("--work-tol", type=float, default=0.02,
+                        help="allowed fractional per-query work growth "
+                             "(default 0.02)")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    curr = load(args.current)
+
+    regressions = []
+    warnings = []
+
+    def check_throughput(label, base_v, curr_v):
+        if base_v <= 0:
+            return
+        drop = (base_v - curr_v) / base_v
+        if drop > args.throughput_tol:
+            regressions.append(
+                f"{label}: {curr_v:.6g} vs baseline {base_v:.6g} "
+                f"({drop:+.1%} drop, tol {args.throughput_tol:.0%})")
+
+    def check_latency(label, base_v, curr_v):
+        slack = base_v * args.latency_tol + args.latency_floor_ms * 1e-3
+        if curr_v > base_v + slack:
+            growth = (curr_v - base_v) / base_v if base_v > 0 else float("inf")
+            regressions.append(
+                f"{label}: {curr_v * 1e3:.4g} ms vs baseline "
+                f"{base_v * 1e3:.4g} ms ({growth:+.1%}, tol "
+                f"{args.latency_tol:.0%} + {args.latency_floor_ms} ms)")
+
+    curr_systems = {s["system"]: s for s in curr.get("systems", [])}
+    for base_sys in base.get("systems", []):
+        name = base_sys["system"]
+        curr_sys = curr_systems.get(name)
+        if curr_sys is None:
+            regressions.append(f"{name}: missing from current snapshot")
+            continue
+
+        check_throughput(f"{name}.tps", base_sys["tps"], curr_sys["tps"])
+        check_throughput(f"{name}.qps", base_sys["qps"], curr_sys["qps"])
+        check_latency(f"{name}.txn_p99",
+                      base_sys["txn_latency_s"]["all"]["p99"],
+                      curr_sys["txn_latency_s"]["all"]["p99"])
+        check_latency(f"{name}.query_p99",
+                      base_sys["query_latency_s"]["all"]["p99"],
+                      curr_sys["query_latency_s"]["all"]["p99"])
+        check_latency(f"{name}.freshness_p99",
+                      base_sys.get("freshness_p99_s", 0),
+                      curr_sys.get("freshness_p99_s", 0))
+
+        curr_profiles = {p["query"]: p
+                         for p in curr_sys.get("query_profiles", [])}
+        for base_prof in base_sys.get("query_profiles", []):
+            query = base_prof["query"]
+            curr_prof = curr_profiles.get(query)
+            if curr_prof is None:
+                regressions.append(f"{name}.{query}: profile missing")
+                continue
+            if curr_prof["rows_per_exec"] != base_prof["rows_per_exec"]:
+                regressions.append(
+                    f"{name}.{query}: rows_per_exec "
+                    f"{curr_prof['rows_per_exec']} vs baseline "
+                    f"{base_prof['rows_per_exec']} (correctness)")
+            base_work = base_prof["work_per_exec"]
+            curr_work = curr_prof["work_per_exec"]
+            if base_work > 0 and curr_work > base_work * (1 + args.work_tol):
+                growth = (curr_work - base_work) / base_work
+                regressions.append(
+                    f"{name}.{query}: work_per_exec {curr_work} vs "
+                    f"baseline {base_work} ({growth:+.1%}, tol "
+                    f"{args.work_tol:.0%})")
+            if curr_prof["digest"] != base_prof["digest"]:
+                warnings.append(
+                    f"{name}.{query}: profile digest changed "
+                    f"({base_prof['digest']} -> {curr_prof['digest']})")
+
+    for note in warnings:
+        print(f"WARNING  {note}")
+    for note in regressions:
+        print(f"REGRESSION  {note}")
+    if regressions:
+        print(f"bench_compare: {len(regressions)} regression(s), "
+              f"{len(warnings)} warning(s)")
+        return 1
+    print(f"bench_compare: ok ({len(warnings)} warning(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,9 @@
 #            skipped with a notice when clang++ is not installed
 #   tidy     clang-tidy over src/ using the compile database; skipped
 #            with a notice when clang-tidy is not installed
+#   bench-smoke  bench_runner at smoke scale diffed against the
+#            checked-in bench/BENCH_smoke.json via
+#            scripts/bench_compare.py (perf-regression gate)
 #
 # Usage:
 #   scripts/check.sh                  # build + lint + tsan
@@ -30,14 +33,14 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 SUPP_DIR="$PWD/scripts/sanitizers"
 
 RUN_BUILD=0 RUN_LINT=0 RUN_TSAN=0 RUN_ASAN=0 RUN_UBSAN=0
-RUN_ANALYZE=0 RUN_TIDY=0 RUN_MERGE_BITMAP=0
+RUN_ANALYZE=0 RUN_TIDY=0 RUN_MERGE_BITMAP=0 RUN_BENCH_SMOKE=0
 if [[ $# -eq 0 ]]; then
   RUN_BUILD=1 RUN_LINT=1 RUN_TSAN=1
 fi
 for arg in "$@"; do
   case "$arg" in
     --all) RUN_BUILD=1 RUN_LINT=1 RUN_TSAN=1 RUN_ASAN=1 RUN_UBSAN=1
-           RUN_ANALYZE=1 RUN_TIDY=1 RUN_MERGE_BITMAP=1 ;;
+           RUN_ANALYZE=1 RUN_TIDY=1 RUN_MERGE_BITMAP=1 RUN_BENCH_SMOKE=1 ;;
     --build) RUN_BUILD=1 ;;
     --lint) RUN_LINT=1 ;;
     --tsan) RUN_TSAN=1 ;;
@@ -46,12 +49,13 @@ for arg in "$@"; do
     --merge-bitmap) RUN_MERGE_BITMAP=1 ;;
     --analyze) RUN_ANALYZE=1 ;;
     --tidy) RUN_TIDY=1 ;;
+    --bench-smoke) RUN_BENCH_SMOKE=1 ;;
     # Back-compat spellings used by older CI jobs and muscle memory.
     --tsan-only) RUN_TSAN=1 ;;
     --no-tsan) RUN_BUILD=1 RUN_LINT=1 ;;
     *) echo "usage: $0 [--all] [--build] [--lint] [--tsan] [--asan]" \
             "[--ubsan] [--merge-bitmap] [--analyze] [--tidy]" \
-            "[--tsan-only] [--no-tsan]" >&2
+            "[--bench-smoke] [--tsan-only] [--no-tsan]" >&2
        exit 2 ;;
   esac
 done
@@ -103,6 +107,15 @@ if [[ "$RUN_MERGE_BITMAP" == 1 ]]; then
   (cd build-tsan && HATTRICK_MERGE_MODE=bitmap \
       TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
       ctest -L tsan --output-on-failure -j 2)
+fi
+
+if [[ "$RUN_BENCH_SMOKE" == 1 ]]; then
+  echo "== bench-smoke =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target bench_runner
+  ./build/bench/bench_runner --name=smoke --out=build/BENCH_smoke.json
+  python3 scripts/bench_compare.py bench/BENCH_smoke.json \
+      build/BENCH_smoke.json
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then

@@ -16,9 +16,17 @@ Each bench prints blocks of the form
 
 This script renders every frontier found in the file on one axes pair,
 plus per-label grid graphs, using matplotlib if available.
+
+It can also render the tail-latency percentile curves from a
+bench_runner snapshot (p99 vs throughput per system, one line each for
+transactions and queries):
+
+    ./build/bench/bench_runner --name=smoke
+    python3 scripts/plot_figures.py --bench BENCH_smoke.json --out tails.png
 """
 
 import argparse
+import json
 import re
 import sys
 from collections import defaultdict
@@ -80,11 +88,70 @@ def parse_blocks(lines):
     return systems
 
 
+def import_pyplot():
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+        return plt
+    except ImportError:
+        sys.exit("error: matplotlib is not installed; the raw data is "
+                 "already plottable with any tool")
+
+
+def plot_bench(path, out):
+    """Percentile curves from a BENCH_<name>.json snapshot: p99 latency
+    against achieved throughput per system, one panel for transactions
+    and one for queries (the operating-point sweep in "points")."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    if doc.get("bench_format") != 1:
+        sys.exit(f"error: {path}: unsupported bench_format "
+                 f"{doc.get('bench_format')!r}")
+
+    plt = import_pyplot()
+    fig, (txn_ax, query_ax) = plt.subplots(1, 2, figsize=(10, 4))
+    for system in doc.get("systems", []):
+        points = system.get("points", [])
+        if not points:
+            continue
+        label = system["system"]
+        txn_ax.plot([p["tps"] for p in points],
+                    [p["txn_p99_s"] * 1e3 for p in points],
+                    "o-", label=label)
+        query_ax.plot([p["qps"] for p in points],
+                      [p["query_p99_s"] * 1e3 for p in points],
+                      "s-", label=label)
+    txn_ax.set_title(f"{doc.get('name', '?')}: txn tail latency")
+    txn_ax.set_xlabel("T throughput (tps)")
+    txn_ax.set_ylabel("txn p99 (ms)")
+    txn_ax.legend(fontsize=7)
+    query_ax.set_title(f"{doc.get('name', '?')}: query tail latency")
+    query_ax.set_xlabel("A throughput (qps)")
+    query_ax.set_ylabel("query p99 (ms)")
+    query_ax.legend(fontsize=7)
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
 def main():
     parser = argparse.ArgumentParser()
-    parser.add_argument("input", help="bench output file")
+    parser.add_argument("input", nargs="?", help="bench output file")
+    parser.add_argument("--bench", metavar="BENCH_JSON",
+                        help="plot percentile curves from a bench_runner "
+                             "snapshot instead of CSV frontier blocks")
     parser.add_argument("--out", default="figure.png")
     args = parser.parse_args()
+
+    if args.bench:
+        plot_bench(args.bench, args.out)
+        return
+    if not args.input:
+        parser.error("give a bench output file or --bench BENCH_JSON")
 
     try:
         with open(args.input) as f:
@@ -96,13 +163,7 @@ def main():
                  "pipe a figure bench's stdout (e.g. ./build/bench/"
                  "fig05_postgres_sf) into a file and pass that file")
 
-    try:
-        import matplotlib
-        matplotlib.use("Agg")
-        import matplotlib.pyplot as plt
-    except ImportError:
-        sys.exit("error: matplotlib is not installed; the raw CSV blocks in "
-                 f"{args.input} are already plottable with any tool")
+    plt = import_pyplot()
 
     n = len(systems)
     fig, axes = plt.subplots(1, n + 1, figsize=(5 * (n + 1), 4))

@@ -50,6 +50,24 @@ class Sampler {
   mutable bool sorted_ = false;
 };
 
+/// The tail-latency triple every reporting surface prints (seconds;
+/// zeros when the series is empty).
+struct LatencySummary {
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+inline LatencySummary Summarize(const Sampler& sampler) {
+  LatencySummary out;
+  if (!sampler.empty()) {
+    out.p50 = sampler.Percentile(0.50);
+    out.p95 = sampler.Percentile(0.95);
+    out.p99 = sampler.Percentile(0.99);
+  }
+  return out;
+}
+
 }  // namespace hattrick
 
 #endif  // HATTRICK_COMMON_HISTOGRAM_H_

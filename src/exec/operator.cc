@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/key_encoding.h"
+#include "exec/op_profiler.h"
 
 namespace hattrick {
 
@@ -54,32 +55,40 @@ class FilterOp final : public Operator {
   FilterOp(OperatorPtr child, ExprPtr predicate)
       : child_(std::move(child)), predicate_(std::move(predicate)) {}
 
-  void Open(ExecContext* ctx) override { child_->Open(ctx); }
+  void Open(ExecContext* ctx) override {
+    prof_.OpenBegin(ctx, "Filter");
+    child_->Open(ctx);
+    prof_.OpenEnd(ctx);
+  }
 
   bool Next(ExecContext* ctx, Row* out) override {
-    while (child_->Next(ctx, out)) {
-      if (EvalBool(*predicate_, *out)) return true;
-    }
-    return false;
+    return prof_.Next(ctx, [&] {
+      while (child_->Next(ctx, out)) {
+        if (EvalBool(*predicate_, *out)) return true;
+      }
+      return false;
+    });
   }
 
   bool NextBatch(ExecContext* ctx, Batch* out) override {
-    while (child_->NextBatch(ctx, out)) {
-      predicate_->EvalBatch(*out, &pred_);
-      // Refine the selection in place: keep the active rows where the
-      // predicate holds. Payloads are untouched (no compaction).
-      keep_.clear();
-      const size_t n = out->ActiveRows();
-      for (size_t k = 0; k < n; ++k) {
-        const size_t i = out->ActiveIndex(k);
-        if (BoolAt(pred_, i)) keep_.push_back(static_cast<uint32_t>(i));
+    return prof_.NextBatch(ctx, out, [&] {
+      while (child_->NextBatch(ctx, out)) {
+        predicate_->EvalBatch(*out, &pred_);
+        // Refine the selection in place: keep the active rows where the
+        // predicate holds. Payloads are untouched (no compaction).
+        keep_.clear();
+        const size_t n = out->ActiveRows();
+        for (size_t k = 0; k < n; ++k) {
+          const size_t i = out->ActiveIndex(k);
+          if (BoolAt(pred_, i)) keep_.push_back(static_cast<uint32_t>(i));
+        }
+        if (keep_.empty()) continue;  // fully filtered batch: pull the next
+        out->sel.idx = keep_;
+        out->filtered = true;
+        return true;
       }
-      if (keep_.empty()) continue;  // fully filtered batch: pull the next
-      out->sel.idx = keep_;
-      out->filtered = true;
-      return true;
-    }
-    return false;
+      return false;
+    });
   }
 
  private:
@@ -87,6 +96,7 @@ class FilterOp final : public Operator {
   ExprPtr predicate_;
   ColumnVector pred_;
   std::vector<uint32_t> keep_;
+  OpProfiler prof_;
 };
 
 class ProjectOp final : public Operator {
@@ -94,36 +104,45 @@ class ProjectOp final : public Operator {
   ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs)
       : child_(std::move(child)), exprs_(std::move(exprs)) {}
 
-  void Open(ExecContext* ctx) override { child_->Open(ctx); }
+  void Open(ExecContext* ctx) override {
+    prof_.OpenBegin(ctx, "Project", "exprs=" + std::to_string(exprs_.size()));
+    child_->Open(ctx);
+    prof_.OpenEnd(ctx);
+  }
 
   bool Next(ExecContext* ctx, Row* out) override {
-    Row in;
-    if (!child_->Next(ctx, &in)) return false;
-    out->clear();
-    out->reserve(exprs_.size());
-    for (const ExprPtr& e : exprs_) out->push_back(e->Eval(in));
-    return true;
+    return prof_.Next(ctx, [&] {
+      Row in;
+      if (!child_->Next(ctx, &in)) return false;
+      out->clear();
+      out->reserve(exprs_.size());
+      for (const ExprPtr& e : exprs_) out->push_back(e->Eval(in));
+      return true;
+    });
   }
 
   bool NextBatch(ExecContext* ctx, Batch* out) override {
-    if (!child_->NextBatch(ctx, &in_)) return false;
-    // One kernel sweep per output expression over the whole batch; the
-    // input selection carries over (expressions are pure, so values
-    // computed at unselected rows are never read).
-    out->cols.resize(exprs_.size());
-    for (size_t i = 0; i < exprs_.size(); ++i) {
-      exprs_[i]->EvalBatch(in_, &out->cols[i]);
-    }
-    out->rows = in_.rows;
-    out->sel = in_.sel;
-    out->filtered = in_.filtered;
-    return true;
+    return prof_.NextBatch(ctx, out, [&] {
+      if (!child_->NextBatch(ctx, &in_)) return false;
+      // One kernel sweep per output expression over the whole batch; the
+      // input selection carries over (expressions are pure, so values
+      // computed at unselected rows are never read).
+      out->cols.resize(exprs_.size());
+      for (size_t i = 0; i < exprs_.size(); ++i) {
+        exprs_[i]->EvalBatch(in_, &out->cols[i]);
+      }
+      out->rows = in_.rows;
+      out->sel = in_.sel;
+      out->filtered = in_.filtered;
+      return true;
+    });
   }
 
  private:
   OperatorPtr child_;
   std::vector<ExprPtr> exprs_;
   Batch in_;
+  OpProfiler prof_;
 };
 
 class HashJoinOp final : public Operator {
@@ -136,6 +155,14 @@ class HashJoinOp final : public Operator {
         build_key_(build_key) {}
 
   void Open(ExecContext* ctx) override {
+    prof_.OpenBegin(ctx, "HashJoin",
+                    "probe_key=" + std::to_string(probe_key_) +
+                        " build_key=" + std::to_string(build_key_));
+    OpenImpl(ctx);
+    prof_.OpenEnd(ctx);
+  }
+
+  void OpenImpl(ExecContext* ctx) {
     probe_->Open(ctx);
     build_->Open(ctx);
     if (ctx->vectorized) {
@@ -166,24 +193,30 @@ class HashJoinOp final : public Operator {
   }
 
   bool Next(ExecContext* ctx, Row* out) override {
-    while (true) {
-      if (match_it_ != match_end_) {
-        *out = probe_row_;
-        const Row& build_row = match_it_->second;
-        out->insert(out->end(), build_row.begin(), build_row.end());
-        ++match_it_;
-        if (ctx->meter != nullptr) ++ctx->meter->output_rows;
-        return true;
+    return prof_.Next(ctx, [&] {
+      while (true) {
+        if (match_it_ != match_end_) {
+          *out = probe_row_;
+          const Row& build_row = match_it_->second;
+          out->insert(out->end(), build_row.begin(), build_row.end());
+          ++match_it_;
+          if (ctx->meter != nullptr) ++ctx->meter->output_rows;
+          return true;
+        }
+        if (!probe_->Next(ctx, &probe_row_)) return false;
+        std::string key;
+        key::EncodeValue(probe_row_[probe_key_], &key);
+        if (ctx->meter != nullptr) ++ctx->meter->hash_probes;
+        std::tie(match_it_, match_end_) = table_.equal_range(key);
       }
-      if (!probe_->Next(ctx, &probe_row_)) return false;
-      std::string key;
-      key::EncodeValue(probe_row_[probe_key_], &key);
-      if (ctx->meter != nullptr) ++ctx->meter->hash_probes;
-      std::tie(match_it_, match_end_) = table_.equal_range(key);
-    }
+    });
   }
 
   bool NextBatch(ExecContext* ctx, Batch* out) override {
+    return prof_.NextBatch(ctx, out, [&] { return NextBatchImpl(ctx, out); });
+  }
+
+  bool NextBatchImpl(ExecContext* ctx, Batch* out) {
     out->Clear();
     Row joined;
     while (out->rows < ctx->batch_rows) {
@@ -226,6 +259,7 @@ class HashJoinOp final : public Operator {
   Table::iterator match_end_{};
   Batch probe_batch_;
   size_t probe_pos_ = 0;
+  OpProfiler prof_;
 };
 
 class HashAggregateOp final : public Operator {
@@ -238,6 +272,14 @@ class HashAggregateOp final : public Operator {
         partial_(partial) {}
 
   void Open(ExecContext* ctx) override {
+    prof_.OpenBegin(ctx, partial_ ? "PartialHashAggregate" : "HashAggregate",
+                    "groups=" + std::to_string(group_by_.size()) +
+                        " aggs=" + std::to_string(aggregates_.size()));
+    OpenImpl(ctx);
+    prof_.OpenEnd(ctx);
+  }
+
+  void OpenImpl(ExecContext* ctx) {
     child_->Open(ctx);
     std::unordered_map<std::string, State> groups;
     if (ctx->vectorized) {
@@ -280,20 +322,24 @@ class HashAggregateOp final : public Operator {
   }
 
   bool Next(ExecContext* ctx, Row* out) override {
-    if (pos_ >= output_.size()) return false;
-    *out = std::move(output_[pos_++]);
-    if (ctx->meter != nullptr) ++ctx->meter->output_rows;
-    return true;
+    return prof_.Next(ctx, [&] {
+      if (pos_ >= output_.size()) return false;
+      *out = std::move(output_[pos_++]);
+      if (ctx->meter != nullptr) ++ctx->meter->output_rows;
+      return true;
+    });
   }
 
   bool NextBatch(ExecContext* ctx, Batch* out) override {
-    out->Clear();
-    while (pos_ < output_.size() && out->rows < ctx->batch_rows) {
-      if (!out->TypesMatch(output_[pos_])) break;
-      out->AppendRow(output_[pos_++]);
-    }
-    if (ctx->meter != nullptr) ctx->meter->output_rows += out->rows;
-    return out->rows > 0;
+    return prof_.NextBatch(ctx, out, [&] {
+      out->Clear();
+      while (pos_ < output_.size() && out->rows < ctx->batch_rows) {
+        if (!out->TypesMatch(output_[pos_])) break;
+        out->AppendRow(output_[pos_++]);
+      }
+      if (ctx->meter != nullptr) ctx->meter->output_rows += out->rows;
+      return out->rows > 0;
+    });
   }
 
  private:
@@ -424,6 +470,7 @@ class HashAggregateOp final : public Operator {
   bool partial_;
   std::vector<Row> output_;
   size_t pos_ = 0;
+  OpProfiler prof_;
 };
 
 class OrderByOp final : public Operator {
@@ -432,6 +479,7 @@ class OrderByOp final : public Operator {
       : child_(std::move(child)), keys_(std::move(keys)) {}
 
   void Open(ExecContext* ctx) override {
+    prof_.OpenBegin(ctx, "OrderBy", "keys=" + std::to_string(keys_.size()));
     child_->Open(ctx);
     if (ctx->vectorized) {
       Batch b;
@@ -447,22 +495,26 @@ class OrderByOp final : public Operator {
       }
       return false;
     });
+    prof_.OpenEnd(ctx);
   }
 
   bool Next(ExecContext* ctx, Row* out) override {
-    (void)ctx;
-    if (pos_ >= rows_.size()) return false;
-    *out = std::move(rows_[pos_++]);
-    return true;
+    return prof_.Next(ctx, [&] {
+      if (pos_ >= rows_.size()) return false;
+      *out = std::move(rows_[pos_++]);
+      return true;
+    });
   }
 
   bool NextBatch(ExecContext* ctx, Batch* out) override {
-    out->Clear();
-    while (pos_ < rows_.size() && out->rows < ctx->batch_rows) {
-      if (!out->TypesMatch(rows_[pos_])) break;
-      out->AppendRow(rows_[pos_++]);
-    }
-    return out->rows > 0;
+    return prof_.NextBatch(ctx, out, [&] {
+      out->Clear();
+      while (pos_ < rows_.size() && out->rows < ctx->batch_rows) {
+        if (!out->TypesMatch(rows_[pos_])) break;
+        out->AppendRow(rows_[pos_++]);
+      }
+      return out->rows > 0;
+    });
   }
 
  private:
@@ -470,33 +522,43 @@ class OrderByOp final : public Operator {
   std::vector<SortKey> keys_;
   std::vector<Row> rows_;
   size_t pos_ = 0;
+  OpProfiler prof_;
 };
 
 class ValuesScanOp final : public Operator {
  public:
   explicit ValuesScanOp(std::vector<Row> rows) : rows_(std::move(rows)) {}
 
-  void Open(ExecContext*) override { pos_ = 0; }
+  void Open(ExecContext* ctx) override {
+    prof_.OpenBegin(ctx, "ValuesScan",
+                    "rows=" + std::to_string(rows_.size()));
+    pos_ = 0;
+    prof_.OpenEnd(ctx);
+  }
 
   bool Next(ExecContext* ctx, Row* out) override {
-    (void)ctx;
-    if (pos_ >= rows_.size()) return false;
-    *out = rows_[pos_++];
-    return true;
+    return prof_.Next(ctx, [&] {
+      if (pos_ >= rows_.size()) return false;
+      *out = rows_[pos_++];
+      return true;
+    });
   }
 
   bool NextBatch(ExecContext* ctx, Batch* out) override {
-    out->Clear();
-    while (pos_ < rows_.size() && out->rows < ctx->batch_rows) {
-      if (!out->TypesMatch(rows_[pos_])) break;
-      out->AppendRow(rows_[pos_++]);
-    }
-    return out->rows > 0;
+    return prof_.NextBatch(ctx, out, [&] {
+      out->Clear();
+      while (pos_ < rows_.size() && out->rows < ctx->batch_rows) {
+        if (!out->TypesMatch(rows_[pos_])) break;
+        out->AppendRow(rows_[pos_++]);
+      }
+      return out->rows > 0;
+    });
   }
 
  private:
   std::vector<Row> rows_;
   size_t pos_ = 0;
+  OpProfiler prof_;
 };
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "exec/batch.h"
 #include "exec/expression.h"
 #include "exec/morsel.h"
+#include "obs/plan_profile.h"
 #include "obs/trace.h"
 
 namespace hattrick {
@@ -57,6 +58,14 @@ struct ExecContext {
   obs::Tracer* tracer = nullptr;
   const Clock* trace_clock = nullptr;
   uint32_t trace_tid = 0;
+
+  /// Optional EXPLAIN ANALYZE profile (null by default — operators pay
+  /// one pointer test per call). When set, every operator registers a
+  /// PlanProfileNode in Open and accumulates rows/batches/work-meter
+  /// units/injected-clock time per Next/NextBatch (exec/op_profiler.h).
+  /// Profiling never writes the meter or alters control flow, so
+  /// results and metered totals are bit-identical with it on or off.
+  obs::PlanProfile* profile = nullptr;
 };
 
 /// Physical operator. The primary interface is batch-at-a-time

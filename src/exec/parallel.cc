@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/key_encoding.h"
+#include "exec/op_profiler.h"
 
 namespace hattrick {
 
@@ -23,6 +24,8 @@ class GatherMergeOp final : public Operator {
         kinds_(std::move(kinds)) {}
 
   void Open(ExecContext* ctx) override {
+    prof_.OpenBegin(ctx, "GatherMerge",
+                    "shards=" + std::to_string(shards_.size()));
     const size_t n = shards_.size();
     // In batch mode each worker ships its partial-aggregate output as
     // column-vector batches (no per-row materialization on the worker
@@ -30,6 +33,13 @@ class GatherMergeOp final : public Operator {
     std::vector<std::vector<Batch>> shard_batches(n);
     std::vector<std::vector<Row>> shard_rows(n);
     std::vector<WorkMeter> shard_meters(n);
+    // Private per-worker profiles (workers must not share a PlanProfile);
+    // grafted under this operator's node in shard order after the join,
+    // so the merged tree is schedule-independent like the meters.
+    std::vector<obs::PlanProfile> shard_profiles;
+    if (prof_.enabled()) {
+      shard_profiles.assign(n, obs::PlanProfile(ctx->profile->clock()));
+    }
     {
       // Each worker gets a private context: its own meter (merged below in
       // shard order, so totals are schedule-independent) and a copy of the
@@ -37,8 +47,8 @@ class GatherMergeOp final : public Operator {
       std::vector<std::thread> workers;
       workers.reserve(n);
       for (size_t w = 0; w < n; ++w) {
-        workers.emplace_back(
-            [this, ctx, w, &shard_batches, &shard_rows, &shard_meters] {
+        workers.emplace_back([this, ctx, w, &shard_batches, &shard_rows,
+                              &shard_meters, &shard_profiles] {
           obs::ScopedSpan span(ctx->tracer, ctx->trace_clock, "morsel-shard",
                                "morsel",
                                ctx->trace_tid + static_cast<uint32_t>(w));
@@ -49,6 +59,9 @@ class GatherMergeOp final : public Operator {
           worker_ctx.vectorized = ctx->vectorized;
           worker_ctx.batch_rows = ctx->batch_rows;
           worker_ctx.session_pin = ctx->session_pin;
+          if (!shard_profiles.empty()) {
+            worker_ctx.profile = &shard_profiles[w];
+          }
           if (worker_ctx.vectorized) {
             shard_batches[w] = CollectBatches(shards_[w].get(), &worker_ctx);
           } else {
@@ -61,6 +74,7 @@ class GatherMergeOp final : public Operator {
     if (ctx->meter != nullptr) {
       for (const WorkMeter& m : shard_meters) *ctx->meter += m;
     }
+    if (prof_.enabled()) ctx->profile->AbsorbShards(shard_profiles);
 
     // Merge partials: group key -> (key values, exact sums/counts, min/max
     // doubles). std::map keeps encoded-key order, matching the serial
@@ -158,23 +172,28 @@ class GatherMergeOp final : public Operator {
       }
       output_.push_back(std::move(out));
     }
+    prof_.OpenEnd(ctx);
   }
 
   bool Next(ExecContext* ctx, Row* out) override {
-    if (pos_ >= output_.size()) return false;
-    *out = std::move(output_[pos_++]);
-    if (ctx->meter != nullptr) ++ctx->meter->output_rows;
-    return true;
+    return prof_.Next(ctx, [&] {
+      if (pos_ >= output_.size()) return false;
+      *out = std::move(output_[pos_++]);
+      if (ctx->meter != nullptr) ++ctx->meter->output_rows;
+      return true;
+    });
   }
 
   bool NextBatch(ExecContext* ctx, Batch* out) override {
-    out->Clear();
-    while (pos_ < output_.size() && out->rows < ctx->batch_rows) {
-      if (!out->TypesMatch(output_[pos_])) break;
-      out->AppendRow(output_[pos_++]);
-    }
-    if (ctx->meter != nullptr) ctx->meter->output_rows += out->rows;
-    return out->rows > 0;
+    return prof_.NextBatch(ctx, out, [&] {
+      out->Clear();
+      while (pos_ < output_.size() && out->rows < ctx->batch_rows) {
+        if (!out->TypesMatch(output_[pos_])) break;
+        out->AppendRow(output_[pos_++]);
+      }
+      if (ctx->meter != nullptr) ctx->meter->output_rows += out->rows;
+      return out->rows > 0;
+    });
   }
 
  private:
@@ -183,6 +202,7 @@ class GatherMergeOp final : public Operator {
   std::vector<AggSpec::Kind> kinds_;
   std::vector<Row> output_;
   size_t pos_ = 0;
+  OpProfiler prof_;
 };
 
 }  // namespace

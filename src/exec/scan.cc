@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/key_encoding.h"
+#include "exec/op_profiler.h"
 
 namespace hattrick {
 
@@ -51,7 +52,7 @@ class RowScanOp final : public Operator {
   }
 
   void Open(ExecContext* ctx) override {
-    (void)ctx;
+    prof_.OpenBegin(ctx, "RowScan", "table=" + spec_.table);
     rows_.clear();
     pos_ = 0;
     materialized_ = false;
@@ -59,9 +60,14 @@ class RowScanOp final : public Operator {
     limit_ = 0;
     serial_pending_ = spec_.morsels == nullptr;
     claim_ = MorselSet::ClaimState{};
+    prof_.OpenEnd(ctx);
   }
 
   bool Next(ExecContext* ctx, Row* out) override {
+    return prof_.Next(ctx, [&] { return NextImpl(ctx, out); });
+  }
+
+  bool NextImpl(ExecContext* ctx, Row* out) {
     // Row path: materialize on first pull (same scan, same meter totals
     // as materializing in Open — just charged at the first Next).
     if (!materialized_) {
@@ -93,6 +99,10 @@ class RowScanOp final : public Operator {
   }
 
   bool NextBatch(ExecContext* ctx, Batch* out) override {
+    return prof_.NextBatch(ctx, out, [&] { return NextBatchImpl(ctx, out); });
+  }
+
+  bool NextBatchImpl(ExecContext* ctx, Batch* out) {
     out->ResetTypes(types_);
     size_t emitted = 0;
     const auto visit = [&](Rid, const Row& row) {
@@ -153,6 +163,7 @@ class RowScanOp final : public Operator {
   size_t limit_ = 0;
   bool serial_pending_ = false;
   MorselSet::ClaimState claim_;
+  OpProfiler prof_;
 };
 
 /// Streaming scan over a column table with zone-map block pruning.
@@ -191,7 +202,13 @@ class ColumnScanOp final : public Operator {
     }
   }
 
-  void Open(ExecContext*) override {
+  void Open(ExecContext* ctx) override {
+    prof_.OpenBegin(ctx, "ColumnScan", "table=" + spec_.table);
+    OpenImpl();
+    prof_.OpenEnd(ctx);
+  }
+
+  void OpenImpl() {
     // Serial scans cover [0, bound_); morsel shards start empty and claim
     // ranges lazily in Next. Morsels are block-aligned (kDefaultMorselRows
     // is a multiple of kBlockRows), so zone-map pruning behaves — and
@@ -221,7 +238,12 @@ class ColumnScanOp final : public Operator {
   }
 
   bool Next(ExecContext* ctx, Row* out) override {
+    return prof_.Next(ctx, [&] { return NextImpl(ctx, out); });
+  }
+
+  bool NextImpl(ExecContext* ctx, Row* out) {
     if (impossible_ && delta_ == nullptr) return false;
+    obs::PlanProfileNode* node = prof_.node();
     while (true) {
       while (row_ < limit_) {
         // Zone-map pruning at block boundaries (mid-block resume
@@ -232,14 +254,17 @@ class ColumnScanOp final : public Operator {
         }
         const size_t r = row_++;
         if (r >= base_rows_) {
+          if (node != nullptr) node->rows_insert++;
           if (EvalDeltaRow(delta_->InsertRow(r), ctx, out)) return true;
           continue;
         }
         if (delta_ != nullptr && delta_->DirtyBit(r)) {
+          if (node != nullptr) node->rows_override++;
           if (EvalDeltaRow(delta_->OverrideRow(r), ctx, out)) return true;
           continue;
         }
         if (pruned_) continue;  // clean row in a pruned-dirty block
+        if (node != nullptr) node->rows_clean++;
         if (!Matches(r, ctx)) continue;
         out->clear();
         out->reserve(spec_.projection.size());
@@ -267,6 +292,10 @@ class ColumnScanOp final : public Operator {
   }
 
   bool NextBatch(ExecContext* ctx, Batch* out) override {
+    return prof_.NextBatch(ctx, out, [&] { return NextBatchImpl(ctx, out); });
+  }
+
+  bool NextBatchImpl(ExecContext* ctx, Batch* out) {
     out->ResetTypes(types_);
     if (impossible_ && delta_ == nullptr) return false;
     while (true) {
@@ -330,6 +359,11 @@ class ColumnScanOp final : public Operator {
   /// advances past base_rows_: the insert segment has no zone maps and
   /// is always scanned.
   void SkipPrunedCleanBlocks() {
+    // Each base block is entered at most once per scan (morsel claims
+    // are block-aligned, resumes mid-block skip this call), so counting
+    // here attributes every block to exactly one outcome — identically
+    // in row and batch mode, at any dop.
+    obs::PlanProfileNode* node = prof_.node();
     while (row_ < limit_ && row_ < base_rows_) {
       const size_t block = row_ / ColumnTable::kBlockRows;
       const size_t block_end = (block + 1) * ColumnTable::kBlockRows;
@@ -337,10 +371,19 @@ class ColumnScanOp final : public Operator {
       const bool block_pruned = impossible_ || BlockPruned(block);
       if (block_pruned &&
           (delta_ == nullptr || !delta_->AnyDirtyInRange(row_, base_end))) {
+        if (node != nullptr) node->blocks_pruned++;
         row_ = base_end;
         continue;
       }
       pruned_ = block_pruned;
+      if (node != nullptr) {
+        // A pruned block with dirty bits still skips its clean lanes.
+        if (block_pruned) {
+          node->blocks_pruned++;
+        } else {
+          node->blocks_scanned++;
+        }
+      }
       return;
     }
   }
@@ -357,6 +400,7 @@ class ColumnScanOp final : public Operator {
       ScanMixedRun(begin, end, ctx, out);
       return;
     }
+    if (prof_.enabled()) prof_.node()->rows_clean += end - begin;
     match_.clear();
     for (size_t r = begin; r < end; ++r) {
       match_.push_back(static_cast<uint32_t>(r));
@@ -439,6 +483,10 @@ class ColumnScanOp final : public Operator {
       } else {
         match_.push_back(static_cast<uint32_t>(r));
       }
+    }
+    if (prof_.enabled()) {
+      prof_.node()->rows_clean += match_.size();
+      prof_.node()->rows_override += dirty_rows_.size();
     }
     for (const NumRange& pred : spec_.ranges) {
       size_t kept = 0;
@@ -538,6 +586,7 @@ class ColumnScanOp final : public Operator {
     if (delta_ == nullptr) return;
     for (size_t r = begin; r < end; ++r) {
       if (!delta_->DirtyBit(r)) continue;
+      if (prof_.enabled()) prof_.node()->rows_override++;
       if (ctx->meter != nullptr) {
         ctx->meter->column_values += NumPredsByValue();
       }
@@ -550,6 +599,7 @@ class ColumnScanOp final : public Operator {
   /// evaluation of the snapshot's insert rows (no zone maps there).
   void ScanInsertRun(size_t begin, size_t end, ExecContext* ctx,
                      Batch* out) {
+    if (prof_.enabled()) prof_.node()->rows_insert += end - begin;
     for (size_t r = begin; r < end; ++r) {
       if (ctx->meter != nullptr) {
         ctx->meter->column_values += NumPredsByValue();
@@ -672,6 +722,7 @@ class ColumnScanOp final : public Operator {
   /// True while scanning a zone-map-pruned block that has dirty bits:
   /// clean rows are skipped, dirty rows still evaluate.
   bool pruned_ = false;
+  OpProfiler prof_;
 };
 
 /// Index range scan: walks a B+-tree index over [lo, hi] of the hinted
@@ -689,6 +740,8 @@ class IndexRangeScanOp final : public Operator {
         bounds_(bounds) {}
 
   void Open(ExecContext* ctx) override {
+    prof_.OpenBegin(ctx, "IndexScan",
+                    "table=" + spec_.table + " index=" + spec_.index_hint);
     // Materialize candidate rids from the index (bounded range).
     std::string lo;
     std::string hi;
@@ -702,21 +755,24 @@ class IndexRangeScanOp final : public Operator {
         },
         ctx->meter);
     pos_ = 0;
+    prof_.OpenEnd(ctx);
   }
 
   bool Next(ExecContext* ctx, Row* out) override {
-    Row row;
-    while (pos_ < rids_.size()) {
-      const Rid rid = rids_[pos_++];
-      if (!table_->Read(rid, snapshot_, &row, ctx->meter)) continue;
-      if (!MatchesPushdowns(row, spec_)) continue;
-      out->clear();
-      out->reserve(spec_.projection.size());
-      for (size_t col : spec_.projection) out->push_back(row[col]);
-      if (ctx->meter != nullptr) ++ctx->meter->output_rows;
-      return true;
-    }
-    return false;
+    return prof_.Next(ctx, [&] {
+      Row row;
+      while (pos_ < rids_.size()) {
+        const Rid rid = rids_[pos_++];
+        if (!table_->Read(rid, snapshot_, &row, ctx->meter)) continue;
+        if (!MatchesPushdowns(row, spec_)) continue;
+        out->clear();
+        out->reserve(spec_.projection.size());
+        for (size_t col : spec_.projection) out->push_back(row[col]);
+        if (ctx->meter != nullptr) ++ctx->meter->output_rows;
+        return true;
+      }
+      return false;
+    });
   }
 
  private:
@@ -727,6 +783,7 @@ class IndexRangeScanOp final : public Operator {
   NumRange bounds_;
   std::vector<Rid> rids_;
   size_t pos_ = 0;
+  OpProfiler prof_;
 };
 
 }  // namespace

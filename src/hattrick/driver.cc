@@ -322,11 +322,23 @@ class SimAClient {
       ctx.batch_rows = static_cast<size_t>(s_->config.batch_rows);
     }
     ctx.session_pin = session.guard;
+    // Per-execution profile on the virtual clock: during RunQuery no
+    // virtual time elapses, so the timing columns are zero — the tree,
+    // row counts and work-meter attribution are the payload, and they
+    // fold deterministically into the run's per-query aggregate.
+    obs::PlanProfile profile(s_->sim.clock());
+    if (s_->config.profile_queries) ctx.profile = &profile;
     QueryResult result = RunQuery(qid, *session.source,
                                   s_->context->num_freshness_tables, &ctx);
     ctx.session_pin.reset();
     session.source.reset();
     session.guard.reset();
+    if (s_->config.profile_queries) {
+      s_->metrics.query_profiles[qid].Accumulate(profile);
+      if (s_->obs.tracer != nullptr) {
+        profile.EmitSpans(s_->obs.tracer, obs::kTrackAClientBase + index_);
+      }
+    }
 
     const double cpu = s_->setup.cost.QueryCpuSeconds(meter);
     s_->a_pool->SubmitParallel(
@@ -462,6 +474,10 @@ RunMetrics SimDriver::Run(const WorkloadConfig& config) {
   RunMetrics metrics = std::move(state.metrics);
   // Snapshot while the pools (whose gauges probe into `state`) are still
   // alive, then detach the engine from the run-local registry.
+  if (tracer_ != nullptr) {
+    registry.GetGauge(obs::kTraceDroppedSpans)
+        ->Set(static_cast<double>(tracer_->dropped()));
+  }
   metrics.observed = registry.Snapshot();
   engine_->SetObservability(obs::Observability{});
   metrics.measure_seconds = config.measure_seconds;
@@ -549,6 +565,7 @@ RunMetrics ThreadedDriver::Run(const WorkloadConfig& config) {
     Sampler latency;
     Sampler latency_by_id[kNumQueries];
     std::vector<FreshnessTracker::Observation> observations;
+    obs::PlanProfile profiles[kNumQueries];  // this client's aggregates
   };
   std::vector<TLocal> t_locals(config.t_clients);
   std::vector<ALocal> a_locals(config.a_clients);
@@ -654,10 +671,22 @@ RunMetrics ThreadedDriver::Run(const WorkloadConfig& config) {
         ctx.tracer = tracer_;
         ctx.trace_clock = &clock;
         ctx.trace_tid = obs::MorselTrack(static_cast<uint32_t>(i), 0);
+        // Per-execution profile on the wall clock (real operator times);
+        // folded into this client's per-query aggregate, merged across
+        // clients after the join.
+        obs::PlanProfile profile(&clock);
+        if (config.profile_queries) ctx.profile = &profile;
         QueryResult result = RunQuery(
             qid, *session.source, context_->num_freshness_tables, &ctx);
         ctx.session_pin.reset();
         session.guard.reset();
+        if (config.profile_queries) {
+          local.profiles[qid].Accumulate(profile);
+          if (tracer_ != nullptr) {
+            profile.EmitSpans(
+                tracer_, obs::kTrackAClientBase + static_cast<uint32_t>(i));
+          }
+        }
         const double now = clock.Now();
         if (tracer_ != nullptr) {
           tracer_->RecordSpan(QueryName(qid), "query",
@@ -686,6 +715,10 @@ RunMetrics ThreadedDriver::Run(const WorkloadConfig& config) {
   applier.join();
 
   RunMetrics metrics;
+  if (tracer_ != nullptr) {
+    registry.GetGauge(obs::kTraceDroppedSpans)
+        ->Set(static_cast<double>(tracer_->dropped()));
+  }
   metrics.observed = registry.Snapshot();
   engine_->SetObservability(obs::Observability{});
   metrics.measure_seconds = config.measure_seconds;
@@ -705,6 +738,7 @@ RunMetrics ThreadedDriver::Run(const WorkloadConfig& config) {
     metrics.query_latency.Merge(local.latency);
     for (int q = 0; q < kNumQueries; ++q) {
       metrics.query_latency_by_id[q].Merge(local.latency_by_id[q]);
+      metrics.query_profiles[q].Accumulate(local.profiles[q]);
     }
     for (const FreshnessTracker::Observation& obs : local.observations) {
       metrics.freshness.Add(tracker.Score(obs));

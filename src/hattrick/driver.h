@@ -11,6 +11,7 @@
 #include "hattrick/queries.h"
 #include "hattrick/transactions.h"
 #include "obs/observability.h"
+#include "obs/plan_profile.h"
 #include "sim/cost_model.h"
 
 namespace hattrick {
@@ -39,6 +40,12 @@ struct WorkloadConfig {
   bool vectorized = true;
   /// Rows per column-vector batch; 0 (default) means DefaultBatchRows().
   int batch_rows = 0;
+  /// EXPLAIN ANALYZE profiling of every analytical query: each execution
+  /// runs with an ExecContext::profile attached and the per-query trees
+  /// are aggregated into RunMetrics::query_profiles. Off by default —
+  /// profiling never changes results or metered work, but the per-call
+  /// accounting is not free.
+  bool profile_queries = false;
 };
 
 /// Metrics extracted from one run. Throughput counts completions whose
@@ -73,6 +80,11 @@ struct RunMetrics {
   /// End-of-run snapshot of the run's metrics registry (txn / repl /
   /// merge / pool domain metrics). Always populated by both drivers.
   obs::MetricsSnapshot observed;
+
+  /// Aggregated EXPLAIN ANALYZE profile per SSB query (all executions of
+  /// that query folded together, warm-up included). Empty unless
+  /// WorkloadConfig::profile_queries was set.
+  obs::PlanProfile query_profiles[kNumQueries];
 };
 
 /// Placement and cost parameters of a simulated deployment.

@@ -32,6 +32,8 @@ PointRunner MakeRunner(SimDriver* driver, const WorkloadConfig& base) {
     point.replay_records =
         metrics.observed.CountOf(obs::kReplAppliedRecords);
     point.aborts = metrics.aborts;
+    point.txn_latency = Summarize(metrics.txn_latency);
+    point.query_latency = Summarize(metrics.query_latency);
     return point;
   };
 }

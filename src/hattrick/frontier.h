@@ -26,6 +26,11 @@ struct OperatingPoint {
   uint64_t merged_rows = 0;     // delta rows merged/folded (hybrid designs)
   uint64_t replay_records = 0;  // WAL records replayed (isolated designs)
   uint64_t aborts = 0;          // retried validation aborts
+
+  /// Tail latencies at this operating point (seconds): how the mix
+  /// degrades responsiveness, not just throughput.
+  LatencySummary txn_latency;
+  LatencySummary query_latency;
 };
 
 /// A fixed-T or fixed-A line: one client count held fixed, the other

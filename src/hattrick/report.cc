@@ -46,13 +46,18 @@ void PrintFrontierSummary(const std::string& label, const GridGraph& grid,
               FrontierPatternName(ClassifyFrontier(grid)));
   if (per_point_metrics) {
     std::printf("  frontier points (t,a,tps,qps | lock_wait_s,"
-                "merged_rows,replay_records,aborts):\n");
+                "merged_rows,replay_records,aborts | txn p50/p95/p99 ms | "
+                "query p50/p95/p99 ms):\n");
     for (const OperatingPoint& p : grid.frontier) {
-      std::printf("    %d,%d,%.1f,%.2f | %.4f,%llu,%llu,%llu\n",
+      std::printf("    %d,%d,%.1f,%.2f | %.4f,%llu,%llu,%llu | "
+                  "%.2f/%.2f/%.2f | %.1f/%.1f/%.1f\n",
                   p.t_clients, p.a_clients, p.tps, p.qps, p.lock_wait_s,
                   static_cast<unsigned long long>(p.merged_rows),
                   static_cast<unsigned long long>(p.replay_records),
-                  static_cast<unsigned long long>(p.aborts));
+                  static_cast<unsigned long long>(p.aborts),
+                  p.txn_latency.p50 * 1e3, p.txn_latency.p95 * 1e3,
+                  p.txn_latency.p99 * 1e3, p.query_latency.p50 * 1e3,
+                  p.query_latency.p95 * 1e3, p.query_latency.p99 * 1e3);
     }
   }
 }

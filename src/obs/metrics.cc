@@ -26,6 +26,20 @@ const char* KindName(MetricEntry::Kind kind) {
   return "?";
 }
 
+/// RFC-4180 CSV field: quoted (with internal quotes doubled) only when
+/// the value contains a comma, quote, or newline, so existing exports of
+/// plain names are byte-identical.
+std::string CsvField(const std::string& value) {
+  if (value.find_first_of(",\"\n") == std::string::npos) return value;
+  std::string out = "\"";
+  for (const char c : value) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 /// splitmix64: tiny, seedable, identical everywhere — reservoir
 /// eviction must not depend on the platform's std::mt19937 stream.
 uint64_t NextRandom(uint64_t* state) {
@@ -161,7 +175,7 @@ std::string MetricsSnapshot::ToJson() const {
 std::string MetricsSnapshot::ToCsv() const {
   std::string out = "name,kind,count,value,min,max,mean,p50,p99\n";
   for (const MetricEntry& e : entries) {
-    out += e.name;
+    out += CsvField(e.name);
     out += ",";
     out += KindName(e.kind);
     out += "," + std::to_string(e.count);
@@ -251,7 +265,7 @@ void PreRegisterDomainMetrics(MetricsRegistry* registry) {
         kReplRetainedRecords, kReplResendRequests, kReplResendsShipped,
         kReplResendsLost, kReplDuplicateSkips, kReplThrottleSeconds,
         kFaultInjectedDrops, kFaultInjectedDuplicates, kFaultInjectedReorders,
-        kStoreDeltaPending, kStoreVersionDepth}) {
+        kStoreDeltaPending, kStoreVersionDepth, kTraceDroppedSpans}) {
     registry->GetGauge(name);
   }
 }

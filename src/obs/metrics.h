@@ -208,6 +208,10 @@ inline constexpr char kStoreFoldRows[] = "store.fold.rows";
 inline constexpr char kStoreVersionDepth[] = "store.version_depth";
 inline constexpr char kStoreBtreeSplits[] = "store.btree.splits";
 inline constexpr char kStoreVacuumedVersions[] = "store.vacuumed_versions";
+/// Spans the bounded trace ring evicted (Tracer::dropped()); the drivers
+/// publish it at snapshot time so a truncated trace is visible in the
+/// metrics export instead of failing silently.
+inline constexpr char kTraceDroppedSpans[] = "obs.trace.dropped_spans";
 
 /// Creates the canonical domain metrics above (as zero-valued objects)
 /// so they appear in every snapshot even when nothing increments them.

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/bench_compare.py (the CI perf-regression gate).
+
+Builds small synthetic BENCH snapshots and checks the exit-code contract:
+0 when current is within tolerance of the baseline, 1 on an injected
+throughput / latency / row-count / work regression, 2 on a malformed
+snapshot. A digest-only change must warn, not fail.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+COMPARE = os.path.join(REPO_ROOT, "scripts", "bench_compare.py")
+
+
+def baseline_doc():
+    return {
+        "bench_format": 1,
+        "name": "selftest",
+        "config": {"sf": 1, "seed": 7},
+        "systems": [
+            {
+                "system": "shared",
+                "engine": "postgres",
+                "tps": 1000.0,
+                "qps": 20.0,
+                "freshness_p99_s": 0.010,
+                "txn_latency_s": {
+                    "all": {"p50": 0.001, "p95": 0.002, "p99": 0.004},
+                },
+                "query_latency_s": {
+                    "all": {"p50": 0.030, "p95": 0.060, "p99": 0.080},
+                },
+                "query_profiles": [
+                    {
+                        "query": "Q1.1",
+                        "executions": 8,
+                        "rows_per_exec": 1,
+                        "work_per_exec": 6208,
+                        "digest": "00000000deadbeef",
+                    },
+                ],
+                "points": [
+                    {"t": 2, "a": 1, "tps": 600.0, "qps": 10.0,
+                     "txn_p99_s": 0.003, "query_p99_s": 0.050},
+                ],
+            },
+        ],
+    }
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_compare(self, base_doc, curr_doc, *extra):
+        base = self.write("base.json", base_doc)
+        curr = self.write("curr.json", curr_doc)
+        return subprocess.run(
+            [sys.executable, COMPARE, base, curr, *extra],
+            capture_output=True, text=True)
+
+    def test_identical_snapshots_pass(self):
+        result = self.run_compare(baseline_doc(), baseline_doc())
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("ok", result.stdout)
+
+    def test_small_drift_within_tolerance_passes(self):
+        curr = baseline_doc()
+        curr["systems"][0]["tps"] = 950.0    # -5%, tol is 15%
+        curr["systems"][0]["query_latency_s"]["all"]["p99"] = 0.090  # +12.5%
+        result = self.run_compare(baseline_doc(), curr)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_throughput_regression_fails(self):
+        curr = baseline_doc()
+        curr["systems"][0]["tps"] = 500.0  # -50% drop
+        result = self.run_compare(baseline_doc(), curr)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("REGRESSION", result.stdout)
+        self.assertIn("shared.tps", result.stdout)
+
+    def test_latency_regression_fails(self):
+        curr = baseline_doc()
+        curr["systems"][0]["query_latency_s"]["all"]["p99"] = 0.200  # +150%
+        result = self.run_compare(baseline_doc(), curr)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("shared.query_p99", result.stdout)
+
+    def test_row_count_change_is_a_correctness_failure(self):
+        curr = baseline_doc()
+        curr["systems"][0]["query_profiles"][0]["rows_per_exec"] = 2
+        result = self.run_compare(baseline_doc(), curr)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("correctness", result.stdout)
+
+    def test_work_growth_fails_but_digest_change_only_warns(self):
+        curr = copy.deepcopy(baseline_doc())
+        curr["systems"][0]["query_profiles"][0]["work_per_exec"] = 7000
+        result = self.run_compare(baseline_doc(), curr)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("work_per_exec", result.stdout)
+
+        curr = copy.deepcopy(baseline_doc())
+        curr["systems"][0]["query_profiles"][0]["digest"] = "1111111111111111"
+        result = self.run_compare(baseline_doc(), curr)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("WARNING", result.stdout)
+        self.assertIn("digest", result.stdout)
+
+    def test_missing_system_and_missing_profile_fail(self):
+        curr = baseline_doc()
+        curr["systems"] = []
+        result = self.run_compare(baseline_doc(), curr)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("missing", result.stdout)
+
+        curr = baseline_doc()
+        curr["systems"][0]["query_profiles"] = []
+        result = self.run_compare(baseline_doc(), curr)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+
+    def test_unsupported_format_is_a_usage_error(self):
+        bad = baseline_doc()
+        bad["bench_format"] = 99
+        result = self.run_compare(bad, baseline_doc())
+        self.assertEqual(result.returncode, 2, result.stdout + result.stderr)
+
+    def test_committed_smoke_baseline_passes_against_itself(self):
+        # The checked-in baseline must be valid input for the gate.
+        path = os.path.join(REPO_ROOT, "bench", "BENCH_smoke.json")
+        self.assertTrue(os.path.exists(path), path)
+        result = subprocess.run(
+            [sys.executable, COMPARE, path, path],
+            capture_output=True, text=True)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/histogram.h"
 #include "engine/hybrid_engine.h"
 #include "engine/isolated_engine.h"
 #include "engine/shared_engine.h"
@@ -97,6 +98,70 @@ TEST(HistogramTest, ReservoirIsDeterministic) {
   }
 }
 
+TEST(HistogramTest, ReservoirPercentilesTrackExactSampler) {
+  // Past capacity the reservoir is a 512-sample estimate; its percentiles
+  // must stay close to the exact (full-sample) values. splitmix64-style
+  // generator so the input stream is identical on every platform.
+  obs::Histogram reservoir;  // default capacity (512)
+  Sampler exact;
+  uint64_t state = 42;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    const double sample = static_cast<double>(z % 100000) / 100000.0;
+    reservoir.Add(sample);
+    exact.Add(sample);
+  }
+  EXPECT_EQ(reservoir.count(), 20000u);  // count is exact, only values sample
+  const double range = exact.Max() - exact.Min();
+  for (double p : {0.5, 0.95, 0.99}) {
+    EXPECT_NEAR(reservoir.Percentile(p), exact.Percentile(p), 0.05 * range)
+        << "p=" << p;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Sampler (common/histogram.h) — the exact series behind LatencySummary
+// --------------------------------------------------------------------------
+
+TEST(SamplerTest, MergeMatchesSingleSamplerExactly) {
+  // Percentiles are computed on the sorted union, so merging per-thread
+  // samplers (the threaded driver's shutdown path) must give bit-identical
+  // results to one sampler that saw every value.
+  Sampler combined;
+  Sampler shards[4];
+  uint64_t state = 7;
+  for (int i = 0; i < 4000; ++i) {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    const double sample = static_cast<double>(z % 9973);
+    combined.Add(sample);
+    shards[i % 4].Add(sample);
+  }
+  Sampler merged;
+  for (const Sampler& shard : shards) merged.Merge(shard);
+  ASSERT_EQ(merged.count(), combined.count());
+  EXPECT_DOUBLE_EQ(merged.Sum(), combined.Sum());
+  for (double p : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(merged.Percentile(p), combined.Percentile(p))
+        << "p=" << p;
+  }
+  const LatencySummary a = Summarize(merged);
+  const LatencySummary b = Summarize(combined);
+  EXPECT_DOUBLE_EQ(a.p50, b.p50);
+  EXPECT_DOUBLE_EQ(a.p95, b.p95);
+  EXPECT_DOUBLE_EQ(a.p99, b.p99);
+}
+
+TEST(SamplerTest, SummarizeEmptyIsAllZero) {
+  const LatencySummary summary = Summarize(Sampler{});
+  EXPECT_DOUBLE_EQ(summary.p50, 0.0);
+  EXPECT_DOUBLE_EQ(summary.p95, 0.0);
+  EXPECT_DOUBLE_EQ(summary.p99, 0.0);
+}
+
 // --------------------------------------------------------------------------
 // MetricsRegistry / MetricsSnapshot
 // --------------------------------------------------------------------------
@@ -163,6 +228,21 @@ TEST(MetricsSnapshotTest, FindAbsentReturnsDefaults) {
   EXPECT_EQ(snap.Find("nope"), nullptr);
   EXPECT_EQ(snap.CountOf("nope"), 0u);
   EXPECT_DOUBLE_EQ(snap.ValueOf("nope"), 0.0);
+}
+
+TEST(MetricsSnapshotTest, CsvQuotesNamesWithCommasAndQuotes) {
+  // RFC-4180: a name containing a comma or quote is quoted with internal
+  // quotes doubled; plain names stay bare so existing exports are
+  // byte-identical.
+  obs::MetricsRegistry registry;
+  registry.GetCounter("plain.name")->Inc(1);
+  registry.GetCounter("weird,\"name\"")->Inc(2);
+  const std::string csv = registry.Snapshot().ToCsv();
+  EXPECT_NE(csv.find("\nplain.name,counter,"), std::string::npos);
+  EXPECT_NE(csv.find("\n\"weird,\"\"name\"\"\",counter,"),
+            std::string::npos);
+  // The quoted field must not leak a bare (unescaped) spelling.
+  EXPECT_EQ(csv.find("\nweird,"), std::string::npos);
 }
 
 // --------------------------------------------------------------------------
@@ -474,6 +554,86 @@ TEST_F(ObsDriverTest, TracesLabelTransactionsAndQueries) {
   const std::string json = tracer.ToChromeJson();
   EXPECT_NE(json.find("\"t-client 1\""), std::string::npos);
   EXPECT_NE(json.find("\"a-client 1\""), std::string::npos);
+}
+
+TEST_F(ObsDriverTest, TinyTraceRingSurfacesDroppedSpansGauge) {
+  // With a deliberately undersized ring, the run overflows it; the
+  // driver must publish the eviction count as obs.trace.dropped_spans so
+  // a truncated trace is visible in the metrics export.
+  SharedEngine engine{SharedEngineConfig{}};
+  ASSERT_TRUE(
+      LoadDataset(*dataset_, PhysicalSchema::kAllIndexes, &engine).ok());
+  WorkloadContext context(*dataset_);
+  SimDriver driver(&engine, &context, SharedSimSetup());
+  obs::Tracer tracer(16);
+  driver.SetTracer(&tracer);
+  const RunMetrics metrics = driver.Run(QuickRun(3, 2));
+
+  ASSERT_GT(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.size(), 16u);
+  EXPECT_DOUBLE_EQ(metrics.observed.ValueOf(obs::kTraceDroppedSpans),
+                   static_cast<double>(tracer.dropped()));
+}
+
+TEST_F(ObsDriverTest, SameSeedRunsExportByteIdenticalQueryProfiles) {
+  // profile_queries folds every execution's EXPLAIN ANALYZE counters into
+  // RunMetrics; two same-seed simulated runs must export byte-identical
+  // profile JSON and identical tail-latency summaries.
+  SharedEngine engine{SharedEngineConfig{}};
+  ASSERT_TRUE(
+      LoadDataset(*dataset_, PhysicalSchema::kAllIndexes, &engine).ok());
+  WorkloadContext context(*dataset_);
+  SimDriver driver(&engine, &context, SharedSimSetup());
+  WorkloadConfig config = QuickRun(3, 2);
+  config.profile_queries = true;
+
+  const RunMetrics a = driver.Run(config);
+  const RunMetrics b = driver.Run(config);
+
+  bool any_profiled = false;
+  for (int q = 0; q < kNumQueries; ++q) {
+    EXPECT_EQ(a.query_profiles[q].ToJson(), b.query_profiles[q].ToJson())
+        << QueryName(q);
+    EXPECT_EQ(a.query_profiles[q].Digest(), b.query_profiles[q].Digest())
+        << QueryName(q);
+    if (!a.query_profiles[q].empty()) {
+      any_profiled = true;
+      EXPECT_EQ(a.query_profiles[q].executions(),
+                b.query_profiles[q].executions())
+          << QueryName(q);
+    }
+  }
+  EXPECT_TRUE(any_profiled);
+
+  const LatencySummary ta = Summarize(a.query_latency);
+  const LatencySummary tb = Summarize(b.query_latency);
+  EXPECT_DOUBLE_EQ(ta.p50, tb.p50);
+  EXPECT_DOUBLE_EQ(ta.p95, tb.p95);
+  EXPECT_DOUBLE_EQ(ta.p99, tb.p99);
+}
+
+TEST_F(ObsDriverTest, ProfilesOffByDefaultAndRunStaysIdentical) {
+  // profile_queries=false (the default) leaves every profile empty, and
+  // turning it on must not change the run's results or metered totals.
+  SharedEngine engine{SharedEngineConfig{}};
+  ASSERT_TRUE(
+      LoadDataset(*dataset_, PhysicalSchema::kAllIndexes, &engine).ok());
+  WorkloadContext context(*dataset_);
+  SimDriver driver(&engine, &context, SharedSimSetup());
+
+  const RunMetrics off = driver.Run(QuickRun(3, 2));
+  WorkloadConfig config = QuickRun(3, 2);
+  config.profile_queries = true;
+  const RunMetrics on = driver.Run(config);
+
+  for (int q = 0; q < kNumQueries; ++q) {
+    EXPECT_TRUE(off.query_profiles[q].empty()) << QueryName(q);
+  }
+  EXPECT_EQ(off.committed, on.committed);
+  EXPECT_EQ(off.queries, on.queries);
+  EXPECT_EQ(off.aborts, on.aborts);
+  EXPECT_DOUBLE_EQ(off.t_throughput, on.t_throughput);
+  EXPECT_DOUBLE_EQ(off.a_throughput, on.a_throughput);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 //   point    run one (T, A) operating point and print its metrics
 //   frontier run the full saturation method and print grid + frontier
 //   sweep    sweep A-clients at a fixed T (one fixed-T line)
+//   query    run analytical queries standalone, with EXPLAIN ANALYZE
 //
 // Examples:
 //   hattrick_cli --mode=point --system=postgres --sf=10 --t=8 --a=4
@@ -11,6 +12,8 @@
 //   hattrick_cli --mode=sweep --system=tidb --sf=10 --t=4 --max_a=12
 //   hattrick_cli point --system shared --trace-out=/tmp/t.json
 //       --metrics-out=/tmp/m.json   (continuation of the previous line)
+//   hattrick_cli query --system=system-x --sf=10 --query=Q1.1 --explain
+//   hattrick_cli query --query=all --dop=4 --profile-out=/tmp/profiles.json
 //
 // Flags:
 //   --system    postgres | postgres-rc | postgres-sr | postgres-sr-ra |
@@ -41,18 +44,33 @@
 //               chaos — replication fault injection (isolated systems
 //               only; default none)
 //   --fault-seed     fault schedule seed               (default 1)
-//   --trace-out    write the run's span trace (point mode). ".csv" writes
-//                  a flat CSV; anything else writes Chrome trace-event
-//                  JSON loadable in Perfetto / chrome://tracing.
+//   --trace-out    write the run's span trace (point and query modes).
+//                  ".csv" writes a flat CSV; anything else writes Chrome
+//                  trace-event JSON loadable in Perfetto / chrome://tracing.
+//                  In query mode the trace holds per-operator spans.
 //   --metrics-out  write the run's metrics snapshot (point mode), JSON or
 //                  CSV by extension as above.
+//   --query     which query to run in query mode: a name ("Q1.1"), an id
+//               (0..12), or "all" (default)
+//   --explain   print each query's EXPLAIN ANALYZE operator tree (query
+//               mode): rows, batches, selection density, zone-map blocks
+//               pruned vs scanned, snapshot lanes, work-meter units, time
+//   --profile-out  write the per-query profiles as deterministic JSON
+//               ({"profiles":[...]}; timing fields are wall-clock, the
+//               digest covers only shape + metered counters)
+//   --txns      apply N seeded transactions before profiling (query
+//               mode) so scans have a delta: with --merge-mode=bitmap
+//               the --explain lanes show the override/insert rows the
+//               snapshot reads; eager merges them first
 
 #include <cstdio>
 #include <fstream>
 #include <string>
 
 #include "bench/support.h"
+#include "common/rng.h"
 #include "exec/batch.h"
+#include "hattrick/transactions.h"
 #include "obs/trace.h"
 #include "tools/flags.h"
 
@@ -122,10 +140,10 @@ void PrintPoint(const RunMetrics& metrics) {
   std::printf("queries,%llu\n",
               static_cast<unsigned long long>(metrics.queries));
   if (!metrics.txn_latency.empty()) {
-    std::printf("txn_latency_ms_p50,%.4f\n",
-                metrics.txn_latency.Percentile(0.5) * 1e3);
-    std::printf("txn_latency_ms_p99,%.4f\n",
-                metrics.txn_latency.Percentile(0.99) * 1e3);
+    const LatencySummary tail = Summarize(metrics.txn_latency);
+    std::printf("txn_latency_ms_p50,%.4f\n", tail.p50 * 1e3);
+    std::printf("txn_latency_ms_p95,%.4f\n", tail.p95 * 1e3);
+    std::printf("txn_latency_ms_p99,%.4f\n", tail.p99 * 1e3);
   }
   for (int t = 0; t < 3; ++t) {
     const Sampler& sampler = metrics.txn_latency_by_type[t];
@@ -136,10 +154,10 @@ void PrintPoint(const RunMetrics& metrics) {
     }
   }
   if (!metrics.query_latency.empty()) {
-    std::printf("query_latency_ms_p50,%.3f\n",
-                metrics.query_latency.Percentile(0.5) * 1e3);
-    std::printf("query_latency_ms_p99,%.3f\n",
-                metrics.query_latency.Percentile(0.99) * 1e3);
+    const LatencySummary tail = Summarize(metrics.query_latency);
+    std::printf("query_latency_ms_p50,%.3f\n", tail.p50 * 1e3);
+    std::printf("query_latency_ms_p95,%.3f\n", tail.p95 * 1e3);
+    std::printf("query_latency_ms_p99,%.3f\n", tail.p99 * 1e3);
   }
   for (int q = 0; q < kNumQueries; ++q) {
     const Sampler& sampler = metrics.query_latency_by_id[q];
@@ -176,7 +194,7 @@ bool WantsCsv(const std::string& path) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: hattrick_cli --mode=point|frontier|sweep "
+               "usage: hattrick_cli --mode=point|frontier|sweep|query "
                "--system=<name> [--sf=N] [--t=N --a=N] ...\n"
                "see the header of tools/hattrick_cli.cc for all flags\n");
   return 2;
@@ -284,6 +302,119 @@ int Main(int argc, char** argv) {
       if (!WriteFile(metrics_out, body)) return 1;
       std::printf("# metrics: %zu entries -> %s\n",
                   metrics.observed.entries.size(), metrics_out.c_str());
+    }
+    return 0;
+  }
+  if (mode == "query") {
+    const std::string which = flags.GetString("query", "all");
+    std::vector<int> qids;
+    if (which == "all") {
+      for (int q = 0; q < kNumQueries; ++q) qids.push_back(q);
+    } else {
+      int qid = -1;
+      for (int q = 0; q < kNumQueries; ++q) {
+        if (which == QueryName(q)) qid = q;
+      }
+      if (qid < 0 && !which.empty() &&
+          which.find_first_not_of("0123456789") == std::string::npos) {
+        const int parsed = std::atoi(which.c_str());
+        if (parsed >= 0 && parsed < kNumQueries) qid = parsed;
+      }
+      if (qid < 0) {
+        std::fprintf(stderr,
+                     "unknown --query (use Q1.1..Q4.3, 0..12, or all)\n");
+        return Usage();
+      }
+      qids.push_back(qid);
+    }
+    const bool explain = flags.GetBool("explain", false);
+    const std::string profile_out = flags.GetString("profile-out", "");
+    const std::string trace_out = flags.GetString("trace-out", "");
+    // Apply a burst of transactions before profiling so the scans have a
+    // delta to show: on the hybrid designs, --merge-mode=eager then
+    // merges it before the query while bitmap mode reads it through the
+    // override/insert snapshot lanes (visible in --explain).
+    const int txns = flags.GetInt("txns", 0);
+    if (txns > 0) {
+      const EngineHandles handles = EngineHandles::Resolve(
+          *env.engine->primary_catalog(), env.context->num_freshness_tables);
+      Rng rng(base.seed);
+      uint64_t committed = 0;
+      for (int i = 0; i < txns; ++i) {
+        const TxnParams params = GenerateTxnParams(env.context.get(), &rng);
+        WorkMeter txn_meter;
+        const uint32_t client =
+            1 + static_cast<uint32_t>(i) % env.context->num_freshness_tables;
+        if (env.engine
+                ->ExecuteTransaction(
+                    MakeTxnBody(params, handles, client, i + 1), client,
+                    i + 1, &txn_meter)
+                .status.ok()) {
+          ++committed;
+        }
+      }
+      std::printf("# txns: %llu/%d committed\n",
+                  static_cast<unsigned long long>(committed), txns);
+    }
+    WallClock clock;
+    obs::Tracer tracer;
+    std::string profiles_json = "{\"profiles\":[";
+    std::printf("# query,rows,work_units,time_ms,digest\n");
+    for (size_t k = 0; k < qids.size(); ++k) {
+      const int qid = qids[k];
+      WorkMeter meter;
+      AnalyticsSession session = env.engine->BeginAnalytics(&meter);
+      ExecContext ctx;
+      ctx.meter = &meter;
+      ctx.dop = base.dop;
+      ctx.dynamic_morsels = true;  // wall-clock: balance via stealing
+      ctx.vectorized = base.vectorized;
+      if (base.batch_rows > 0) {
+        ctx.batch_rows = static_cast<size_t>(base.batch_rows);
+      }
+      ctx.session_pin = session.guard;
+      obs::PlanProfile profile(&clock);
+      ctx.profile = &profile;
+      const double t0 = clock.Now();
+      const QueryResult result = RunQuery(
+          qid, *session.source, env.context->num_freshness_tables, &ctx);
+      const double elapsed = clock.Now() - t0;
+      ctx.session_pin.reset();
+      session.source.reset();
+      session.guard.reset();
+      std::printf("%s,%zu,%llu,%.3f,%s\n", QueryName(qid), result.rows,
+                  static_cast<unsigned long long>(meter.Total()),
+                  elapsed * 1e3, profile.Digest().c_str());
+      if (explain) {
+        std::printf("%s\n", profile.ToText().c_str());
+      }
+      if (!trace_out.empty()) {
+        const uint32_t track =
+            obs::kTrackAClientBase + static_cast<uint32_t>(qid);
+        tracer.SetTrackName(track, QueryName(qid));
+        profile.EmitSpans(&tracer, track);
+      }
+      if (!profile_out.empty()) {
+        std::string one = profile.ToJson();
+        while (!one.empty() && one.back() == '\n') one.pop_back();
+        if (k > 0) profiles_json += ",";
+        profiles_json += one;
+      }
+      std::fflush(stdout);
+    }
+    if (!profile_out.empty()) {
+      profiles_json += "]}\n";
+      if (!WriteFile(profile_out, profiles_json)) return 1;
+      std::printf("# profiles: %zu queries -> %s\n", qids.size(),
+                  profile_out.c_str());
+    }
+    if (!trace_out.empty()) {
+      const std::string body =
+          WantsCsv(trace_out) ? tracer.ToCsv() : tracer.ToChromeJson();
+      if (!WriteFile(trace_out, body)) return 1;
+      std::printf("# trace: %zu spans (%llu dropped) -> %s\n", tracer.size(),
+                  static_cast<unsigned long long>(tracer.dropped()),
+                  trace_out.c_str());
     }
     return 0;
   }
