@@ -156,7 +156,7 @@ void BM_WalEncodeDecode(benchmark::State& state) {
   record.commit_ts = 2;
   for (int i = 0; i < 4; ++i) {
     record.ops.push_back(WalOp{
-        WalOp::Kind::kInsert, 0, static_cast<Rid>(i),
+        WalOp::Kind::kInsert, 0, static_cast<Rid>(i), 0,
         Row{int64_t{1}, int64_t{2}, 3.5, std::string("REG AIR"),
             std::string("1-URGENT")}});
   }

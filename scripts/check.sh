@@ -17,6 +17,11 @@
 #   bench-smoke  bench_runner at smoke scale diffed against the
 #            checked-in bench/BENCH_smoke.json via
 #            scripts/bench_compare.py (perf-regression gate)
+#   contention-smoke  randomized commit-storm suite (commit_storm_test)
+#            under ThreadSanitizer in both merge modes (default and
+#            HATTRICK_MERGE_MODE=bitmap), plus a latch-protocol replay
+#            (HATTRICK_TXN_PROTOCOL=latch) so the lock-free MVCC path
+#            and its fallback stay in agreement under load
 #
 # Usage:
 #   scripts/check.sh                  # build + lint + tsan
@@ -34,13 +39,15 @@ SUPP_DIR="$PWD/scripts/sanitizers"
 
 RUN_BUILD=0 RUN_LINT=0 RUN_TSAN=0 RUN_ASAN=0 RUN_UBSAN=0
 RUN_ANALYZE=0 RUN_TIDY=0 RUN_MERGE_BITMAP=0 RUN_BENCH_SMOKE=0
+RUN_CONTENTION_SMOKE=0
 if [[ $# -eq 0 ]]; then
   RUN_BUILD=1 RUN_LINT=1 RUN_TSAN=1
 fi
 for arg in "$@"; do
   case "$arg" in
     --all) RUN_BUILD=1 RUN_LINT=1 RUN_TSAN=1 RUN_ASAN=1 RUN_UBSAN=1
-           RUN_ANALYZE=1 RUN_TIDY=1 RUN_MERGE_BITMAP=1 RUN_BENCH_SMOKE=1 ;;
+           RUN_ANALYZE=1 RUN_TIDY=1 RUN_MERGE_BITMAP=1 RUN_BENCH_SMOKE=1
+           RUN_CONTENTION_SMOKE=1 ;;
     --build) RUN_BUILD=1 ;;
     --lint) RUN_LINT=1 ;;
     --tsan) RUN_TSAN=1 ;;
@@ -50,12 +57,14 @@ for arg in "$@"; do
     --analyze) RUN_ANALYZE=1 ;;
     --tidy) RUN_TIDY=1 ;;
     --bench-smoke) RUN_BENCH_SMOKE=1 ;;
+    --contention-smoke) RUN_CONTENTION_SMOKE=1 ;;
     # Back-compat spellings used by older CI jobs and muscle memory.
     --tsan-only) RUN_TSAN=1 ;;
     --no-tsan) RUN_BUILD=1 RUN_LINT=1 ;;
     *) echo "usage: $0 [--all] [--build] [--lint] [--tsan] [--asan]" \
             "[--ubsan] [--merge-bitmap] [--analyze] [--tidy]" \
-            "[--bench-smoke] [--tsan-only] [--no-tsan]" >&2
+            "[--bench-smoke] [--contention-smoke] [--tsan-only]" \
+            "[--no-tsan]" >&2
        exit 2 ;;
   esac
 done
@@ -107,6 +116,28 @@ if [[ "$RUN_MERGE_BITMAP" == 1 ]]; then
   (cd build-tsan && HATTRICK_MERGE_MODE=bitmap \
       TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
       ctest -L tsan --output-on-failure -j 2)
+fi
+
+if [[ "$RUN_CONTENTION_SMOKE" == 1 ]]; then
+  echo "== build (ThreadSanitizer, contention-smoke) =="
+  cmake -B build-tsan -S . -DHATTRICK_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target commit_storm_test
+  # The storm suite hammers a hot key set from many threads; run it under
+  # TSan in both hybrid-merge modes (the bitmap path appends delta
+  # versions from the commit tail) and once with the latch fallback
+  # protocol so both commit paths stay race-free and in agreement.
+  for mode in merge-eager merge-bitmap latch-protocol; do
+    echo "== commit_storm_test (tsan, ${mode}) =="
+    case "$mode" in
+      merge-eager) ENV_VARS=() ;;
+      merge-bitmap) ENV_VARS=(HATTRICK_MERGE_MODE=bitmap) ;;
+      latch-protocol) ENV_VARS=(HATTRICK_TXN_PROTOCOL=latch) ;;
+    esac
+    (cd build-tsan && \
+        env "${ENV_VARS[@]}" \
+            TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+            ctest -R '^commit_storm_test$' --output-on-failure)
+  done
 fi
 
 if [[ "$RUN_BENCH_SMOKE" == 1 ]]; then

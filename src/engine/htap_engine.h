@@ -67,6 +67,13 @@ struct TxnOutcome {
   /// Rows written ((table_id << 40) | rid); feeds the simulator's
   /// row-lock contention model.
   std::vector<uint64_t> write_keys;
+  /// Rows touched only by commutative delta increments (same packing).
+  /// Modeled separately: deltas hold their row "locks" for a tiny
+  /// fraction of the transaction (install + publish, no read-validate
+  /// span), which is what flattens the hot-row contention knee.
+  std::vector<uint64_t> delta_keys;
+  /// Simulated/real seconds spent in retry backoff across all attempts.
+  double backoff_s = 0;
 };
 
 /// The analytical side of the engine at one instant: a scan source over a

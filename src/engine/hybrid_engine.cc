@@ -46,6 +46,9 @@ void HybridEngine::DeltaFeed::OnCommit(const WalRecord& record) {
       ColumnTable* column = engine_->columns_[op.table_id].get();
       if (op.kind == WalOp::Kind::kInsert) {
         column->AppendVersion(record.commit_ts, op.rid, op.row);
+      } else if (op.kind == WalOp::Kind::kDelta) {
+        column->AppendDeltaVersion(record.commit_ts, op.rid, op.column,
+                                   op.row[0]);
       } else {
         column->UpdateVersion(record.commit_ts, op.rid, op.row);
       }
@@ -103,7 +106,7 @@ TxnOutcome HybridEngine::ExecuteTransaction(const TxnBody& body,
       config_.isolation, client_id, txn_num,
       [&](Transaction* txn) { return body(txn_manager_.get(), txn, meter); },
       meter,
-      config_.max_retries, &outcome.attempts);
+      config_.max_retries, &outcome.attempts, &outcome.backoff_s);
   if (!result.ok()) {
     outcome.status = result.status();
     return outcome;
@@ -112,6 +115,7 @@ TxnOutcome HybridEngine::ExecuteTransaction(const TxnBody& body,
   outcome.commit_ts = result->commit_ts;
   outcome.lsn = result->lsn;
   outcome.write_keys = std::move(result.value().write_keys);
+  outcome.delta_keys = std::move(result.value().delta_keys);
   return outcome;  // no commit wait: merge happens on the analytical side
 }
 
@@ -137,6 +141,11 @@ void HybridEngine::MergeDelta(WorkMeter* meter) {
           assert(column->num_rows() == op.rid &&
                  "column copy out of sync with row store");
           const Status s = column->Append(op.row, meter);
+          assert(s.ok());
+          (void)s;
+        } else if (op.kind == WalOp::Kind::kDelta) {
+          const Status s =
+              column->ApplyDelta(op.rid, op.column, op.row[0], meter);
           assert(s.ok());
           (void)s;
         } else {

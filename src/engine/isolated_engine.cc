@@ -85,7 +85,7 @@ TxnOutcome IsolatedEngine::ExecuteTransaction(const TxnBody& body,
   StatusOr<CommitResult> result = txn_manager_->RunWithRetries(
       config_.isolation, client_id, txn_num,
       [&](Transaction* txn) { return body(txn_manager_.get(), txn, meter); },
-      meter, config_.max_retries, &outcome.attempts);
+      meter, config_.max_retries, &outcome.attempts, &outcome.backoff_s);
   if (!result.ok()) {
     outcome.status = result.status();
     return outcome;
@@ -94,6 +94,7 @@ TxnOutcome IsolatedEngine::ExecuteTransaction(const TxnBody& body,
   outcome.commit_ts = result->commit_ts;
   outcome.lsn = result->lsn;
   outcome.write_keys = std::move(result.value().write_keys);
+  outcome.delta_keys = std::move(result.value().delta_keys);
   if (result->lsn != 0) {  // write transaction: replication semantics apply
     switch (config_.mode) {
       case ReplicationMode::kAsync:

@@ -69,7 +69,7 @@ TxnOutcome SharedEngine::ExecuteTransaction(const TxnBody& body,
       config_.isolation, client_id, txn_num,
       [&](Transaction* txn) { return body(txn_manager_.get(), txn, meter); },
       meter,
-      config_.max_retries, &outcome.attempts);
+      config_.max_retries, &outcome.attempts, &outcome.backoff_s);
   if (!result.ok()) {
     outcome.status = result.status();
     return outcome;
@@ -78,6 +78,7 @@ TxnOutcome SharedEngine::ExecuteTransaction(const TxnBody& body,
   outcome.commit_ts = result->commit_ts;
   outcome.lsn = result->lsn;
   outcome.write_keys = std::move(result.value().write_keys);
+  outcome.delta_keys = std::move(result.value().delta_keys);
   return outcome;
 }
 

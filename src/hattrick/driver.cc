@@ -195,17 +195,27 @@ class SimTClient {
     const double inflation = std::max(
         1.0, static_cast<double>(s_->t_pool.active_jobs() + 1) /
                  s_->t_pool.cores());
-    const double lock_wait =
+    const double full_wait =
         s_->locks.AcquireAll(outcome.write_keys, s_->sim.Now(),
                              cpu * inflation);
+    // Delta-written rows wait on the same ledger but re-hold for only a
+    // sliver of the service time; the transaction starts when its last
+    // row (of either kind) frees up.
+    const double delta_wait = s_->locks.AcquireAll(
+        outcome.delta_keys, s_->sim.Now(), cpu * inflation,
+        s_->setup.delta_hold_fraction);
+    const double lock_wait = std::max(full_wait, delta_wait);
     s_->metrics.lock_wait_seconds += lock_wait;
+    // Retry backoff accrued by the real engine execution is replayed as
+    // simulated think time before the service begins.
+    const double pre_service = lock_wait + outcome.backoff_s;
     auto submit = [this, cpu, outcome = std::move(outcome)]() mutable {
       s_->t_pool.Submit(cpu, [this, outcome = std::move(outcome)] {
         OnCpuDone(outcome);
       });
     };
-    if (lock_wait > 0) {
-      s_->sim.Schedule(lock_wait, std::move(submit));
+    if (pre_service > 0) {
+      s_->sim.Schedule(pre_service, std::move(submit));
     } else {
       submit();
     }

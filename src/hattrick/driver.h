@@ -105,6 +105,12 @@ struct SimSetup {
   /// lower for optimistic validation-window-only engines).
   double lock_hold_fraction = 1.0;
 
+  /// Hold fraction for rows written only by commutative delta
+  /// increments: a delta "holds" its row just across the lock-free
+  /// install/publish instants (no read-modify-write or validation
+  /// span), so concurrent payments on a hot supplier barely queue.
+  double delta_hold_fraction = 0.05;
+
   /// Whether the engine has a background applier to drive (the isolated
   /// engine's standby WAL replay).
   bool has_maintenance = false;

@@ -36,6 +36,12 @@ struct WorkloadContext {
   int64_t initial_max_orderkey;
   std::atomic<int64_t> next_orderkey;
   uint32_t num_freshness_tables;
+  /// Payments express their counter/balance bumps as commutative delta
+  /// writes (BufferDelta) instead of full after-images, letting
+  /// concurrent Payments on the same hot supplier commit without
+  /// write-write aborts. Off reproduces the legacy read-modify-write
+  /// behavior (the ablation's "before" arm).
+  bool payment_deltas = true;
 
   /// Rewinds the order-key sequence (benchmark reset).
   void Reset() { next_orderkey.store(initial_max_orderkey + 1); }
@@ -93,6 +99,7 @@ struct TxnParams {
   int64_t suppkey = 0;
   int64_t payment_orderkey = 0;
   double amount = 0;
+  bool use_deltas = true;  // copied from WorkloadContext::payment_deltas
 };
 
 /// Draws the next transaction (48% NewOrder / 48% Payment / 4%

@@ -254,7 +254,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 void PreRegisterDomainMetrics(MetricsRegistry* registry) {
   for (const char* name :
        {kTxnCommits, kTxnAbortsWriteConflict, kTxnAbortsReadConflict,
-        kTxnWalRecords, kTxnWalBytes, kReplAppliedRecords,
+        kTxnWalRecords, kTxnWalBytes, kTxnDeltaInstalls, kReplAppliedRecords,
         kReplCrashRecoveries, kStoreMergePasses, kStoreMergeRows,
         kStoreMergeRecords, kStoreFoldPasses, kStoreFoldRows,
         kStoreBtreeSplits, kStoreVacuumedVersions}) {
@@ -265,7 +265,8 @@ void PreRegisterDomainMetrics(MetricsRegistry* registry) {
         kReplRetainedRecords, kReplResendRequests, kReplResendsShipped,
         kReplResendsLost, kReplDuplicateSkips, kReplThrottleSeconds,
         kFaultInjectedDrops, kFaultInjectedDuplicates, kFaultInjectedReorders,
-        kStoreDeltaPending, kStoreVersionDepth, kTraceDroppedSpans}) {
+        kStoreDeltaPending, kStoreVersionDepth, kTxnRetryBackoffSeconds,
+        kTraceDroppedSpans}) {
     registry->GetGauge(name);
   }
 }

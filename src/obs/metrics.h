@@ -185,6 +185,9 @@ inline constexpr char kTxnAbortsWriteConflict[] = "txn.aborts.write_conflict";
 inline constexpr char kTxnAbortsReadConflict[] = "txn.aborts.read_conflict";
 inline constexpr char kTxnWalRecords[] = "txn.wal.records";
 inline constexpr char kTxnWalBytes[] = "txn.wal.bytes";
+inline constexpr char kTxnDeltaInstalls[] = "txn.delta.installs";
+inline constexpr char kTxnRetryBackoffSeconds[] =
+    "txn.retry.backoff_seconds";  // gauge
 inline constexpr char kReplShippedBytes[] = "repl.shipped_bytes";  // gauge
 inline constexpr char kReplAppliedRecords[] = "repl.applied_records";
 inline constexpr char kReplAppliedLsn[] = "repl.applied_lsn";

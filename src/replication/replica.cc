@@ -145,6 +145,13 @@ Status Replica::ApplyRecord(const ShippedRecord& shipped, WorkMeter* meter) {
       for (const IndexInfo* index : catalog_->TableIndexes(op.table_id)) {
         index->tree->Insert(index->KeyFor(op.row, op.rid), op.rid, meter);
       }
+    } else if (op.kind == WalOp::Kind::kDelta) {
+      // Commutative increment: fold it as a delta version, exactly as
+      // the primary's row store holds it. No index ever keys on a
+      // delta-eligible (numeric accumulator) column, so there is no
+      // index maintenance on this path.
+      HATTRICK_RETURN_IF_ERROR(table->AddDeltaVersion(
+          op.rid, op.column, op.row[0], commit_ts, meter));
     } else {
       Row old_row;
       const bool had =

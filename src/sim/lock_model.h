@@ -33,17 +33,21 @@ class RowLockModel {
 
   /// Computes the wait before a transaction issued at `now` that writes
   /// `keys` can start, and marks the rows held until
-  /// wait_end + service * hold_fraction.
+  /// wait_end + service * hold_fraction. `hold_override` (when >= 0)
+  /// replaces the model's hold fraction for THIS acquisition — used for
+  /// commutative delta writes, which hold their rows only across the
+  /// install/publish instants rather than the full validation window.
   template <typename KeyContainer>
   double AcquireAll(const KeyContainer& keys, TimePoint now,
-                    double service_seconds) {
+                    double service_seconds, double hold_override = -1.0) {
     double start = now;
     for (const uint64_t key : keys) {
       const auto it = held_until_.find(key);
       if (it != held_until_.end()) start = std::max(start, it->second);
     }
-    const double release =
-        start + service_seconds * hold_fraction_;
+    const double fraction =
+        hold_override >= 0 ? hold_override : hold_fraction_;
+    const double release = start + service_seconds * fraction;
     for (const uint64_t key : keys) {
       auto [it, inserted] = held_until_.emplace(key, release);
       if (!inserted) it->second = std::max(it->second, release);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "txn/mvcc.h"
+
 namespace hattrick {
 
 ColumnTable::ColumnTable(Schema schema) : schema_(std::move(schema)) {
@@ -171,6 +173,37 @@ Status ColumnTable::UpdateRow(size_t row, const Row& values,
   return Status::OK();
 }
 
+Status ColumnTable::ApplyDelta(size_t row, size_t column,
+                               const Value& increment, WorkMeter* meter) {
+  SharedMutexLock lock(&latch_);
+  if (row >= num_rows_) return Status::OutOfRange("row beyond table");
+  if (column >= columns_.size()) {
+    return Status::OutOfRange("column beyond schema");
+  }
+  Column& col = columns_[column];
+  const size_t block = row / kBlockRows;
+  double widened = 0;
+  switch (col.type) {
+    case DataType::kInt64:
+      col.ints[row] += increment.AsInt();
+      widened = static_cast<double>(col.ints[row]);
+      break;
+    case DataType::kDouble:
+      col.doubles[row] += increment.AsDouble();
+      widened = col.doubles[row];
+      break;
+    case DataType::kString:
+      return Status::InvalidArgument("delta on a string column");
+  }
+  col.block_min[block] = std::min(col.block_min[block], widened);
+  col.block_max[block] = std::max(col.block_max[block], widened);
+  if (meter != nullptr) {
+    ++meter->rows_written;
+    ++meter->column_values;  // one cell touched, not a full after-image
+  }
+  return Status::OK();
+}
+
 void ColumnTable::AppendVersion(uint64_t csn, size_t rid, const Row& row) {
   SharedMutexLock lock(&delta_mu_);
   assert((delta_log_.empty() || delta_log_.back().csn <= csn) &&
@@ -186,6 +219,34 @@ void ColumnTable::UpdateVersion(uint64_t csn, size_t rid, const Row& row) {
   assert((delta_log_.empty() || delta_log_.back().csn <= csn) &&
          "version log must stay CSN-ascending (append from commit order)");
   delta_log_.push_back(VersionOp{VersionOp::Kind::kUpdate, csn, rid, row});
+}
+
+void ColumnTable::AppendDeltaVersion(uint64_t csn, size_t rid, size_t column,
+                                     const Value& increment) {
+  SharedMutexLock lock(&delta_mu_);
+  assert((delta_log_.empty() || delta_log_.back().csn <= csn) &&
+         "version log must stay CSN-ascending (append from commit order)");
+  // Materialize the increment against the newest version of the row:
+  // the latest pending op for this rid, or the base cell values if the
+  // row has no pending versions. Because the commit tail appends in CSN
+  // order, nothing can slip between that base and this version.
+  Row materialized;
+  bool found = false;
+  for (auto it = delta_log_.rbegin(); it != delta_log_.rend(); ++it) {
+    if (it->rid == rid) {
+      materialized = it->row;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    assert(rid < num_rows() && "delta targets a row the column copy lacks");
+    materialized = GetRow(rid);
+  }
+  assert(column < materialized.size());
+  mvcc::ApplyDeltaValue(&materialized[column], increment);
+  delta_log_.push_back(
+      VersionOp{VersionOp::Kind::kUpdate, csn, rid, std::move(materialized)});
 }
 
 size_t ColumnTable::PendingVersions() const {

@@ -146,6 +146,11 @@ class ColumnTable {
   /// are widened, never narrowed, so pruning stays conservative.
   Status UpdateRow(size_t row, const Row& values, WorkMeter* meter);
 
+  /// Folds a commutative single-cell increment into row `row` in place
+  /// (eager merge of a kDelta WAL op). Zone maps widen like UpdateRow.
+  Status ApplyDelta(size_t row, size_t column, const Value& increment,
+                    WorkMeter* meter);
+
   /// Replaces contents with a deep copy of `other` (benchmark reset).
   /// The destination's unfolded version log is dropped; the source must
   /// not have one (snapshot tables never do).
@@ -174,6 +179,16 @@ class ColumnTable {
 
   /// Appends an update version for row `rid` committed at `csn`.
   void UpdateVersion(uint64_t csn, size_t rid, const Row& row);
+
+  /// Appends a version for a commutative increment of one cell of row
+  /// `rid` committed at `csn`. The increment is materialized into a full
+  /// after-image (newest pending version of `rid`, or the base row,
+  /// plus the increment) and stored as an ordinary update version —
+  /// safe because the commit tail calls this in CSN order, so the
+  /// newest version at append time IS the delta's base. Snapshot and
+  /// fold paths are untouched.
+  void AppendDeltaVersion(uint64_t csn, size_t rid, size_t column,
+                          const Value& increment);
 
   /// Committed-but-unfolded version ops (delta depth).
   size_t PendingVersions() const;

@@ -98,6 +98,9 @@ std::string WalRecord::Encode() const {
     out.push_back(static_cast<char>(op.kind));
     PutU32(op.table_id, &out);
     PutU64(op.rid, &out);
+    // The target column rides only on delta ops, keeping insert/update
+    // records byte-identical to the pre-delta format.
+    if (op.kind == WalOp::Kind::kDelta) PutU32(op.column, &out);
     PutU32(static_cast<uint32_t>(op.row.size()), &out);
     for (const Value& v : op.row) PutValue(v, &out);
   }
@@ -120,8 +123,14 @@ StatusOr<WalRecord> WalRecord::Decode(const std::string& bytes) {
     op.kind = static_cast<WalOp::Kind>(bytes[pos]);
     ++pos;
     uint32_t arity = 0;
-    if (!GetU32(bytes, &pos, &op.table_id) || !GetU64(bytes, &pos, &op.rid) ||
-        !GetU32(bytes, &pos, &arity)) {
+    if (!GetU32(bytes, &pos, &op.table_id) || !GetU64(bytes, &pos, &op.rid)) {
+      return Status::InvalidArgument("truncated op header");
+    }
+    if (op.kind == WalOp::Kind::kDelta &&
+        !GetU32(bytes, &pos, &op.column)) {
+      return Status::InvalidArgument("truncated op header");
+    }
+    if (!GetU32(bytes, &pos, &arity)) {
       return Status::InvalidArgument("truncated op header");
     }
     op.row.reserve(arity);

@@ -13,17 +13,23 @@
 
 namespace hattrick {
 
-/// One logical write within a committed transaction.
+/// One logical write within a committed transaction. kDelta carries a
+/// commutative single-cell increment (`row` holds the one increment
+/// value, `column` the target column) instead of a full after-image, so
+/// replication and the column-store delta feed replay hot-row increments
+/// exactly as the row store folded them.
 struct WalOp {
-  enum class Kind : uint8_t { kInsert = 0, kUpdate = 1 };
+  enum class Kind : uint8_t { kInsert = 0, kUpdate = 1, kDelta = 2 };
 
   Kind kind = Kind::kInsert;
   TableId table_id = 0;
   Rid rid = 0;  // slot assigned at commit (insert) or updated slot (update)
-  Row row;      // full after-image
+  uint32_t column = 0;  // delta target column (kDelta only; not encoded otherwise)
+  Row row;      // full after-image, or the single increment cell for kDelta
 
   friend bool operator==(const WalOp& a, const WalOp& b) {
     return a.kind == b.kind && a.table_id == b.table_id && a.rid == b.rid &&
+           (a.kind != Kind::kDelta || a.column == b.column) &&
            a.row == b.row;
   }
 };

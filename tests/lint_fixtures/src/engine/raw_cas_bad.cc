@@ -1,0 +1,10 @@
+// Fixture: hand-rolled CAS outside src/txn/mvcc* must fire raw-cas.
+void Install(Node* node, std::atomic<Node*>* head) {
+  Node* expected = head->load();
+  while (!head->compare_exchange_weak(expected, node)) {
+  }
+  head->compare_exchange_strong(expected, node);
+  // Allowed inside strings and comments: compare_exchange_weak.
+  const char* s = "compare_exchange_strong";
+  (void)s;
+}

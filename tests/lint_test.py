@@ -79,6 +79,28 @@ class RuleFiringTest(unittest.TestCase):
         self.assertEqual(rules_fired(findings), {"assert-in-replication"})
         self.assertEqual(lines_fired(findings, "assert-in-replication"), [6])
 
+    def test_raw_cas_fires_outside_mvcc(self):
+        findings = lint_fixture("src/engine/raw_cas_bad.cc")
+        self.assertEqual(rules_fired(findings), {"raw-cas"})
+        self.assertEqual(lines_fired(findings, "raw-cas"), [4, 6])
+
+    def test_raw_cas_silent_inside_mvcc(self):
+        # Identical CAS content under src/txn/mvcc* is the audited home
+        # of the lock-free helpers and must stay silent.
+        src = os.path.join(FIXTURES, "src/engine/raw_cas_bad.cc")
+        dst_dir = os.path.join(FIXTURES, "src/txn")
+        os.makedirs(dst_dir, exist_ok=True)
+        dst = os.path.join(dst_dir, "mvcc.h")
+        try:
+            with open(src) as f:
+                content = f.read()
+            with open(dst, "w") as f:
+                f.write(content)
+            findings = lint_fixture("src/txn/mvcc.h")
+            self.assertNotIn("raw-cas", rules_fired(findings))
+        finally:
+            os.remove(dst)
+
 
 class SuppressionTest(unittest.TestCase):
     def test_lint_allow_suppresses_per_line(self):
@@ -123,7 +145,7 @@ class CliTest(unittest.TestCase):
         self.assertEqual(
             proc.stdout.split(),
             ["nondeterministic-time", "nondeterministic-random", "raw-lock",
-             "unordered-export", "assert-in-replication"],
+             "unordered-export", "assert-in-replication", "raw-cas"],
         )
 
 

@@ -164,9 +164,13 @@ TEST_F(TxnTest, LostUpdatePreventedUnderSnapshotIsolation) {
   EXPECT_EQ(ReadCommitted(0)[1].AsInt(), 110);
 }
 
-TEST_F(TxnTest, LostUpdateAllowedUnderReadCommitted) {
-  // Read committed performs no write-write validation: the classic lost
-  // update proceeds (last writer wins).
+TEST_F(TxnTest, LostUpdatePreventedUnderReadCommitted) {
+  // Regression for a real bug: read committed used to skip write-write
+  // validation entirely, so two overlapping read-modify-write Payments
+  // would both commit and one increment silently vanished (final
+  // balance 120 instead of 110+10). First-updater-wins now applies at
+  // every isolation level: the second committer aborts and must retry
+  // against the new base.
   Transaction t1 = tm_->Begin(IsolationLevel::kReadCommitted);
   Transaction t2 = tm_->Begin(IsolationLevel::kReadCommitted);
   Row r1;
@@ -176,8 +180,208 @@ TEST_F(TxnTest, LostUpdateAllowedUnderReadCommitted) {
   tm_->BufferUpdate(&t1, 0, 0, r1, Row{int64_t{1}, int64_t{110}});
   tm_->BufferUpdate(&t2, 0, 0, r2, Row{int64_t{1}, int64_t{120}});
   ASSERT_TRUE(tm_->Commit(&t1, nullptr).ok());
+  StatusOr<CommitResult> second = tm_->Commit(&t2, nullptr);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(ReadCommitted(0)[1].AsInt(), 110);
+
+  // The retry (fresh read of the committed 110) succeeds and keeps both
+  // increments, as RunWithRetries would.
+  Transaction retry = tm_->Begin(IsolationLevel::kReadCommitted);
+  Row r3;
+  ASSERT_TRUE(tm_->Read(&retry, 0, 0, &r3, nullptr).ok());
+  EXPECT_EQ(r3[1].AsInt(), 110);
+  tm_->BufferUpdate(&retry, 0, 0, r3, Row{int64_t{1}, int64_t{130}});
+  ASSERT_TRUE(tm_->Commit(&retry, nullptr).ok());
+  EXPECT_EQ(ReadCommitted(0)[1].AsInt(), 130);
+}
+
+TEST_F(TxnTest, OverlappingDeltasCommitWithoutConflict) {
+  // The same overlap expressed as commutative deltas: both commit, both
+  // increments survive — the tentpole behavior that flattens the
+  // hot-supplier knee.
+  Transaction t1 = tm_->Begin(IsolationLevel::kReadCommitted);
+  Transaction t2 = tm_->Begin(IsolationLevel::kReadCommitted);
+  Row r1;
+  Row r2;
+  ASSERT_TRUE(tm_->Read(&t1, 0, 0, &r1, nullptr).ok());
+  ASSERT_TRUE(tm_->Read(&t2, 0, 0, &r2, nullptr).ok());
+  tm_->BufferDelta(&t1, 0, 0, 1, Value(int64_t{10}));
+  tm_->BufferDelta(&t2, 0, 0, 1, Value(int64_t{20}));
+  ASSERT_TRUE(tm_->Commit(&t1, nullptr).ok());
   ASSERT_TRUE(tm_->Commit(&t2, nullptr).ok());
-  EXPECT_EQ(ReadCommitted(0)[1].AsInt(), 120);
+  EXPECT_EQ(ReadCommitted(0)[1].AsInt(), 130);
+}
+
+TEST_F(TxnTest, DeltaFoldsIntoOwnReads) {
+  // RYOW over buffered deltas: a read after BufferDelta sees the
+  // incremented value without any version being installed yet.
+  Transaction txn = tm_->Begin(IsolationLevel::kSnapshot);
+  Row row;
+  ASSERT_TRUE(tm_->Read(&txn, 0, 0, &row, nullptr).ok());
+  tm_->BufferDelta(&txn, 0, 0, 1, Value(int64_t{5}));
+  tm_->BufferDelta(&txn, 0, 0, 1, Value(int64_t{7}));
+  Row reread;
+  ASSERT_TRUE(tm_->Read(&txn, 0, 0, &reread, nullptr).ok());
+  EXPECT_EQ(reread[1].AsInt(), 112);
+  ASSERT_TRUE(tm_->Commit(&txn, nullptr).ok());
+  EXPECT_EQ(ReadCommitted(0)[1].AsInt(), 112);
+}
+
+TEST_F(TxnTest, DeltaBelowSnapshotInvisibleAboveVisible) {
+  // A delta committed after a snapshot was taken stays invisible to that
+  // snapshot but visible to later ones.
+  Transaction reader = tm_->Begin(IsolationLevel::kSnapshot);
+  Transaction writer = tm_->Begin(IsolationLevel::kSnapshot);
+  tm_->BufferDelta(&writer, 0, 0, 1, Value(int64_t{11}));
+  ASSERT_TRUE(tm_->Commit(&writer, nullptr).ok());
+  Row old_view;
+  ASSERT_TRUE(tm_->Read(&reader, 0, 0, &old_view, nullptr).ok());
+  EXPECT_EQ(old_view[1].AsInt(), 100);
+  Transaction fresh = tm_->Begin(IsolationLevel::kSnapshot);
+  Row new_view;
+  ASSERT_TRUE(tm_->Read(&fresh, 0, 0, &new_view, nullptr).ok());
+  EXPECT_EQ(new_view[1].AsInt(), 111);
+}
+
+TEST_F(TxnTest, DeltaConflictsWithPendingFullUpdate) {
+  // A full update committing concurrently must still exclude deltas in
+  // flight the other way: delta-vs-committed-full is fine (the fold
+  // layers the delta on top), but the full writer that committed AFTER
+  // the delta's read sees first-updater-wins as usual.
+  Transaction full = tm_->Begin(IsolationLevel::kSnapshot);
+  Row r;
+  ASSERT_TRUE(tm_->Read(&full, 0, 0, &r, nullptr).ok());
+  tm_->BufferUpdate(&full, 0, 0, r, Row{int64_t{1}, int64_t{500}});
+
+  Transaction delta = tm_->Begin(IsolationLevel::kSnapshot);
+  tm_->BufferDelta(&delta, 0, 0, 1, Value(int64_t{3}));
+  ASSERT_TRUE(tm_->Commit(&delta, nullptr).ok());
+
+  // The full update's base is now stale: aborts rather than losing the
+  // delta increment.
+  StatusOr<CommitResult> second = tm_->Commit(&full, nullptr);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(ReadCommitted(0)[1].AsInt(), 103);
+}
+
+TEST_F(TxnTest, ProvisionalInsertVisibleToOwnReads) {
+  // RYOW over buffered inserts: BufferInsert returns a provisional rid
+  // that Read resolves from the write buffer until commit assigns the
+  // real slot.
+  Transaction txn = tm_->Begin(IsolationLevel::kSnapshot);
+  const Rid prid = tm_->BufferInsert(&txn, 0, Row{int64_t{3}, int64_t{42}});
+  EXPECT_GE(prid, kProvisionalRidBase);
+  Row row;
+  ASSERT_TRUE(tm_->Read(&txn, 0, prid, &row, nullptr).ok());
+  EXPECT_EQ(row[1].AsInt(), 42);
+
+  // Updates and deltas against the provisional rid collapse into the
+  // buffered insert.
+  tm_->BufferDelta(&txn, 0, prid, 1, Value(int64_t{8}));
+  ASSERT_TRUE(tm_->Read(&txn, 0, prid, &row, nullptr).ok());
+  EXPECT_EQ(row[1].AsInt(), 50);
+
+  ASSERT_TRUE(tm_->Commit(&txn, nullptr).ok());
+  EXPECT_EQ(ReadCommitted(2)[1].AsInt(), 50);
+}
+
+TEST_F(TxnTest, IndexLookupSeesBufferedInserts) {
+  // RYOW through the secondary access path: an IndexLookup inside the
+  // inserting transaction visits the provisional row; after commit the
+  // real rid takes over; other transactions never see the provisional
+  // row.
+  Transaction txn = tm_->Begin(IsolationLevel::kSnapshot);
+  tm_->BufferInsert(&txn, 0, Row{int64_t{3}, int64_t{42}});
+  size_t visits = 0;
+  Rid seen_rid = 0;
+  tm_->IndexLookup(&txn, *index_, {Value(int64_t{3})},
+                   [&](Rid rid, const Row& row) {
+                     ++visits;
+                     seen_rid = rid;
+                     EXPECT_EQ(row[1].AsInt(), 42);
+                     return true;
+                   },
+                   nullptr);
+  EXPECT_EQ(visits, 1u);
+  EXPECT_GE(seen_rid, kProvisionalRidBase);
+
+  Transaction other = tm_->Begin(IsolationLevel::kSnapshot);
+  size_t other_visits = 0;
+  tm_->IndexLookup(&other, *index_, {Value(int64_t{3})},
+                   [&](Rid, const Row&) {
+                     ++other_visits;
+                     return true;
+                   },
+                   nullptr);
+  EXPECT_EQ(other_visits, 0u);
+
+  ASSERT_TRUE(tm_->Commit(&txn, nullptr).ok());
+  Transaction after = tm_->Begin(IsolationLevel::kSnapshot);
+  size_t after_visits = 0;
+  tm_->IndexLookup(&after, *index_, {Value(int64_t{3})},
+                   [&](Rid rid, const Row& row) {
+                     ++after_visits;
+                     EXPECT_LT(rid, kProvisionalRidBase);
+                     EXPECT_EQ(row[1].AsInt(), 42);
+                     return true;
+                   },
+                   nullptr);
+  EXPECT_EQ(after_visits, 1u);
+}
+
+TEST_F(TxnTest, LatchProtocolMatchesLockFreeSemantics) {
+  // The compatibility protocol (single commit latch around the same
+  // commit pipeline) preserves behavior: first-updater-wins, deltas
+  // commute, final states identical.
+  tm_->SetProtocol(TxnProtocol::kLatch);
+  Transaction t1 = tm_->Begin(IsolationLevel::kSnapshot);
+  Transaction t2 = tm_->Begin(IsolationLevel::kSnapshot);
+  tm_->BufferDelta(&t1, 0, 0, 1, Value(int64_t{10}));
+  tm_->BufferDelta(&t2, 0, 0, 1, Value(int64_t{20}));
+  ASSERT_TRUE(tm_->Commit(&t1, nullptr).ok());
+  ASSERT_TRUE(tm_->Commit(&t2, nullptr).ok());
+  EXPECT_EQ(ReadCommitted(0)[1].AsInt(), 130);
+  tm_->SetProtocol(TxnProtocol::kLockFree);
+}
+
+TEST_F(TxnTest, RetryBackoffIsDeterministicAndCapped) {
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    const double a = TxnManager::RetryBackoffSeconds(3, 17, attempt);
+    const double b = TxnManager::RetryBackoffSeconds(3, 17, attempt);
+    EXPECT_EQ(a, b) << "backoff must be a pure function of its inputs";
+    EXPECT_GT(a, 0.0);
+    EXPECT_LE(a, 10e-3);
+  }
+  // Different (client, txn) pairs jitter apart.
+  EXPECT_NE(TxnManager::RetryBackoffSeconds(1, 1, 0),
+            TxnManager::RetryBackoffSeconds(2, 1, 0));
+}
+
+TEST_F(TxnTest, RunWithRetriesSleepsAndReportsBackoff) {
+  // An always-aborting body: the injected sleeper must be invoked once
+  // per retry with the deterministic schedule, and the accumulated
+  // backoff must be reported to the caller.
+  std::vector<double> slept;
+  tm_->SetRetrySleeper([&](double s) { slept.push_back(s); });
+  int attempts = 0;
+  double backoff = 0;
+  StatusOr<CommitResult> result = tm_->RunWithRetries(
+      IsolationLevel::kSnapshot, 7, 9,
+      [&](Transaction*) { return Status::Aborted("induced"); }, nullptr,
+      /*max_retries=*/4, &attempts, &backoff);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(attempts, 5);
+  ASSERT_EQ(slept.size(), 4u);
+  double expected = 0;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(slept[i], TxnManager::RetryBackoffSeconds(7, 9, i));
+    expected += slept[i];
+  }
+  EXPECT_DOUBLE_EQ(backoff, expected);
+  // Monotone non-decreasing windows (jitter stays within the doubling).
+  EXPECT_LT(slept[0], slept[3] * 8.0 + 1e-12);
 }
 
 TEST_F(TxnTest, WriteSkewAllowedUnderSnapshotIsolation) {
@@ -345,21 +549,45 @@ TEST(WalTest, EncodeDecodeRoundTrip) {
   record.commit_ts = 1234;
   record.client_id = 3;
   record.txn_num = 99;
-  record.ops.push_back(WalOp{WalOp::Kind::kInsert, 1, 17,
+  record.ops.push_back(WalOp{WalOp::Kind::kInsert, 1, 17, 0,
                              Row{int64_t{-5}, 2.75, std::string("hello")}});
   record.ops.push_back(
-      WalOp{WalOp::Kind::kUpdate, 2, 0, Row{std::string("")}});
+      WalOp{WalOp::Kind::kUpdate, 2, 0, 0, Row{std::string("")}});
 
   StatusOr<WalRecord> decoded = WalRecord::Decode(record.Encode());
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(*decoded, record);
 }
 
+TEST(WalTest, DeltaOpRoundTripsWithColumn) {
+  // kDelta carries its target column on the wire; insert/update records
+  // stay byte-identical to the pre-delta format.
+  WalRecord record;
+  record.lsn = 7;
+  record.commit_ts = 11;
+  record.ops.push_back(WalOp{WalOp::Kind::kDelta, 4, 9, 3, Row{2.5}});
+  record.ops.push_back(
+      WalOp{WalOp::Kind::kDelta, 4, 9, 1, Row{int64_t{1}}});
+  StatusOr<WalRecord> decoded = WalRecord::Decode(record.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, record);
+  EXPECT_EQ(decoded->ops[0].column, 3u);
+  EXPECT_EQ(decoded->ops[1].column, 1u);
+
+  WalRecord legacy;
+  legacy.lsn = 7;
+  legacy.ops.push_back(
+      WalOp{WalOp::Kind::kUpdate, 1, 2, 0, Row{int64_t{5}}});
+  WalRecord same = legacy;
+  same.ops[0].column = 9;  // non-delta ops never encode the column
+  EXPECT_EQ(legacy.Encode(), same.Encode());
+}
+
 TEST(WalTest, DecodeRejectsTruncated) {
   WalRecord record;
   record.lsn = 1;
   record.ops.push_back(
-      WalOp{WalOp::Kind::kInsert, 0, 0, Row{std::string("payload")}});
+      WalOp{WalOp::Kind::kInsert, 0, 0, 0, Row{std::string("payload")}});
   const std::string bytes = record.Encode();
   for (size_t cut : {size_t{0}, size_t{4}, bytes.size() - 3}) {
     StatusOr<WalRecord> decoded = WalRecord::Decode(bytes.substr(0, cut));

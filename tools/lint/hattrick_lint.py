@@ -31,6 +31,12 @@ checker bans the foot-guns at review time instead:
                             replication control flow between Debug and
                             Release; use Status returns or explicit
                             aborts instead.
+  raw-cas                   compare_exchange_weak / _strong outside
+                            src/txn/mvcc*. Hand-rolled CAS loops are
+                            where the lock-free protocol bugs live; all
+                            version-chain CAS goes through the audited
+                            helpers in src/txn/mvcc.h (TryPushHead,
+                            Unlink, the epoch manager).
 
 Escape hatch: a `// lint:allow(rule-name)` comment on the offending line
 suppresses that rule for that line (comma-separate several rules). Use it
@@ -137,6 +143,14 @@ RULES = [
         "control flow between build types; return a Status or abort "
         "explicitly",
         lambda rel: rel.startswith("src/replication/"),
+    ),
+    Rule(
+        "raw-cas",
+        r"(?:\.|->)\s*compare_exchange_(weak|strong)\b",
+        "raw compare-exchange outside the MVCC module; use the audited "
+        "chain helpers in src/txn/mvcc.h (TryPushHead, Unlink) so every "
+        "lock-free publication point stays in one reviewed file",
+        lambda rel: not rel.startswith("src/txn/mvcc"),
     ),
 ]
 
