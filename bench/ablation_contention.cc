@@ -18,7 +18,7 @@
 #include <cstdio>
 
 #include "bench/support.h"
-#include "engine/shared_engine.h"
+#include "engine/engine_factory.h"
 
 using namespace hattrick;         // NOLINT
 using namespace hattrick::bench;  // NOLINT
@@ -33,15 +33,15 @@ struct Point {
 
 Point PureTThroughput(const Dataset& dataset, double hold_fraction,
                       bool payment_deltas, int t_clients) {
-  SharedEngine engine;
+  const std::unique_ptr<HtapEngine> engine = MakeSharedEngine();
   const Status status =
-      LoadDataset(dataset, PhysicalSchema::kAllIndexes, &engine);
+      LoadDataset(dataset, PhysicalSchema::kAllIndexes, engine.get());
   if (!status.ok()) std::abort();
   WorkloadContext context(dataset);
   context.payment_deltas = payment_deltas;
   SimSetup setup = SharedSimSetup();
   setup.lock_hold_fraction = hold_fraction;
-  SimDriver driver(&engine, &context, setup);
+  SimDriver driver(engine.get(), &context, setup);
   WorkloadConfig run = DefaultRunConfig();
   run.t_clients = t_clients;
   run.a_clients = 0;

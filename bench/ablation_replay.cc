@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "bench/support.h"
-#include "engine/isolated_engine.h"
+#include "engine/engine_factory.h"
 
 using namespace hattrick;         // NOLINT
 using namespace hattrick::bench;  // NOLINT
@@ -27,14 +27,14 @@ int main() {
   for (const double multiplier : {0.5, 1.0, 1.3, 2.0, 4.0, 8.0}) {
     IsolatedEngineConfig config;
     config.mode = ReplicationMode::kSyncShip;
-    IsolatedEngine engine(config);
+    const std::unique_ptr<HtapEngine> engine = MakeIsolatedEngine(config);
     const Status status =
-        LoadDataset(dataset, PhysicalSchema::kAllIndexes, &engine);
+        LoadDataset(dataset, PhysicalSchema::kAllIndexes, engine.get());
     if (!status.ok()) std::abort();
     WorkloadContext context(dataset);
     SimSetup setup = IsolatedSimSetup();
     setup.cost.replay_multiplier = multiplier;
-    SimDriver driver(&engine, &context, setup);
+    SimDriver driver(engine.get(), &context, setup);
     WorkloadConfig run = DefaultRunConfig();
     run.t_clients = 12;
     run.a_clients = 3;

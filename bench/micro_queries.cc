@@ -15,8 +15,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "engine/hybrid_engine.h"
-#include "engine/shared_engine.h"
+#include "engine/engine_factory.h"
 #include "hattrick/datagen.h"
 #include "hattrick/queries.h"
 #include "hattrick/transactions.h"
@@ -32,17 +31,17 @@ struct Fixture {
     config.seed = 42;
     config.num_freshness_tables = 4;
     dataset = GenerateDataset(config);
-    shared = std::make_unique<SharedEngine>();
+    shared = MakeSharedEngine();
     (void)LoadDataset(dataset, PhysicalSchema::kAllIndexes, shared.get());
-    hybrid = std::make_unique<HybridEngine>(SystemXConfig());
+    hybrid = MakeHybridEngine(SystemXConfig());
     (void)LoadDataset(dataset, PhysicalSchema::kSemiIndexes, hybrid.get());
     context = std::make_unique<WorkloadContext>(dataset);
     handles = EngineHandles::Resolve(*shared->primary_catalog(), 4);
   }
 
   Dataset dataset;
-  std::unique_ptr<SharedEngine> shared;
-  std::unique_ptr<HybridEngine> hybrid;
+  std::unique_ptr<HtapEngine> shared;
+  std::unique_ptr<HtapEngine> hybrid;
   std::unique_ptr<WorkloadContext> context;
   EngineHandles handles;
 };
@@ -128,15 +127,15 @@ struct ParallelFixture {
     config.seed = 42;
     config.num_freshness_tables = 4;
     dataset = GenerateDataset(config);
-    shared = std::make_unique<SharedEngine>();
+    shared = MakeSharedEngine();
     (void)LoadDataset(dataset, PhysicalSchema::kAllIndexes, shared.get());
-    hybrid = std::make_unique<HybridEngine>(SystemXConfig());
+    hybrid = MakeHybridEngine(SystemXConfig());
     (void)LoadDataset(dataset, PhysicalSchema::kSemiIndexes, hybrid.get());
   }
 
   Dataset dataset;
-  std::unique_ptr<SharedEngine> shared;
-  std::unique_ptr<HybridEngine> hybrid;
+  std::unique_ptr<HtapEngine> shared;
+  std::unique_ptr<HtapEngine> hybrid;
 };
 
 ParallelFixture& GetParallelFixture() {

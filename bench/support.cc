@@ -3,9 +3,11 @@
 #include <cassert>
 #include <cstdio>
 
-#include "engine/hybrid_engine.h"
-#include "engine/isolated_engine.h"
-#include "engine/shared_engine.h"
+#include <cstdlib>
+
+#include "engine/engine_factory.h"
+#include "shard/shard_router.h"
+#include "shard/sharded_engine.h"
 
 namespace hattrick {
 namespace bench {
@@ -30,9 +32,84 @@ const char* EngineKindName(EngineKind kind) {
   return "?";
 }
 
+bool ParseEngineKind(const std::string& name, EngineKind* kind) {
+  if (name == "postgres" || name == "shared") {
+    *kind = EngineKind::kPostgres;
+  } else if (name == "postgres-rc") {
+    *kind = EngineKind::kPostgresRC;
+  } else if (name == "postgres-sr" || name == "isolated") {
+    *kind = EngineKind::kPostgresSR;
+  } else if (name == "postgres-sr-ra") {
+    *kind = EngineKind::kPostgresSRRA;
+  } else if (name == "system-x" || name == "hybrid") {
+    *kind = EngineKind::kSystemX;
+  } else if (name == "tidb") {
+    *kind = EngineKind::kTidb;
+  } else if (name == "tidb-dist") {
+    *kind = EngineKind::kTidbDist;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseDistModel(const std::string& name, DistModel* model) {
+  if (name == "surcharge") {
+    *model = DistModel::kSurcharge;
+  } else if (name == "sharded") {
+    *model = DistModel::kSharded;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+DistModel DefaultDistModel() {
+  const char* env = std::getenv("HATTRICK_DIST_MODEL");
+  if (env == nullptr || *env == '\0') return DistModel::kSharded;
+  DistModel model;
+  if (!ParseDistModel(env, &model)) {
+    std::fprintf(stderr,
+                 "unknown HATTRICK_DIST_MODEL '%s' (expected surcharge or "
+                 "sharded)\n",
+                 env);
+    std::abort();
+  }
+  return model;
+}
+
+uint32_t DefaultShards() {
+  const char* env = std::getenv("HATTRICK_SHARDS");
+  if (env == nullptr || *env == '\0') return 3;
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || value < 1) {
+    std::fprintf(stderr,
+                 "invalid HATTRICK_SHARDS '%s' (expected a positive "
+                 "integer)\n",
+                 env);
+    std::abort();
+  }
+  return static_cast<uint32_t>(value);
+}
+
+EngineKind EngineKindFromNameOrDie(const std::string& name) {
+  EngineKind kind;
+  if (!ParseEngineKind(name, &kind)) {
+    std::fprintf(stderr,
+                 "unknown setup name '%s' (expected postgres, postgres-rc, "
+                 "postgres-sr, postgres-sr-ra, system-x, tidb, or "
+                 "tidb-dist)\n",
+                 name.c_str());
+    std::abort();
+  }
+  return kind;
+}
+
 BenchEnv MakeEnv(EngineKind kind, double scale_factor,
                  PhysicalSchema physical, const FaultConfig& fault,
-                 MergeMode merge_mode) {
+                 MergeMode merge_mode, DistModel dist_model,
+                 uint32_t shards) {
   BenchEnv env;
   DatagenConfig datagen;
   datagen.scale_factor = scale_factor;
@@ -47,7 +124,7 @@ BenchEnv MakeEnv(EngineKind kind, double scale_factor,
       SharedEngineConfig config;
       config.name = "PostgreSQL";
       config.isolation = IsolationLevel::kSerializable;
-      env.engine = std::make_unique<SharedEngine>(config);
+      env.engine = MakeSharedEngine(config);
       setup = SharedSimSetup();
       break;
     }
@@ -55,7 +132,7 @@ BenchEnv MakeEnv(EngineKind kind, double scale_factor,
       SharedEngineConfig config;
       config.name = "PostgreSQL-RC";
       config.isolation = IsolationLevel::kReadCommitted;
-      env.engine = std::make_unique<SharedEngine>(config);
+      env.engine = MakeSharedEngine(config);
       setup = SharedSimSetup();
       break;
     }
@@ -64,7 +141,7 @@ BenchEnv MakeEnv(EngineKind kind, double scale_factor,
       config.name = "PostgreSQL-SR";
       config.mode = ReplicationMode::kSyncShip;
       config.fault = fault;
-      env.engine = std::make_unique<IsolatedEngine>(config);
+      env.engine = MakeIsolatedEngine(config);
       setup = IsolatedSimSetup();
       break;
     }
@@ -73,30 +150,43 @@ BenchEnv MakeEnv(EngineKind kind, double scale_factor,
       config.name = "PostgreSQL-SR-RA";
       config.mode = ReplicationMode::kRemoteApply;
       config.fault = fault;
-      env.engine = std::make_unique<IsolatedEngine>(config);
+      env.engine = MakeIsolatedEngine(config);
       setup = IsolatedSimSetup();
       break;
     }
     case EngineKind::kSystemX: {
       HybridEngineConfig config = SystemXConfig();
       config.merge_mode = merge_mode;
-      env.engine = std::make_unique<HybridEngine>(config);
+      env.engine = MakeHybridEngine(config);
       setup = HybridSimSetup();
       break;
     }
     case EngineKind::kTidb: {
       HybridEngineConfig config = TidbConfig();
       config.merge_mode = merge_mode;
-      env.engine = std::make_unique<HybridEngine>(config);
+      env.engine = MakeHybridEngine(config);
       setup = HybridSimSetup();
       break;
     }
     case EngineKind::kTidbDist: {
-      HybridEngineConfig config = TidbConfig();
-      config.name = "TiDB-Dist";
-      config.merge_mode = merge_mode;
-      env.engine = std::make_unique<HybridEngine>(config);
-      setup = TidbDistSimSetup();
+      if (dist_model == DistModel::kSharded) {
+        ShardedEngineConfig config;
+        config.name = "TiDB-Dist";
+        config.shards = shards;
+        config.seed = kDatagenSeed;
+        config.plan = MakeSsbShardPlan(kFreshnessTables);
+        config.node = TidbConfig();
+        config.node.merge_mode = merge_mode;
+        config.fault = fault;
+        env.engine = std::make_unique<ShardedEngine>(config);
+        setup = ShardedSimSetup(shards);
+      } else {
+        HybridEngineConfig config = TidbConfig();
+        config.name = "TiDB-Dist";
+        config.merge_mode = merge_mode;
+        env.engine = MakeHybridEngine(config);
+        setup = TidbDistSimSetup();
+      }
       break;
     }
   }

@@ -4,8 +4,8 @@
 #include <memory>
 #include <string>
 
+#include "engine/engine_config.h"
 #include "engine/htap_engine.h"
-#include "engine/hybrid_engine.h"
 #include "fault/fault_injector.h"
 #include "hattrick/datagen.h"
 #include "hattrick/driver.h"
@@ -23,7 +23,9 @@ namespace bench {
 ///  - kPostgresSRRA: IsolatedEngine, remote_apply (Figure 8a).
 ///  - kSystemX:      HybridEngine, OCC serializable, one node.
 ///  - kTidb:         HybridEngine, snapshot isolation, one node.
-///  - kTidbDist:     HybridEngine, distributed deployment costs.
+///  - kTidbDist:     distributed deployment — a real ShardedEngine by
+///                   default, or the legacy flat-surcharge HybridEngine
+///                   (see DistModel).
 enum class EngineKind {
   kPostgres,
   kPostgresRC,
@@ -34,8 +36,42 @@ enum class EngineKind {
   kTidbDist,
 };
 
+/// How kTidbDist models distribution:
+///  - kSharded (default): N-shard ShardedEngine (hash routing, 2PC,
+///    per-shard replication chains) on ShardedSimSetup(N) — coordination
+///    latency is charged per participant via TxnOutcome::shards_touched.
+///  - kSurcharge: the pre-sharding model — one HybridEngine with
+///    TidbDistSimSetup()'s flat per-transaction latency surcharge. Kept
+///    as a fallback and as the baseline fig11 compares against.
+enum class DistModel {
+  kSurcharge,
+  kSharded,
+};
+
+/// Parses "surcharge" / "sharded". Returns false on an unknown name.
+bool ParseDistModel(const std::string& name, DistModel* model);
+
+/// HATTRICK_DIST_MODEL environment override, else kSharded. Aborts with
+/// a one-line error on an unknown value.
+DistModel DefaultDistModel();
+
+/// HATTRICK_SHARDS environment override (strict positive integer; aborts
+/// loudly on junk), else 3 — the paper testbed's TiKV node count.
+uint32_t DefaultShards();
+
 /// Returns the display name used in the output ("PostgreSQL", ...).
 const char* EngineKindName(EngineKind kind);
+
+/// Parses a setup name ("postgres", "postgres-rc", "postgres-sr",
+/// "postgres-sr-ra", "system-x", "tidb", "tidb-dist", plus the aliases
+/// "shared", "isolated", "hybrid"). Returns false on an unknown name —
+/// callers must report the error, never fall back to a default setup.
+bool ParseEngineKind(const std::string& name, EngineKind* kind);
+
+/// ParseEngineKind, or a one-line error on stderr and abort. Benches use
+/// this so a typoed setup name fails loudly instead of silently
+/// benchmarking the wrong system.
+EngineKind EngineKindFromNameOrDie(const std::string& name);
 
 /// A loaded engine + workload context + virtual-time driver.
 struct BenchEnv {
@@ -57,10 +93,15 @@ inline constexpr uint64_t kDatagenSeed = 42;
 /// replication channel and ignore it. `merge_mode` (default: the
 /// HATTRICK_MERGE_MODE environment override, else eager) selects the
 /// hybrid engines' delta-visibility protocol; the shared and isolated
-/// kinds have no column copy and ignore it.
+/// kinds have no column copy and ignore it. `dist_model` and `shards`
+/// apply only to kTidbDist (other kinds are single-node and ignore
+/// both); with kSharded, `fault` attaches to the per-shard replication
+/// chains instead.
 BenchEnv MakeEnv(EngineKind kind, double scale_factor,
                  PhysicalSchema physical, const FaultConfig& fault = {},
-                 MergeMode merge_mode = DefaultMergeMode());
+                 MergeMode merge_mode = DefaultMergeMode(),
+                 DistModel dist_model = DefaultDistModel(),
+                 uint32_t shards = DefaultShards());
 
 /// Default measurement procedure for the figure benches. Execution mode
 /// follows the WorkloadConfig defaults: vectorized, with the batch width

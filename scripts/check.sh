@@ -22,12 +22,17 @@
 #            HATTRICK_MERGE_MODE=bitmap), plus a latch-protocol replay
 #            (HATTRICK_TXN_PROTOCOL=latch) so the lock-free MVCC path
 #            and its fallback stay in agreement under load
+#   shard-smoke  full ctest suite with HATTRICK_SHARDS=4 (every
+#            tidb-dist construction goes through the 4-shard engine),
+#            plus the cross-shard 2PC storm (shard_test) under
+#            ThreadSanitizer
 #
 # Usage:
 #   scripts/check.sh                  # build + lint + tsan
 #   scripts/check.sh --all            # every leg (CI parity)
 #   scripts/check.sh --asan --ubsan   # just the named legs
 #   scripts/check.sh --merge-bitmap   # bitmap merge-mode leg only
+#   scripts/check.sh --shard-smoke    # sharded scale-out leg only
 #   scripts/check.sh --tidy           # just clang-tidy
 #   scripts/check.sh --tsan-only      # compat: tsan leg only
 #   scripts/check.sh --no-tsan        # compat: build + lint, no tsan
@@ -39,7 +44,7 @@ SUPP_DIR="$PWD/scripts/sanitizers"
 
 RUN_BUILD=0 RUN_LINT=0 RUN_TSAN=0 RUN_ASAN=0 RUN_UBSAN=0
 RUN_ANALYZE=0 RUN_TIDY=0 RUN_MERGE_BITMAP=0 RUN_BENCH_SMOKE=0
-RUN_CONTENTION_SMOKE=0
+RUN_CONTENTION_SMOKE=0 RUN_SHARD_SMOKE=0
 if [[ $# -eq 0 ]]; then
   RUN_BUILD=1 RUN_LINT=1 RUN_TSAN=1
 fi
@@ -47,7 +52,7 @@ for arg in "$@"; do
   case "$arg" in
     --all) RUN_BUILD=1 RUN_LINT=1 RUN_TSAN=1 RUN_ASAN=1 RUN_UBSAN=1
            RUN_ANALYZE=1 RUN_TIDY=1 RUN_MERGE_BITMAP=1 RUN_BENCH_SMOKE=1
-           RUN_CONTENTION_SMOKE=1 ;;
+           RUN_CONTENTION_SMOKE=1 RUN_SHARD_SMOKE=1 ;;
     --build) RUN_BUILD=1 ;;
     --lint) RUN_LINT=1 ;;
     --tsan) RUN_TSAN=1 ;;
@@ -58,13 +63,14 @@ for arg in "$@"; do
     --tidy) RUN_TIDY=1 ;;
     --bench-smoke) RUN_BENCH_SMOKE=1 ;;
     --contention-smoke) RUN_CONTENTION_SMOKE=1 ;;
+    --shard-smoke) RUN_SHARD_SMOKE=1 ;;
     # Back-compat spellings used by older CI jobs and muscle memory.
     --tsan-only) RUN_TSAN=1 ;;
     --no-tsan) RUN_BUILD=1 RUN_LINT=1 ;;
     *) echo "usage: $0 [--all] [--build] [--lint] [--tsan] [--asan]" \
             "[--ubsan] [--merge-bitmap] [--analyze] [--tidy]" \
-            "[--bench-smoke] [--contention-smoke] [--tsan-only]" \
-            "[--no-tsan]" >&2
+            "[--bench-smoke] [--contention-smoke] [--shard-smoke]" \
+            "[--tsan-only] [--no-tsan]" >&2
        exit 2 ;;
   esac
 done
@@ -138,6 +144,25 @@ if [[ "$RUN_CONTENTION_SMOKE" == 1 ]]; then
             TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
             ctest -R '^commit_storm_test$' --output-on-failure)
   done
+fi
+
+if [[ "$RUN_SHARD_SMOKE" == 1 ]]; then
+  echo "== build (shard-smoke) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS"
+  # Re-run the whole suite with a 4-shard default so every tidb-dist
+  # construction routes through ShardRouter + 2PC instead of the
+  # single-node engine, then hammer the cross-shard commit path
+  # (2PC storm + crash matrix in shard_test) under TSan.
+  echo "== ctest (all, HATTRICK_SHARDS=4) =="
+  (cd build && HATTRICK_SHARDS=4 ctest --output-on-failure -j "$JOBS")
+  echo "== build (ThreadSanitizer, shard-smoke) =="
+  cmake -B build-tsan -S . -DHATTRICK_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target shard_test
+  echo "== shard_test (tsan, HATTRICK_SHARDS=4) =="
+  (cd build-tsan && HATTRICK_SHARDS=4 \
+      TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+      ctest -R '^shard_test$' --output-on-failure)
 fi
 
 if [[ "$RUN_BENCH_SMOKE" == 1 ]]; then

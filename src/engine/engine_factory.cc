@@ -1,0 +1,21 @@
+#include "engine/engine_factory.h"
+
+#include "engine/hybrid_engine.h"
+#include "engine/isolated_engine.h"
+#include "engine/shared_engine.h"
+
+namespace hattrick {
+
+std::unique_ptr<HtapEngine> MakeSharedEngine(SharedEngineConfig config) {
+  return std::make_unique<SharedEngine>(std::move(config));
+}
+
+std::unique_ptr<HtapEngine> MakeIsolatedEngine(IsolatedEngineConfig config) {
+  return std::make_unique<IsolatedEngine>(std::move(config));
+}
+
+std::unique_ptr<HtapEngine> MakeHybridEngine(HybridEngineConfig config) {
+  return std::make_unique<HybridEngine>(std::move(config));
+}
+
+}  // namespace hattrick

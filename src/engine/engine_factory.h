@@ -1,0 +1,22 @@
+#ifndef HATTRICK_ENGINE_ENGINE_FACTORY_H_
+#define HATTRICK_ENGINE_ENGINE_FACTORY_H_
+
+#include <memory>
+
+#include "engine/engine_config.h"
+#include "engine/htap_engine.h"
+
+namespace hattrick {
+
+/// Constructs the three single-node engine designs behind the HtapEngine
+/// facade. Benchmarks and tools build engines through these factories so
+/// only src/engine/ and src/shard/ depend on the concrete engine types
+/// (enforced by the hattrick-lint concrete-engine-include rule).
+std::unique_ptr<HtapEngine> MakeSharedEngine(SharedEngineConfig config = {});
+std::unique_ptr<HtapEngine> MakeIsolatedEngine(
+    IsolatedEngineConfig config = {});
+std::unique_ptr<HtapEngine> MakeHybridEngine(HybridEngineConfig config = {});
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_ENGINE_ENGINE_FACTORY_H_

@@ -1,120 +1,39 @@
 #ifndef HATTRICK_ENGINE_HTAP_ENGINE_H_
 #define HATTRICK_ENGINE_HTAP_ENGINE_H_
 
-#include <functional>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/schema.h"
 #include "common/status.h"
 #include "common/work_meter.h"
-#include "exec/operator.h"
+#include "engine/engine_facade.h"
 #include "obs/observability.h"
 #include "storage/catalog.h"
 #include "txn/txn_manager.h"
 
 namespace hattrick {
 
-/// Declarative description of the database: tables plus the physical
-/// schema (indexes). The paper's physical-schema experiment (Figure 6b)
-/// varies the index list: none / T-accelerating only ("semi") / all.
-struct TableSpec {
-  std::string name;
-  Schema schema;
-};
-
-struct IndexSpec {
-  std::string name;
-  std::string table;
-  std::vector<size_t> key_columns;
-  bool unique = false;
-};
-
-struct DatabaseSpec {
-  std::vector<TableSpec> tables;
-  std::vector<IndexSpec> indexes;
-};
-
-/// What a client must wait for after the local part of a commit finishes.
-/// The benchmark driver (wall-clock or virtual-time) resolves the wait:
-///  - kNone: commit already complete.
-///  - kShipDelay: wait for the record to reach and be written by the
-///    standby (PostgreSQL-SR synchronous_commit=ON); duration derived
-///    from `bytes` by the cost model.
-///  - kReplicaApplied: wait until the standby has replayed `lsn`
-///    (synchronous_commit=remote_apply).
-struct CommitWait {
-  enum class Kind { kNone, kShipDelay, kReplicaApplied };
-  Kind kind = Kind::kNone;
-  uint64_t lsn = 0;
-  uint64_t bytes = 0;
-  /// Extra seconds the client is stalled on top of the wait itself:
-  /// backpressure when the standby's unacknowledged backlog exceeds its
-  /// bound, plus any injected ship-delay fault. Applies to every Kind
-  /// (even kNone — async commits are throttled too, or the backlog
-  /// would grow without bound exactly when replication is degraded).
-  double throttle_s = 0;
-};
-
-/// Outcome of one transaction execution (after retries).
-struct TxnOutcome {
-  Status status;     // OK iff finally committed
-  int attempts = 1;  // 1 + number of aborts
-  Ts commit_ts = 0;
-  uint64_t lsn = 0;
-  CommitWait wait;
-  /// Rows written ((table_id << 40) | rid); feeds the simulator's
-  /// row-lock contention model.
-  std::vector<uint64_t> write_keys;
-  /// Rows touched only by commutative delta increments (same packing).
-  /// Modeled separately: deltas hold their row "locks" for a tiny
-  /// fraction of the transaction (install + publish, no read-validate
-  /// span), which is what flattens the hot-row contention knee.
-  std::vector<uint64_t> delta_keys;
-  /// Simulated/real seconds spent in retry backoff across all attempts.
-  double backoff_s = 0;
-};
-
-/// The analytical side of the engine at one instant: a scan source over a
-/// consistent snapshot. For hybrid engines, constructing the session
-/// merges the outstanding delta into the column store first (the paper's
-/// "merge the tail of the log before every analytical query", Sections
-/// 6.4-6.5), charging that work to the requesting query.
-struct AnalyticsSession {
-  std::unique_ptr<DataSource> source;
-  Ts snapshot = 0;
-  /// Optional RAII guard the engine uses to pin its analytical state for
-  /// the life of the session (e.g. the hybrid engine holds a pin so a
-  /// concurrent delta merge cannot move data under a running query in
-  /// wall-clock mode).
-  ///
-  /// Lifetime contract: the pin lasts until the LAST copy of this
-  /// shared_ptr is destroyed, and engines must tolerate that release
-  /// happening on any thread — morsel workers copy the guard into their
-  /// ExecContext (ExecContext::session_pin) and may outlive both the
-  /// session object and the thread that called BeginAnalytics. Engines
-  /// must therefore back the guard with a primitive whose release is
-  /// thread-agnostic (see engine/session_pin.h); thread-affine locks like
-  /// std::shared_mutex are not safe here.
-  std::shared_ptr<void> guard;
-};
-
-/// Transaction logic, expressed against the primary's transaction
-/// manager. The HATtrick transactions (hattrick/transactions.h) are
-/// written as TxnBody callbacks, so every engine runs identical logic.
-using TxnBody =
-    std::function<Status(TxnManager*, Transaction*, WorkMeter*)>;
-
-/// Interface of an HTAP database engine. Three implementations mirror the
-/// paper's design classification (Section 2.2):
+/// An HTAP database engine: the four facade surfaces callers actually
+/// use (engine/engine_facade.h) — transaction execution, analytics
+/// sessions, the maintenance pump, replication hooks — plus the
+/// administrative lifecycle (create / load / reset) and observability
+/// wiring that only drivers and benchmark setup touch.
+///
+/// Three single-node implementations mirror the paper's design
+/// classification (Section 2.2):
 ///  - SharedEngine: single copy, single engine (PostgreSQL-like).
 ///  - IsolatedEngine: primary + log-shipped standby (PostgreSQL-SR-like).
 ///  - HybridEngine: row copy for T, columnar copy for A in one engine
 ///    (System-X / TiDB-like).
-class HtapEngine {
+/// The shard layer (src/shard/) composes N of them behind this same
+/// interface for horizontal scale-out.
+class HtapEngine : public TxnExecutor,
+                   public AnalyticsProvider,
+                   public MaintenancePump,
+                   public ReplicationHooks {
  public:
-  virtual ~HtapEngine() = default;
+  ~HtapEngine() override = default;
 
   virtual const std::string& name() const = 0;
 
@@ -129,35 +48,6 @@ class HtapEngine {
   /// Finalizes loading and snapshots the state for Reset().
   virtual Status FinishLoad() = 0;
 
-  /// Executes `body` as one transaction with retry-on-abort, at the
-  /// engine's configured isolation level. Work is metered into `meter`.
-  virtual TxnOutcome ExecuteTransaction(const TxnBody& body,
-                                        uint32_t client_id, uint64_t txn_num,
-                                        WorkMeter* meter) = 0;
-
-  /// Opens an analytical snapshot. Merge/maintenance work performed to
-  /// serve the query is metered into `meter`.
-  virtual AnalyticsSession BeginAnalytics(WorkMeter* meter) = 0;
-
-  /// Performs one unit of background maintenance (standby WAL replay).
-  /// Returns false if there is nothing to do. The driver schedules this
-  /// on the analytical side's resources.
-  virtual bool MaintenanceStep(WorkMeter* meter) { (void)meter; return false; }
-
-  /// Outstanding maintenance units (shipped-but-unreplayed records).
-  /// Nonzero while MaintenanceStep returns false means the engine is
-  /// backing off from a fault, not caught up — the driver should poll
-  /// again later instead of parking the applier until the next commit.
-  virtual size_t MaintenancePending() const { return 0; }
-
-  /// True once the standby (if any) has replayed through `lsn`
-  /// (resolves CommitWait::kReplicaApplied).
-  virtual bool IsApplied(uint64_t lsn) const { (void)lsn; return true; }
-
-  /// Highest LSN replayed by the standby; engines without a standby
-  /// report "everything" (they have no replication lag).
-  virtual uint64_t applied_lsn() const { return UINT64_MAX; }
-
   /// Garbage-collects row versions that no possible snapshot can see
   /// (older than the newest committed state). Callers must quiesce
   /// in-flight snapshots first. Returns versions dropped.
@@ -169,9 +59,11 @@ class HtapEngine {
   virtual Status Reset() = 0;
 
   /// Primary catalog (transactions resolve indexes/tables through it).
+  /// Sharded engines expose shard 0's catalog — table ids and index
+  /// names are identical on every shard by construction.
   virtual Catalog* primary_catalog() = 0;
 
-  /// The primary's transaction manager.
+  /// The primary's transaction manager (shard 0's for sharded engines).
   virtual TxnManager* txn_manager() = 0;
 
   /// Attaches (or, with a default-constructed bundle, detaches) run

@@ -1,6 +1,7 @@
 #include "engine/hybrid_engine.h"
 
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -11,10 +12,19 @@ namespace hattrick {
 MergeMode DefaultMergeMode() {
   static const MergeMode mode = [] {
     const char* env = std::getenv("HATTRICK_MERGE_MODE");
-    if (env != nullptr && std::strcmp(env, "bitmap") == 0) {
+    if (env == nullptr || env[0] == '\0' ||
+        std::strcmp(env, "eager") == 0) {
+      return MergeMode::kEager;
+    }
+    if (std::strcmp(env, "bitmap") == 0) {
       return MergeMode::kBitmap;
     }
-    return MergeMode::kEager;
+    // A typo must not silently benchmark the wrong merge protocol.
+    std::fprintf(stderr,
+                 "HATTRICK_MERGE_MODE: unknown mode '%s' "
+                 "(expected 'eager' or 'bitmap')\n",
+                 env);
+    std::abort();
   }();
   return mode;
 }
@@ -104,7 +114,10 @@ TxnOutcome HybridEngine::ExecuteTransaction(const TxnBody& body,
   TxnOutcome outcome;
   StatusOr<CommitResult> result = txn_manager_->RunWithRetries(
       config_.isolation, client_id, txn_num,
-      [&](Transaction* txn) { return body(txn_manager_.get(), txn, meter); },
+      [&](Transaction* txn) {
+        LocalTxnContext ctx(txn_manager_.get(), txn);
+        return body(&ctx, meter);
+      },
       meter,
       config_.max_retries, &outcome.attempts, &outcome.backoff_s);
   if (!result.ok()) {

@@ -8,6 +8,7 @@
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "engine/engine_config.h"
 #include "engine/htap_engine.h"
 #include "engine/session_pin.h"
 #include "exec/scan.h"
@@ -15,48 +16,6 @@
 #include "txn/timestamp.h"
 
 namespace hattrick {
-
-/// How the hybrid engine makes committed writes visible to analytics.
-///  - kEager: the paper's protocol — BeginAnalytics merges the whole
-///    outstanding delta into the column store under the merge latch
-///    before the query starts (freshness 0, but every query stalls on
-///    the merge and on running sessions).
-///  - kBitmap: committed delta records become CSN-stamped versions on
-///    the column tables; BeginAnalytics captures a snapshot CSN and an
-///    immutable visibility snapshot (dirty bitmap + override/insert
-///    rows) without taking the merge latch. A background fold — driven
-///    by the maintenance pump, charged to the A side — merges cold
-///    versions down once the delta depth crosses a watermark (freshness
-///    still 0: the snapshot CSN is the newest committed timestamp).
-enum class MergeMode { kEager, kBitmap };
-
-/// Process-wide default merge mode: the HATTRICK_MERGE_MODE environment
-/// variable ("eager" | "bitmap", default eager), read once and cached so
-/// a full test binary runs uniformly under either mode.
-MergeMode DefaultMergeMode();
-
-/// Configuration of the hybrid-design engine.
-struct HybridEngineConfig {
-  std::string name = "hybrid";
-  /// System-X uses optimistic MVCC at serializable (Section 6.4); TiDB's
-  /// default is snapshot-isolated repeatable read (Section 6.5).
-  IsolationLevel isolation = IsolationLevel::kSerializable;
-  int max_retries = 50;
-  MergeMode merge_mode = DefaultMergeMode();
-  /// Bitmap mode: background fold triggers once the committed-but-
-  /// unfolded version count (across all tables) reaches this depth.
-  /// Below it, versions stay in the log and sessions pay only the
-  /// (cheap) snapshot cost.
-  size_t fold_watermark = 4096;
-};
-
-/// Returns a config matching the paper's System-X (memory-optimized OCC
-/// engine with an in-memory clustered column store copy).
-HybridEngineConfig SystemXConfig();
-
-/// Returns a config matching single-node TiDB (TiKV row store + TiFlash
-/// columnar learner, snapshot-isolated reads).
-HybridEngineConfig TidbConfig();
 
 /// Hybrid design (Section 2.2): one engine and shared compute, but two
 /// copies of the data — a row store executing transactions and a columnar

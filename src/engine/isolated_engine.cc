@@ -84,7 +84,10 @@ TxnOutcome IsolatedEngine::ExecuteTransaction(const TxnBody& body,
   const uint64_t bytes_before = meter != nullptr ? meter->wal_bytes : 0;
   StatusOr<CommitResult> result = txn_manager_->RunWithRetries(
       config_.isolation, client_id, txn_num,
-      [&](Transaction* txn) { return body(txn_manager_.get(), txn, meter); },
+      [&](Transaction* txn) {
+        LocalTxnContext ctx(txn_manager_.get(), txn);
+        return body(&ctx, meter);
+      },
       meter, config_.max_retries, &outcome.attempts, &outcome.backoff_s);
   if (!result.ok()) {
     outcome.status = result.status();
@@ -96,40 +99,45 @@ TxnOutcome IsolatedEngine::ExecuteTransaction(const TxnBody& body,
   outcome.write_keys = std::move(result.value().write_keys);
   outcome.delta_keys = std::move(result.value().delta_keys);
   if (result->lsn != 0) {  // write transaction: replication semantics apply
-    switch (config_.mode) {
-      case ReplicationMode::kAsync:
-        break;
-      case ReplicationMode::kSyncShip:
-        outcome.wait.kind = CommitWait::Kind::kShipDelay;
-        outcome.wait.lsn = result->lsn;
-        outcome.wait.bytes =
-            meter != nullptr ? meter->wal_bytes - bytes_before : 0;
-        break;
-      case ReplicationMode::kRemoteApply:
-        outcome.wait.kind = CommitWait::Kind::kReplicaApplied;
-        outcome.wait.lsn = result->lsn;
-        break;
-    }
-    double throttle = 0;
-    const size_t backlog = MaxRetainedRecords();
-    if (backlog > config_.max_backlog_records) {
-      const double excess =
-          static_cast<double>(backlog - config_.max_backlog_records);
-      throttle = std::min(config_.backpressure_stall_cap_s,
-                          config_.backpressure_stall_s * excess);
-    }
-    for (const Standby& standby : replicas_) {
-      if (standby.injector != nullptr) {
-        throttle =
-            std::max(throttle, standby.injector->ShipDelaySeconds(result->lsn));
-      }
-    }
-    if (throttle > 0) {
-      outcome.wait.throttle_s = throttle;
-      throttle_seconds_total_.fetch_add(throttle, std::memory_order_relaxed);
-    }
+    outcome.wait = CommitWaitFor(
+        result->lsn, meter != nullptr ? meter->wal_bytes - bytes_before : 0);
   }
   return outcome;
+}
+
+CommitWait IsolatedEngine::CommitWaitFor(uint64_t lsn, uint64_t wal_bytes) {
+  CommitWait wait;
+  switch (config_.mode) {
+    case ReplicationMode::kAsync:
+      break;
+    case ReplicationMode::kSyncShip:
+      wait.kind = CommitWait::Kind::kShipDelay;
+      wait.lsn = lsn;
+      wait.bytes = wal_bytes;
+      break;
+    case ReplicationMode::kRemoteApply:
+      wait.kind = CommitWait::Kind::kReplicaApplied;
+      wait.lsn = lsn;
+      break;
+  }
+  double throttle = 0;
+  const size_t backlog = MaxRetainedRecords();
+  if (backlog > config_.max_backlog_records) {
+    const double excess =
+        static_cast<double>(backlog - config_.max_backlog_records);
+    throttle = std::min(config_.backpressure_stall_cap_s,
+                        config_.backpressure_stall_s * excess);
+  }
+  for (const Standby& standby : replicas_) {
+    if (standby.injector != nullptr) {
+      throttle = std::max(throttle, standby.injector->ShipDelaySeconds(lsn));
+    }
+  }
+  if (throttle > 0) {
+    wait.throttle_s = throttle;
+    throttle_seconds_total_.fetch_add(throttle, std::memory_order_relaxed);
+  }
+  return wait;
 }
 
 AnalyticsSession IsolatedEngine::BeginAnalytics(WorkMeter* meter) {

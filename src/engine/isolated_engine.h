@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/engine_config.h"
 #include "engine/htap_engine.h"
 #include "exec/scan.h"
 #include "fault/fault_injector.h"
@@ -14,32 +15,6 @@
 #include "txn/timestamp.h"
 
 namespace hattrick {
-
-/// Configuration of the isolated-design engine.
-struct IsolatedEngineConfig {
-  std::string name = "isolated";
-  IsolationLevel isolation = IsolationLevel::kSerializable;
-  /// PostgreSQL-SR synchronous_commit: ON (sync ship, async replay) by
-  /// default; REMOTE_APPLY for the zero-freshness mode of Figure 8a.
-  ReplicationMode mode = ReplicationMode::kSyncShip;
-  /// Number of standby nodes ("standby server(s)", Section 6.3).
-  /// Analytical sessions round-robin across standbys; in REMOTE_APPLY
-  /// mode a commit waits until *every* standby has replayed it.
-  int num_replicas = 1;
-  int max_retries = 50;
-  /// Replication-layer fault injection (disabled by default). Each
-  /// standby gets its own injector whose seed mixes the standby index,
-  /// so standbys see independent — but still deterministic — schedules.
-  FaultConfig fault;
-  /// Backpressure: once a standby's unacknowledged retention buffer
-  /// exceeds this many records, write commits are throttled (see
-  /// CommitWait::throttle_s) so a degraded standby bounds the backlog
-  /// instead of letting the primary run away from it.
-  size_t max_backlog_records = 4096;
-  /// Per-excess-record commit stall, and its cap per commit.
-  double backpressure_stall_s = 20e-6;
-  double backpressure_stall_cap_s = 5e-3;
-};
 
 /// Isolated design (Section 2.2): a primary node executes transactions;
 /// standby node(s) fed by streaming WAL replication serve analytics
@@ -69,6 +44,9 @@ class IsolatedEngine final : public HtapEngine {
   size_t MaintenancePending() const override;
   bool IsApplied(uint64_t lsn) const override;
   uint64_t applied_lsn() const override;
+  /// Replication-mode wait (sync ship / remote apply) plus standby
+  /// backpressure and injected ship-delay throttles for a write commit.
+  CommitWait CommitWaitFor(uint64_t lsn, uint64_t wal_bytes) override;
   size_t Vacuum() override;
   Status Reset() override;
   Catalog* primary_catalog() override { return &primary_; }

@@ -67,7 +67,10 @@ TxnOutcome SharedEngine::ExecuteTransaction(const TxnBody& body,
   TxnOutcome outcome;
   StatusOr<CommitResult> result = txn_manager_->RunWithRetries(
       config_.isolation, client_id, txn_num,
-      [&](Transaction* txn) { return body(txn_manager_.get(), txn, meter); },
+      [&](Transaction* txn) {
+        LocalTxnContext ctx(txn_manager_.get(), txn);
+        return body(&ctx, meter);
+      },
       meter,
       config_.max_retries, &outcome.attempts, &outcome.backoff_s);
   if (!result.ok()) {

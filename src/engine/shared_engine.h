@@ -5,22 +5,12 @@
 #include <string>
 #include <vector>
 
+#include "engine/engine_config.h"
 #include "engine/htap_engine.h"
 #include "exec/scan.h"
 #include "txn/timestamp.h"
 
 namespace hattrick {
-
-/// Configuration of the shared-design engine.
-struct SharedEngineConfig {
-  std::string name = "shared";
-  /// The paper's PostgreSQL experiments run serializable by default and
-  /// read committed in the Figure 6a comparison.
-  IsolationLevel isolation = IsolationLevel::kSerializable;
-  /// Transactions aborted by validation are retried up to this many times;
-  /// only the final success counts toward throughput.
-  int max_retries = 50;
-};
 
 /// Shared design (Section 2.2): one engine, one copy of the data, both
 /// workloads share all resources. Interference between T and A comes from

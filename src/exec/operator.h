@@ -154,6 +154,14 @@ class DataSource {
     (void)table;
     return 0;
   }
+
+  /// Horizontally partitioned sources (the sharded engine) expose one
+  /// view per shard; query planning then scatters a per-shard subplan
+  /// over each view and gathers the partial aggregates. Single-node
+  /// sources return empty (the default), which keeps ordinary planning
+  /// untouched. The returned views are owned by this source and stay
+  /// valid for the life of the analytics session.
+  virtual std::vector<const DataSource*> ShardViews() const { return {}; }
 };
 
 /// Relational operators used by the HATtrick query plans.

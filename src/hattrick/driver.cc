@@ -63,11 +63,36 @@ SimSetup TidbDistSimSetup() {
   setup.separate_pools = true;
   setup.lock_hold_fraction = 0.25;
   setup.cost.txn_fixed_us = 640.0;
-  // Distributed transactions pay TCP/IP CPU overhead and network round
-  // trips (Section 6.5.2).
+  // The surcharge model: distributed transactions pay a FLAT TCP/IP CPU
+  // overhead and network round trip (Section 6.5.2) regardless of how
+  // many shards each one actually touched. Retained as the fallback
+  // --dist-model=surcharge; the sharded model below replaces the flat
+  // 800us with a per-participant charge from real routing.
   setup.cost.t_work_multiplier = 4.0;
   setup.cost.txn_extra_latency_us = 800.0;
   setup.has_maintenance = true;  // background folds (bitmap merge mode)
+  return setup;
+}
+
+SimSetup ShardedSimSetup(uint32_t shards) {
+  if (shards < 1) shards = 1;
+  SimSetup setup;
+  // Each shard node contributes TiKV-style T cores and TiFlash-style A
+  // cores; compute scales linearly with the node count.
+  setup.t_cores = 8 * static_cast<int>(shards);
+  setup.a_cores = 8 * static_cast<int>(shards);
+  setup.separate_pools = true;
+  setup.lock_hold_fraction = 0.25;
+  setup.cost.txn_fixed_us = 640.0;
+  // Distributed-transaction CPU overhead (marshalling, TCP/IP) applies
+  // to every transaction; the network round trips are charged per
+  // coordinated shard via TxnOutcome::shards_touched (400us per
+  // participant — one prepare + one decide leg), so single-shard
+  // transactions pay one round trip and cross-shard 2PC pays
+  // proportionally more.
+  setup.cost.t_work_multiplier = 4.0;
+  setup.cost.txn_extra_latency_us = 400.0;
+  setup.has_maintenance = true;  // folds + per-shard standby replay
   return setup;
 }
 
@@ -223,9 +248,14 @@ class SimTClient {
 
   void OnCpuDone(const TxnOutcome& outcome) {
     // Backpressure throttles and injected ship delays stall the client
-    // in addition to the commit wait itself.
+    // in addition to the commit wait itself. The per-transaction network
+    // latency scales with the shards the transaction coordinated across
+    // (one 2PC round trip per participant); single-node engines always
+    // report shards_touched == 1.
     const double extra =
-        s_->setup.cost.txn_extra_latency_us * 1e-6 + outcome.wait.throttle_s;
+        s_->setup.cost.txn_extra_latency_us * 1e-6 *
+            static_cast<double>(std::max(outcome.shards_touched, 1)) +
+        outcome.wait.throttle_s;
     switch (outcome.wait.kind) {
       case CommitWait::Kind::kNone:
         wait_name_ = nullptr;

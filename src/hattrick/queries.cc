@@ -327,6 +327,30 @@ size_t QueryGroupColumns(int query_id) {
   }
 }
 
+/// Scatter/gather over a horizontally partitioned source (the sharded
+/// engine): one single-worker subplan per shard view — the view's whole
+/// fact extent is its morsel set, so each subplan scans exactly its
+/// shard's fact partition — merged by the same gather-merge exchange as
+/// the morsel-parallel plans. Partial aggregation per shard keeps the
+/// merge semantics identical to the intra-node parallel path, and the
+/// fixed-point SUM accumulation makes the merged result bit-identical
+/// to an unsharded scan regardless of the partitioning.
+OperatorPtr BuildScatterGatherPlan(
+    int query_id, const std::vector<const DataSource*>& views) {
+  std::vector<OperatorPtr> shards;
+  shards.reserve(views.size());
+  for (const DataSource* view : views) {
+    const size_t extent = view->ScanExtent(kLineorder);
+    auto morsels = std::make_shared<MorselSet>(
+        extent, /*num_workers=*/1, /*dynamic=*/false,
+        MorselSet::PickMorselRows(extent, 1));
+    FactShard shard{morsels, 0};
+    shards.push_back(BuildShardPlan(query_id, *view, &shard));
+  }
+  return MakeGatherMerge(std::move(shards), QueryGroupColumns(query_id),
+                         {AggSpec::Kind::kSum});
+}
+
 }  // namespace
 
 const char* QueryName(int query_id) {
@@ -365,11 +389,16 @@ QueryResult RunQuery(int query_id, const DataSource& source,
   result.query_id = query_id;
   if (ctx->profile != nullptr) ctx->profile->set_label(QueryName(query_id));
 
+  // A horizontally partitioned source always plans scatter/gather over
+  // its per-shard views: cross-shard parallelism replaces intra-node dop
+  // (each shard subplan runs single-worker on its own exchange thread).
+  const std::vector<const DataSource*> views = source.ShardViews();
   OperatorPtr plan =
-      ctx->dop > 1
-          ? BuildParallelQueryPlan(query_id, source, ctx->dop,
-                                   ctx->dynamic_morsels)
-          : BuildQueryPlan(query_id, source);
+      views.size() > 1
+          ? BuildScatterGatherPlan(query_id, views)
+          : (ctx->dop > 1 ? BuildParallelQueryPlan(query_id, source, ctx->dop,
+                                                   ctx->dynamic_morsels)
+                          : BuildQueryPlan(query_id, source));
   plan->Open(ctx);
   Row row;
   const std::hash<std::string> hasher;

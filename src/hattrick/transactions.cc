@@ -16,26 +16,25 @@ const char* const kShipModes[7] = {"REG AIR", "AIR",  "RAIL", "SHIP",
 
 /// Finds the first visible row with row[col] == value, via `index` when
 /// available, else by scanning the table (the no-index fallback).
-Status LookupByValue(TxnManager* tm, Transaction* txn, TableId table_id,
+Status LookupByValue(TxnContext* txn, TableId table_id,
                      const IndexInfo* index, size_t col, const Value& value,
                      Rid* rid_out, Row* row_out, WorkMeter* meter) {
   if (index != nullptr) {
     bool found = false;
-    tm->IndexLookup(txn, *index, {value},
-                    [&](Rid rid, const Row& row) {
-                      *rid_out = rid;
-                      *row_out = row;
-                      found = true;
-                      return false;  // first match suffices
-                    },
-                    meter);
+    txn->IndexLookup(*index, {value},
+                     [&](Rid rid, const Row& row) {
+                       *rid_out = rid;
+                       *row_out = row;
+                       found = true;
+                       return false;  // first match suffices
+                     },
+                     meter);
     return found ? Status::OK() : Status::NotFound("key not found");
   }
   // Sequential scan fallback.
-  RowTable* table = tm->catalog()->GetTable(table_id);
   bool found = false;
-  table->Scan(
-      txn->snapshot(),
+  txn->ScanVisible(
+      table_id,
       [&](Rid rid, const Row& row) {
         if (row[col] == value) {
           *rid_out = rid;
@@ -51,27 +50,25 @@ Status LookupByValue(TxnManager* tm, Transaction* txn, TableId table_id,
 
 /// Appends the FRESHNESS_j update (Section 4.2): every transaction writes
 /// its client-local sequence number into its client's single-row table.
-Status UpdateFreshness(TxnManager* tm, Transaction* txn,
-                       const EngineHandles& handles, uint32_t client,
-                       uint64_t txn_num, WorkMeter* meter) {
+Status UpdateFreshness(TxnContext* txn, const EngineHandles& handles,
+                       uint32_t client, uint64_t txn_num, WorkMeter* meter) {
   assert(client >= 1 && client <= handles.freshness.size());
   const TableId table_id = handles.freshness[client - 1];
   Row old_row;
-  HATTRICK_RETURN_IF_ERROR(tm->Read(txn, table_id, /*rid=*/0, &old_row,
-                                    meter));
-  tm->BufferUpdate(txn, table_id, /*rid=*/0, old_row,
-                   Row{static_cast<int64_t>(txn_num)});
+  HATTRICK_RETURN_IF_ERROR(txn->Read(table_id, /*rid=*/0, &old_row, meter));
+  txn->BufferUpdate(table_id, /*rid=*/0, old_row,
+                    Row{static_cast<int64_t>(txn_num)});
   return Status::OK();
 }
 
 Status RunNewOrder(const TxnParams& params, const EngineHandles& handles,
-                   uint32_t client, uint64_t txn_num, TxnManager* tm,
-                   Transaction* txn, WorkMeter* meter) {
+                   uint32_t client, uint64_t txn_num, TxnContext* txn,
+                   WorkMeter* meter) {
   // Customer by name (secondary index seek).
   Rid rid;
   Row customer;
   HATTRICK_RETURN_IF_ERROR(
-      LookupByValue(tm, txn, handles.customer, handles.customer_name,
+      LookupByValue(txn, handles.customer, handles.customer_name,
                     cust::kName, Value(params.customer_name), &rid,
                     &customer, meter));
   const int64_t custkey = customer[cust::kCustKey].AsInt();
@@ -79,7 +76,7 @@ Status RunNewOrder(const TxnParams& params, const EngineHandles& handles,
   // Order date must exist in DATE.
   Row date_row;
   HATTRICK_RETURN_IF_ERROR(
-      LookupByValue(tm, txn, handles.date, handles.date_pk, date::kDateKey,
+      LookupByValue(txn, handles.date, handles.date_pk, date::kDateKey,
                     Value(params.orderdate), &rid, &date_row, meter));
 
   // Resolve each line's part (price) and supplier, compute totals.
@@ -94,11 +91,11 @@ Status RunNewOrder(const TxnParams& params, const EngineHandles& handles,
   for (const TxnParams::OrderLine& line : params.lines) {
     Row part_row;
     HATTRICK_RETURN_IF_ERROR(
-        LookupByValue(tm, txn, handles.part, handles.part_pk, part::kPartKey,
+        LookupByValue(txn, handles.part, handles.part_pk, part::kPartKey,
                       Value(line.partkey), &rid, &part_row, meter));
     Row supplier_row;
     HATTRICK_RETURN_IF_ERROR(LookupByValue(
-        tm, txn, handles.supplier, handles.supplier_name, supp::kName,
+        txn, handles.supplier, handles.supplier_name, supp::kName,
         Value(line.supplier_name), &rid, &supplier_row, meter));
     const double price = part_row[part::kPrice].AsDouble();
     const double extended = price * static_cast<double>(line.quantity);
@@ -114,7 +111,7 @@ Status RunNewOrder(const TxnParams& params, const EngineHandles& handles,
     const ResolvedLine& r = resolved[i];
     const double revenue =
         r.extended * (100.0 - static_cast<double>(line.discount)) / 100.0;
-    tm->BufferInsert(txn, handles.lineorder,
+    txn->BufferInsert(handles.lineorder,
                      Row{
                          params.orderkey,
                          static_cast<int64_t>(i + 1),
@@ -135,34 +132,34 @@ Status RunNewOrder(const TxnParams& params, const EngineHandles& handles,
                          line.shipmode,
                      });
   }
-  return UpdateFreshness(tm, txn, handles, client, txn_num, meter);
+  return UpdateFreshness(txn, handles, client, txn_num, meter);
 }
 
 Status RunPayment(const TxnParams& params, const EngineHandles& handles,
-                  uint32_t client, uint64_t txn_num, TxnManager* tm,
-                  Transaction* txn, WorkMeter* meter) {
+                  uint32_t client, uint64_t txn_num, TxnContext* txn,
+                  WorkMeter* meter) {
   // Customer by name 60% of the time, by key otherwise (Section 5.2.1).
   Rid cust_rid;
   Row customer;
   if (params.by_custkey) {
     HATTRICK_RETURN_IF_ERROR(
-        LookupByValue(tm, txn, handles.customer, handles.customer_pk,
+        LookupByValue(txn, handles.customer, handles.customer_pk,
                       cust::kCustKey, Value(params.custkey), &cust_rid,
                       &customer, meter));
   } else {
     HATTRICK_RETURN_IF_ERROR(
-        LookupByValue(tm, txn, handles.customer, handles.customer_name,
+        LookupByValue(txn, handles.customer, handles.customer_name,
                       cust::kName, Value(params.customer_name), &cust_rid,
                       &customer, meter));
   }
   if (params.use_deltas) {
-    tm->BufferDelta(txn, handles.customer, cust_rid, cust::kPaymentCnt,
+    txn->BufferDelta(handles.customer, cust_rid, cust::kPaymentCnt,
                     Value(int64_t{1}));
   } else {
     Row new_customer = customer;
     new_customer[cust::kPaymentCnt] =
         Value(customer[cust::kPaymentCnt].AsInt() + 1);
-    tm->BufferUpdate(txn, handles.customer, cust_rid, customer,
+    txn->BufferUpdate(handles.customer, cust_rid, customer,
                      std::move(new_customer));
   }
 
@@ -174,34 +171,34 @@ Status RunPayment(const TxnParams& params, const EngineHandles& handles,
   Rid supp_rid;
   Row supplier;
   HATTRICK_RETURN_IF_ERROR(
-      LookupByValue(tm, txn, handles.supplier, handles.supplier_pk,
+      LookupByValue(txn, handles.supplier, handles.supplier_pk,
                     supp::kSuppKey, Value(params.suppkey), &supp_rid,
                     &supplier, meter));
   if (params.use_deltas) {
-    tm->BufferDelta(txn, handles.supplier, supp_rid, supp::kYtd,
+    txn->BufferDelta(handles.supplier, supp_rid, supp::kYtd,
                     Value(params.amount));
   } else {
     Row new_supplier = supplier;
     new_supplier[supp::kYtd] =
         Value(supplier[supp::kYtd].AsDouble() + params.amount);
-    tm->BufferUpdate(txn, handles.supplier, supp_rid, supplier,
+    txn->BufferUpdate(handles.supplier, supp_rid, supplier,
                      std::move(new_supplier));
   }
 
   // Payment history.
-  tm->BufferInsert(txn, handles.history,
+  txn->BufferInsert(handles.history,
                    Row{params.payment_orderkey,
                        customer[cust::kCustKey].AsInt(), params.amount});
-  return UpdateFreshness(tm, txn, handles, client, txn_num, meter);
+  return UpdateFreshness(txn, handles, client, txn_num, meter);
 }
 
 Status RunCountOrders(const TxnParams& params, const EngineHandles& handles,
-                      uint32_t client, uint64_t txn_num, TxnManager* tm,
-                      Transaction* txn, WorkMeter* meter) {
+                      uint32_t client, uint64_t txn_num, TxnContext* txn,
+                      WorkMeter* meter) {
   Rid rid;
   Row customer;
   HATTRICK_RETURN_IF_ERROR(
-      LookupByValue(tm, txn, handles.customer, handles.customer_name,
+      LookupByValue(txn, handles.customer, handles.customer_name,
                     cust::kName, Value(params.customer_name), &rid,
                     &customer, meter));
   const int64_t custkey = customer[cust::kCustKey].AsInt();
@@ -209,16 +206,15 @@ Status RunCountOrders(const TxnParams& params, const EngineHandles& handles,
   // Count the customer's distinct orders in LINEORDER.
   std::set<int64_t> orders;
   if (handles.lineorder_custkey != nullptr) {
-    tm->IndexLookup(txn, *handles.lineorder_custkey, {Value(custkey)},
+    txn->IndexLookup(*handles.lineorder_custkey, {Value(custkey)},
                     [&](Rid, const Row& row) {
                       orders.insert(row[lo::kOrderKey].AsInt());
                       return true;
                     },
                     meter);
   } else {
-    RowTable* table = tm->catalog()->GetTable(handles.lineorder);
-    table->Scan(
-        txn->snapshot(),
+    txn->ScanVisible(
+        handles.lineorder,
         [&](Rid, const Row& row) {
           if (row[lo::kCustKey].AsInt() == custkey) {
             orders.insert(row[lo::kOrderKey].AsInt());
@@ -228,7 +224,7 @@ Status RunCountOrders(const TxnParams& params, const EngineHandles& handles,
         meter);
   }
   (void)orders;  // the count is the client-visible result
-  return UpdateFreshness(tm, txn, handles, client, txn_num, meter);
+  return UpdateFreshness(txn, handles, client, txn_num, meter);
 }
 
 }  // namespace
@@ -316,16 +312,15 @@ TxnParams GenerateTxnParams(WorkloadContext* ctx, Rng* rng) {
 
 TxnBody MakeTxnBody(const TxnParams& params, const EngineHandles& handles,
                     uint32_t client, uint64_t txn_num) {
-  return [params, &handles, client, txn_num](
-             TxnManager* tm, Transaction* txn, WorkMeter* meter) -> Status {
+  return [params, &handles, client, txn_num](TxnContext* txn,
+                                             WorkMeter* meter) -> Status {
     switch (params.type) {
       case TxnType::kNewOrder:
-        return RunNewOrder(params, handles, client, txn_num, tm, txn, meter);
+        return RunNewOrder(params, handles, client, txn_num, txn, meter);
       case TxnType::kPayment:
-        return RunPayment(params, handles, client, txn_num, tm, txn, meter);
+        return RunPayment(params, handles, client, txn_num, txn, meter);
       case TxnType::kCountOrders:
-        return RunCountOrders(params, handles, client, txn_num, tm, txn,
-                              meter);
+        return RunCountOrders(params, handles, client, txn_num, txn, meter);
     }
     return Status::Internal("unknown txn type");
   };

@@ -7,8 +7,9 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "engine/htap_engine.h"
+#include "engine/engine_facade.h"
 #include "hattrick/datagen.h"
+#include "storage/catalog.h"
 
 namespace hattrick {
 

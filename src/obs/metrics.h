@@ -211,6 +211,15 @@ inline constexpr char kStoreFoldRows[] = "store.fold.rows";
 inline constexpr char kStoreVersionDepth[] = "store.version_depth";
 inline constexpr char kStoreBtreeSplits[] = "store.btree.splits";
 inline constexpr char kStoreVacuumedVersions[] = "store.vacuumed_versions";
+/// Sharded engine (src/shard/): two-phase-commit outcome counts and the
+/// coordinator-recovery count. Per-shard replication backlog gauges are
+/// registered dynamically as kShardBacklogPrefix + shard index.
+inline constexpr char kShard2pcPrepares[] = "shard.2pc.prepares";
+inline constexpr char kShard2pcCommits[] = "shard.2pc.commits";
+inline constexpr char kShard2pcAborts[] = "shard.2pc.aborts";
+inline constexpr char kShard2pcCoordinatorRecoveries[] =
+    "shard.2pc.coordinator_recoveries";
+inline constexpr char kShardBacklogPrefix[] = "shard.backlog.";
 /// Spans the bounded trace ring evicted (Tracer::dropped()); the drivers
 /// publish it at snapshot time so a truncated trace is visible in the
 /// metrics export instead of failing silently.

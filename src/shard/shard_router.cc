@@ -1,0 +1,95 @@
+#include "shard/shard_router.h"
+
+#include <cassert>
+
+#include "common/key_encoding.h"
+#include "hattrick/hattrick_schema.h"
+
+namespace hattrick {
+
+namespace {
+
+/// splitmix64 finalizer: the same mixer the txn layer uses for
+/// deterministic jitter; good avalanche over the encoded key bytes.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashBytes(uint64_t seed, const std::string& bytes) {
+  uint64_t h = Mix64(seed);
+  for (const char c : bytes) {
+    h = Mix64(h ^ static_cast<uint8_t>(c));
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* PlacementName(Placement placement) {
+  switch (placement) {
+    case Placement::kHashed:
+      return "hashed";
+    case Placement::kBroadcast:
+      return "broadcast";
+    case Placement::kSingleShard:
+      return "single";
+  }
+  return "?";
+}
+
+ShardPlan MakeSsbShardPlan(uint32_t num_freshness_tables) {
+  ShardPlan plan;
+  plan[kCustomer] = {Placement::kHashed, cust::kCustKey};
+  plan[kSupplier] = {Placement::kHashed, supp::kSuppKey};
+  // Facts co-located with their customer: NewOrder and Payment touch a
+  // customer plus that customer's orders, so hashing both by custkey
+  // keeps the common transactions single-shard.
+  plan[kLineorder] = {Placement::kHashed, lo::kCustKey};
+  plan[kHistory] = {Placement::kHashed, hist::kCustKey};
+  plan[kPart] = {Placement::kBroadcast, 0};
+  plan[kDate] = {Placement::kBroadcast, 0};
+  for (uint32_t j = 1; j <= num_freshness_tables; ++j) {
+    plan[FreshnessTableName(j)] = {Placement::kSingleShard, 0};
+  }
+  return plan;
+}
+
+ShardRouter::ShardRouter(uint32_t num_shards, uint64_t seed, ShardPlan plan)
+    : num_shards_(num_shards), seed_(seed), plan_(std::move(plan)) {
+  assert(num_shards_ >= 1);
+}
+
+void ShardRouter::Bind(const Catalog& catalog) {
+  placements_.assign(catalog.num_tables(), TablePlacement{});
+  owners_.assign(catalog.num_tables(), 0);
+  for (TableId id = 0; id < catalog.num_tables(); ++id) {
+    const std::string& name = catalog.table_name(id);
+    const auto it = plan_.find(name);
+    if (it != plan_.end()) placements_[id] = it->second;
+    if (placements_[id].placement == Placement::kSingleShard) {
+      owners_[id] = ShardForName(name);
+    }
+  }
+}
+
+uint32_t ShardRouter::ShardForValue(const Value& value) const {
+  std::string bytes;
+  key::EncodeValue(value, &bytes);
+  return static_cast<uint32_t>(HashBytes(seed_, bytes) % num_shards_);
+}
+
+uint32_t ShardRouter::ShardForRow(TableId table_id, const Row& row) const {
+  const TablePlacement& placement = placements_[table_id];
+  assert(placement.placement == Placement::kHashed);
+  return ShardForValue(row[placement.hash_column]);
+}
+
+uint32_t ShardRouter::ShardForName(const std::string& name) const {
+  return static_cast<uint32_t>(HashBytes(seed_ ^ 0x73686172ULL, name) %
+                               num_shards_);
+}
+
+}  // namespace hattrick

@@ -1,0 +1,122 @@
+#ifndef HATTRICK_SHARD_SHARD_ROUTER_H_
+#define HATTRICK_SHARD_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "storage/catalog.h"
+
+namespace hattrick {
+
+/// How one table is distributed across the shard engines.
+enum class Placement {
+  /// Rows hash-partitioned by one column (the distribution key). Reads
+  /// and writes of a row route to the shard its key hashes to.
+  kHashed,
+  /// Full copy on every shard (small dimension tables). Reads go to any
+  /// one shard; writes apply to all shards.
+  kBroadcast,
+  /// All rows on one shard, chosen by hashing the table name (tiny
+  /// single-row tables like FRESHNESS_j, where broadcasting would turn
+  /// every T transaction into an all-shard write).
+  kSingleShard,
+};
+
+/// Returns "hashed" / "broadcast" / "single".
+const char* PlacementName(Placement placement);
+
+/// Per-table placement rule, keyed by table name in a ShardPlan.
+struct TablePlacement {
+  Placement placement = Placement::kBroadcast;
+  /// Distribution column for kHashed (ignored otherwise).
+  size_t hash_column = 0;
+};
+
+/// The sharding layout of a database: table name -> placement. Tables
+/// absent from the plan default to kBroadcast (safe for read-mostly
+/// dimensions; a miss is a correctness-preserving default, never a
+/// routing error).
+using ShardPlan = std::map<std::string, TablePlacement>;
+
+/// The HATtrick/SSB layout: CUSTOMER and SUPPLIER hashed by their keys,
+/// LINEORDER and HISTORY hashed by custkey (co-located with CUSTOMER, so
+/// NewOrder/Payment order rows live with their customer), PART and DATE
+/// broadcast, FRESHNESS_j single-shard. `num_freshness_tables` names the
+/// FRESHNESS_j tables to pin (one per T-client).
+ShardPlan MakeSsbShardPlan(uint32_t num_freshness_tables);
+
+/// Rid encoding across shards: bits [44, 63] carry the owning shard,
+/// bits [0, 43] the shard-local rid. Shard 0 rids pass through verbatim,
+/// so a 1-shard deployment exposes exactly the rids (and write keys) of
+/// an unsharded engine. Provisional rids (>= 2^36, txn/txn_manager.h)
+/// stay below the shard bits, so an encoded provisional rid still reads
+/// as provisional to the owning shard after the local mask.
+inline constexpr int kShardRidShift = 44;
+inline constexpr Rid kShardLocalRidMask = (Rid{1} << kShardRidShift) - 1;
+
+inline Rid GlobalRid(uint32_t shard, Rid local) {
+  return (static_cast<Rid>(shard) << kShardRidShift) | local;
+}
+inline uint32_t RidShard(Rid global) {
+  return static_cast<uint32_t>(global >> kShardRidShift);
+}
+inline Rid LocalRid(Rid global) { return global & kShardLocalRidMask; }
+
+/// Packs a row identity for the driver's lock-contention ledger so rows
+/// on different shards never alias: bits [56, 63] shard, below the
+/// (table << 40 | rid) packing of PackRowKey. Shard 0 keys pass through.
+inline uint64_t ShardLockKey(uint32_t shard, uint64_t row_key) {
+  return (static_cast<uint64_t>(shard) << 56) | row_key;
+}
+
+/// Deterministic hash router over a ShardPlan. Routing is a pure
+/// function of (seed, key bytes): the same key routes to the same shard
+/// in every run and on every node, independent of call order — the
+/// property replays, differential tests and recovery all rely on.
+class ShardRouter {
+ public:
+  ShardRouter(uint32_t num_shards, uint64_t seed, ShardPlan plan);
+
+  uint32_t num_shards() const { return num_shards_; }
+  uint64_t seed() const { return seed_; }
+
+  /// Resolves placements against `catalog`'s table ids (call after the
+  /// schema exists; ids are identical on every shard because tables are
+  /// created in spec order).
+  void Bind(const Catalog& catalog);
+
+  /// Placement rule for a bound table id.
+  const TablePlacement& PlacementOf(TableId table_id) const {
+    return placements_[table_id];
+  }
+
+  /// Owning shard of a kSingleShard table.
+  uint32_t OwnerShard(TableId table_id) const {
+    return owners_[table_id];
+  }
+
+  /// Shard a distribution-key value hashes to.
+  uint32_t ShardForValue(const Value& value) const;
+
+  /// Shard `row` of a kHashed table lives on (hashes the distribution
+  /// column). Must not be called for other placements.
+  uint32_t ShardForRow(TableId table_id, const Row& row) const;
+
+  /// Owning shard for the table-name hash of kSingleShard placements
+  /// (exposed so tests can pin fixtures to known shards).
+  uint32_t ShardForName(const std::string& name) const;
+
+ private:
+  uint32_t num_shards_;
+  uint64_t seed_;
+  ShardPlan plan_;
+  std::vector<TablePlacement> placements_;  // by TableId, after Bind
+  std::vector<uint32_t> owners_;            // by TableId, after Bind
+};
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_SHARD_SHARD_ROUTER_H_

@@ -1,0 +1,77 @@
+#ifndef HATTRICK_SHARD_TWO_PC_H_
+#define HATTRICK_SHARD_TWO_PC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace hattrick {
+
+/// Coordinator-side durable record of a distributed commit. Two kinds:
+///
+///   kPrepare — written after every participant voted yes, before any
+///              decision. Lists the participants so recovery knows whom
+///              to contact.
+///   kDecide  — the commit/abort decision. Once this exists the outcome
+///              is fixed; recovery replays it to any participant that
+///              missed it.
+///
+/// The recovery matrix (tests/fault_test.cc drives every row):
+///
+///   crash point               | recovery action
+///   --------------------------+------------------------------------
+///   before kPrepare logged    | abort all prepared participants
+///   after kPrepare, no kDecide| abort (presumed abort)
+///   after kDecide(commit)     | commit remaining participants
+///   after kDecide(abort)      | abort remaining participants
+struct TwoPcRecord {
+  enum class Kind : uint8_t { kPrepare = 0, kDecide = 1 };
+
+  Kind kind = Kind::kPrepare;
+  uint64_t gtid = 0;
+  std::vector<uint32_t> participants;
+  bool commit = false;  // meaningful for kDecide only
+
+  /// Length-prefixed little-endian wire form (mirrors WalRecord's
+  /// fixed-width style; the log is its own stream, not WAL records).
+  std::string Encode() const;
+  static bool Decode(const std::string& bytes, TwoPcRecord* out);
+};
+
+/// Append-only coordinator log, one per sharded engine. Deliberately a
+/// separate stream from the per-shard WALs: the coordinator's decision
+/// must survive independently of any one participant.
+class TwoPcLog {
+ public:
+  void Append(const TwoPcRecord& record) {
+    MutexLock lock(&mu_);
+    records_.push_back(record);
+  }
+
+  /// Snapshot of all records appended so far, in append order.
+  std::vector<TwoPcRecord> Records() const {
+    MutexLock lock(&mu_);
+    return records_;
+  }
+
+  size_t size() const {
+    MutexLock lock(&mu_);
+    return records_.size();
+  }
+
+  void Reset() {
+    MutexLock lock(&mu_);
+    records_.clear();
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::vector<TwoPcRecord> records_ GUARDED_BY(mu_);
+};
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_SHARD_TWO_PC_H_

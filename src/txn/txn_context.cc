@@ -1,0 +1,13 @@
+#include "txn/txn_context.h"
+
+namespace hattrick {
+
+void LocalTxnContext::ScanVisible(
+    TableId table_id, const std::function<bool(Rid, const Row&)>& visitor,
+    WorkMeter* meter) {
+  RowTable* table = manager_->catalog()->GetTable(table_id);
+  if (table == nullptr) return;
+  table->Scan(txn_->snapshot(), visitor, meter);
+}
+
+}  // namespace hattrick

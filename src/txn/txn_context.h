@@ -1,0 +1,119 @@
+#ifndef HATTRICK_TXN_TXN_CONTEXT_H_
+#define HATTRICK_TXN_TXN_CONTEXT_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/work_meter.h"
+#include "storage/catalog.h"
+#include "txn/txn_manager.h"
+
+namespace hattrick {
+
+/// Per-transaction execution surface handed to transaction bodies
+/// (engine/engine_facade.h's TxnBody). Bodies are written once against
+/// this interface and run unchanged on a single node (LocalTxnContext
+/// forwards straight to one TxnManager) or across shards (the shard
+/// layer's routed context fans each operation out to the owning shard
+/// and commits with two-phase commit).
+class TxnContext {
+ public:
+  virtual ~TxnContext() = default;
+
+  /// The begin snapshot of the (local) transaction. Sharded contexts
+  /// report the coordinator shard's snapshot; per-shard snapshots are
+  /// only loosely aligned (atomicity comes from 2PC, not a global TSO).
+  virtual Ts snapshot() const = 0;
+
+  virtual IsolationLevel isolation() const = 0;
+
+  /// Reads `rid` honoring isolation and the transaction's own buffered
+  /// writes; returns NotFound when the row is invisible.
+  virtual Status Read(TableId table_id, Rid rid, Row* out,
+                      WorkMeter* meter) = 0;
+
+  /// Visits each visible row whose indexed key equals `key_values`
+  /// (committed rows first, then own buffered inserts). `index` is
+  /// resolved against the engine's primary catalog; routed contexts map
+  /// it onto the equivalent per-shard index by name. Returns the number
+  /// of visible matches.
+  virtual size_t IndexLookup(const IndexInfo& index,
+                             const std::vector<Value>& key_values,
+                             const std::function<bool(Rid, const Row&)>& visitor,
+                             WorkMeter* meter) = 0;
+
+  /// Buffers an insert; returns the provisional rid for read-back.
+  virtual Rid BufferInsert(TableId table_id, Row row) = 0;
+
+  /// Buffers a full-row update of `rid` (old_row = the version read).
+  virtual void BufferUpdate(TableId table_id, Rid rid, Row old_row,
+                            Row new_row) = 0;
+
+  /// Buffers a commutative single-cell increment.
+  virtual void BufferDelta(TableId table_id, Rid rid, uint32_t column,
+                           Value increment) = 0;
+
+  /// Scans every row of `table_id` visible at the transaction snapshot
+  /// (the no-index fallback of the workload's lookups; does not surface
+  /// the transaction's own buffered writes, matching the historical
+  /// sequential-scan behavior). The visitor returns false to stop.
+  virtual void ScanVisible(TableId table_id,
+                           const std::function<bool(Rid, const Row&)>& visitor,
+                           WorkMeter* meter) = 0;
+};
+
+/// Single-node TxnContext: forwards one-for-one to a TxnManager and its
+/// Transaction handle. Zero behavior change relative to calling the
+/// manager directly — this is the adapter every non-sharded engine wraps
+/// around its RunWithRetries body.
+class LocalTxnContext final : public TxnContext {
+ public:
+  LocalTxnContext(TxnManager* manager, Transaction* txn)
+      : manager_(manager), txn_(txn) {}
+
+  Ts snapshot() const override { return txn_->snapshot(); }
+  IsolationLevel isolation() const override { return txn_->isolation(); }
+
+  Status Read(TableId table_id, Rid rid, Row* out,
+              WorkMeter* meter) override {
+    return manager_->Read(txn_, table_id, rid, out, meter);
+  }
+
+  size_t IndexLookup(const IndexInfo& index,
+                     const std::vector<Value>& key_values,
+                     const std::function<bool(Rid, const Row&)>& visitor,
+                     WorkMeter* meter) override {
+    return manager_->IndexLookup(txn_, index, key_values, visitor, meter);
+  }
+
+  Rid BufferInsert(TableId table_id, Row row) override {
+    return manager_->BufferInsert(txn_, table_id, std::move(row));
+  }
+
+  void BufferUpdate(TableId table_id, Rid rid, Row old_row,
+                    Row new_row) override {
+    manager_->BufferUpdate(txn_, table_id, rid, std::move(old_row),
+                           std::move(new_row));
+  }
+
+  void BufferDelta(TableId table_id, Rid rid, uint32_t column,
+                   Value increment) override {
+    manager_->BufferDelta(txn_, table_id, rid, column, std::move(increment));
+  }
+
+  void ScanVisible(TableId table_id,
+                   const std::function<bool(Rid, const Row&)>& visitor,
+                   WorkMeter* meter) override;
+
+  TxnManager* manager() const { return manager_; }
+  Transaction* txn() const { return txn_; }
+
+ private:
+  TxnManager* manager_;
+  Transaction* txn_;
+};
+
+}  // namespace hattrick
+
+#endif  // HATTRICK_TXN_TXN_CONTEXT_H_

@@ -263,9 +263,9 @@ TxnManager::CommitSlot TxnManager::RegisterCommit() {
   return slot;
 }
 
-void TxnManager::EnterTail(const CommitSlot& slot) {
+void TxnManager::EnterTail(uint64_t ticket) {
   MutexLock lock(&seq_mu_);
-  while (seq_draining_ != slot.ticket) seq_cv_.Wait(&seq_mu_);
+  while (seq_draining_ != ticket) seq_cv_.Wait(&seq_mu_);
 }
 
 void TxnManager::ExitTail() {
@@ -287,18 +287,22 @@ StatusOr<CommitResult> TxnManager::Commit(Transaction* txn, WorkMeter* meter) {
 
 StatusOr<CommitResult> TxnManager::CommitImpl(Transaction* txn,
                                               WorkMeter* meter) {
-  CommitResult result;
+  Prepared prep;
+  HATTRICK_RETURN_IF_ERROR(Prepare(txn, &prep, meter));
+  return CommitPrepared(txn, &prep, meter);
+}
+
+Status TxnManager::Prepare(Transaction* txn, Prepared* prep,
+                           WorkMeter* meter) {
   if (txn->writes_.empty()) {
     if (txn->isolation_ == IsolationLevel::kSerializable &&
         !ValidateReads(txn, meter)) {
       if (read_conflicts_metric_ != nullptr) read_conflicts_metric_->Inc();
       return Status::Aborted("read validation failure");
     }
-    // Read-only: commits at its snapshot, no timestamp consumed.
-    result.commit_ts = txn->snapshot_;
-    result.lsn = 0;
-    if (commits_metric_ != nullptr) commits_metric_->Inc();
-    return result;
+    // Read-only: will commit at its snapshot, no timestamp consumed.
+    prep->read_only = true;
+    return Status::OK();
   }
 
   // Phase 1 — install: CAS pending version nodes, one per written row
@@ -326,7 +330,8 @@ StatusOr<CommitResult> TxnManager::CommitImpl(Transaction* txn,
                      return PackRowKey(wa.table_id, wa.rid) <
                             PackRowKey(wb.table_id, wb.rid);
                    });
-  std::vector<mvcc::VersionNode*> installed(txn->writes_.size(), nullptr);
+  std::vector<mvcc::VersionNode*>& installed = prep->installed;
+  installed.assign(txn->writes_.size(), nullptr);
   for (const size_t i : install_order) {
     const Transaction::Write& w = txn->writes_[i];
     RowTable* table = catalog_->GetTable(w.table_id);
@@ -338,6 +343,7 @@ StatusOr<CommitResult> TxnManager::CommitImpl(Transaction* txn,
       for (mvcc::VersionNode* n : installed) {
         if (n != nullptr) mvcc::Withdraw(n);
       }
+      installed.clear();
       // No commit_ts was allocated, so the ordered tail sees no gap.
       if (write_conflicts_metric_ != nullptr) write_conflicts_metric_->Inc();
       return Status::Aborted("write-write conflict");
@@ -347,6 +353,9 @@ StatusOr<CommitResult> TxnManager::CommitImpl(Transaction* txn,
 
   // Phase 2 — register: allocate commit_ts and the tail ticket.
   const CommitSlot slot = RegisterCommit();
+  prep->ticket = slot.ticket;
+  prep->commit_ts = slot.commit_ts;
+  prep->registered = true;
 
   // Phase 3 — serializable read validation. Registering first closes the
   // latch-free OCC window: any writer that publishes a conflicting
@@ -355,26 +364,49 @@ StatusOr<CommitResult> TxnManager::CommitImpl(Transaction* txn,
   // writers registered but not yet published are caught as pending.
   if (txn->isolation_ == IsolationLevel::kSerializable &&
       !ValidateReads(txn, meter)) {
-    for (mvcc::VersionNode* n : installed) {
-      if (n != nullptr) mvcc::Withdraw(n);
-    }
     if (read_conflicts_metric_ != nullptr) read_conflicts_metric_->Inc();
-    // The allocated slot must still pass through the tail or every later
-    // committer would wait forever on the gap.
-    EnterTail(slot);
-    ExitTail();
+    AbortPrepared(txn, prep);
     return Status::Aborted("read validation failure");
+  }
+  return Status::OK();
+}
+
+void TxnManager::AbortPrepared(Transaction* txn, Prepared* prep) {
+  (void)txn;
+  for (mvcc::VersionNode* n : prep->installed) {
+    if (n != nullptr) mvcc::Withdraw(n);
+  }
+  prep->installed.clear();
+  if (prep->registered) {
+    // The reserved slot must still pass through the tail or every later
+    // committer would wait forever on the gap.
+    EnterTail(prep->ticket);
+    ExitTail();
+    prep->registered = false;
+  }
+}
+
+CommitResult TxnManager::CommitPrepared(Transaction* txn, Prepared* prep,
+                                        WorkMeter* meter) {
+  CommitResult result;
+  if (prep->read_only) {
+    // Read-only: commits at its snapshot, no timestamp consumed.
+    result.commit_ts = txn->snapshot_;
+    result.lsn = 0;
+    if (commits_metric_ != nullptr) commits_metric_->Inc();
+    return result;
   }
 
   // Phase 4 — ordered tail, strictly in commit_ts order: publish the
   // pending nodes, apply inserts (rids assigned in LSN order — the
   // replica and the bitmap column store both assert this), maintain
   // indexes, emit WAL, advance the watermark.
-  EnterTail(slot);
-  const Ts commit_ts = slot.commit_ts;
+  EnterTail(prep->ticket);
+  prep->registered = false;  // the slot drains via ExitTail below
+  const Ts commit_ts = prep->commit_ts;
   uint64_t delta_installs = 0;
 
-  for (mvcc::VersionNode* n : installed) {
+  for (mvcc::VersionNode* n : prep->installed) {
     if (n != nullptr) mvcc::Publish(n, commit_ts);
   }
 

@@ -149,6 +149,7 @@ class TxnManager {
   Catalog* catalog() const { return catalog_; }
   TimestampOracle* oracle() const { return oracle_; }
   void set_sink(WalSink* sink) { sink_ = sink; }
+  WalSink* sink() const { return sink_; }
 
   TxnProtocol protocol() const { return protocol_; }
   void SetProtocol(TxnProtocol protocol) { protocol_ = protocol; }
@@ -194,6 +195,39 @@ class TxnManager {
   /// Validates and applies the transaction. On conflict returns
   /// kAborted and applies nothing.
   StatusOr<CommitResult> Commit(Transaction* txn, WorkMeter* meter);
+
+  /// Two-phase commit support (the sharded engine's coordinator). A
+  /// successful Prepare runs the install / register / validate phases
+  /// and parks the transaction as a prepared participant: the pending
+  /// version nodes stay installed (they are the row write locks) and a
+  /// commit slot is reserved, but nothing publishes and the ordered
+  /// tail is NOT entered — so a prepared participant never sits in the
+  /// tail waiting for a remote decision. Exactly one of CommitPrepared
+  /// or AbortPrepared must eventually follow every successful Prepare,
+  /// or later commits on this shard stall behind the reserved slot.
+  struct Prepared {
+    std::vector<mvcc::VersionNode*> installed;
+    uint64_t ticket = 0;
+    Ts commit_ts = 0;
+    bool registered = false;  // a commit slot is reserved
+    bool read_only = false;   // validated; nothing to publish
+  };
+
+  /// Phases 1-3 of the lock-free commit: install pending versions,
+  /// reserve the commit slot, validate serializable reads. On conflict
+  /// returns kAborted with everything rolled back (no slot leaked).
+  /// Note the kLatch differential protocol does not cover this path —
+  /// 2PC is lock-free only.
+  Status Prepare(Transaction* txn, Prepared* prep, WorkMeter* meter);
+
+  /// Phase 4 (the ordered publish tail) for a prepared transaction.
+  /// Infallible: the decision to commit was made at Prepare time.
+  CommitResult CommitPrepared(Transaction* txn, Prepared* prep,
+                              WorkMeter* meter);
+
+  /// Rolls back a prepared transaction: withdraws the installed
+  /// versions and drains the reserved commit slot through the tail.
+  void AbortPrepared(Transaction* txn, Prepared* prep);
 
   /// Discards the transaction (no-op on storage).
   void Abort(Transaction* txn) const;
@@ -257,7 +291,7 @@ class TxnManager {
   bool ValidateReads(const Transaction* txn, WorkMeter* meter) const;
 
   CommitSlot RegisterCommit() EXCLUDES(seq_mu_);
-  void EnterTail(const CommitSlot& slot) EXCLUDES(seq_mu_);
+  void EnterTail(uint64_t ticket) EXCLUDES(seq_mu_);
   void ExitTail() EXCLUDES(seq_mu_);
 
   Catalog* catalog_;

@@ -56,12 +56,12 @@ class EngineConformanceTest : public ::testing::TestWithParam<EngineCase> {
                           uint64_t txn_num = 1) {
     WorkMeter meter;
     return engine_->ExecuteTransaction(
-        [rid](TxnManager* tm, Transaction* txn, WorkMeter* m) -> Status {
+        [rid](TxnContext* txn, WorkMeter* m) -> Status {
           Row row;
-          HATTRICK_RETURN_IF_ERROR(tm->Read(txn, 0, rid, &row, m));
+          HATTRICK_RETURN_IF_ERROR(txn->Read(0, rid, &row, m));
           Row updated = row;
           updated[2] = Value(row[2].AsInt() + 1);
-          tm->BufferUpdate(txn, 0, rid, row, std::move(updated));
+          txn->BufferUpdate(0, rid, row, std::move(updated));
           return Status::OK();
         },
         client, txn_num, &meter);
@@ -101,8 +101,8 @@ TEST_P(EngineConformanceTest, CommittedTransactionVisibleToAnalytics) {
 TEST_P(EngineConformanceTest, InsertsReachAnalytics) {
   WorkMeter meter;
   TxnOutcome outcome = engine_->ExecuteTransaction(
-      [](TxnManager* tm, Transaction* txn, WorkMeter*) {
-        tm->BufferInsert(txn, 0,
+      [](TxnContext* txn, WorkMeter*) {
+        txn->BufferInsert(0,
                          Row{int64_t{1000}, std::string("new"),
                              int64_t{7}});
         return Status::OK();
@@ -122,8 +122,8 @@ TEST_P(EngineConformanceTest, TxnOutcomeCarriesWriteKeys) {
 TEST_P(EngineConformanceTest, FailingBodyChangesNothing) {
   WorkMeter meter;
   TxnOutcome outcome = engine_->ExecuteTransaction(
-      [](TxnManager* tm, Transaction* txn, WorkMeter*) {
-        tm->BufferInsert(txn, 0,
+      [](TxnContext* txn, WorkMeter*) {
+        txn->BufferInsert(0,
                          Row{int64_t{1}, std::string("x"), int64_t{1}});
         return Status::NotFound("simulated failure");
       },
@@ -223,8 +223,8 @@ class IsolatedEngineTest : public ::testing::Test {
   TxnOutcome Insert(int64_t id) {
     WorkMeter meter;
     return engine_->ExecuteTransaction(
-        [id](TxnManager* tm, Transaction* txn, WorkMeter*) {
-          tm->BufferInsert(txn, 0,
+        [id](TxnContext* txn, WorkMeter*) {
+          txn->BufferInsert(0,
                            Row{id, std::string("n"), int64_t{1}});
           return Status::OK();
         },
@@ -298,9 +298,9 @@ TEST_F(IsolatedEngineTest, ReadOnlyTxnHasNoReplicationWait) {
   Load(ReplicationMode::kRemoteApply);
   WorkMeter meter;
   TxnOutcome outcome = engine_->ExecuteTransaction(
-      [](TxnManager* tm, Transaction* txn, WorkMeter* m) {
+      [](TxnContext* txn, WorkMeter* m) {
         Row row;
-        return tm->Read(txn, 0, 0, &row, m);
+        return txn->Read(0, 0, &row, m);
       },
       1, 1, &meter);
   ASSERT_TRUE(outcome.status.ok());
@@ -402,8 +402,8 @@ TEST_F(HybridEngineTest, CommitsQueueAsDelta) {
   WorkMeter meter;
   ASSERT_TRUE(engine_
                   ->ExecuteTransaction(
-                      [](TxnManager* tm, Transaction* txn, WorkMeter*) {
-                        tm->BufferInsert(txn, 0,
+                      [](TxnContext* txn, WorkMeter*) {
+                        txn->BufferInsert(0,
                                          Row{int64_t{99},
                                              std::string("d"),
                                              int64_t{1}});
@@ -423,13 +423,13 @@ TEST_F(HybridEngineTest, MergeAppliesUpdatesInPlace) {
   WorkMeter meter;
   ASSERT_TRUE(engine_
                   ->ExecuteTransaction(
-                      [](TxnManager* tm, Transaction* txn, WorkMeter* m) {
+                      [](TxnContext* txn, WorkMeter* m) {
                         Row row;
                         HATTRICK_RETURN_IF_ERROR(
-                            tm->Read(txn, 0, 7, &row, m));
+                            txn->Read(0, 7, &row, m));
                         Row updated = row;
                         updated[2] = Value(int64_t{777});
-                        tm->BufferUpdate(txn, 0, 7, row,
+                        txn->BufferUpdate(0, 7, row,
                                          std::move(updated));
                         return Status::OK();
                       },
@@ -452,9 +452,8 @@ TEST_F(HybridEngineTest, ResetClearsDeltaAndColumnGrowth) {
   for (int i = 0; i < 5; ++i) {
     ASSERT_TRUE(engine_
                     ->ExecuteTransaction(
-                        [i](TxnManager* tm, Transaction* txn, WorkMeter*) {
-                          tm->BufferInsert(
-                              txn, 0,
+                        [i](TxnContext* txn, WorkMeter*) {
+                          txn->BufferInsert(0,
                               Row{int64_t{100 + i}, std::string("d"),
                                   int64_t{1}});
                           return Status::OK();
@@ -489,8 +488,8 @@ class HybridBitmapEngineTest : public ::testing::Test {
   TxnOutcome InsertItem(int64_t id) {
     WorkMeter meter;
     return engine_->ExecuteTransaction(
-        [id](TxnManager* tm, Transaction* txn, WorkMeter*) {
-          tm->BufferInsert(txn, 0,
+        [id](TxnContext* txn, WorkMeter*) {
+          txn->BufferInsert(0,
                            Row{id, std::string("new"), int64_t{1}});
           return Status::OK();
         },
@@ -500,13 +499,12 @@ class HybridBitmapEngineTest : public ::testing::Test {
   TxnOutcome SetQty(Rid rid, int64_t qty) {
     WorkMeter meter;
     return engine_->ExecuteTransaction(
-        [rid, qty](TxnManager* tm, Transaction* txn,
-                   WorkMeter* m) -> Status {
+        [rid, qty](TxnContext* txn, WorkMeter* m) -> Status {
           Row row;
-          HATTRICK_RETURN_IF_ERROR(tm->Read(txn, 0, rid, &row, m));
+          HATTRICK_RETURN_IF_ERROR(txn->Read(0, rid, &row, m));
           Row updated = row;
           updated[2] = Value(qty);
-          tm->BufferUpdate(txn, 0, rid, row, std::move(updated));
+          txn->BufferUpdate(0, rid, row, std::move(updated));
           return Status::OK();
         },
         1, 1, &meter);

@@ -1,0 +1,8 @@
+// Fixture: concrete engine headers above the engine layer must go
+// through the facade/factory instead.
+#include "engine/engine_factory.h"
+#include "engine/shared_engine.h"
+#include "engine/isolated_engine.h"
+#include "engine/hybrid_engine.h"
+// Prose mentioning #include "engine/shared_engine.h" must not fire.
+#include "engine/hybrid_engine.h"  // lint:allow(concrete-engine-include) fixture

@@ -84,6 +84,32 @@ class RuleFiringTest(unittest.TestCase):
         self.assertEqual(rules_fired(findings), {"raw-cas"})
         self.assertEqual(lines_fired(findings, "raw-cas"), [4, 6])
 
+    def test_concrete_engine_include_fires(self):
+        findings = lint_fixture("src/hattrick/engine_include_bad.cc")
+        self.assertEqual(rules_fired(findings), {"concrete-engine-include"})
+        # The factory include (line 3) and the comment mention (line 7)
+        # stay silent; the lint:allow line (line 8) is suppressed.
+        self.assertEqual(lines_fired(findings, "concrete-engine-include"),
+                         [4, 5, 6])
+
+    def test_concrete_engine_include_silent_in_engine_and_shard(self):
+        src = os.path.join(FIXTURES, "src/hattrick/engine_include_bad.cc")
+        for rel_dir, name in (("src/engine", "factory_fixture.cc"),
+                              ("src/shard", "sharded_fixture.cc")):
+            dst_dir = os.path.join(FIXTURES, rel_dir)
+            os.makedirs(dst_dir, exist_ok=True)
+            dst = os.path.join(dst_dir, name)
+            try:
+                with open(src) as f:
+                    content = f.read()
+                with open(dst, "w") as f:
+                    f.write(content)
+                findings = lint_fixture(os.path.join(rel_dir, name))
+                self.assertNotIn("concrete-engine-include",
+                                 rules_fired(findings))
+            finally:
+                os.remove(dst)
+
     def test_raw_cas_silent_inside_mvcc(self):
         # Identical CAS content under src/txn/mvcc* is the audited home
         # of the lock-free helpers and must stay silent.
@@ -145,7 +171,8 @@ class CliTest(unittest.TestCase):
         self.assertEqual(
             proc.stdout.split(),
             ["nondeterministic-time", "nondeterministic-random", "raw-lock",
-             "unordered-export", "assert-in-replication", "raw-cas"],
+             "unordered-export", "assert-in-replication", "raw-cas",
+             "concrete-engine-include"],
         )
 
 

@@ -37,13 +37,22 @@ checker bans the foot-guns at review time instead:
                             version-chain CAS goes through the audited
                             helpers in src/txn/mvcc.h (TryPushHead,
                             Unlink, the epoch manager).
+  concrete-engine-include   #include of a concrete engine header
+                            (engine/shared_engine.h, isolated_engine.h,
+                            hybrid_engine.h) outside src/engine/ and
+                            src/shard/. Everything above the engine layer
+                            programs against the HtapEngine facade and
+                            constructs through engine/engine_factory.h,
+                            so engines stay swappable (and the sharded
+                            engine slots in behind every caller).
 
 Escape hatch: a `// lint:allow(rule-name)` comment on the offending line
 suppresses that rule for that line (comma-separate several rules). Use it
 sparingly and say why on the same line.
 
 Usage:
-  hattrick_lint.py                 # lint the default tree (src/, tools/)
+  hattrick_lint.py                 # lint the default tree (src/, tools/,
+                                   # bench/)
   hattrick_lint.py FILE [FILE...]  # lint specific files (tests use this)
   hattrick_lint.py --list-rules
 
@@ -61,7 +70,7 @@ REPO_ROOT = os.path.normpath(
 )
 
 # Directories scanned when no explicit files are given (repo-relative).
-DEFAULT_SCAN_DIRS = ("src", "tools")
+DEFAULT_SCAN_DIRS = ("src", "tools", "bench")
 SOURCE_EXTENSIONS = (".cc", ".h")
 
 # Files allowed to touch the banned primitives, keyed by rule
@@ -90,11 +99,16 @@ ALLOW_RE = re.compile(r"lint:allow\(([a-zA-Z0-9_,\s-]+)\)")
 
 
 class Rule:
-    def __init__(self, name, pattern, message, applies):
+    def __init__(self, name, pattern, message, applies, use_raw=False):
         self.name = name
         self.pattern = re.compile(pattern)
         self.message = message
         self.applies = applies  # callable(rel_path) -> bool
+        # Match against the raw line instead of the comment/string-blanked
+        # one. Needed for rules that target quoted #include paths, which
+        # the blanking pass erases; guarded so comment-only lines (no
+        # surviving '#') never fire.
+        self.use_raw = use_raw
 
 
 def _outside_allowlist(rule_name):
@@ -151,6 +165,16 @@ RULES = [
         "chain helpers in src/txn/mvcc.h (TryPushHead, Unlink) so every "
         "lock-free publication point stays in one reviewed file",
         lambda rel: not rel.startswith("src/txn/mvcc"),
+    ),
+    Rule(
+        "concrete-engine-include",
+        r'#\s*include\s*"engine/(shared|isolated|hybrid)_engine\.h"',
+        "concrete engine header outside src/engine/ and src/shard/; "
+        "construct through engine/engine_factory.h and program against "
+        "the HtapEngine facade",
+        lambda rel: not (rel.startswith("src/engine/")
+                         or rel.startswith("src/shard/")),
+        use_raw=True,
     ),
 ]
 
@@ -259,7 +283,16 @@ def lint_file(path, repo_root=REPO_ROOT):
     active = [r for r in RULES if r.applies(rel)]
     for lineno, code in enumerate(code_lines, start=1):
         for rule in active:
-            if rule.pattern.search(code):
+            if rule.use_raw:
+                # Quoted include paths are blanked by the comment/string
+                # pass; match the raw line, but only when a preprocessor
+                # '#' survived outside comments.
+                if "#" not in code:
+                    continue
+                subject = raw_lines[lineno - 1]
+            else:
+                subject = code
+            if rule.pattern.search(subject):
                 if rule.name in allows[lineno - 1]:
                     continue
                 findings.append((path, lineno, rule.name, rule.message))
