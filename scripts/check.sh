@@ -12,6 +12,12 @@
 #   ubsan    UndefinedBehaviorSanitizer build, full ctest suite
 #   analyze  Clang -Wthread-safety -Werror build (HATTRICK_ANALYZE=ON);
 #            skipped with a notice when clang++ is not installed
+#   analyze-ast  hattrick-analyzer semantic passes (tools/analyzer):
+#            whole-program lock-order cycle detection, pin/epoch
+#            protocol, determinism-by-type, exhaustive protocol
+#            switches. Needs only the compile database (configure, no
+#            build); uses libclang when installed and the built-in
+#            frontend otherwise, so it never skips
 #   tidy     clang-tidy over src/ using the compile database; skipped
 #            with a notice when clang-tidy is not installed
 #   bench-smoke  bench_runner at smoke scale diffed against the
@@ -43,16 +49,16 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 SUPP_DIR="$PWD/scripts/sanitizers"
 
 RUN_BUILD=0 RUN_LINT=0 RUN_TSAN=0 RUN_ASAN=0 RUN_UBSAN=0
-RUN_ANALYZE=0 RUN_TIDY=0 RUN_MERGE_BITMAP=0 RUN_BENCH_SMOKE=0
-RUN_CONTENTION_SMOKE=0 RUN_SHARD_SMOKE=0
+RUN_ANALYZE=0 RUN_ANALYZE_AST=0 RUN_TIDY=0 RUN_MERGE_BITMAP=0
+RUN_BENCH_SMOKE=0 RUN_CONTENTION_SMOKE=0 RUN_SHARD_SMOKE=0
 if [[ $# -eq 0 ]]; then
   RUN_BUILD=1 RUN_LINT=1 RUN_TSAN=1
 fi
 for arg in "$@"; do
   case "$arg" in
     --all) RUN_BUILD=1 RUN_LINT=1 RUN_TSAN=1 RUN_ASAN=1 RUN_UBSAN=1
-           RUN_ANALYZE=1 RUN_TIDY=1 RUN_MERGE_BITMAP=1 RUN_BENCH_SMOKE=1
-           RUN_CONTENTION_SMOKE=1 RUN_SHARD_SMOKE=1 ;;
+           RUN_ANALYZE=1 RUN_ANALYZE_AST=1 RUN_TIDY=1 RUN_MERGE_BITMAP=1
+           RUN_BENCH_SMOKE=1 RUN_CONTENTION_SMOKE=1 RUN_SHARD_SMOKE=1 ;;
     --build) RUN_BUILD=1 ;;
     --lint) RUN_LINT=1 ;;
     --tsan) RUN_TSAN=1 ;;
@@ -60,6 +66,7 @@ for arg in "$@"; do
     --ubsan) RUN_UBSAN=1 ;;
     --merge-bitmap) RUN_MERGE_BITMAP=1 ;;
     --analyze) RUN_ANALYZE=1 ;;
+    --analyze-ast) RUN_ANALYZE_AST=1 ;;
     --tidy) RUN_TIDY=1 ;;
     --bench-smoke) RUN_BENCH_SMOKE=1 ;;
     --contention-smoke) RUN_CONTENTION_SMOKE=1 ;;
@@ -68,9 +75,9 @@ for arg in "$@"; do
     --tsan-only) RUN_TSAN=1 ;;
     --no-tsan) RUN_BUILD=1 RUN_LINT=1 ;;
     *) echo "usage: $0 [--all] [--build] [--lint] [--tsan] [--asan]" \
-            "[--ubsan] [--merge-bitmap] [--analyze] [--tidy]" \
-            "[--bench-smoke] [--contention-smoke] [--shard-smoke]" \
-            "[--tsan-only] [--no-tsan]" >&2
+            "[--ubsan] [--merge-bitmap] [--analyze] [--analyze-ast]" \
+            "[--tidy] [--bench-smoke] [--contention-smoke]" \
+            "[--shard-smoke] [--tsan-only] [--no-tsan]" >&2
        exit 2 ;;
   esac
 done
@@ -194,6 +201,14 @@ if [[ "$RUN_ANALYZE" == 1 ]]; then
   else
     echo "== analyze: clang++ not found, skipping (CI runs this leg) =="
   fi
+fi
+
+if [[ "$RUN_ANALYZE_AST" == 1 ]]; then
+  echo "== hattrick-analyzer (semantic passes) =="
+  # Only the compile database is needed, not a compiled tree: configure
+  # refreshes build/compile_commands.json and the analyzer reads sources.
+  cmake -B build -S . >/dev/null
+  python3 tools/analyzer/hattrick_analyzer.py --verbose
 fi
 
 if [[ "$RUN_TIDY" == 1 ]]; then

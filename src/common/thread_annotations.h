@@ -80,6 +80,19 @@
 #define TRY_ACQUIRE(...) \
   HATTRICK_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
 
+/// Declares a static lock-order edge: this mutex member is always
+/// acquired before the named one(s). Feeds Clang TSA's -Wthread-safety
+/// ordering diagnostics and the whole-program lock graph built by
+/// tools/analyzer/hattrick_analyzer.py (lock-order-cycle pass), which
+/// merges declared edges with observed acquisition sites.
+#define ACQUIRED_BEFORE(...) \
+  HATTRICK_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+
+/// The reverse declaration: this mutex member is always acquired after
+/// the named one(s).
+#define ACQUIRED_AFTER(...) \
+  HATTRICK_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
 /// Declares that callers must NOT hold the capability (the function
 /// acquires it itself; calling with it held would deadlock or violate
 /// the guard-lifetime contract).

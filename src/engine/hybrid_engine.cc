@@ -54,13 +54,19 @@ void HybridEngine::DeltaFeed::OnCommit(const WalRecord& record) {
     // snapshotting at last_committed() always sees a complete prefix.
     for (const WalOp& op : record.ops) {
       ColumnTable* column = engine_->columns_[op.table_id].get();
-      if (op.kind == WalOp::Kind::kInsert) {
-        column->AppendVersion(record.commit_ts, op.rid, op.row);
-      } else if (op.kind == WalOp::Kind::kDelta) {
-        column->AppendDeltaVersion(record.commit_ts, op.rid, op.column,
-                                   op.row[0]);
-      } else {
-        column->UpdateVersion(record.commit_ts, op.rid, op.row);
+      // Exhaustive over WalOp::Kind; an unhandled new kind is a compile
+      // warning here, not a silent replay-as-update.
+      switch (op.kind) {
+        case WalOp::Kind::kInsert:
+          column->AppendVersion(record.commit_ts, op.rid, op.row);
+          break;
+        case WalOp::Kind::kDelta:
+          column->AppendDeltaVersion(record.commit_ts, op.rid, op.column,
+                                     op.row[0]);
+          break;
+        case WalOp::Kind::kUpdate:
+          column->UpdateVersion(record.commit_ts, op.rid, op.row);
+          break;
       }
     }
     return;
@@ -150,21 +156,30 @@ void HybridEngine::MergeDelta(WorkMeter* meter) {
     for (const WalRecord& record : batch) {
       for (const WalOp& op : record.ops) {
         ColumnTable* column = columns_[op.table_id].get();
-        if (op.kind == WalOp::Kind::kInsert) {
-          assert(column->num_rows() == op.rid &&
-                 "column copy out of sync with row store");
-          const Status s = column->Append(op.row, meter);
-          assert(s.ok());
-          (void)s;
-        } else if (op.kind == WalOp::Kind::kDelta) {
-          const Status s =
-              column->ApplyDelta(op.rid, op.column, op.row[0], meter);
-          assert(s.ok());
-          (void)s;
-        } else {
-          const Status s = column->UpdateRow(op.rid, op.row, meter);
-          assert(s.ok());
-          (void)s;
+        // Exhaustive over WalOp::Kind; an unhandled new kind is a
+        // compile warning here, not a silent merge-as-update.
+        switch (op.kind) {
+          case WalOp::Kind::kInsert: {
+            assert(column->num_rows() == op.rid &&
+                   "column copy out of sync with row store");
+            const Status s = column->Append(op.row, meter);
+            assert(s.ok());
+            (void)s;
+            break;
+          }
+          case WalOp::Kind::kDelta: {
+            const Status s =
+                column->ApplyDelta(op.rid, op.column, op.row[0], meter);
+            assert(s.ok());
+            (void)s;
+            break;
+          }
+          case WalOp::Kind::kUpdate: {
+            const Status s = column->UpdateRow(op.rid, op.row, meter);
+            assert(s.ok());
+            (void)s;
+            break;
+          }
         }
         ++rows_merged;
         if (meter != nullptr) ++meter->merged_rows;

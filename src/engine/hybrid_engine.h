@@ -112,7 +112,7 @@ class HybridEngine final : public HtapEngine {
   /// calls could drain delta batches and then apply them out of commit
   /// order (inserts must land at their row-store rids). Acquired before
   /// delta_mutex_ and before the merge latch's internal mutex.
-  Mutex merge_order_;
+  Mutex merge_order_ ACQUIRED_BEFORE(delta_mutex_);
   /// Pins running analytical sessions (and their morsel workers) against
   /// delta merges and resets. A pin latch rather than a shared_mutex
   /// because the session guard may be released from a worker thread (see

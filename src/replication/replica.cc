@@ -134,40 +134,51 @@ Status Replica::ApplyRecord(const ShippedRecord& shipped, WorkMeter* meter) {
       return Status::Internal("replay references unknown table id " +
                               std::to_string(op.table_id));
     }
-    if (op.kind == WalOp::Kind::kInsert) {
-      const Rid rid = table->Insert(op.row, commit_ts, meter);
-      if (rid != op.rid) {
-        return Status::Internal("replica diverged from primary: insert "
-                                "landed at rid " +
-                                std::to_string(rid) + ", expected " +
-                                std::to_string(op.rid));
-      }
-      for (const IndexInfo* index : catalog_->TableIndexes(op.table_id)) {
-        index->tree->Insert(index->KeyFor(op.row, op.rid), op.rid, meter);
-      }
-    } else if (op.kind == WalOp::Kind::kDelta) {
-      // Commutative increment: fold it as a delta version, exactly as
-      // the primary's row store holds it. No index ever keys on a
-      // delta-eligible (numeric accumulator) column, so there is no
-      // index maintenance on this path.
-      HATTRICK_RETURN_IF_ERROR(table->AddDeltaVersion(
-          op.rid, op.column, op.row[0], commit_ts, meter));
-    } else {
-      Row old_row;
-      const bool had =
-          table->ReadLatest(op.rid, &old_row, /*meter=*/nullptr);
-      HATTRICK_RETURN_IF_ERROR(
-          table->AddVersion(op.rid, op.row, commit_ts, meter));
-      for (const IndexInfo* index : catalog_->TableIndexes(op.table_id)) {
-        const std::string new_key = index->KeyFor(op.row, op.rid);
-        if (had) {
-          const std::string old_key = index->KeyFor(old_row, op.rid);
-          if (new_key == old_key) continue;
-          // Key-changing update: drop the stale entry or standby-side
-          // index lookups keep resolving the old key.
-          index->tree->Remove(old_key, meter);
+    // Exhaustive over WalOp::Kind: a new kind must be handled here
+    // explicitly, not silently replayed as an update (the previous
+    // if/else chain's fallback). WalRecord::Decode rejects out-of-range
+    // kind bytes before they reach this switch.
+    switch (op.kind) {
+      case WalOp::Kind::kInsert: {
+        const Rid rid = table->Insert(op.row, commit_ts, meter);
+        if (rid != op.rid) {
+          return Status::Internal("replica diverged from primary: insert "
+                                  "landed at rid " +
+                                  std::to_string(rid) + ", expected " +
+                                  std::to_string(op.rid));
         }
-        index->tree->Insert(new_key, op.rid, meter);
+        for (const IndexInfo* index : catalog_->TableIndexes(op.table_id)) {
+          index->tree->Insert(index->KeyFor(op.row, op.rid), op.rid, meter);
+        }
+        break;
+      }
+      case WalOp::Kind::kDelta: {
+        // Commutative increment: fold it as a delta version, exactly as
+        // the primary's row store holds it. No index ever keys on a
+        // delta-eligible (numeric accumulator) column, so there is no
+        // index maintenance on this path.
+        HATTRICK_RETURN_IF_ERROR(table->AddDeltaVersion(
+            op.rid, op.column, op.row[0], commit_ts, meter));
+        break;
+      }
+      case WalOp::Kind::kUpdate: {
+        Row old_row;
+        const bool had =
+            table->ReadLatest(op.rid, &old_row, /*meter=*/nullptr);
+        HATTRICK_RETURN_IF_ERROR(
+            table->AddVersion(op.rid, op.row, commit_ts, meter));
+        for (const IndexInfo* index : catalog_->TableIndexes(op.table_id)) {
+          const std::string new_key = index->KeyFor(op.row, op.rid);
+          if (had) {
+            const std::string old_key = index->KeyFor(old_row, op.rid);
+            if (new_key == old_key) continue;
+            // Key-changing update: drop the stale entry or standby-side
+            // index lookups keep resolving the old key.
+            index->tree->Remove(old_key, meter);
+          }
+          index->tree->Insert(new_key, op.rid, meter);
+        }
+        break;
       }
     }
   }

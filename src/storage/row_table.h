@@ -151,7 +151,7 @@ class RowTable {
   mutable SharedMutex latch_;
   /// Serializes Vacuum passes (concurrent unlinks of adjacent nodes
   /// could resurrect an unlinked node). Acquired before latch_.
-  Mutex vacuum_mu_;
+  Mutex vacuum_mu_ ACQUIRED_BEFORE(latch_);
   const Schema schema_;  // immutable after construction; never latched
   std::deque<mvcc::VersionChain> slots_ GUARDED_BY(latch_);
 };

@@ -419,25 +419,34 @@ CommitResult TxnManager::CommitPrepared(Transaction* txn, Prepared* prep,
 
   for (auto& w : txn->writes_) {
     RowTable* table = catalog_->GetTable(w.table_id);
-    if (w.kind == WalOp::Kind::kInsert) {
-      const Rid rid = table->Insert(w.row, commit_ts, meter);
-      w.rid = rid;
-      for (const IndexInfo* index : catalog_->TableIndexes(w.table_id)) {
-        index->tree->Insert(index->KeyFor(w.row, rid), rid, meter);
-      }
-    } else if (w.kind == WalOp::Kind::kUpdate) {
-      // Maintain only indexes whose key actually changed; stale old
-      // entries are tolerated and filtered by IndexLookup's re-check.
-      for (const IndexInfo* index : catalog_->TableIndexes(w.table_id)) {
-        const std::string new_key = index->KeyFor(w.row, w.rid);
-        if (!w.old_row.empty() &&
-            new_key == index->KeyFor(w.old_row, w.rid)) {
-          continue;
+    // Exhaustive over WalOp::Kind: this is the commit publish path, so a
+    // new kind must decide its index-maintenance story here explicitly
+    // rather than silently riding the delta arm.
+    switch (w.kind) {
+      case WalOp::Kind::kInsert: {
+        const Rid rid = table->Insert(w.row, commit_ts, meter);
+        w.rid = rid;
+        for (const IndexInfo* index : catalog_->TableIndexes(w.table_id)) {
+          index->tree->Insert(index->KeyFor(w.row, rid), rid, meter);
         }
-        index->tree->Insert(new_key, w.rid, meter);
+        break;
       }
-    } else {
-      ++delta_installs;  // deltas never touch indexed key columns
+      case WalOp::Kind::kUpdate: {
+        // Maintain only indexes whose key actually changed; stale old
+        // entries are tolerated and filtered by IndexLookup's re-check.
+        for (const IndexInfo* index : catalog_->TableIndexes(w.table_id)) {
+          const std::string new_key = index->KeyFor(w.row, w.rid);
+          if (!w.old_row.empty() &&
+              new_key == index->KeyFor(w.old_row, w.rid)) {
+            continue;
+          }
+          index->tree->Insert(new_key, w.rid, meter);
+        }
+        break;
+      }
+      case WalOp::Kind::kDelta:
+        ++delta_installs;  // deltas never touch indexed key columns
+        break;
     }
     WalOp op;
     op.kind = w.kind;

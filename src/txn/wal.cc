@@ -120,7 +120,16 @@ StatusOr<WalRecord> WalRecord::Decode(const std::string& bytes) {
   for (uint32_t i = 0; i < num_ops; ++i) {
     WalOp op;
     if (pos >= bytes.size()) return Status::InvalidArgument("truncated op");
-    op.kind = static_cast<WalOp::Kind>(bytes[pos]);
+    // Validate before casting: every downstream dispatch (replica apply,
+    // delta feed, merge) is an exhaustive switch over Kind, so an
+    // out-of-range byte must die here, not alias to an arbitrary kind.
+    // two_pc.cc applies the same rule to TwoPcRecord kind bytes.
+    const auto kind_byte = static_cast<uint8_t>(bytes[pos]);
+    if (kind_byte > static_cast<uint8_t>(WalOp::Kind::kDelta)) {
+      return Status::InvalidArgument("unknown WAL op kind byte " +
+                                     std::to_string(kind_byte));
+    }
+    op.kind = static_cast<WalOp::Kind>(kind_byte);
     ++pos;
     uint32_t arity = 0;
     if (!GetU32(bytes, &pos, &op.table_id) || !GetU64(bytes, &pos, &op.rid)) {

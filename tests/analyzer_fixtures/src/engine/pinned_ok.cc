@@ -1,0 +1,27 @@
+// Fixture: the same version-chain reads dominated by an epoch guard or
+// a session pin must be silent (unpinned-snapshot, negative).
+#include "engine/session_pin.h"
+#include "storage/column_table.h"
+#include "txn/mvcc.h"
+
+namespace hattrick {
+
+class PinnedScanner {
+ public:
+  int ScanUnderGuard(ColumnTable* column) {
+    mvcc::EpochManager::Guard guard;
+    auto snap = column->SnapshotVersions();
+    return static_cast<int>(snap.size());
+  }
+
+  int ScanUnderPin(ColumnTable* column) {
+    auto pin = latch_.AcquirePin();
+    auto snap = column->SnapshotVersions();
+    return static_cast<int>(snap.size());
+  }
+
+ private:
+  SessionPinLatch latch_;
+};
+
+}  // namespace hattrick

@@ -1,0 +1,28 @@
+// Fixture: ordered-container iteration in an export TU is fine
+// (unordered-iteration, negative).
+#include <map>
+#include <string>
+
+namespace hattrick {
+
+class OrderedExporter {
+ public:
+  int EmitAll() {
+    int sum = 0;
+    for (const auto& kv : counters_) {
+      sum += kv.second;
+    }
+    return sum;
+  }
+
+  int EmitFirst() {
+    auto it = gauges_.begin();
+    return it == gauges_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::map<std::string, int> counters_;
+  std::map<std::string, int> gauges_;
+};
+
+}  // namespace hattrick

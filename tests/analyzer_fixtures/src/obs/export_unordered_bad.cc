@@ -1,0 +1,28 @@
+// Fixture: iteration over std::unordered_* members in an export TU
+// (unordered-iteration, positive) — hash order varies run-to-run.
+#include <string>
+#include <unordered_map>
+
+namespace hattrick {
+
+class Exporter {
+ public:
+  int EmitAll() {
+    int sum = 0;
+    for (const auto& kv : counters_) {
+      sum += kv.second;
+    }
+    return sum;
+  }
+
+  int EmitFirst() {
+    auto it = gauges_.begin();
+    return it == gauges_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::unordered_map<std::string, int> counters_;
+  std::unordered_map<std::string, int> gauges_;
+};
+
+}  // namespace hattrick

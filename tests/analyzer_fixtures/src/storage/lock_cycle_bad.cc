@@ -1,0 +1,32 @@
+// Fixture: inconsistent two-lock acquisition order across functions
+// forms a cycle in the static lock graph (lock-order-cycle, positive).
+#include "common/mutex.h"
+
+namespace hattrick {
+
+class PairState {
+ public:
+  void FrontFirst() {
+    MutexLock a(&front_mu_);
+    MutexLock b(&back_mu_);
+    ++front_;
+    ++back_;
+  }
+
+  // Opposite nesting order: front_mu_ -> back_mu_ above, back_mu_ ->
+  // front_mu_ here. Two threads, one in each function, deadlock.
+  void BackFirst() {
+    MutexLock b(&back_mu_);
+    MutexLock a(&front_mu_);
+    ++front_;
+    ++back_;
+  }
+
+ private:
+  Mutex front_mu_;
+  Mutex back_mu_;
+  int front_ GUARDED_BY(front_mu_) = 0;
+  int back_ GUARDED_BY(back_mu_) = 0;
+};
+
+}  // namespace hattrick

@@ -1,0 +1,38 @@
+// Fixture: non-exhaustive and default-swallowing switches over a
+// protocol enum (switch-exhaustive, positive).
+#include <cstdint>
+
+namespace hattrick {
+
+struct WalOp {
+  enum class Kind : uint8_t { kInsert = 0, kUpdate = 1, kDelta = 2 };
+  Kind kind = Kind::kInsert;
+};
+
+// Missing kDelta: a delta op falls off the switch silently.
+int DispatchMissing(const WalOp& op) {
+  switch (op.kind) {
+    case WalOp::Kind::kInsert:
+      return 1;
+    case WalOp::Kind::kUpdate:
+      return 2;
+  }
+  return 0;
+}
+
+// Covers everything but adds a default:, which would swallow any newly
+// added kind instead of forcing this site to decide.
+int DispatchDefault(const WalOp& op) {
+  switch (op.kind) {
+    case WalOp::Kind::kInsert:
+      return 1;
+    case WalOp::Kind::kUpdate:
+      return 2;
+    case WalOp::Kind::kDelta:
+      return 3;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace hattrick

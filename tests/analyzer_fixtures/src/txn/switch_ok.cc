@@ -1,0 +1,24 @@
+// Fixture: exhaustive switch over a protocol enum with no default:
+// (switch-exhaustive, negative).
+#include <cstdint>
+
+namespace hattrick {
+
+struct WalOp {
+  enum class Kind : uint8_t { kInsert = 0, kUpdate = 1, kDelta = 2 };
+  Kind kind = Kind::kInsert;
+};
+
+int Dispatch(const WalOp& op) {
+  switch (op.kind) {
+    case WalOp::Kind::kInsert:
+      return 1;
+    case WalOp::Kind::kUpdate:
+      return 2;
+    case WalOp::Kind::kDelta:
+      return 3;
+  }
+  return 0;
+}
+
+}  // namespace hattrick

@@ -1,0 +1,11 @@
+// Fixture: every lint:allow escape must carry a same-line justification
+// after the closing paren; a bare allow fires allow-without-reason, and
+// the rule cannot be silenced by allowing itself.
+#include <cstdlib>
+
+int Escapes() {
+  int a = std::rand();  // lint:allow(nondeterministic-random) seeded fixture
+  int b = std::rand();  // lint:allow(nondeterministic-random)
+  int c = std::rand();  // lint:allow(nondeterministic-random,allow-without-reason)
+  return a + b + c;
+}

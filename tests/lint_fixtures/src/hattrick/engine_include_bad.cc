@@ -6,3 +6,5 @@
 #include "engine/hybrid_engine.h"
 // Prose mentioning #include "engine/shared_engine.h" must not fire.
 #include "engine/hybrid_engine.h"  // lint:allow(concrete-engine-include) fixture
+#include <engine/isolated_engine.h>
+// Prose mentioning #include <engine/hybrid_engine.h> must not fire either.

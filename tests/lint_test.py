@@ -87,10 +87,12 @@ class RuleFiringTest(unittest.TestCase):
     def test_concrete_engine_include_fires(self):
         findings = lint_fixture("src/hattrick/engine_include_bad.cc")
         self.assertEqual(rules_fired(findings), {"concrete-engine-include"})
-        # The factory include (line 3) and the comment mention (line 7)
-        # stay silent; the lint:allow line (line 8) is suppressed.
+        # The factory include (line 3) and the comment mentions (lines 7
+        # and 10, both quote and angle form) stay silent; the lint:allow
+        # line (line 8) is suppressed; the angle-bracket include (line 9)
+        # fires like the quote form.
         self.assertEqual(lines_fired(findings, "concrete-engine-include"),
-                         [4, 5, 6])
+                         [4, 5, 6, 9])
 
     def test_concrete_engine_include_silent_in_engine_and_shard(self):
         src = os.path.join(FIXTURES, "src/hattrick/engine_include_bad.cc")
@@ -137,6 +139,16 @@ class SuppressionTest(unittest.TestCase):
             [(8, "nondeterministic-random")],
         )
 
+    def test_allow_without_reason_fires(self):
+        findings = lint_fixture("src/engine/allow_no_reason.cc")
+        # Line 7 has a justification and stays silent; line 8 has none;
+        # line 9 tries to allow the rule itself, which is not
+        # suppressible — write the reason instead.
+        self.assertEqual(
+            [(line, rule) for _, line, rule, _ in findings],
+            [(8, "allow-without-reason"), (9, "allow-without-reason")],
+        )
+
     def test_comments_and_strings_never_fire(self):
         self.assertEqual(lint_fixture("src/engine/comments_ok.cc"), [])
 
@@ -172,7 +184,7 @@ class CliTest(unittest.TestCase):
             proc.stdout.split(),
             ["nondeterministic-time", "nondeterministic-random", "raw-lock",
              "unordered-export", "assert-in-replication", "raw-cas",
-             "concrete-engine-include"],
+             "concrete-engine-include", "allow-without-reason"],
         )
 
 

@@ -595,6 +595,31 @@ TEST(WalTest, DecodeRejectsTruncated) {
   }
 }
 
+TEST(WalTest, DecodeRejectsUnknownOpKind) {
+  // Every downstream Kind dispatch (replica apply, delta feed, merge,
+  // commit publish) is an exhaustive switch, so an out-of-range kind
+  // byte must be rejected at decode time instead of aliasing to one of
+  // the known kinds.
+  WalRecord record;
+  record.lsn = 9;
+  record.ops.push_back(
+      WalOp{WalOp::Kind::kInsert, 1, 2, 0, Row{int64_t{7}}});
+  std::string bytes = record.Encode();
+  // The first op's kind byte sits right after the fixed 32-byte header
+  // (lsn + commit_ts + client_id + txn_num + op count).
+  const size_t kind_pos = 32;
+  ASSERT_EQ(static_cast<uint8_t>(bytes[kind_pos]),
+            static_cast<uint8_t>(WalOp::Kind::kInsert));
+  for (uint8_t bad : {uint8_t{3}, uint8_t{0xff}}) {
+    bytes[kind_pos] = static_cast<char>(bad);
+    StatusOr<WalRecord> decoded = WalRecord::Decode(bytes);
+    ASSERT_FALSE(decoded.ok()) << "kind byte " << int{bad};
+    EXPECT_NE(decoded.status().message().find("unknown WAL op kind"),
+              std::string::npos)
+        << decoded.status().ToString();
+  }
+}
+
 TEST(WalTest, DecodeRejectsTrailingGarbage) {
   WalRecord record;
   record.lsn = 1;

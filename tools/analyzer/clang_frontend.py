@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""libclang (clang.cindex) frontend for hattrick-analyzer.
+
+Preferred frontend when the clang Python bindings and libclang shared
+library are installed (neither ships in the minimal CI image, so the
+analyzer falls back to the built-in tokenizer frontend in cpp_facts.py
+— see `--frontend` in hattrick_analyzer.py).
+
+Division of labour: cindex gives us *semantically resolved* structure —
+record types, member fields with canonical types, enum definitions with
+their enumerator lists, and function extents — which is exactly where
+the built-in micro-parser has to guess (typedef chains, template
+aliases, using-declarations). Body-level facts (acquisition sites,
+pins, loops, switches) are harvested by running the shared body walker
+over each function's source extent, so both frontends report identical
+fact shapes and line numbers and the fixture tests cover the body
+logic for both.
+
+Importing this module raises ImportError when clang.cindex or
+libclang is unavailable; hattrick_analyzer catches that and falls
+back. Never add a hard dependency here — the analyzer must stay
+dependency-free on the reference path.
+"""
+
+import json
+import os
+
+import clang.cindex as cindex  # raises ImportError when bindings absent
+
+import cpp_facts
+
+_LOCK_FIELD_TYPES = cpp_facts.LOCK_FIELD_TYPES
+
+
+def _ensure_loadable():
+    """Force-resolves libclang once; raises if the shared library is
+    missing even though the Python bindings import."""
+    try:
+        cindex.Config().get_cindex_library()
+    except Exception as e:  # cindex.LibclangError and friends
+        raise ImportError(f"libclang shared library unavailable: {e}")
+
+
+class ClangFrontend:
+    def __init__(self, repo_root, compile_db_path=None):
+        _ensure_loadable()
+        self.repo_root = repo_root
+        self.index = cindex.Index.create()
+        self.args_by_file = {}
+        db = compile_db_path or os.path.join(repo_root, "build",
+                                             "compile_commands.json")
+        if os.path.exists(db):
+            with open(db, encoding="utf-8") as f:
+                for entry in json.load(f):
+                    path = os.path.normpath(os.path.join(
+                        entry.get("directory", ""), entry["file"]))
+                    self.args_by_file[path] = self._clean_args(entry)
+
+    @staticmethod
+    def _clean_args(entry):
+        """Extracts include/define/standard flags from a compile-db
+        entry; drops the compiler name, -c/-o pairs, and warning noise."""
+        if "arguments" in entry:
+            argv = entry["arguments"]
+        else:
+            argv = entry.get("command", "").split()
+        out = []
+        skip = False
+        for a in argv[1:]:
+            if skip:
+                skip = False
+                continue
+            if a in ("-c", "-o"):
+                skip = (a == "-o")
+                continue
+            if a.startswith(("-I", "-D", "-std=", "-isystem", "-f")):
+                out.append(a)
+        return out
+
+    def _args_for(self, path):
+        if path in self.args_by_file:
+            return self.args_by_file[path]
+        # Headers: borrow any TU's flags (they share -I/-std).
+        for args in self.args_by_file.values():
+            return args
+        return [f"-I{os.path.join(self.repo_root, 'src')}", "-std=c++20"]
+
+    def parse(self, path):
+        """Parses one file; returns FileFacts, or raises on hard parse
+        failure (the caller falls back to the built-in frontend)."""
+        tu = self.index.parse(
+            path, args=self._args_for(path) + ["-x", "c++"],
+            options=cindex.TranslationUnit.PARSE_SKIP_FUNCTION_BODIES)
+        fatal = [d for d in tu.diagnostics
+                 if d.severity >= cindex.Diagnostic.Fatal]
+        if fatal:
+            raise RuntimeError(f"fatal diagnostics: {fatal[0].spelling}")
+
+        # Body facts + allow lines come from the shared reference walker;
+        # the cursor walk below then *overlays* resolved structure.
+        facts, parser = cpp_facts.parse_file(path, self.repo_root)
+        parser.extract_bodies()
+
+        target = os.path.abspath(path)
+        for cur in tu.cursor.walk_preorder():
+            loc = cur.location
+            if loc.file is None or os.path.abspath(loc.file.name) != target:
+                continue
+            kind = cur.kind
+            if kind in (cindex.CursorKind.CLASS_DECL,
+                        cindex.CursorKind.STRUCT_DECL) \
+                    and cur.is_definition():
+                qual = self._qualname(cur)
+                fields = facts.classes.setdefault(qual, {})
+                short = cur.spelling
+                if short in facts.class_short and \
+                        facts.class_short[short] != qual:
+                    facts.class_short[short] = None
+                else:
+                    facts.class_short[short] = qual
+                for child in cur.get_children():
+                    if child.kind == cindex.CursorKind.FIELD_DECL:
+                        fields[child.spelling] = \
+                            child.type.get_canonical().spelling
+            elif kind == cindex.CursorKind.ENUM_DECL and cur.is_definition():
+                qual = self._qualname(cur)
+                facts.enums[qual] = [
+                    c.spelling for c in cur.get_children()
+                    if c.kind == cindex.CursorKind.ENUM_CONSTANT_DECL]
+        return facts
+
+    @staticmethod
+    def _qualname(cur):
+        parts = []
+        c = cur
+        while c is not None and c.kind != cindex.CursorKind.TRANSLATION_UNIT:
+            if c.kind in (cindex.CursorKind.CLASS_DECL,
+                          cindex.CursorKind.STRUCT_DECL,
+                          cindex.CursorKind.ENUM_DECL):
+                parts.append(c.spelling)
+            c = c.semantic_parent
+        return "::".join(reversed(parts))

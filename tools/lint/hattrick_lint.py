@@ -39,16 +39,24 @@ checker bans the foot-guns at review time instead:
                             Unlink, the epoch manager).
   concrete-engine-include   #include of a concrete engine header
                             (engine/shared_engine.h, isolated_engine.h,
-                            hybrid_engine.h) outside src/engine/ and
+                            hybrid_engine.h) — either the quote or the
+                            angle-bracket form — outside src/engine/ and
                             src/shard/. Everything above the engine layer
                             programs against the HtapEngine facade and
                             constructs through engine/engine_factory.h,
                             so engines stay swappable (and the sharded
                             engine slots in behind every caller).
+  allow-without-reason      a `lint:allow(...)` escape with no same-line
+                            justification after the closing paren. Every
+                            suppression must say why, where it is, or the
+                            next reader cannot tell a considered
+                            exception from a silenced bug. This rule is
+                            not itself suppressible — write the reason.
 
 Escape hatch: a `// lint:allow(rule-name)` comment on the offending line
 suppresses that rule for that line (comma-separate several rules). Use it
-sparingly and say why on the same line.
+sparingly and say why on the same line — `allow-without-reason` enforces
+the "say why" part.
 
 Usage:
   hattrick_lint.py                 # lint the default tree (src/, tools/,
@@ -99,16 +107,23 @@ ALLOW_RE = re.compile(r"lint:allow\(([a-zA-Z0-9_,\s-]+)\)")
 
 
 class Rule:
-    def __init__(self, name, pattern, message, applies, use_raw=False):
+    def __init__(self, name, pattern, message, applies, use_raw=False,
+                 raw_needs_hash=True, suppressible=True):
         self.name = name
         self.pattern = re.compile(pattern)
         self.message = message
         self.applies = applies  # callable(rel_path) -> bool
         # Match against the raw line instead of the comment/string-blanked
         # one. Needed for rules that target quoted #include paths, which
-        # the blanking pass erases; guarded so comment-only lines (no
-        # surviving '#') never fire.
+        # the blanking pass erases; guarded (raw_needs_hash) so
+        # comment-only lines (no surviving '#') never fire. Rules that
+        # target comment *markers* themselves (allow-without-reason) drop
+        # the guard.
         self.use_raw = use_raw
+        self.raw_needs_hash = raw_needs_hash
+        # lint:allow(<this rule>) suppresses the finding, except for rules
+        # policing the allow markers themselves.
+        self.suppressible = suppressible
 
 
 def _outside_allowlist(rule_name):
@@ -168,13 +183,25 @@ RULES = [
     ),
     Rule(
         "concrete-engine-include",
-        r'#\s*include\s*"engine/(shared|isolated|hybrid)_engine\.h"',
+        r'#\s*include\s*["<]engine/(shared|isolated|hybrid)_engine\.h[">]',
         "concrete engine header outside src/engine/ and src/shard/; "
         "construct through engine/engine_factory.h and program against "
         "the HtapEngine facade",
         lambda rel: not (rel.startswith("src/engine/")
                          or rel.startswith("src/shard/")),
         use_raw=True,
+    ),
+    Rule(
+        "allow-without-reason",
+        # Fires when nothing letter-like follows the allow group on the
+        # line: the justification is missing.
+        r"lint:allow\([a-zA-Z0-9_,\s-]+\)(?!.*[A-Za-z])",
+        "lint:allow escape without a same-line justification; say why "
+        "the suppression is sound where it is",
+        lambda rel: True,
+        use_raw=True,
+        raw_needs_hash=False,
+        suppressible=False,
     ),
 ]
 
@@ -285,15 +312,15 @@ def lint_file(path, repo_root=REPO_ROOT):
         for rule in active:
             if rule.use_raw:
                 # Quoted include paths are blanked by the comment/string
-                # pass; match the raw line, but only when a preprocessor
-                # '#' survived outside comments.
-                if "#" not in code:
+                # pass; match the raw line, but (for include-shaped rules)
+                # only when a preprocessor '#' survived outside comments.
+                if rule.raw_needs_hash and "#" not in code:
                     continue
                 subject = raw_lines[lineno - 1]
             else:
                 subject = code
             if rule.pattern.search(subject):
-                if rule.name in allows[lineno - 1]:
+                if rule.suppressible and rule.name in allows[lineno - 1]:
                     continue
                 findings.append((path, lineno, rule.name, rule.message))
     return findings
